@@ -1,0 +1,308 @@
+// Benchmarks: one testing.B benchmark per paper table/figure (each drives
+// the same harness as `cmd/experiments` in Quick mode, so `go test -bench`
+// regenerates every artifact), plus kernel micro-benchmarks and the ablation
+// benches called out in DESIGN.md §4.
+package sourcelda
+
+import (
+	"fmt"
+	"testing"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/experiments"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/lda"
+	"sourcelda/internal/parallel"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/smoothing"
+	"sourcelda/internal/synth"
+)
+
+// benchExperiment runs one paper artifact end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(experiments.Config{Quick: true, Seed: int64(42 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Lines) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func BenchmarkCaseStudy(b *testing.B) { benchExperiment(b, "case-study") }
+func BenchmarkFig2(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkFig8a(b *testing.B)     { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)     { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)     { benchExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B)     { benchExperiment(b, "fig8d") }
+func BenchmarkFig8e(b *testing.B)     { benchExperiment(b, "fig8e") }
+func BenchmarkFig8f(b *testing.B)     { benchExperiment(b, "fig8f") }
+
+// benchCorpus builds a reusable mid-size workload for kernel benchmarks.
+func benchCorpus(b *testing.B) (*synth.MedlineData, error) {
+	b.Helper()
+	return synth.MedlineLike(synth.MedlineOptions{
+		NumTopics:  30,
+		LiveTopics: 12,
+		NumDocs:    120,
+		AvgDocLen:  60,
+		Alpha:      0.1,
+		Mu:         0.7,
+		Sigma:      0.3,
+		Seed:       7,
+	})
+}
+
+// BenchmarkGibbsSweepSourceLDA measures one full-model collapsed Gibbs sweep.
+func BenchmarkGibbsSweepSourceLDA(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewModel(data.Corpus, data.Source, core.Options{
+		NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+		LambdaMode: core.LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 7, Iterations: 1, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	tokens := data.Corpus.TotalTokens()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(1)
+	}
+	b.ReportMetric(float64(tokens), "tokens/sweep")
+}
+
+// BenchmarkGibbsSweepLDA measures a baseline LDA sweep on the same corpus.
+func BenchmarkGibbsSweepLDA(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := lda.Fit(data.Corpus, lda.Options{
+			NumTopics: 12, Alpha: 0.1, Beta: 0.01, Iterations: 1, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkADLDAWorkers sweeps the document-sharded approximate parallel
+// LDA (the §III-C4 contrast class) across worker counts.
+func BenchmarkADLDAWorkers(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := lda.FitADLDA(data.Corpus, lda.ADLDAOptions{
+					NumTopics: 12, Alpha: 0.1, Beta: 0.01,
+					Iterations: 2, Seed: 3, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSamplerKernels compares the three §III-C4 sampling kernels on a
+// fixed probability vector size (the per-token cost of Algorithms 1–3).
+func BenchmarkSamplerKernels(b *testing.B) {
+	for _, T := range []int{64, 512, 4096} {
+		probs := make([]float64, T)
+		r := rng.New(5)
+		for i := range probs {
+			probs[i] = r.Float64()
+		}
+		compute := func(t int) float64 { return probs[t] }
+		for _, workers := range []int{1, 3, 6} {
+			pool := parallel.NewPool(workers)
+			samplers := []parallel.TopicSampler{
+				parallel.NewSerial(),
+				parallel.NewSimpleParallel(pool),
+				parallel.NewPrefixSums(pool),
+			}
+			for _, s := range samplers {
+				name := fmt.Sprintf("T=%d/workers=%d/%s", T, workers, s.Name())
+				b.Run(name, func(b *testing.B) {
+					u := 0.0
+					for i := 0; i < b.N; i++ {
+						u += 1.0 / float64(b.N)
+						if u >= 1 {
+							u = 0
+						}
+						s.Sample(T, compute, u)
+					}
+				})
+			}
+			pool.Close()
+		}
+	}
+}
+
+// BenchmarkAblationQuadrature sweeps the λ quadrature node count A
+// (DESIGN.md ablation 1): accuracy of the integral vs per-token cost.
+func BenchmarkAblationQuadrature(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range []int{3, 7, 15, 31} {
+		b.Run(fmt.Sprintf("A=%d", a), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewModel(data.Corpus, data.Source, core.Options{
+					NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+					LambdaMode: core.LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+					QuadraturePoints: a, Iterations: 1, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Run(1)
+				m.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDeltaRepresentation compares sparse powered-δ lookups
+// against materializing dense vectors (DESIGN.md ablation 2): Dense() per
+// topic is what a naive implementation would pay per quadrature point.
+func BenchmarkAblationDeltaRepresentation(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := data.Corpus.VocabSize()
+	h := data.Source.Article(0).Hyperparams(v, knowledge.DefaultEpsilon)
+	pd := h.Pow(0.7)
+	words := data.Corpus.Docs[0].Words
+	b.Run("sparse-lookup", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for _, w := range words {
+				sink += pd.Value(w)
+			}
+		}
+		_ = sink
+	})
+	b.Run("dense-materialize", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			dense := h.Pow(0.7).Dense()
+			for _, w := range words {
+				sink += dense[w]
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkAblationSmoothing compares g(λ) estimation strategies
+// (DESIGN.md ablation 3): Monte-Carlo vs the deterministic mean-field
+// shortcut.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := data.Corpus.VocabSize()
+	art := data.Source.Article(0)
+	h := art.Hyperparams(v, knowledge.DefaultEpsilon)
+	src := art.SmoothedDistribution(v, knowledge.DefaultEpsilon)
+	b.Run("monte-carlo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smoothing.Estimate(h, src, smoothing.Config{GridPoints: 11, Samples: 30, Seed: 1})
+		}
+	})
+	b.Run("mean-field", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			smoothing.Estimate(h, src, smoothing.Config{GridPoints: 11, MeanField: true, Seed: 1})
+		}
+	})
+}
+
+// BenchmarkAblationLambdaPosterior compares frozen prior-weighted λ
+// quadrature against the per-topic posterior reweighting (DESIGN.md
+// ablation; see core.Options.FreezeLambdaWeights).
+func BenchmarkAblationLambdaPosterior(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, frozen := range []bool{false, true} {
+		name := "posterior"
+		if frozen {
+			name = "frozen-prior"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewModel(data.Corpus, data.Source, core.Options{
+					NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+					LambdaMode: core.LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+					QuadraturePoints: 7, FreezeLambdaWeights: frozen,
+					LambdaBurnIn: 1, Iterations: 1, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Run(3)
+				m.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSupersetReduction measures the §III-C3 post-processing paths.
+func BenchmarkSupersetReduction(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Fit(data.Corpus, data.Source, core.Options{
+		NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+		LambdaMode: core.LambdaFixed, Lambda: 1,
+		Iterations: 20, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	res := m.Result()
+	b.Run("by-doc-frequency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res.ReduceByDocumentFrequency(2, 2)
+		}
+	})
+	b.Run("to-k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res.ReduceToK(12)
+		}
+	})
+}

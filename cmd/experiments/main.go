@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substitutes documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -list            list experiment ids
+//	experiments -run fig8a       run one experiment
+//	experiments -run all         run everything in paper order
+//	experiments -quick           use reduced test-scale workloads
+//	experiments -seed 7          change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sourcelda/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and titles")
+		run   = flag.String("run", "all", "experiment id to run, or 'all'")
+		quick = flag.Bool("quick", false, "use reduced test-scale workloads")
+		seed  = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var toRun []experiments.Experiment
+	if *run == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range toRun {
+		start := time.Now()
+		rep, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		printReport(rep, time.Since(start))
+		if !rep.ShapeOK {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d experiment(s) failed their shape checks\n", failures)
+		os.Exit(1)
+	}
+}
+
+func printReport(r *experiments.Report, elapsed time.Duration) {
+	fmt.Printf("======================================================================\n")
+	fmt.Printf("%s — %s  (%.1fs)\n", r.ID, r.Title, elapsed.Seconds())
+	fmt.Printf("paper claim: %s\n", r.PaperClaim)
+	fmt.Printf("parameters:  %s\n", r.Parameters)
+	fmt.Printf("----------------------------------------------------------------------\n")
+	for _, line := range r.Lines {
+		fmt.Println(line)
+	}
+	if len(r.Metrics) > 0 {
+		fmt.Printf("--- metrics ---\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-40s %v\n", k, r.Metrics[k])
+		}
+	}
+	fmt.Printf("--- shape checks ---\n")
+	for _, n := range r.ShapeNotes {
+		fmt.Println(n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,239 @@
+// Command srclda trains a topic model over a corpus directory with a
+// knowledge-source directory and prints labeled topics.
+//
+// Corpus layout: every *.txt file under -corpus is one document; every
+// *.txt file under -source is one knowledge article whose file name (minus
+// extension) is the topic label. Without -corpus/-source the built-in
+// Reuters-like synthetic scenario is used, so the command is runnable out
+// of the box:
+//
+//	srclda                          # synthetic demo
+//	srclda -model lda -topics 20    # baseline LDA on the demo corpus
+//	srclda -corpus docs/ -source wiki/ -free 10 -iters 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/ctm"
+	"sourcelda/internal/eda"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/labeling"
+	"sourcelda/internal/lda"
+	"sourcelda/internal/persist"
+	"sourcelda/internal/synth"
+	"sourcelda/internal/textproc"
+)
+
+func main() {
+	var (
+		corpusDir = flag.String("corpus", "", "directory of *.txt documents (empty: synthetic demo corpus)")
+		sourceDir = flag.String("source", "", "directory of *.txt knowledge articles (empty: synthetic demo source)")
+		model     = flag.String("model", "srclda", "model: srclda, lda, eda, ctm")
+		freeT     = flag.Int("free", 5, "number of unlabeled (free) topics for srclda/ctm")
+		topics    = flag.Int("topics", 20, "topic count for the lda baseline")
+		iters     = flag.Int("iters", 300, "Gibbs iterations")
+		seed      = flag.Int64("seed", 42, "random seed")
+		mu        = flag.Float64("mu", 0.7, "λ prior mean")
+		sigma     = flag.Float64("sigma", 0.3, "λ prior std dev")
+		lambda    = flag.Float64("lambda", -1, "fixed λ in [0,1]; -1 = integrate λ out")
+		threads   = flag.Int("threads", 1, "worker threads (>1 enables Algorithm 3 parallel sampling)")
+		topN      = flag.Int("top", 10, "words to print per topic")
+		minDocs   = flag.Int("mindocs", 2, "superset reduction: min documents per discovered topic")
+		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file")
+	)
+	flag.Parse()
+
+	c, src, err := loadData(*corpusDir, *sourceDir, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d docs, %d tokens, vocabulary %d; knowledge source: %d articles\n\n",
+		c.NumDocs(), c.TotalTokens(), c.VocabSize(), src.Len())
+
+	switch *model {
+	case "srclda":
+		opts := core.Options{
+			NumFreeTopics:    *freeT,
+			Alpha:            50.0 / float64(*freeT+src.Len()),
+			Beta:             200.0 / float64(c.VocabSize()),
+			Mu:               *mu,
+			Sigma:            *sigma,
+			QuadraturePoints: 9,
+			UseSmoothing:     true,
+			Iterations:       *iters,
+			Seed:             *seed,
+			Threads:          *threads,
+		}
+		if *lambda >= 0 {
+			opts.LambdaMode = core.LambdaFixed
+			opts.Lambda = *lambda
+		} else {
+			opts.LambdaMode = core.LambdaIntegrated
+		}
+		if *threads > 1 {
+			opts.Sampler = core.SamplerSimpleParallel
+		}
+		m, err := core.Fit(c, src, opts)
+		exitOn(err)
+		defer m.Close()
+		res := m.Result()
+		fmt.Printf("discovered labeled topics (≥%d docs):\n", *minDocs)
+		printTopics(c, res.Phi, res.Labels, res.TokenCounts, res.DocFrequencies, *minDocs, *topN)
+		if *saveTo != "" {
+			f, err := os.Create(*saveTo)
+			exitOn(err)
+			exitOn(persist.SaveResult(f, res))
+			exitOn(f.Close())
+			fmt.Printf("\nsnapshot written to %s\n", *saveTo)
+		}
+	case "lda":
+		m, err := lda.Fit(c, lda.Options{
+			NumTopics:  *topics,
+			Alpha:      50.0 / float64(*topics),
+			Beta:       200.0 / float64(c.VocabSize()),
+			Iterations: *iters,
+			Seed:       *seed,
+		})
+		exitOn(err)
+		// IR-LDA: post-hoc labeling with the TF-IDF/cosine retriever.
+		labels := make([]string, *topics)
+		ir := labeling.NewIRLabeler(src, c.VocabSize(), 10)
+		for t, a := range labeling.LabelAll(ir, m.Phi()) {
+			labels[t] = src.Label(a) + " (IR)"
+		}
+		counts := make([]int, *topics)
+		for _, tot := range m.Assignments() {
+			for _, k := range tot {
+				counts[k]++
+			}
+		}
+		printTopics(c, m.Phi(), labels, counts, nil, 0, *topN)
+	case "eda":
+		m, err := eda.Fit(c, src, eda.Options{Alpha: 0.5, Iterations: *iters, Seed: *seed})
+		exitOn(err)
+		counts := make([]int, m.NumTopics())
+		for _, tot := range m.Assignments() {
+			for _, k := range tot {
+				counts[k]++
+			}
+		}
+		printTopics(c, m.Phi(), m.Labels(), counts, nil, 0, *topN)
+	case "ctm":
+		m, err := ctm.Fit(c, src, ctm.Options{
+			NumFreeTopics: *freeT, Alpha: 0.5, Beta: 0.01,
+			Iterations: *iters, Seed: *seed,
+		})
+		exitOn(err)
+		counts := make([]int, m.NumTopics())
+		for _, tot := range m.Assignments() {
+			for _, k := range tot {
+				counts[k]++
+			}
+		}
+		printTopics(c, m.Phi(), m.Labels(), counts, nil, 0, *topN)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// loadData reads the corpus and knowledge source from directories, or
+// builds the synthetic Reuters-like demo when paths are empty.
+func loadData(corpusDir, sourceDir string, seed int64) (*corpus.Corpus, *knowledge.Source, error) {
+	if corpusDir == "" && sourceDir == "" {
+		data, err := synth.ReutersLike(synth.ReutersOptions{
+			NumCategories: 30, LiveCategories: 12, NumDocs: 200, AvgDocLen: 60, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return data.Corpus, data.Source, nil
+	}
+	if corpusDir == "" || sourceDir == "" {
+		return nil, nil, fmt.Errorf("-corpus and -source must be given together")
+	}
+	stop := textproc.DefaultStopwords()
+	c := corpus.New()
+	if err := eachTxt(corpusDir, func(name, text string) {
+		c.AddText(name, text, stop)
+	}); err != nil {
+		return nil, nil, err
+	}
+	var articles []*knowledge.Article
+	if err := eachTxt(sourceDir, func(name, text string) {
+		label := strings.TrimSuffix(name, filepath.Ext(name))
+		articles = append(articles, knowledge.NewArticleFromText(label, text, c.Vocab, stop, true))
+	}); err != nil {
+		return nil, nil, err
+	}
+	src, err := knowledge.NewSource(articles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, src, nil
+}
+
+func eachTxt(dir string, fn func(name, text string)) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		fn(e.Name(), string(data))
+		found = true
+	}
+	if !found {
+		return fmt.Errorf("no *.txt files in %s", dir)
+	}
+	return nil
+}
+
+// printTopics renders topics sorted by token count; when minDocs > 0 only
+// topics meeting the document-frequency threshold are shown.
+func printTopics(c *corpus.Corpus, phis [][]float64, labels []string, tokenCounts, docFreq []int, minDocs, topN int) {
+	order := make([]int, len(phis))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return tokenCounts[order[i]] > tokenCounts[order[j]]
+	})
+	for _, t := range order {
+		if tokenCounts[t] == 0 {
+			continue
+		}
+		if minDocs > 0 && docFreq != nil && docFreq[t] < minDocs {
+			continue
+		}
+		ids := textproc.TopWords(phis[t], topN)
+		words := make([]string, len(ids))
+		for i, id := range ids {
+			words[i] = c.Vocab.Word(id)
+		}
+		fmt.Printf("%-28s (%6d tokens)  %s\n", labels[t], tokenCounts[t], strings.Join(words, ", "))
+	}
+}

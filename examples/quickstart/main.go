@@ -1,0 +1,80 @@
+// Quickstart: the paper's §I case study, end to end on the public API.
+//
+// Two three-word documents are modeled with two knowledge articles (School
+// Supplies and Baseball). Plain LDA cannot reliably separate "pencil,
+// pencil, umpire" from "ruler, ruler, baseball" into the right topics;
+// Source-LDA uses the articles' word distributions as priors and recovers
+// the ideal labeled assignments.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sourcelda"
+)
+
+const schoolArticle = `
+pencil pencil pencil pencil pencil eraser eraser ruler ruler ruler notebook
+notebook paper paper pen pen laptop book book backpack crayon marker glue
+scissors classroom student school school supplies stationery binder folder
+pencil ruler eraser paper`
+
+const baseballArticle = `
+baseball baseball baseball baseball pitcher pitcher batter batter umpire
+umpire inning inning catcher outfield infield run bases stolen league league
+stadium fans glove bat bat ball ball strike pitch team game game season
+player players baseball umpire`
+
+func main() {
+	builder := sourcelda.NewCorpusBuilder()
+	builder.AddDocument("d1", "pencil pencil umpire")
+	builder.AddDocument("d2", "ruler ruler baseball")
+	builder.AddKnowledgeArticle("School Supplies", strings.Repeat(schoolArticle, 3))
+	builder.AddKnowledgeArticle("Baseball", strings.Repeat(baseballArticle, 3))
+
+	corpus, source, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d documents, %d tokens, %d distinct words\n",
+		corpus.NumDocuments(), corpus.TotalTokens(), corpus.VocabularySize())
+	fmt.Printf("knowledge source: %v\n\n", source.Labels())
+
+	model, err := sourcelda.Fit(corpus, source, sourcelda.Options{
+		Lambda:     &sourcelda.LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 300,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fitted topics (by corpus weight):")
+	for _, topic := range model.Topics() {
+		fmt.Printf("  %-16s weight=%.2f  top words: %s\n",
+			topic.Label, topic.Weight, strings.Join(topic.TopWords(4), ", "))
+	}
+
+	fmt.Println("\nper-document topic mixtures:")
+	for d := 0; d < corpus.NumDocuments(); d++ {
+		theta, err := model.DocumentTopics(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  d%d: %v\n", d+1, compact(theta))
+	}
+
+	fmt.Println("\nideal outcome: pencil/ruler → School Supplies, umpire/baseball → Baseball")
+}
+
+func compact(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.2f", x)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Tuning: the paper's §III-C5a parameter-selection workflow plus model
+// persistence.
+//
+// §IV-C sets µ and σ "by experimentally finding a local minimum value of
+// perplexity". This example runs that grid search on a synthetic newswire
+// corpus, prints the perplexity surface, refits with the selected prior,
+// inspects the per-topic λ posteriors, and round-trips the fitted model
+// through the JSON persistence layer.
+//
+// Run: go run ./examples/tuning
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/persist"
+	"sourcelda/internal/synth"
+	"sourcelda/internal/textproc"
+)
+
+func main() {
+	data, err := synth.ReutersLike(synth.ReutersOptions{
+		NumCategories:  24,
+		LiveCategories: 10,
+		NumDocs:        200,
+		AvgDocLen:      60,
+		Seed:           3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, src := data.Corpus, data.Source
+	fmt.Printf("corpus: %d docs, %d tokens; knowledge source: %d categories\n\n",
+		c.NumDocs(), c.TotalTokens(), src.Len())
+
+	// Grid-search (µ, σ) by held-out perplexity (§III-C5a).
+	sel, err := core.SelectParameters(c, src, core.Options{
+		NumFreeTopics: 4,
+		Alpha:         0.5,
+		Beta:          0.01,
+		UseSmoothing:  true,
+	}, core.ParameterGrid{
+		Mus:                  []float64{0.3, 0.5, 0.7, 0.9},
+		Sigmas:               []float64{0.1, 0.3},
+		TrainIterations:      60,
+		PerplexityIterations: 25,
+		Seed:                 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("perplexity surface:")
+	fmt.Printf("  %-6s %-6s %s\n", "µ", "σ", "perplexity")
+	for _, cand := range sel.Candidates {
+		marker := ""
+		if cand == sel.Best {
+			marker = "   ← selected"
+		}
+		fmt.Printf("  %-6.1f %-6.1f %-10.1f%s\n", cand.Mu, cand.Sigma, cand.Perplexity, marker)
+	}
+	fmt.Printf("\n(the paper's Reuters run selected µ=0.7, σ=0.3 this way)\n\n")
+
+	// Refit on the full corpus with the selected prior.
+	m, err := core.Fit(c, src, core.Options{
+		NumFreeTopics:   4,
+		Alpha:           0.5,
+		Beta:            0.01,
+		LambdaMode:      core.LambdaIntegrated,
+		Mu:              sel.Best.Mu,
+		Sigma:           sel.Best.Sigma,
+		UseSmoothing:    true,
+		PruneDeadTopics: true,
+		PruneMinDocs:    10,
+		Iterations:      150,
+		Seed:            17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// λ posterior diagnostics per discovered topic.
+	res := m.Result()
+	lams := m.LambdaPosteriorMeans()
+	fmt.Println("discovered topics with λ posterior means (1 = conforming to its article):")
+	shown := 0
+	for s := 0; s < src.Len() && shown < 6; s++ {
+		t := m.NumFreeTopics() + s
+		if res.DocFrequencies[t] < 10 {
+			continue
+		}
+		ids := textproc.TopWords(res.Phi[t], 5)
+		words := make([]string, len(ids))
+		for i, id := range ids {
+			words[i] = c.Vocab.Word(id)
+		}
+		fmt.Printf("  %-24s λ̄=%.2f  %s\n", src.Label(s), lams[s], strings.Join(words, ", "))
+		shown++
+	}
+
+	// Persist the fitted snapshot and reload it.
+	var buf bytes.Buffer
+	if err := persist.SaveResult(&buf, res); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	back, err := persist.LoadResult(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npersisted snapshot: %d bytes JSON; reloaded %d topics, reduction to 10 gives %d\n",
+		size, back.NumTopics(), len(back.ReduceToK(10).Result.Phi))
+}

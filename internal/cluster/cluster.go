@@ -1,0 +1,172 @@
+// Package cluster implements k-means clustering over discrete probability
+// distributions with the Jensen–Shannon divergence as the distance, the
+// clustering step the paper proposes for superset topic reduction: "At the
+// end of the sampling phase we then can use a clustering algorithm (such as
+// k-means, JS divergence) to further reduce the modeled topics and give a
+// total of K topics" (§III-C3).
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"sourcelda/internal/mathx"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/stats"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	// K is the number of clusters. Required, 1 ≤ K ≤ len(points).
+	K int
+	// MaxIterations bounds Lloyd iterations. Default 100.
+	MaxIterations int
+	// Tolerance stops early when the total JS cost improves by less than
+	// this amount between iterations. Default 1e-9.
+	Tolerance float64
+	// Seed seeds the k-means++ style initialization.
+	Seed int64
+}
+
+// Result holds cluster assignments and centroids.
+type Result struct {
+	// Assignment[i] is the cluster of point i.
+	Assignment []int
+	// Centroids[k] is the mean distribution of cluster k.
+	Centroids [][]float64
+	// Cost is the final total JS divergence of points to their centroids.
+	Cost float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// KMeansJS clusters the probability vectors points into K groups using
+// Lloyd's algorithm with JS-divergence assignment and mean centroids (the
+// arithmetic mean of distributions is itself a distribution, and it
+// minimizes the total JS cost to first order).
+func KMeansJS(points [][]float64, opts Options) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if opts.K < 1 || opts.K > n {
+		return nil, errors.New("cluster: K must be in [1, len(points)]")
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("cluster: points have differing dimensions")
+		}
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 100
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-9
+	}
+
+	r := rng.New(opts.Seed)
+	centroids := initPlusPlus(points, opts.K, r)
+	assign := make([]int, n)
+	prevCost := math.Inf(1)
+	res := &Result{}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// Assignment step.
+		var cost float64
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for k, c := range centroids {
+				if d := stats.JSDivergence(p, c); d < bestD {
+					best, bestD = k, d
+				}
+			}
+			assign[i] = best
+			cost += bestD
+		}
+		// Update step: mean of members; empty clusters re-seed to the
+		// farthest point.
+		counts := make([]int, opts.K)
+		next := make([][]float64, opts.K)
+		for k := range next {
+			next[k] = make([]float64, dim)
+		}
+		for i, p := range points {
+			k := assign[i]
+			counts[k]++
+			for j, v := range p {
+				next[k][j] += v
+			}
+		}
+		for k := range next {
+			if counts[k] == 0 {
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d := stats.JSDivergence(p, centroids[assign[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[k], points[far])
+				assign[far] = k
+				continue
+			}
+			inv := 1 / float64(counts[k])
+			for j := range next[k] {
+				next[k][j] *= inv
+			}
+			mathx.Normalize(next[k])
+		}
+		centroids = next
+		res.Iterations = iter + 1
+		if prevCost-cost < opts.Tolerance {
+			prevCost = cost
+			break
+		}
+		prevCost = cost
+	}
+	res.Assignment = assign
+	res.Centroids = centroids
+	res.Cost = prevCost
+	return res, nil
+}
+
+// initPlusPlus seeds centroids with k-means++: the first uniformly, the
+// rest proportional to their JS divergence from the nearest chosen seed.
+func initPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := r.Intn(n)
+	centroids = append(centroids, cloneVec(points[first]))
+	minDist := make([]float64, n)
+	for i, p := range points {
+		minDist[i] = stats.JSDivergence(p, centroids[0])
+	}
+	for len(centroids) < k {
+		idx := r.Categorical(minDist)
+		centroids = append(centroids, cloneVec(points[idx]))
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			if d := stats.JSDivergence(p, last); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// ReduceTopics clusters the topic-word rows phi to K representatives and
+// returns the centroid distributions together with, per original topic, its
+// cluster id — the "give a total of K topics" step of §III-C3.
+func ReduceTopics(phi [][]float64, k int, seed int64) (centroids [][]float64, membership []int, err error) {
+	res, err := KMeansJS(phi, Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Centroids, res.Assignment, nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"sourcelda/internal/mathx"
+	"sourcelda/internal/rng"
+)
+
+// threeClusters builds 30 noisy distributions around three distinct centers
+// over 9 atoms.
+func threeClusters() ([][]float64, []int) {
+	centers := [][]float64{
+		{0.8, 0.1, 0.1, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0.1, 0.8, 0.1, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 0.1, 0.1, 0.8},
+	}
+	r := rng.New(3)
+	var points [][]float64
+	var labels []int
+	for c, center := range centers {
+		for i := 0; i < 10; i++ {
+			p := make([]float64, len(center))
+			for j, v := range center {
+				p[j] = v + r.Float64()*0.05
+			}
+			mathx.Normalize(p)
+			points = append(points, p)
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansJSRecoversClusters(t *testing.T) {
+	points, truth := threeClusters()
+	res, err := KMeansJS(points, Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points with the same true label must share a cluster, and
+	// different labels must differ (up to permutation).
+	byTruth := map[int]int{}
+	for i, c := range res.Assignment {
+		if prev, ok := byTruth[truth[i]]; ok {
+			if prev != c {
+				t.Fatalf("true cluster %d split across k-means clusters %d and %d", truth[i], prev, c)
+			}
+		} else {
+			byTruth[truth[i]] = c
+		}
+	}
+	if len(byTruth) != 3 {
+		t.Fatal("clusters merged")
+	}
+	seen := map[int]bool{}
+	for _, c := range byTruth {
+		if seen[c] {
+			t.Fatal("two true clusters mapped to one k-means cluster")
+		}
+		seen[c] = true
+	}
+}
+
+func TestCentroidsAreDistributions(t *testing.T) {
+	points, _ := threeClusters()
+	res, err := KMeansJS(points, Options{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range res.Centroids {
+		var s float64
+		for _, v := range c {
+			if v < 0 {
+				t.Fatalf("centroid %d has negative mass", k)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("centroid %d sums to %v", k, s)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	points, _ := threeClusters()
+	if _, err := KMeansJS(nil, Options{K: 1}); err == nil {
+		t.Error("no points accepted")
+	}
+	if _, err := KMeansJS(points, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMeansJS(points, Options{K: len(points) + 1}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := KMeansJS([][]float64{{1, 0}, {1}}, Options{K: 1}); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	points, _ := threeClusters()
+	res, err := KMeansJS(points, Options{K: len(points), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point should be (essentially) its own centroid → near-zero cost.
+	if res.Cost > 1e-6 {
+		t.Fatalf("K=n cost %v, want ≈0", res.Cost)
+	}
+}
+
+func TestKOne(t *testing.T) {
+	points, _ := threeClusters()
+	res, err := KMeansJS(points, Options{K: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Assignment {
+		if c != 0 {
+			t.Fatal("K=1 must assign everything to cluster 0")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	points, _ := threeClusters()
+	a, err := KMeansJS(points, Options{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeansJS(points, Options{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed gave different clusterings")
+		}
+	}
+}
+
+func TestReduceTopics(t *testing.T) {
+	points, _ := threeClusters()
+	centroids, membership, err := ReduceTopics(points, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 3 || len(membership) != len(points) {
+		t.Fatal("wrong output shapes")
+	}
+}
+
+func TestCostDecreasesWithMoreClusters(t *testing.T) {
+	points, _ := threeClusters()
+	res1, _ := KMeansJS(points, Options{K: 1, Seed: 3})
+	res3, _ := KMeansJS(points, Options{K: 3, Seed: 3})
+	if res3.Cost >= res1.Cost {
+		t.Fatalf("K=3 cost %v should beat K=1 cost %v", res3.Cost, res1.Cost)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+)
+
+// TestSingleWordVocabulary: the degenerate smallest possible problem must
+// not panic or produce non-finite distributions.
+func TestSingleWordVocabulary(t *testing.T) {
+	c := corpus.New()
+	c.AddText("d", "word word word", nil)
+	art := knowledge.NewArticleFromText("Only", "word word", c.Vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{art})
+	m, err := Fit(c, src, Options{LambdaMode: LambdaFixed, Lambda: 1, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	phi := m.Phi()
+	if math.Abs(phi[0][0]-1) > 1e-9 {
+		t.Fatalf("single-word φ = %v, want 1", phi[0][0])
+	}
+}
+
+// TestArticleWithNoCorpusWords: a knowledge article entirely outside the
+// corpus vocabulary degenerates to the ε-uniform prior but must stay usable.
+func TestArticleWithNoCorpusWords(t *testing.T) {
+	c := corpus.New()
+	c.AddText("d1", "alpha beta alpha gamma", nil)
+	c.AddText("d2", "beta beta gamma alpha", nil)
+	empty := &knowledge.Article{Label: "Unrelated", Counts: map[int]int{}}
+	related := knowledge.NewArticleFromText("Related",
+		"alpha alpha beta beta gamma gamma alpha beta", c.Vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{related, empty})
+	m, err := Fit(c, src, Options{LambdaMode: LambdaFixed, Lambda: 1, Iterations: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// The related topic should dominate: its prior matches the corpus, the
+	// empty article offers only ε-mass.
+	counts := m.TokensPerTopic()
+	if counts[0] <= counts[1] {
+		t.Fatalf("related topic holds %d tokens vs unrelated %d", counts[0], counts[1])
+	}
+	for _, row := range m.Phi() {
+		for _, p := range row {
+			if math.IsNaN(p) || p < 0 {
+				t.Fatal("invalid φ entry")
+			}
+		}
+	}
+}
+
+// TestEmptyDocumentsTolerated: zero-length documents must flow through
+// fitting and θ computation.
+func TestEmptyDocumentsTolerated(t *testing.T) {
+	c := corpus.New()
+	c.AddText("d1", "alpha beta alpha", nil)
+	c.AddDocument(&corpus.Document{Name: "empty"})
+	c.AddText("d2", "beta beta alpha", nil)
+	art := knowledge.NewArticleFromText("A", "alpha alpha beta", c.Vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{art})
+	m, err := Fit(c, src, Options{LambdaMode: LambdaFixed, Lambda: 1, Iterations: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	theta := m.Theta()
+	var s float64
+	for _, p := range theta[1] { // the empty document
+		if math.IsNaN(p) {
+			t.Fatal("NaN in empty-document θ")
+		}
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("empty-document θ sums to %v", s)
+	}
+}
+
+// TestCountsInvariantUnderRandomOptions: after any number of sweeps under
+// randomized valid options, the count matrices must exactly agree with the
+// assignment vector — the core structural invariant of collapsed Gibbs.
+func TestCountsInvariantUnderRandomOptions(t *testing.T) {
+	cs := caseStudyFixture()
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		opts := Options{
+			NumFreeTopics: r.Intn(3),
+			Alpha:         0.1 + r.Float64(),
+			Beta:          0.01 + r.Float64()*0.2,
+			Iterations:    1 + r.Intn(8),
+			Seed:          seed,
+		}
+		if r.Bernoulli(0.5) {
+			opts.LambdaMode = LambdaFixed
+			opts.Lambda = r.Float64()
+		} else {
+			opts.LambdaMode = LambdaIntegrated
+			opts.Mu = r.Float64()
+			opts.Sigma = 0.1 + r.Float64()
+			opts.QuadraturePoints = 3 + r.Intn(5)
+			opts.UseSmoothing = r.Bernoulli(0.5)
+		}
+		if r.Bernoulli(0.3) {
+			opts.PruneDeadTopics = true
+			opts.PruneAfter = 2
+		}
+		m, err := Fit(cs.Corpus, cs.Source, opts)
+		if err != nil {
+			return false
+		}
+		defer m.Close()
+		// Rebuild counts from assignments.
+		T := m.NumTopics()
+		wantTotals := make([]int, T)
+		for d, doc := range cs.Corpus.Docs {
+			perDoc := make([]int, T)
+			for i := range doc.Words {
+				k := m.Assignments()[d][i]
+				if k < 0 || k >= T {
+					return false
+				}
+				perDoc[k]++
+				wantTotals[k]++
+			}
+			theta := m.Theta()[d]
+			var s float64
+			for _, p := range theta {
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		got := m.TokensPerTopic()
+		for k := range got {
+			if got[k] != wantTotals[k] {
+				return false
+			}
+		}
+		// φ rows normalized and finite.
+		for _, row := range m.Phi() {
+			var s float64
+			for _, p := range row {
+				if p < 0 || math.IsNaN(p) {
+					return false
+				}
+				s += p
+			}
+			if math.Abs(s-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruningNeverKillsEverything: even absurd thresholds must leave at
+// least one enabled topic and all tokens assigned.
+func TestPruningNeverKillsEverything(t *testing.T) {
+	cs := caseStudyFixture()
+	m, err := Fit(cs.Corpus, cs.Source, Options{
+		LambdaMode: LambdaFixed, Lambda: 1,
+		PruneDeadTopics: true,
+		PruneAfter:      2,
+		PruneMinDocs:    1_000_000,
+		Iterations:      20,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	enabled := 0
+	for _, dead := range m.DisabledTopics() {
+		if !dead {
+			enabled++
+		}
+	}
+	if enabled == 0 {
+		t.Fatal("pruning eliminated every topic")
+	}
+	var total int
+	for _, n := range m.TokensPerTopic() {
+		total += n
+	}
+	if total != cs.Corpus.TotalTokens() {
+		t.Fatalf("tokens lost during pruning: %d of %d", total, cs.Corpus.TotalTokens())
+	}
+}
+
+// TestPruningEliminatesDeadTopic: a source topic with no corpus support
+// must be eliminated and keep zero tokens afterwards.
+func TestPruningEliminatesDeadTopic(t *testing.T) {
+	c := corpus.New()
+	for i := 0; i < 20; i++ {
+		c.AddText("d", "alpha beta alpha beta gamma gamma", nil)
+	}
+	live := knowledge.NewArticleFromText("Live", "alpha alpha beta beta gamma gamma", c.Vocab, nil, true)
+	dead := knowledge.NewArticleFromText("Dead", "delta delta epsilon epsilon", c.Vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{live, dead})
+	m, err := Fit(c, src, Options{
+		LambdaMode: LambdaFixed, Lambda: 1,
+		PruneDeadTopics: true,
+		PruneAfter:      5,
+		PruneMinDocs:    5,
+		PruneMinTokens:  2,
+		Iterations:      30,
+		Seed:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	disabled := m.DisabledTopics()
+	if !disabled[1] {
+		t.Fatal("dead topic survived pruning")
+	}
+	if disabled[0] {
+		t.Fatal("live topic was pruned")
+	}
+	if m.TokensPerTopic()[1] != 0 {
+		t.Fatalf("disabled topic still holds %d tokens", m.TokensPerTopic()[1])
+	}
+}
+
+// TestRunExtendsChainDeterministically: Run(a) then Run(b) equals Run(a+b).
+func TestRunExtendsChainDeterministically(t *testing.T) {
+	cs := caseStudyFixture()
+	opts := Options{LambdaMode: LambdaFixed, Lambda: 1, Iterations: 1, Seed: 11}
+	m1, err := NewModel(cs.Corpus, cs.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	m1.Run(4)
+	m1.Run(6)
+
+	m2, err := NewModel(cs.Corpus, cs.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	m2.Run(10)
+
+	for d := range m1.Assignments() {
+		for i := range m1.Assignments()[d] {
+			if m1.Assignments()[d][i] != m2.Assignments()[d][i] {
+				t.Fatal("split Run diverged from single Run")
+			}
+		}
+	}
+}

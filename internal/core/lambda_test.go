@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+)
+
+// lambdaFixture builds a two-topic corpus where topic A's documents follow
+// its article's frequency profile exactly (a conforming, λ≈1 topic) while
+// topic B's documents invert its article's profile (a deviating, low-λ
+// topic). Both articles share the same word set, so only frequency profiles
+// distinguish them — the regime where the λ posterior matters.
+func lambdaFixture(t *testing.T) (*corpus.Corpus, *knowledge.Source) {
+	t.Helper()
+	c := corpus.New()
+	for i := 0; i < 30; i++ {
+		// Follows article A's profile (alpha-heavy).
+		c.AddText("a", "alpha alpha alpha alpha beta beta gamma delta", nil)
+		// Inverts article B's profile (article says epsilon-heavy; corpus
+		// is heavy on theta).
+		c.AddText("b", "theta theta theta theta eta eta zeta epsilon", nil)
+	}
+	artA := knowledge.NewArticleFromText("Conforming",
+		strings.Repeat("alpha alpha alpha alpha beta beta gamma delta ", 40), c.Vocab, nil, true)
+	artB := knowledge.NewArticleFromText("Deviating",
+		strings.Repeat("epsilon epsilon epsilon epsilon zeta zeta eta theta ", 40), c.Vocab, nil, true)
+	return c, knowledge.MustNewSource([]*knowledge.Article{artA, artB})
+}
+
+func TestLambdaPosteriorSeparatesConformingFromDeviating(t *testing.T) {
+	c, src := lambdaFixture(t)
+	m, err := Fit(c, src, Options{
+		Alpha:            0.5,
+		LambdaMode:       LambdaIntegrated,
+		Mu:               0.5,
+		Sigma:            1.0,
+		QuadraturePoints: 9,
+		LambdaBurnIn:     5,
+		Iterations:       60,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	means := m.LambdaPosteriorMeans()
+	if len(means) != 2 {
+		t.Fatalf("means = %v", means)
+	}
+	for i, mu := range means {
+		if mu < 0 || mu > 1 {
+			t.Fatalf("posterior mean %d = %v outside [0,1]", i, mu)
+		}
+	}
+	if means[0] <= means[1] {
+		t.Fatalf("conforming topic's λ posterior (%v) should exceed the deviating topic's (%v)",
+			means[0], means[1])
+	}
+}
+
+func TestFreezeLambdaWeightsKeepsPrior(t *testing.T) {
+	c, src := lambdaFixture(t)
+	m, err := Fit(c, src, Options{
+		Alpha:               0.5,
+		LambdaMode:          LambdaIntegrated,
+		Mu:                  0.5,
+		Sigma:               1.0,
+		QuadraturePoints:    9,
+		FreezeLambdaWeights: true,
+		Iterations:          30,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	means := m.LambdaPosteriorMeans()
+	// With frozen weights both topics keep the identical prior mean.
+	if math.Abs(means[0]-means[1]) > 1e-12 {
+		t.Fatalf("frozen weights should be identical across topics: %v", means)
+	}
+}
+
+func TestPosteriorLambdaImprovesDeviatingTopicFit(t *testing.T) {
+	// The deviating topic's φ should track the corpus (theta-heavy), not
+	// the article (epsilon-heavy), once the λ posterior relaxes its prior.
+	c, src := lambdaFixture(t)
+	m, err := Fit(c, src, Options{
+		Alpha:            0.5,
+		LambdaMode:       LambdaIntegrated,
+		Mu:               0.5,
+		Sigma:            1.0,
+		QuadraturePoints: 9,
+		LambdaBurnIn:     5,
+		Iterations:       80,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	phi := m.Phi()
+	thetaW, _ := c.Vocab.ID("theta")
+	epsilonW, _ := c.Vocab.ID("epsilon")
+	devTopic := m.NumFreeTopics() + 1
+	if phi[devTopic][thetaW] <= phi[devTopic][epsilonW] {
+		t.Fatalf("deviating topic still follows its article: theta=%v epsilon=%v",
+			phi[devTopic][thetaW], phi[devTopic][epsilonW])
+	}
+}
+
+func TestReduceToK(t *testing.T) {
+	cs := caseStudyFixture()
+	m, err := Fit(cs.Corpus, cs.Source, Options{
+		NumFreeTopics: 2,
+		LambdaMode:    LambdaFixed, Lambda: 1,
+		Iterations: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res := m.Result()
+	red := res.ReduceToK(2)
+	if len(red.Result.Phi) != 2 {
+		t.Fatalf("kept %d topics, want 2", len(red.Result.Phi))
+	}
+	// The kept topics must be the ones with the most tokens.
+	minKept := red.Result.TokenCounts[0]
+	for _, n := range red.Result.TokenCounts {
+		if n < minKept {
+			minKept = n
+		}
+	}
+	for t2, n := range res.TokenCounts {
+		if red.OldToNew[t2] == -1 && n > minKept {
+			t.Fatalf("dropped topic %d has %d tokens > kept minimum %d", t2, n, minKept)
+		}
+	}
+	// θ renormalized.
+	for d, row := range red.Result.Theta {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("reduced θ[%d] sums to %v", d, s)
+		}
+	}
+	// k ≥ T is the identity.
+	same := res.ReduceToK(99)
+	if len(same.Result.Phi) != res.NumTopics() {
+		t.Fatal("over-large k should keep everything")
+	}
+	for i, t2 := range same.OldToNew {
+		if t2 != i {
+			t.Fatal("identity mapping expected")
+		}
+	}
+}

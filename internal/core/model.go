@@ -1,0 +1,686 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/parallel"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/smoothing"
+)
+
+// sourceTopic holds the precomputed λ-quadrature state for one
+// knowledge-source topic. The Gibbs inner loop needs, for a word w, the A
+// values (δ_w)^{e_p} and the A totals Σ_a (δ_a)^{e_p}; both are fixed for
+// the whole chain because δ derives from the knowledge source, not from the
+// corpus, so they are materialized once at model construction (§III-C's
+// "Calculate g_t" preamble in Algorithm 1).
+type sourceTopic struct {
+	hyper *knowledge.Hyperparams
+	g     *smoothing.G
+	// exponents[p] = g(λ_p) (or λ_p without smoothing); fixed mode has one.
+	exponents []float64
+	// nodes[p] is the raw λ quadrature node.
+	nodes []float64
+	// priorLogWeights[p] is log of the normalized N(µ,σ) node mass.
+	priorLogWeights []float64
+	// weights[p] is the current normalized quadrature weight: the prior
+	// mass, reweighted each sweep by the topic's collapsed likelihood
+	// unless Options.FreezeLambdaWeights is set.
+	weights []float64
+	// valueAt[w][p] = (δ_w)^{exponents[p]} for words with article support.
+	valueAt map[int][]float64
+	// defaults[p] = ε^{exponents[p]}, the value of unsupported words.
+	defaults []float64
+	// totals[p] = Σ_a (δ_a)^{exponents[p]} over the whole vocabulary.
+	totals []float64
+}
+
+// wordProb returns P(w | topic) under the collapsed conditional given nw
+// (tokens of w in this topic, excluding the current token) and nsum (total
+// tokens in this topic): the λ-integral of Eq. 3 evaluated by quadrature, or
+// the single fixed-λ ratio of §III-A.
+func (st *sourceTopic) wordProb(vals []float64, nw, nsum float64) float64 {
+	if len(st.weights) == 1 {
+		return (nw + vals[0]) / (nsum + st.totals[0])
+	}
+	var p float64
+	for i, wgt := range st.weights {
+		p += wgt * (nw + vals[i]) / (nsum + st.totals[i])
+	}
+	return p
+}
+
+// values returns the per-quadrature-point δ^e values for word w.
+func (st *sourceTopic) values(w int) []float64 {
+	if v, ok := st.valueAt[w]; ok {
+		return v
+	}
+	return st.defaults
+}
+
+// Model is a fitted (or in-progress) Source-LDA chain.
+type Model struct {
+	opts Options
+	c    *corpus.Corpus
+	src  *knowledge.Source
+	r    *rng.RNG
+
+	// K free topics occupy indices [0, K); the S = src.Len() source topics
+	// occupy [K, T). T = K + S.
+	K, S, T int
+	V, D    int
+
+	nw     [][]int // [V][T] word-topic counts
+	nd     [][]int // [D][T] document-topic counts
+	nwsum  []int   // [T] tokens per topic
+	ndsum  []int   // [D] tokens per document
+	z      [][]int // [D][tokens] assignments
+	topics []*sourceTopic
+
+	pool       *parallel.Pool
+	sampler    parallel.TopicSampler
+	sweepCount int
+	// disabled marks topics eliminated by in-inference superset reduction
+	// (§III-C3); disabled topics sample with probability zero.
+	disabled []bool
+	// ctx and computeFn are the reusable per-token conditional evaluator;
+	// binding the method value once avoids a closure allocation per token.
+	ctx       sampleContext
+	computeFn func(t int) float64
+
+	// LikelihoodTrace holds the collapsed joint log-likelihood per sweep
+	// when tracing is enabled.
+	LikelihoodTrace []float64
+	// IterationTimes holds per-sweep wall-clock durations (Fig. 8(f)).
+	IterationTimes []time.Duration
+}
+
+// Fit runs Source-LDA collapsed Gibbs sampling over corpus c with knowledge
+// source src and returns the fitted model. The model owns a worker pool when
+// a parallel sampler is selected; Close releases it.
+func Fit(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
+	m, err := NewModel(c, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.Run(m.opts.Iterations)
+	return m, nil
+}
+
+// NewModel validates options, precomputes the per-topic quadrature state and
+// returns an initialized (randomly-assigned) chain that has not yet swept.
+func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
+	opts.applyDefaults()
+	if err := opts.validate(c, src); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		opts: opts,
+		c:    c,
+		src:  src,
+		r:    rng.New(opts.Seed),
+		K:    opts.NumFreeTopics,
+		S:    src.Len(),
+		V:    c.VocabSize(),
+		D:    c.NumDocs(),
+	}
+	m.T = m.K + m.S
+	m.disabled = make([]bool, m.T)
+	m.buildSourceTopics()
+	m.allocateCounts()
+	m.initAssignments()
+	m.pool = parallel.NewPool(opts.Threads)
+	switch opts.Sampler {
+	case SamplerSimpleParallel:
+		m.sampler = parallel.NewSimpleParallel(m.pool)
+	case SamplerPrefixSums:
+		m.sampler = parallel.NewPrefixSums(m.pool)
+	default:
+		m.sampler = parallel.NewSerial()
+	}
+	return m, nil
+}
+
+// Close releases the worker pool of a parallel sampler. It is safe to call
+// on serially-sampled models and more than once.
+func (m *Model) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+	}
+}
+
+// quadratureNodes returns the λ nodes and normalized N(µ,σ) weights over
+// [0, 1]. σ = 0 degenerates to a single node at clamp(µ, 0, 1).
+func quadratureNodes(mu, sigma float64, a int) (nodes, weights []float64) {
+	if sigma == 0 {
+		node := mu
+		if node < 0 {
+			node = 0
+		}
+		if node > 1 {
+			node = 1
+		}
+		return []float64{node}, []float64{1}
+	}
+	nodes = make([]float64, a)
+	weights = make([]float64, a)
+	var total float64
+	for p := 0; p < a; p++ {
+		x := (float64(p) + 0.5) / float64(a)
+		nodes[p] = x
+		d := (x - mu) / sigma
+		w := math.Exp(-0.5 * d * d)
+		weights[p] = w
+		total += w
+	}
+	if total <= 0 {
+		for p := range weights {
+			weights[p] = 1 / float64(a)
+		}
+		return nodes, weights
+	}
+	for p := range weights {
+		weights[p] /= total
+	}
+	return nodes, weights
+}
+
+func (m *Model) buildSourceTopics() {
+	o := &m.opts
+	m.topics = make([]*sourceTopic, m.S)
+
+	var nodes, weights []float64
+	if o.LambdaMode == LambdaIntegrated {
+		nodes, weights = quadratureNodes(o.Mu, o.Sigma, o.QuadraturePoints)
+	} else {
+		nodes, weights = []float64{o.Lambda}, []float64{1}
+	}
+
+	for s := 0; s < m.S; s++ {
+		art := m.src.Article(s)
+		h := art.Hyperparams(m.V, o.Epsilon)
+		st := &sourceTopic{hyper: h}
+		if o.UseSmoothing {
+			cfg := o.SmoothingConfig
+			cfg.Seed = o.SmoothingConfig.Seed + int64(s)
+			st.g = smoothing.Estimate(h, art.SmoothedDistribution(m.V, o.Epsilon), cfg)
+		} else {
+			st.g = smoothing.Identity()
+		}
+		st.exponents = make([]float64, len(nodes))
+		st.nodes = append([]float64(nil), nodes...)
+		st.weights = make([]float64, len(weights))
+		copy(st.weights, weights)
+		st.priorLogWeights = make([]float64, len(weights))
+		for p, w := range weights {
+			if w <= 0 {
+				st.priorLogWeights[p] = math.Inf(-1)
+			} else {
+				st.priorLogWeights[p] = math.Log(w)
+			}
+		}
+		st.defaults = make([]float64, len(nodes))
+		st.totals = make([]float64, len(nodes))
+		st.valueAt = make(map[int][]float64, h.NumPresent())
+		for p, node := range nodes {
+			e := node
+			if o.UseSmoothing {
+				e = st.g.Eval(node)
+			}
+			st.exponents[p] = e
+			pd := h.Pow(e)
+			st.defaults[p] = pd.Default
+			st.totals[p] = pd.Total
+			pd.ForEachPresent(func(w int, v float64) {
+				vals, ok := st.valueAt[w]
+				if !ok {
+					vals = make([]float64, len(nodes))
+					st.valueAt[w] = vals
+				}
+				vals[p] = v
+			})
+		}
+		m.topics[s] = st
+	}
+}
+
+func (m *Model) allocateCounts() {
+	m.nw = make([][]int, m.V)
+	flat := make([]int, m.V*m.T)
+	for w := range m.nw {
+		m.nw[w] = flat[w*m.T : (w+1)*m.T : (w+1)*m.T]
+	}
+	m.nd = make([][]int, m.D)
+	m.z = make([][]int, m.D)
+	for d := range m.nd {
+		m.nd[d] = make([]int, m.T)
+		m.z[d] = make([]int, len(m.c.Docs[d].Words))
+	}
+	m.nwsum = make([]int, m.T)
+	m.ndsum = make([]int, m.D)
+}
+
+// initAssignments draws each token's initial topic from the model priors
+// (free topics uniform at β-level, source topics at their δ-based word
+// probability). Unlike uniform-random initialization this starts every
+// source topic at its knowledge-source identity, which the collapsed chain
+// then refines — without it, the early count matrices are pure noise and
+// the λ posterior (and slow-mixing chains generally) can lock onto a bad
+// mode.
+func (m *Model) initAssignments() {
+	probs := make([]float64, m.T)
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	freeProb := beta / vBeta // uniform over V for an empty free topic
+	for d, doc := range m.c.Docs {
+		for i, w := range doc.Words {
+			for t := 0; t < m.K; t++ {
+				probs[t] = freeProb
+			}
+			for s := 0; s < m.S; s++ {
+				st := m.topics[s]
+				probs[m.K+s] = st.wordProb(st.values(w), 0, 0)
+			}
+			k := m.r.Categorical(probs)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			m.nd[d][k]++
+			m.nwsum[k]++
+			m.ndsum[d]++
+		}
+	}
+}
+
+// Run performs the given number of collapsed Gibbs sweeps (Algorithm 1's
+// outer loop); it can be called repeatedly to extend a chain.
+func (m *Model) Run(iterations int) {
+	for iter := 0; iter < iterations; iter++ {
+		start := time.Now()
+		m.sweep()
+		m.IterationTimes = append(m.IterationTimes, time.Since(start))
+		if m.opts.TraceLikelihood {
+			m.LikelihoodTrace = append(m.LikelihoodTrace, m.LogLikelihood())
+		}
+		if m.opts.OnIteration != nil {
+			m.opts.OnIteration(iter, m)
+		}
+	}
+}
+
+// updateLambdaPosteriors reweights each source topic's quadrature nodes by
+// the posterior of its latent λ_t given the current counts: for node p with
+// prior mass w_p and powered prior δ^{e_p},
+//
+//	log post_p ∝ log w_p + log Γ(Δ_p) − log Γ(Δ_p + n_t)
+//	             + Σ_{w: n_wt>0} [log Γ(n_wt + δ_p,w) − log Γ(δ_p,w)]
+//
+// (the collapsed Dirichlet-multinomial likelihood of topic t's tokens under
+// exponent e_p). Topics whose realized counts match the source keep weight
+// on high-λ nodes; deviating topics shift weight to relaxed nodes.
+func (m *Model) updateLambdaPosteriors() {
+	logPost := make([]float64, 0, 16)
+	for s := 0; s < m.S; s++ {
+		st := m.topics[s]
+		nNodes := len(st.weights)
+		if nNodes < 2 {
+			continue
+		}
+		t := m.K + s
+		logPost = logPost[:0]
+		for p := 0; p < nNodes; p++ {
+			lgTot, _ := math.Lgamma(st.totals[p])
+			lgDen, _ := math.Lgamma(st.totals[p] + float64(m.nwsum[t]))
+			logPost = append(logPost, st.priorLogWeights[p]+lgTot-lgDen)
+		}
+		for w := 0; w < m.V; w++ {
+			n := m.nw[w][t]
+			if n == 0 {
+				continue
+			}
+			vals := st.values(w)
+			for p := 0; p < nNodes; p++ {
+				lgN, _ := math.Lgamma(float64(n) + vals[p])
+				lgP, _ := math.Lgamma(vals[p])
+				logPost[p] += lgN - lgP
+			}
+		}
+		// Softmax back to normalized weights.
+		max := logPost[0]
+		for _, lp := range logPost[1:] {
+			if lp > max {
+				max = lp
+			}
+		}
+		var total float64
+		for p, lp := range logPost {
+			st.weights[p] = math.Exp(lp - max)
+			total += st.weights[p]
+		}
+		if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+			for p := range st.weights {
+				st.weights[p] = math.Exp(st.priorLogWeights[p])
+			}
+			continue
+		}
+		for p := range st.weights {
+			st.weights[p] /= total
+		}
+	}
+}
+
+// LambdaPosteriorMeans returns, per source topic, the posterior-weighted
+// mean of the λ quadrature nodes — a diagnostic for how much each topic is
+// estimated to deviate from its knowledge source (1 = conforming).
+func (m *Model) LambdaPosteriorMeans() []float64 {
+	out := make([]float64, m.S)
+	for s, st := range m.topics {
+		var mean float64
+		for p, w := range st.weights {
+			mean += w * st.nodes[p]
+		}
+		out[s] = mean
+	}
+	return out
+}
+
+// sweep resamples every token once (Algorithm 1's SAMPLE over the corpus).
+func (m *Model) sweep() {
+	o := &m.opts
+	m.sweepCount++
+	if o.LambdaMode == LambdaIntegrated && !o.FreezeLambdaWeights && m.sweepCount > o.lambdaBurnIn() {
+		m.updateLambdaPosteriors()
+	}
+	if o.PruneDeadTopics && m.sweepCount >= o.PruneAfter &&
+		(m.sweepCount-o.PruneAfter)%o.PruneEvery == 0 {
+		m.pruneDeadTopics()
+	}
+	alpha, beta := o.Alpha, o.Beta
+	vBeta := float64(m.V) * beta
+	for d, doc := range m.c.Docs {
+		nd := m.nd[d]
+		for i, w := range doc.Words {
+			old := m.z[d][i]
+			m.nw[w][old]--
+			nd[old]--
+			m.nwsum[old]--
+
+			k := m.sampleTopic(nd, m.nw[w], w, alpha, beta, vBeta)
+
+			m.z[d][i] = k
+			m.nw[w][k]++
+			nd[k]++
+			m.nwsum[k]++
+		}
+	}
+}
+
+// sampleContext carries the per-token state of the collapsed conditional.
+type sampleContext struct {
+	m       *Model
+	nd, nww []int
+	w       int
+	alpha   float64
+	beta    float64
+	vBeta   float64
+}
+
+// prob evaluates the unnormalized conditional P(z = t | …) for the current
+// token. Disabled topics have probability zero.
+func (c *sampleContext) prob(t int) float64 {
+	m := c.m
+	if m.disabled[t] {
+		return 0
+	}
+	docPart := float64(c.nd[t]) + c.alpha
+	if t < m.K {
+		// Eq. 2, free-topic branch.
+		return (float64(c.nww[t]) + c.beta) / (float64(m.nwsum[t]) + c.vBeta) * docPart
+	}
+	// Eq. 3, source-topic branch with λ integrated by quadrature (single
+	// node in fixed mode).
+	st := m.topics[t-m.K]
+	return st.wordProb(st.values(c.w), float64(c.nww[t]), float64(m.nwsum[t])) * docPart
+}
+
+// sampleTopic draws a topic for a token of word w given the current
+// document counts nd and word counts nww (with the token itself already
+// decremented).
+func (m *Model) sampleTopic(nd, nww []int, w int, alpha, beta, vBeta float64) int {
+	m.ctx = sampleContext{m: m, nd: nd, nww: nww, w: w, alpha: alpha, beta: beta, vBeta: vBeta}
+	if m.computeFn == nil {
+		m.computeFn = m.ctx.prob
+	}
+	return m.sampler.Sample(m.T, m.computeFn, m.r.Float64())
+}
+
+// pruneDeadTopics disables source topics whose document frequency (counting
+// documents with at least PruneMinTokens assigned tokens) falls below
+// PruneMinDocs and resamples their tokens over the surviving topics — the
+// in-inference elimination step of §III-C3. At least one topic always
+// survives.
+func (m *Model) pruneDeadTopics() {
+	o := &m.opts
+	df := m.TopicDocumentFrequencies(o.PruneMinTokens)
+	var newly []int
+	enabled := 0
+	for t := 0; t < m.T; t++ {
+		if !m.disabled[t] {
+			enabled++
+		}
+	}
+	for s := 0; s < m.S; s++ {
+		t := m.K + s
+		if m.disabled[t] || df[t] >= o.PruneMinDocs {
+			continue
+		}
+		if enabled <= 1 {
+			break
+		}
+		m.disabled[t] = true
+		enabled--
+		newly = append(newly, t)
+	}
+	if len(newly) == 0 {
+		return
+	}
+	dead := make(map[int]bool, len(newly))
+	for _, t := range newly {
+		dead[t] = true
+	}
+	alpha, beta := o.Alpha, o.Beta
+	vBeta := float64(m.V) * beta
+	for d, doc := range m.c.Docs {
+		nd := m.nd[d]
+		for i, w := range doc.Words {
+			old := m.z[d][i]
+			if !dead[old] {
+				continue
+			}
+			m.nw[w][old]--
+			nd[old]--
+			m.nwsum[old]--
+			k := m.sampleTopic(nd, m.nw[w], w, alpha, beta, vBeta)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			nd[k]++
+			m.nwsum[k]++
+		}
+	}
+}
+
+// DisabledTopics returns a copy of the per-topic elimination flags.
+func (m *Model) DisabledTopics() []bool {
+	out := make([]bool, m.T)
+	copy(out, m.disabled)
+	return out
+}
+
+// NumTopics returns T = K + S.
+func (m *Model) NumTopics() int { return m.T }
+
+// NumFreeTopics returns K.
+func (m *Model) NumFreeTopics() int { return m.K }
+
+// NumSourceTopics returns S.
+func (m *Model) NumSourceTopics() int { return m.S }
+
+// SourceIndex maps a model topic index t in [K, T) to its knowledge-source
+// article index; it returns -1 for free topics.
+func (m *Model) SourceIndex(t int) int {
+	if t < m.K {
+		return -1
+	}
+	return t - m.K
+}
+
+// Phi returns topic-word distributions: the symmetric-β estimate for free
+// topics and the λ-quadrature estimate of Eq. 4 for source topics.
+func (m *Model) Phi() [][]float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	phi := make([][]float64, m.T)
+	for t := 0; t < m.K; t++ {
+		row := make([]float64, m.V)
+		den := float64(m.nwsum[t]) + vBeta
+		for w := 0; w < m.V; w++ {
+			row[w] = (float64(m.nw[w][t]) + beta) / den
+		}
+		phi[t] = row
+	}
+	for s := 0; s < m.S; s++ {
+		t := m.K + s
+		st := m.topics[s]
+		row := make([]float64, m.V)
+		nsum := float64(m.nwsum[t])
+		for w := 0; w < m.V; w++ {
+			row[w] = st.wordProb(st.values(w), float64(m.nw[w][t]), nsum)
+		}
+		// The quadrature mixture of normalized ratios is normalized up to
+		// quadrature error; renormalize exactly.
+		var total float64
+		for _, p := range row {
+			total += p
+		}
+		if total > 0 {
+			inv := 1 / total
+			for w := range row {
+				row[w] *= inv
+			}
+		}
+		phi[t] = row
+	}
+	return phi
+}
+
+// Theta returns document-topic distributions per Eq. 1 with K := T topics.
+func (m *Model) Theta() [][]float64 {
+	alpha := m.opts.Alpha
+	tAlpha := float64(m.T) * alpha
+	theta := make([][]float64, m.D)
+	for d := range theta {
+		row := make([]float64, m.T)
+		den := float64(m.ndsum[d]) + tAlpha
+		for t := 0; t < m.T; t++ {
+			row[t] = (float64(m.nd[d][t]) + alpha) / den
+		}
+		theta[d] = row
+	}
+	return theta
+}
+
+// Assignments returns live per-token topic assignments ([doc][token]); do
+// not mutate.
+func (m *Model) Assignments() [][]int { return m.z }
+
+// Labels returns the T topic labels: "topic-<i>" for free topics, the
+// knowledge-source label for source topics.
+func (m *Model) Labels() []string {
+	labels := make([]string, m.T)
+	for t := 0; t < m.K; t++ {
+		labels[t] = freeTopicLabel(t)
+	}
+	for s := 0; s < m.S; s++ {
+		labels[m.K+s] = m.src.Label(s)
+	}
+	return labels
+}
+
+// TopicDocumentFrequencies returns, per topic, the number of documents with
+// at least minTokens tokens assigned to that topic — the statistic behind
+// superset topic reduction (§III-C3).
+func (m *Model) TopicDocumentFrequencies(minTokens int) []int {
+	if minTokens < 1 {
+		minTokens = 1
+	}
+	df := make([]int, m.T)
+	for d := 0; d < m.D; d++ {
+		for t, n := range m.nd[d] {
+			if n >= minTokens {
+				df[t]++
+			}
+		}
+	}
+	return df
+}
+
+// TokensPerTopic returns a copy of the per-topic token totals.
+func (m *Model) TokensPerTopic() []int {
+	out := make([]int, m.T)
+	copy(out, m.nwsum)
+	return out
+}
+
+// LogLikelihood returns the collapsed joint log P(w|z). Free topics use the
+// Griffiths–Steyvers form with symmetric β; source topics use their δ^e
+// prior evaluated at the quadrature's weighted-mean exponent (fixed mode:
+// the fixed exponent). The trace is used for convergence monitoring (Fig. 6).
+func (m *Model) LogLikelihood() float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	lgBeta, _ := math.Lgamma(beta)
+	lgVBeta, _ := math.Lgamma(vBeta)
+	var ll float64
+	for t := 0; t < m.K; t++ {
+		ll += lgVBeta - float64(m.V)*lgBeta
+		for w := 0; w < m.V; w++ {
+			if n := m.nw[w][t]; n > 0 {
+				lg, _ := math.Lgamma(float64(n) + beta)
+				ll += lg - lgBeta
+			}
+		}
+		lg, _ := math.Lgamma(float64(m.nwsum[t]) + vBeta)
+		ll -= lg - lgVBeta
+	}
+	// For a topic with prior vector δ the collapsed term is
+	//   log Γ(Σδ) − log Γ(n_t + Σδ) + Σ_{w: n_w>0} [log Γ(n_w+δ_w) − log Γ(δ_w)]
+	// (words with n_w = 0 contribute log Γ(δ_w) to both prior and posterior
+	// products and cancel). Source topics evaluate δ at the quadrature's
+	// weighted-mean exponent (fixed mode: the fixed exponent).
+	for s := 0; s < m.S; s++ {
+		t := m.K + s
+		st := m.topics[s]
+		var e float64
+		for p, wgt := range st.weights {
+			e += wgt * st.exponents[p]
+		}
+		pd := st.hyper.Pow(e)
+		lgTotal, _ := math.Lgamma(pd.Total)
+		lgDen, _ := math.Lgamma(pd.Total + float64(m.nwsum[t]))
+		ll += lgTotal - lgDen
+		for w := 0; w < m.V; w++ {
+			if n := m.nw[w][t]; n > 0 {
+				dw := pd.Value(w)
+				lgN, _ := math.Lgamma(float64(n) + dw)
+				lgP, _ := math.Lgamma(dw)
+				ll += lgN - lgP
+			}
+		}
+	}
+	return ll
+}
+
+func freeTopicLabel(t int) string { return "topic-" + strconv.Itoa(t) }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/rng"
+)
+
+// HeldOutPerplexity estimates test-set perplexity by latent-variable
+// estimation via Gibbs sampling on the held-out documents (§III-C5a): test
+// tokens are resampled with the trained chain's counts held fixed,
+//
+//	P(z̃_i=j) ∝ (n^wi_j + ñ^wi_-i,j + β)/(n^·_j + ñ^·_-i,j + Wβ) · (ñ^di_-i,j + α)/(ñ^di_-i + Kα)
+//
+// for free topics, and the δ-prior analogue (with λ quadrature) for source
+// topics. After burnIn sweeps the remaining sweeps average the held-out θ̃;
+// perplexity is exp(−Σ log p(w̃)/Ñ) with p(w̃) = Σ_t θ̃_d,t φ_t,w and φ the
+// trained model's Eq. 4 estimate.
+func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, seed int64) (float64, error) {
+	if test == nil || test.NumDocs() == 0 {
+		return 0, errors.New("core: empty held-out corpus")
+	}
+	if test.VocabSize() != m.V {
+		return 0, errors.New("core: held-out corpus must share the training vocabulary")
+	}
+	if iterations <= 0 {
+		iterations = 50
+	}
+	if burnIn < 0 || burnIn >= iterations {
+		burnIn = iterations / 2
+	}
+	r := rng.New(seed)
+	o := &m.opts
+	alpha, beta := o.Alpha, o.Beta
+	vBeta := float64(m.V) * beta
+
+	D := test.NumDocs()
+	ztil := make([][]int, D)
+	ndTil := make([][]int, D)
+	ndsumTil := make([]int, D)
+	nwTil := make(map[int][]int) // test word-topic counts, sparse over words
+	nwsumTil := make([]int, m.T)
+
+	wordCounts := func(w int) []int {
+		row, ok := nwTil[w]
+		if !ok {
+			row = make([]int, m.T)
+			nwTil[w] = row
+		}
+		return row
+	}
+
+	// Random initialization of test assignments.
+	for d, doc := range test.Docs {
+		ztil[d] = make([]int, len(doc.Words))
+		ndTil[d] = make([]int, m.T)
+		for i, w := range doc.Words {
+			k := r.Intn(m.T)
+			ztil[d][i] = k
+			ndTil[d][k]++
+			ndsumTil[d]++
+			wordCounts(w)[k]++
+			nwsumTil[k]++
+		}
+	}
+
+	probs := make([]float64, m.T)
+	thetaSum := make([][]float64, D)
+	for d := range thetaSum {
+		thetaSum[d] = make([]float64, m.T)
+	}
+	samples := 0
+
+	for iter := 0; iter < iterations; iter++ {
+		for d, doc := range test.Docs {
+			nd := ndTil[d]
+			for i, w := range doc.Words {
+				old := ztil[d][i]
+				nww := wordCounts(w)
+				nww[old]--
+				nd[old]--
+				nwsumTil[old]--
+
+				trainW := m.nw[w]
+				for t := 0; t < m.T; t++ {
+					docPart := float64(nd[t]) + alpha
+					combinedW := float64(trainW[t] + nww[t])
+					combinedSum := float64(m.nwsum[t] + nwsumTil[t])
+					if t < m.K {
+						probs[t] = (combinedW + beta) / (combinedSum + vBeta) * docPart
+					} else {
+						st := m.topics[t-m.K]
+						probs[t] = st.wordProb(st.values(w), combinedW, combinedSum) * docPart
+					}
+				}
+				k := r.Categorical(probs)
+				ztil[d][i] = k
+				nww[k]++
+				nd[k]++
+				nwsumTil[k]++
+			}
+		}
+		if iter >= burnIn {
+			samples++
+			tAlpha := float64(m.T) * alpha
+			for d := range test.Docs {
+				den := float64(ndsumTil[d]) + tAlpha
+				for t := 0; t < m.T; t++ {
+					thetaSum[d][t] += (float64(ndTil[d][t]) + alpha) / den
+				}
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+
+	phi := m.Phi()
+	var logSum float64
+	var tokens int
+	for d, doc := range test.Docs {
+		for _, w := range doc.Words {
+			var p float64
+			for t := 0; t < m.T; t++ {
+				p += thetaSum[d][t] / float64(samples) * phi[t][w]
+			}
+			if p <= 0 {
+				p = math.SmallestNonzeroFloat64
+			}
+			logSum += math.Log(p)
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return 0, errors.New("core: held-out corpus has no tokens")
+	}
+	return math.Exp(-logSum / float64(tokens)), nil
+}

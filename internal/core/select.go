@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcelda/internal/cluster"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+)
+
+// ParameterGrid is the search space for SelectParameters.
+type ParameterGrid struct {
+	// Mus and Sigmas are the candidate λ-prior parameters. Defaults:
+	// µ ∈ {0.3, 0.5, 0.7, 0.9}, σ ∈ {0.1, 0.3, 0.5}.
+	Mus, Sigmas []float64
+	// HeldOutFraction of documents goes to the validation split. Default 0.2.
+	HeldOutFraction float64
+	// TrainIterations per candidate fit. Default 100.
+	TrainIterations int
+	// PerplexityIterations for held-out Gibbs estimation. Default 30.
+	PerplexityIterations int
+	// Seed drives the split and the candidate fits.
+	Seed int64
+}
+
+func (g ParameterGrid) withDefaults() ParameterGrid {
+	if len(g.Mus) == 0 {
+		g.Mus = []float64{0.3, 0.5, 0.7, 0.9}
+	}
+	if len(g.Sigmas) == 0 {
+		g.Sigmas = []float64{0.1, 0.3, 0.5}
+	}
+	if g.HeldOutFraction <= 0 || g.HeldOutFraction >= 1 {
+		g.HeldOutFraction = 0.2
+	}
+	if g.TrainIterations <= 0 {
+		g.TrainIterations = 100
+	}
+	if g.PerplexityIterations <= 0 {
+		g.PerplexityIterations = 30
+	}
+	return g
+}
+
+// Candidate is one evaluated (µ, σ) pair.
+type Candidate struct {
+	Mu, Sigma  float64
+	Perplexity float64
+}
+
+// Selection is the outcome of a grid search.
+type Selection struct {
+	// Best is the minimum-perplexity candidate.
+	Best Candidate
+	// Candidates lists every evaluated pair, in evaluation order.
+	Candidates []Candidate
+}
+
+// SelectParameters performs the §III-C5a parameter selection the paper's
+// Reuters experiment uses ("µ and σ were determined by experimentally
+// finding a local minimum value of perplexity"): the corpus is split, every
+// (µ, σ) pair on the grid is fit on the training side with the options in
+// base (LambdaMode forced to LambdaIntegrated), held-out perplexity is
+// estimated by Gibbs sampling, and the minimizing pair is returned.
+//
+// The paper cautions — and Fig. 7 demonstrates — that perplexity is an
+// imperfect proxy for downstream quality; the returned Candidates let
+// callers inspect the whole surface.
+func SelectParameters(c *corpus.Corpus, src *knowledge.Source, base Options, grid ParameterGrid) (*Selection, error) {
+	if c == nil || c.NumDocs() < 2 {
+		return nil, errors.New("core: need at least two documents to split")
+	}
+	grid = grid.withDefaults()
+	train, test := c.Split(grid.HeldOutFraction, rng.New(grid.Seed))
+	sel := &Selection{}
+	best := Candidate{Perplexity: -1}
+	for _, mu := range grid.Mus {
+		for _, sigma := range grid.Sigmas {
+			opts := base
+			opts.LambdaMode = LambdaIntegrated
+			opts.Mu, opts.Sigma = mu, sigma
+			opts.Iterations = grid.TrainIterations
+			opts.Seed = grid.Seed
+			m, err := Fit(train, src, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: grid fit µ=%v σ=%v: %w", mu, sigma, err)
+			}
+			ppx, err := m.HeldOutPerplexity(test, grid.PerplexityIterations,
+				grid.PerplexityIterations/2, grid.Seed+1)
+			m.Close()
+			if err != nil {
+				return nil, fmt.Errorf("core: grid perplexity µ=%v σ=%v: %w", mu, sigma, err)
+			}
+			cand := Candidate{Mu: mu, Sigma: sigma, Perplexity: ppx}
+			sel.Candidates = append(sel.Candidates, cand)
+			if best.Perplexity < 0 || ppx < best.Perplexity {
+				best = cand
+			}
+		}
+	}
+	sel.Best = best
+	return sel, nil
+}
+
+// ClusterReduction is the k-means alternative of §III-C3: instead of (or
+// after) document-frequency thresholding, the fitted topic-word rows are
+// clustered with JS-divergence k-means down to exactly k centroids.
+type ClusterReduction struct {
+	// Centroids[k] is a merged topic-word distribution.
+	Centroids [][]float64
+	// Membership[t] is the cluster of original topic t.
+	Membership []int
+	// Labels[k] names each centroid by the label of its heaviest member
+	// (by token count).
+	Labels []string
+}
+
+// ReduceByClustering clusters the snapshot's topics to exactly k merged
+// topics ("we then can use a clustering algorithm (such as k-means, JS
+// divergence) to further reduce the modeled topics and give a total of K
+// topics", §III-C3).
+func (r *Result) ReduceByClustering(k int, seed int64) (*ClusterReduction, error) {
+	if k < 1 || k > r.NumTopics() {
+		return nil, fmt.Errorf("core: cluster count %d outside [1, %d]", k, r.NumTopics())
+	}
+	res, err := cluster.KMeansJS(r.Phi, cluster.Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterReduction{
+		Centroids:  res.Centroids,
+		Membership: res.Assignment,
+		Labels:     make([]string, k),
+	}
+	heaviest := make([]int, k)
+	for i := range heaviest {
+		heaviest[i] = -1
+	}
+	for t, cl := range res.Assignment {
+		if heaviest[cl] == -1 || r.TokenCounts[t] > r.TokenCounts[heaviest[cl]] {
+			heaviest[cl] = t
+		}
+	}
+	for cl, t := range heaviest {
+		if t >= 0 {
+			out.Labels[cl] = r.Labels[t]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+)
+
+func selectFixture(t *testing.T) (*corpus.Corpus, *knowledge.Source) {
+	t.Helper()
+	c := corpus.New()
+	for i := 0; i < 20; i++ {
+		c.AddText("s", "pencil ruler eraser pencil notebook paper pencil ruler", nil)
+		c.AddText("b", "baseball umpire pitcher baseball inning glove baseball umpire", nil)
+	}
+	school := knowledge.NewArticleFromText("School Supplies",
+		strings.Repeat("pencil pencil pencil ruler ruler eraser notebook paper ", 25), c.Vocab, nil, true)
+	ball := knowledge.NewArticleFromText("Baseball",
+		strings.Repeat("baseball baseball baseball umpire umpire pitcher inning glove ", 25), c.Vocab, nil, true)
+	return c, knowledge.MustNewSource([]*knowledge.Article{school, ball})
+}
+
+func TestSelectParameters(t *testing.T) {
+	c, src := selectFixture(t)
+	sel, err := SelectParameters(c, src, Options{Alpha: 0.5, Beta: 0.01}, ParameterGrid{
+		Mus:                  []float64{0.3, 0.9},
+		Sigmas:               []float64{0.2, 0.5},
+		TrainIterations:      30,
+		PerplexityIterations: 20,
+		Seed:                 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Candidates) != 4 {
+		t.Fatalf("evaluated %d candidates, want 4", len(sel.Candidates))
+	}
+	for _, cand := range sel.Candidates {
+		if cand.Perplexity <= 1 || math.IsNaN(cand.Perplexity) {
+			t.Fatalf("candidate µ=%v σ=%v has degenerate perplexity %v",
+				cand.Mu, cand.Sigma, cand.Perplexity)
+		}
+		if cand.Perplexity < sel.Best.Perplexity {
+			t.Fatalf("Best (%v) is not minimal: candidate %v", sel.Best.Perplexity, cand.Perplexity)
+		}
+	}
+	// The best pair must come from the grid.
+	found := false
+	for _, mu := range []float64{0.3, 0.9} {
+		for _, sg := range []float64{0.2, 0.5} {
+			if sel.Best.Mu == mu && sel.Best.Sigma == sg {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("best (µ=%v, σ=%v) not on the grid", sel.Best.Mu, sel.Best.Sigma)
+	}
+}
+
+func TestSelectParametersDeterministic(t *testing.T) {
+	c, src := selectFixture(t)
+	grid := ParameterGrid{
+		Mus: []float64{0.5}, Sigmas: []float64{0.3},
+		TrainIterations: 15, PerplexityIterations: 10, Seed: 9,
+	}
+	a, err := SelectParameters(c, src, Options{Alpha: 0.5, Beta: 0.01}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectParameters(c, src, Options{Alpha: 0.5, Beta: 0.01}, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Perplexity != b.Best.Perplexity {
+		t.Fatal("same seed produced different grid results")
+	}
+}
+
+func TestSelectParametersValidation(t *testing.T) {
+	_, src := selectFixture(t)
+	tiny := corpus.New()
+	tiny.AddText("only", "word", nil)
+	if _, err := SelectParameters(tiny, src, Options{}, ParameterGrid{}); err == nil {
+		t.Fatal("single-document corpus accepted")
+	}
+}
+
+func TestReduceByClustering(t *testing.T) {
+	c, src := selectFixture(t)
+	m, err := Fit(c, src, Options{
+		NumFreeTopics: 2,
+		Alpha:         0.5,
+		LambdaMode:    LambdaFixed, Lambda: 1,
+		Iterations: 50, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res := m.Result()
+	red, err := res.ReduceByClustering(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Centroids) != 2 || len(red.Membership) != res.NumTopics() || len(red.Labels) != 2 {
+		t.Fatalf("shapes: %d centroids, %d members, %d labels",
+			len(red.Centroids), len(red.Membership), len(red.Labels))
+	}
+	for k, centroid := range red.Centroids {
+		var s float64
+		for _, p := range centroid {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-6 {
+			t.Fatalf("centroid %d sums to %v", k, s)
+		}
+	}
+	// The two dominant source topics should end in different clusters, so
+	// both labels should be source labels.
+	seen := map[string]bool{}
+	for _, l := range red.Labels {
+		seen[l] = true
+	}
+	if !seen["School Supplies"] || !seen["Baseball"] {
+		t.Fatalf("cluster labels %v should carry both source labels", red.Labels)
+	}
+	// Bounds checks.
+	if _, err := res.ReduceByClustering(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := res.ReduceByClustering(99, 1); err == nil {
+		t.Fatal("k>T accepted")
+	}
+}

@@ -1,0 +1,302 @@
+// Package corpus defines the document and corpus representations shared by
+// all the topic models: token streams encoded against a vocabulary, bags of
+// words, ground-truth topic assignments for synthetic corpora, and train /
+// held-out splitting for perplexity evaluation.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"sourcelda/internal/rng"
+	"sourcelda/internal/textproc"
+)
+
+// Document is an ordered sequence of word ids. Topics, when non-nil, records
+// the generating topic of each token (ground truth for synthetic corpora).
+type Document struct {
+	// Words holds the token stream as vocabulary ids.
+	Words []int
+	// Topics holds per-token generating topics, parallel to Words, or nil.
+	Topics []int
+	// Name is an optional identifier (file name, synthetic id).
+	Name string
+}
+
+// Len returns the number of tokens.
+func (d *Document) Len() int { return len(d.Words) }
+
+// BagOfWords returns word-id → count for the document.
+func (d *Document) BagOfWords() map[int]int {
+	bag := make(map[int]int, len(d.Words))
+	for _, w := range d.Words {
+		bag[w]++
+	}
+	return bag
+}
+
+// Corpus is a set of documents over a shared vocabulary.
+type Corpus struct {
+	Docs  []*Document
+	Vocab *textproc.Vocabulary
+}
+
+// New returns an empty corpus with a fresh vocabulary.
+func New() *Corpus {
+	return &Corpus{Vocab: textproc.NewVocabulary()}
+}
+
+// NewWithVocab returns an empty corpus sharing an existing vocabulary.
+func NewWithVocab(v *textproc.Vocabulary) *Corpus {
+	return &Corpus{Vocab: v}
+}
+
+// AddText tokenizes, stop-filters (if stop is non-nil) and appends a document
+// built from raw text, growing the vocabulary. It returns the new document.
+func (c *Corpus) AddText(name, text string, stop *textproc.Stopwords) *Document {
+	tokens := textproc.Tokenize(text)
+	if stop != nil {
+		tokens = stop.Filter(tokens)
+	}
+	doc := &Document{Name: name, Words: c.Vocab.EncodeTokens(tokens, true)}
+	c.Docs = append(c.Docs, doc)
+	return doc
+}
+
+// AddDocument appends a pre-encoded document.
+func (c *Corpus) AddDocument(doc *Document) { c.Docs = append(c.Docs, doc) }
+
+// NumDocs returns the number of documents (the paper's D).
+func (c *Corpus) NumDocs() int { return len(c.Docs) }
+
+// VocabSize returns the vocabulary size (the paper's V).
+func (c *Corpus) VocabSize() int { return c.Vocab.Size() }
+
+// TotalTokens returns the total number of tokens across all documents.
+func (c *Corpus) TotalTokens() int {
+	var n int
+	for _, d := range c.Docs {
+		n += len(d.Words)
+	}
+	return n
+}
+
+// AverageDocumentLength returns the mean tokens per document (the paper's
+// Davg), or 0 for an empty corpus.
+func (c *Corpus) AverageDocumentLength() float64 {
+	if len(c.Docs) == 0 {
+		return 0
+	}
+	return float64(c.TotalTokens()) / float64(len(c.Docs))
+}
+
+// WordFrequencies returns corpus-wide word counts indexed by word id.
+func (c *Corpus) WordFrequencies() []int {
+	freq := make([]int, c.Vocab.Size())
+	for _, d := range c.Docs {
+		for _, w := range d.Words {
+			freq[w]++
+		}
+	}
+	return freq
+}
+
+// DocumentFrequencies returns, per word id, the number of documents
+// containing the word at least once.
+func (c *Corpus) DocumentFrequencies() []int {
+	df := make([]int, c.Vocab.Size())
+	seen := make([]int, c.Vocab.Size())
+	for i := range seen {
+		seen[i] = -1
+	}
+	for di, d := range c.Docs {
+		for _, w := range d.Words {
+			if seen[w] != di {
+				seen[w] = di
+				df[w]++
+			}
+		}
+	}
+	return df
+}
+
+// BagsOfWords returns each document as a word-id slice (the raw token
+// streams), the form the TF-IDF transformer consumes.
+func (c *Corpus) BagsOfWords() [][]int {
+	out := make([][]int, len(c.Docs))
+	for i, d := range c.Docs {
+		out[i] = d.Words
+	}
+	return out
+}
+
+// Split partitions the corpus into train and held-out corpora sharing the
+// vocabulary, assigning each document to the held-out set with probability
+// heldOut using r. It guarantees at least one document on each side when the
+// corpus has two or more documents.
+func (c *Corpus) Split(heldOut float64, r *rng.RNG) (train, test *Corpus) {
+	train = NewWithVocab(c.Vocab)
+	test = NewWithVocab(c.Vocab)
+	for _, d := range c.Docs {
+		if r.Float64() < heldOut {
+			test.Docs = append(test.Docs, d)
+		} else {
+			train.Docs = append(train.Docs, d)
+		}
+	}
+	if len(c.Docs) >= 2 {
+		if len(train.Docs) == 0 {
+			train.Docs = append(train.Docs, test.Docs[0])
+			test.Docs = test.Docs[1:]
+		}
+		if len(test.Docs) == 0 {
+			test.Docs = append(test.Docs, train.Docs[0])
+			train.Docs = train.Docs[1:]
+		}
+	}
+	return train, test
+}
+
+// HasGroundTruth reports whether every document carries per-token topic
+// labels.
+func (c *Corpus) HasGroundTruth() bool {
+	if len(c.Docs) == 0 {
+		return false
+	}
+	for _, d := range c.Docs {
+		if len(d.Topics) != len(d.Words) {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundTruthTopicSet returns the sorted distinct topic ids appearing in the
+// ground-truth assignments.
+func (c *Corpus) GroundTruthTopicSet() []int {
+	set := make(map[int]bool)
+	for _, d := range c.Docs {
+		for _, t := range d.Topics {
+			set[t] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroundTruthTheta returns the empirical per-document topic distribution of
+// the ground-truth assignments over numTopics topics. It panics if any
+// recorded topic id is out of range.
+func (c *Corpus) GroundTruthTheta(numTopics int) [][]float64 {
+	theta := make([][]float64, len(c.Docs))
+	for di, d := range c.Docs {
+		row := make([]float64, numTopics)
+		for _, t := range d.Topics {
+			if t < 0 || t >= numTopics {
+				panic(fmt.Sprintf("corpus: ground-truth topic %d out of range [0,%d)", t, numTopics))
+			}
+			row[t]++
+		}
+		if n := len(d.Topics); n > 0 {
+			inv := 1 / float64(n)
+			for k := range row {
+				row[k] *= inv
+			}
+		}
+		theta[di] = row
+	}
+	return theta
+}
+
+// Validate checks internal consistency: all word ids within the vocabulary,
+// and topics (when present) parallel to words. It returns a descriptive
+// error for the first violation found.
+func (c *Corpus) Validate() error {
+	v := c.Vocab.Size()
+	for di, d := range c.Docs {
+		for wi, w := range d.Words {
+			if w < 0 || w >= v {
+				return fmt.Errorf("corpus: doc %d token %d has word id %d outside vocabulary of size %d", di, wi, w, v)
+			}
+		}
+		if d.Topics != nil && len(d.Topics) != len(d.Words) {
+			return fmt.Errorf("corpus: doc %d has %d topic labels for %d tokens", di, len(d.Topics), len(d.Words))
+		}
+	}
+	return nil
+}
+
+// CooccurrenceCounter counts, over sliding windows, how often words and word
+// pairs occur — the statistic behind PMI topic-coherence evaluation (§IV-D).
+type CooccurrenceCounter struct {
+	window     int
+	wordDocs   []int
+	pairCounts map[[2]int]int
+	numWindows int
+}
+
+// NewCooccurrenceCounter scans the corpus with the given window size
+// (window ≤ 0 means whole-document windows) counting word and pair document
+// frequencies. Pair keys are ordered (low id first).
+func NewCooccurrenceCounter(c *Corpus, window int) *CooccurrenceCounter {
+	cc := &CooccurrenceCounter{
+		window:     window,
+		wordDocs:   make([]int, c.Vocab.Size()),
+		pairCounts: make(map[[2]int]int),
+	}
+	for _, d := range c.Docs {
+		if window <= 0 || window >= len(d.Words) {
+			cc.countWindow(d.Words)
+			continue
+		}
+		for start := 0; start+window <= len(d.Words); start += window {
+			cc.countWindow(d.Words[start : start+window])
+		}
+		if rem := len(d.Words) % window; rem != 0 {
+			cc.countWindow(d.Words[len(d.Words)-rem:])
+		}
+	}
+	return cc
+}
+
+func (cc *CooccurrenceCounter) countWindow(words []int) {
+	cc.numWindows++
+	uniq := make(map[int]bool, len(words))
+	for _, w := range words {
+		uniq[w] = true
+	}
+	ids := make([]int, 0, len(uniq))
+	for w := range uniq {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	for i, a := range ids {
+		cc.wordDocs[a]++
+		for _, b := range ids[i+1:] {
+			cc.pairCounts[[2]int{a, b}]++
+		}
+	}
+}
+
+// NumWindows returns the number of windows scanned.
+func (cc *CooccurrenceCounter) NumWindows() int { return cc.numWindows }
+
+// WordCount returns the number of windows containing word w.
+func (cc *CooccurrenceCounter) WordCount(w int) int {
+	if w < 0 || w >= len(cc.wordDocs) {
+		return 0
+	}
+	return cc.wordDocs[w]
+}
+
+// PairCount returns the number of windows containing both a and b.
+func (cc *CooccurrenceCounter) PairCount(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	return cc.pairCounts[[2]int{a, b}]
+}

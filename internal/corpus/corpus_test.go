@@ -1,0 +1,203 @@
+package corpus
+
+import (
+	"testing"
+
+	"sourcelda/internal/rng"
+	"sourcelda/internal/textproc"
+)
+
+func buildSmallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := New()
+	c.AddText("d1", "pencil pencil umpire", nil)
+	c.AddText("d2", "ruler ruler baseball", nil)
+	return c
+}
+
+func TestAddTextGrowsVocabulary(t *testing.T) {
+	c := buildSmallCorpus(t)
+	if c.NumDocs() != 2 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if c.VocabSize() != 4 {
+		t.Fatalf("vocab = %d, want 4 (pencil, umpire, ruler, baseball)", c.VocabSize())
+	}
+	if c.TotalTokens() != 6 {
+		t.Fatalf("tokens = %d, want 6", c.TotalTokens())
+	}
+	if got := c.AverageDocumentLength(); got != 3 {
+		t.Fatalf("Davg = %v, want 3", got)
+	}
+}
+
+func TestStopwordFiltering(t *testing.T) {
+	c := New()
+	c.AddText("d", "the pencil and the ruler", textproc.DefaultStopwords())
+	if c.TotalTokens() != 2 {
+		t.Fatalf("tokens = %d, want 2 after stop filtering", c.TotalTokens())
+	}
+}
+
+func TestBagOfWords(t *testing.T) {
+	c := buildSmallCorpus(t)
+	bag := c.Docs[0].BagOfWords()
+	pencil, _ := c.Vocab.ID("pencil")
+	if bag[pencil] != 2 {
+		t.Fatalf("pencil count = %d, want 2", bag[pencil])
+	}
+}
+
+func TestWordAndDocumentFrequencies(t *testing.T) {
+	c := buildSmallCorpus(t)
+	pencil, _ := c.Vocab.ID("pencil")
+	wf := c.WordFrequencies()
+	if wf[pencil] != 2 {
+		t.Fatalf("word freq = %d, want 2", wf[pencil])
+	}
+	df := c.DocumentFrequencies()
+	if df[pencil] != 1 {
+		t.Fatalf("doc freq = %d, want 1", df[pencil])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := buildSmallCorpus(t)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid corpus rejected: %v", err)
+	}
+	c.Docs[0].Words[0] = 999
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range word id accepted")
+	}
+	c.Docs[0].Words[0] = 0
+	c.Docs[0].Topics = []int{1} // wrong length
+	if err := c.Validate(); err == nil {
+		t.Fatal("mismatched topics accepted")
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	c := buildSmallCorpus(t)
+	if c.HasGroundTruth() {
+		t.Fatal("corpus without topics claims ground truth")
+	}
+	c.Docs[0].Topics = []int{0, 0, 1}
+	c.Docs[1].Topics = []int{1, 1, 0}
+	if !c.HasGroundTruth() {
+		t.Fatal("ground truth not detected")
+	}
+	set := c.GroundTruthTopicSet()
+	if len(set) != 2 || set[0] != 0 || set[1] != 1 {
+		t.Fatalf("topic set = %v", set)
+	}
+	theta := c.GroundTruthTheta(2)
+	if theta[0][0] != 2.0/3 || theta[0][1] != 1.0/3 {
+		t.Fatalf("theta[0] = %v", theta[0])
+	}
+}
+
+func TestGroundTruthThetaPanicsOnRange(t *testing.T) {
+	c := buildSmallCorpus(t)
+	c.Docs[0].Topics = []int{0, 0, 5}
+	c.Docs[1].Topics = []int{0, 0, 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range truth topic")
+		}
+	}()
+	c.GroundTruthTheta(2)
+}
+
+func TestSplit(t *testing.T) {
+	c := New()
+	for i := 0; i < 100; i++ {
+		c.AddText("d", "w1 w2 w3", nil)
+	}
+	train, test := c.Split(0.2, rng.New(3))
+	if train.NumDocs()+test.NumDocs() != 100 {
+		t.Fatalf("split lost documents: %d + %d", train.NumDocs(), test.NumDocs())
+	}
+	if train.NumDocs() == 0 || test.NumDocs() == 0 {
+		t.Fatal("split produced an empty side")
+	}
+	if test.NumDocs() > 40 {
+		t.Fatalf("held-out fraction too large: %d", test.NumDocs())
+	}
+	if train.Vocab != c.Vocab || test.Vocab != c.Vocab {
+		t.Fatal("split must share the vocabulary")
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	c := New()
+	c.AddText("a", "x", nil)
+	c.AddText("b", "y", nil)
+	// Extreme probabilities must still give one doc per side.
+	train, test := c.Split(0.0, rng.New(1))
+	if train.NumDocs() != 1 || test.NumDocs() != 1 {
+		t.Fatalf("degenerate split: %d/%d, want 1/1", train.NumDocs(), test.NumDocs())
+	}
+}
+
+func TestCooccurrenceWholeDocument(t *testing.T) {
+	c := buildSmallCorpus(t)
+	cc := NewCooccurrenceCounter(c, 0)
+	if cc.NumWindows() != 2 {
+		t.Fatalf("windows = %d, want 2", cc.NumWindows())
+	}
+	pencil, _ := c.Vocab.ID("pencil")
+	umpire, _ := c.Vocab.ID("umpire")
+	ruler, _ := c.Vocab.ID("ruler")
+	if cc.WordCount(pencil) != 1 {
+		t.Fatalf("pencil windows = %d, want 1 (counted once per window)", cc.WordCount(pencil))
+	}
+	if cc.PairCount(pencil, umpire) != 1 {
+		t.Fatalf("pencil+umpire = %d, want 1", cc.PairCount(pencil, umpire))
+	}
+	if cc.PairCount(umpire, pencil) != 1 {
+		t.Fatal("pair count must be order-independent")
+	}
+	if cc.PairCount(pencil, ruler) != 0 {
+		t.Fatal("cross-document pair should be 0")
+	}
+	if cc.WordCount(-1) != 0 || cc.WordCount(10000) != 0 {
+		t.Fatal("out-of-range word counts should be 0")
+	}
+}
+
+func TestCooccurrenceSlidingWindows(t *testing.T) {
+	c := New()
+	// One doc of 6 tokens, window 2 → 3 windows.
+	c.AddText("d", "a b c d e f", nil)
+	cc := NewCooccurrenceCounter(c, 2)
+	if cc.NumWindows() != 3 {
+		t.Fatalf("windows = %d, want 3", cc.NumWindows())
+	}
+	a, _ := c.Vocab.ID("a")
+	b, _ := c.Vocab.ID("b")
+	cID, _ := c.Vocab.ID("c")
+	if cc.PairCount(a, b) != 1 {
+		t.Fatalf("a+b = %d, want 1", cc.PairCount(a, b))
+	}
+	if cc.PairCount(a, cID) != 0 {
+		t.Fatal("a and c are in different windows")
+	}
+}
+
+func TestCooccurrenceRemainderWindow(t *testing.T) {
+	c := New()
+	c.AddText("d", "a b c", nil) // window 2 → windows {a,b} and {c}
+	cc := NewCooccurrenceCounter(c, 2)
+	if cc.NumWindows() != 2 {
+		t.Fatalf("windows = %d, want 2 (incl. remainder)", cc.NumWindows())
+	}
+}
+
+func TestBagsOfWords(t *testing.T) {
+	c := buildSmallCorpus(t)
+	bags := c.BagsOfWords()
+	if len(bags) != 2 || len(bags[0]) != 3 {
+		t.Fatalf("bags shape wrong: %v", bags)
+	}
+}

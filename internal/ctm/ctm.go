@@ -1,0 +1,304 @@
+// Package ctm implements the Concept-Topic Model (Chemudugunta et al.,
+// "Text modeling using unsupervised topic models and concept hierarchies"),
+// the paper's "too lenient" comparison baseline (§I, §IV): known concepts
+// contribute word *sets* (bags of words without frequencies), mixed with
+// ordinary learned topics. A token can be assigned to a concept only when
+// the word belongs to the concept's word set; within the set the
+// distribution is learned with a symmetric prior, so — unlike Source-LDA —
+// the model ignores the knowledge source's word frequencies, the limitation
+// the paper's case study illustrates ("it is much more probable to see the
+// word 'pencil' than the word 'compass'").
+package ctm
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+)
+
+// Options configures a CTM fit.
+type Options struct {
+	// NumFreeTopics is the number of unconstrained learned topics mixed in.
+	NumFreeTopics int
+	// Alpha is the symmetric document prior over topics and concepts.
+	Alpha float64
+	// Beta is the symmetric word prior (for free topics over V, for
+	// concepts over their word set).
+	Beta float64
+	// TopWords restricts each concept's word set to the topN most frequent
+	// article words; 0 keeps all (the paper uses the top 10,000 by
+	// frequency).
+	TopWords int
+	// Iterations is the number of Gibbs sweeps. Default 1000.
+	Iterations int
+	// Seed seeds the chain.
+	Seed int64
+	// OnIteration, when non-nil, runs after each sweep.
+	OnIteration func(iter int, m *Model)
+}
+
+// Model is a fitted CTM chain. Topic indexing: free topics occupy [0, K),
+// concepts occupy [K, K+C).
+type Model struct {
+	opts Options
+	c    *corpus.Corpus
+	src  *knowledge.Source
+
+	K, C, T, V, D int
+
+	// wordSets[c] is concept c's sorted word set; setSize[c] its size.
+	wordSets [][]int
+	inSet    []map[int]bool
+	// conceptsOf[w] lists concepts whose set contains w.
+	conceptsOf [][]int
+
+	nw    [][]int // [V][T]
+	nd    [][]int
+	nwsum []int
+	ndsum []int
+	z     [][]int
+
+	// IterationTimes holds per-sweep wall-clock durations.
+	IterationTimes []time.Duration
+}
+
+// Fit runs collapsed Gibbs sampling for the concept-topic model.
+func Fit(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
+	if c == nil || c.NumDocs() == 0 {
+		return nil, errors.New("ctm: empty corpus")
+	}
+	if src == nil || src.Len() == 0 {
+		return nil, errors.New("ctm: empty knowledge source")
+	}
+	if opts.Alpha <= 0 || opts.Beta <= 0 {
+		return nil, errors.New("ctm: Alpha and Beta must be positive")
+	}
+	if opts.NumFreeTopics < 0 {
+		return nil, errors.New("ctm: NumFreeTopics must be non-negative")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1000
+	}
+	m := &Model{
+		opts: opts,
+		c:    c,
+		src:  src,
+		K:    opts.NumFreeTopics,
+		C:    src.Len(),
+		V:    c.VocabSize(),
+		D:    c.NumDocs(),
+	}
+	m.T = m.K + m.C
+	m.wordSets = src.WordSets(m.V, opts.TopWords)
+	m.inSet = make([]map[int]bool, m.C)
+	m.conceptsOf = make([][]int, m.V)
+	for ci, set := range m.wordSets {
+		m.inSet[ci] = make(map[int]bool, len(set))
+		for _, w := range set {
+			m.inSet[ci][w] = true
+			m.conceptsOf[w] = append(m.conceptsOf[w], ci)
+		}
+	}
+
+	m.nw = make([][]int, m.V)
+	for w := range m.nw {
+		m.nw[w] = make([]int, m.T)
+	}
+	m.nd = make([][]int, m.D)
+	m.z = make([][]int, m.D)
+	for d := range m.nd {
+		m.nd[d] = make([]int, m.T)
+		m.z[d] = make([]int, len(c.Docs[d].Words))
+	}
+	m.nwsum = make([]int, m.T)
+	m.ndsum = make([]int, m.D)
+
+	r := rng.New(opts.Seed)
+	// Random init over admissible topics only.
+	for d, doc := range c.Docs {
+		for i, w := range doc.Words {
+			k := m.randomAdmissible(r, w)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			m.nd[d][k]++
+			m.nwsum[k]++
+			m.ndsum[d]++
+		}
+	}
+
+	probs := make([]float64, m.T)
+	cands := make([]int, 0, m.T)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		start := time.Now()
+		m.sweep(r, probs, &cands)
+		m.IterationTimes = append(m.IterationTimes, time.Since(start))
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, m)
+		}
+	}
+	return m, nil
+}
+
+// randomAdmissible picks uniformly among free topics plus concepts whose set
+// contains w. With zero free topics and no containing concept, it falls
+// back to a uniform concept (the token is effectively background noise).
+func (m *Model) randomAdmissible(r *rng.RNG, w int) int {
+	n := m.K + len(m.conceptsOf[w])
+	if n == 0 {
+		return m.K + r.Intn(m.C)
+	}
+	pick := r.Intn(n)
+	if pick < m.K {
+		return pick
+	}
+	return m.K + m.conceptsOf[w][pick-m.K]
+}
+
+func (m *Model) sweep(r *rng.RNG, probs []float64, cands *[]int) {
+	alpha, beta := m.opts.Alpha, m.opts.Beta
+	vBeta := float64(m.V) * beta
+	for d, doc := range m.c.Docs {
+		nd := m.nd[d]
+		for i, w := range doc.Words {
+			old := m.z[d][i]
+			m.nw[w][old]--
+			nd[old]--
+			m.nwsum[old]--
+
+			// Candidate topics: all free topics + concepts containing w.
+			cs := (*cands)[:0]
+			nww := m.nw[w]
+			for t := 0; t < m.K; t++ {
+				cs = append(cs, t)
+				probs[len(cs)-1] = (float64(nww[t]) + beta) / (float64(m.nwsum[t]) + vBeta) *
+					(float64(nd[t]) + alpha)
+			}
+			for _, ci := range m.conceptsOf[w] {
+				t := m.K + ci
+				setBeta := float64(len(m.wordSets[ci])) * beta
+				cs = append(cs, t)
+				probs[len(cs)-1] = (float64(nww[t]) + beta) / (float64(m.nwsum[t]) + setBeta) *
+					(float64(nd[t]) + alpha)
+			}
+			var k int
+			if len(cs) == 0 {
+				k = old // nothing admissible; keep the initialization fallback
+			} else {
+				k = cs[r.Categorical(probs[:len(cs)])]
+			}
+			*cands = cs
+
+			m.z[d][i] = k
+			m.nw[w][k]++
+			nd[k]++
+			m.nwsum[k]++
+		}
+	}
+}
+
+// Phi returns topic-word distributions: free topics over the whole
+// vocabulary, concepts restricted to (and normalized over) their word sets.
+func (m *Model) Phi() [][]float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	phi := make([][]float64, m.T)
+	for t := 0; t < m.K; t++ {
+		row := make([]float64, m.V)
+		den := float64(m.nwsum[t]) + vBeta
+		for w := 0; w < m.V; w++ {
+			row[w] = (float64(m.nw[w][t]) + beta) / den
+		}
+		phi[t] = row
+	}
+	for ci := 0; ci < m.C; ci++ {
+		t := m.K + ci
+		row := make([]float64, m.V)
+		set := m.wordSets[ci]
+		den := float64(m.nwsum[t]) + float64(len(set))*beta
+		if den > 0 {
+			for _, w := range set {
+				row[w] = (float64(m.nw[w][t]) + beta) / den
+			}
+		}
+		phi[t] = row
+	}
+	return phi
+}
+
+// Theta returns document-topic distributions over all T topics/concepts.
+func (m *Model) Theta() [][]float64 {
+	alpha := m.opts.Alpha
+	tAlpha := float64(m.T) * alpha
+	theta := make([][]float64, m.D)
+	for d := range theta {
+		row := make([]float64, m.T)
+		den := float64(m.ndsum[d]) + tAlpha
+		for t := 0; t < m.T; t++ {
+			row[t] = (float64(m.nd[d][t]) + alpha) / den
+		}
+		theta[d] = row
+	}
+	return theta
+}
+
+// Assignments returns live per-token assignments; do not mutate.
+func (m *Model) Assignments() [][]int { return m.z }
+
+// Labels returns topic labels: "topic-<i>" for free topics, the concept's
+// article label otherwise.
+func (m *Model) Labels() []string {
+	labels := make([]string, m.T)
+	for t := 0; t < m.K; t++ {
+		labels[t] = "topic-" + strconv.Itoa(t)
+	}
+	for ci := 0; ci < m.C; ci++ {
+		labels[m.K+ci] = m.src.Label(ci)
+	}
+	return labels
+}
+
+// ConceptIndex maps topic index t to its concept (article) index, or -1 for
+// free topics.
+func (m *Model) ConceptIndex(t int) int {
+	if t < m.K {
+		return -1
+	}
+	return t - m.K
+}
+
+// NumTopics returns T.
+func (m *Model) NumTopics() int { return m.T }
+
+// NumFreeTopics returns K.
+func (m *Model) NumFreeTopics() int { return m.K }
+
+// DiscoveredConcepts returns labels of concepts with at least minDocs
+// documents containing minTokens+ assigned tokens — the Table I "labeled
+// topics passed through" statistic.
+func (m *Model) DiscoveredConcepts(minDocs, minTokens int) []string {
+	if minDocs < 1 {
+		minDocs = 1
+	}
+	if minTokens < 1 {
+		minTokens = 1
+	}
+	df := make([]int, m.T)
+	for d := 0; d < m.D; d++ {
+		for t, n := range m.nd[d] {
+			if n >= minTokens {
+				df[t]++
+			}
+		}
+	}
+	var out []string
+	for ci := 0; ci < m.C; ci++ {
+		if df[m.K+ci] >= minDocs {
+			out = append(out, m.src.Label(ci))
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package ctm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+)
+
+func fixture(t *testing.T) (*corpus.Corpus, *knowledge.Source) {
+	t.Helper()
+	c := corpus.New()
+	for i := 0; i < 15; i++ {
+		c.AddText("s", "pencil ruler eraser pencil ruler pencil", nil)
+		c.AddText("b", "baseball umpire pitcher baseball umpire baseball", nil)
+	}
+	school := knowledge.NewArticleFromText("School Supplies",
+		strings.Repeat("pencil pencil pencil ruler ruler eraser ", 20), c.Vocab, nil, true)
+	ball := knowledge.NewArticleFromText("Baseball",
+		strings.Repeat("baseball baseball baseball umpire umpire pitcher ", 20), c.Vocab, nil, true)
+	return c, knowledge.MustNewSource([]*knowledge.Article{school, ball})
+}
+
+func TestValidation(t *testing.T) {
+	c, src := fixture(t)
+	if _, err := Fit(nil, src, Options{Alpha: 1, Beta: 0.1, Iterations: 1}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Fit(c, nil, Options{Alpha: 1, Beta: 0.1, Iterations: 1}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Fit(c, src, Options{Alpha: 0, Beta: 0.1, Iterations: 1}); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := Fit(c, src, Options{Alpha: 1, Beta: 0.1, NumFreeTopics: -1, Iterations: 1}); err == nil {
+		t.Error("negative free topics accepted")
+	}
+}
+
+func TestConceptsConstrainedToWordSets(t *testing.T) {
+	// CTM's defining property: a concept never emits a word outside its
+	// word set.
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Beta: 0.1, Iterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.Phi()
+	baseballID, _ := c.Vocab.ID("baseball")
+	pencilID, _ := c.Vocab.ID("pencil")
+	// School Supplies (concept 0) has no "baseball" in its article.
+	if phi[0][baseballID] != 0 {
+		t.Fatalf("School concept gives baseball probability %v, want exactly 0", phi[0][baseballID])
+	}
+	if phi[1][pencilID] != 0 {
+		t.Fatalf("Baseball concept gives pencil probability %v, want exactly 0", phi[1][pencilID])
+	}
+}
+
+func TestAssignmentsRespectAdmissibility(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{NumFreeTopics: 1, Alpha: 0.5, Beta: 0.1, Iterations: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := src.WordSets(c.VocabSize(), 0)
+	inSet := make([]map[int]bool, len(sets))
+	for i, s := range sets {
+		inSet[i] = map[int]bool{}
+		for _, w := range s {
+			inSet[i][w] = true
+		}
+	}
+	for d, doc := range c.Docs {
+		for i, w := range doc.Words {
+			k := m.Assignments()[d][i]
+			if ci := m.ConceptIndex(k); ci >= 0 && !inSet[ci][w] {
+				t.Fatalf("token %q assigned to concept %d whose set lacks it", c.Vocab.Word(w), ci)
+			}
+		}
+	}
+}
+
+func TestUnknownWordsGoToFreeTopics(t *testing.T) {
+	c, src := fixture(t)
+	extra := corpus.NewWithVocab(c.Vocab)
+	for i := 0; i < 10; i++ {
+		extra.AddText("x", "quasar nebula quasar nebula quasar", nil)
+	}
+	for _, d := range extra.Docs {
+		c.AddDocument(d)
+	}
+	m, err := Fit(c, src, Options{NumFreeTopics: 1, Alpha: 0.5, Beta: 0.1, Iterations: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasar, _ := c.Vocab.ID("quasar")
+	for d, doc := range c.Docs {
+		for i, w := range doc.Words {
+			if w == quasar {
+				if k := m.Assignments()[d][i]; m.ConceptIndex(k) >= 0 {
+					t.Fatal("word outside every concept set assigned to a concept")
+				}
+			}
+		}
+	}
+	// The free topic should therefore carry quasar strongly.
+	if m.Phi()[0][quasar] < 0.1 {
+		t.Fatalf("free topic quasar mass %v", m.Phi()[0][quasar])
+	}
+}
+
+func TestTopWordsRestriction(t *testing.T) {
+	c, src := fixture(t)
+	// Restrict concept word sets to top-1 word: School keeps only pencil.
+	m, err := Fit(c, src, Options{NumFreeTopics: 1, Alpha: 0.5, Beta: 0.1, TopWords: 1, Iterations: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ruler, _ := c.Vocab.ID("ruler")
+	if m.Phi()[m.NumFreeTopics()+0][ruler] != 0 {
+		t.Fatal("top-1 restriction leaked ruler into the School concept")
+	}
+}
+
+func TestSeparatesTopicsOnSeparableData(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Beta: 0.1, Iterations: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct, total int
+	for d, doc := range c.Docs {
+		want := 0
+		if doc.Name == "b" {
+			want = 1
+		}
+		for _, k := range m.Assignments()[d] {
+			total++
+			if m.ConceptIndex(k) == want {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("accuracy %v, want ≥ 0.9", acc)
+	}
+}
+
+func TestThetaNormalizedAndLabels(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{NumFreeTopics: 2, Alpha: 0.5, Beta: 0.1, Iterations: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, row := range m.Theta() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("θ[%d] sums to %v", d, s)
+		}
+	}
+	labels := m.Labels()
+	if labels[0] != "topic-0" || labels[2] != "School Supplies" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestDiscoveredConcepts(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Beta: 0.1, Iterations: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := m.DiscoveredConcepts(5, 2)
+	if len(disc) != 2 {
+		t.Fatalf("discovered %v, want both concepts on this corpus", disc)
+	}
+	none := m.DiscoveredConcepts(10_000, 1)
+	if len(none) != 0 {
+		t.Fatalf("impossible threshold still discovered %v", none)
+	}
+}

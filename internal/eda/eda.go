@@ -1,0 +1,145 @@
+// Package eda implements Explicit Dirichlet Allocation (Hansen et al.,
+// GSCL 2013), the paper's "too strict" comparison baseline (§I, §IV): topics
+// are the knowledge-source word distributions themselves and never deviate
+// from them. Only the token-topic assignments and document mixtures are
+// inferred; φ is frozen, so EDA can neither adapt a known topic to the
+// corpus nor discover unknown topics.
+package eda
+
+import (
+	"errors"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+)
+
+// Options configures an EDA fit.
+type Options struct {
+	// Alpha is the symmetric document-topic prior.
+	Alpha float64
+	// Epsilon smooths the fixed source distributions so every vocabulary
+	// word keeps non-zero probability under every topic (without it, a
+	// token absent from all articles would have zero probability
+	// everywhere).
+	Epsilon float64
+	// Iterations is the number of Gibbs sweeps. Default 1000.
+	Iterations int
+	// Seed seeds the chain.
+	Seed int64
+	// OnIteration, when non-nil, runs after each sweep.
+	OnIteration func(iter int, m *Model)
+}
+
+// Model is a fitted EDA chain.
+type Model struct {
+	opts Options
+	c    *corpus.Corpus
+	src  *knowledge.Source
+
+	T, V, D int
+	phi     [][]float64 // frozen topic-word distributions [T][V]
+	nd      [][]int
+	ndsum   []int
+	z       [][]int
+
+	// IterationTimes holds per-sweep wall-clock durations.
+	IterationTimes []time.Duration
+}
+
+// Fit runs Gibbs sampling with φ frozen to the source distributions.
+func Fit(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
+	if c == nil || c.NumDocs() == 0 {
+		return nil, errors.New("eda: empty corpus")
+	}
+	if src == nil || src.Len() == 0 {
+		return nil, errors.New("eda: empty knowledge source")
+	}
+	if opts.Alpha <= 0 {
+		return nil, errors.New("eda: Alpha must be positive")
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = knowledge.DefaultEpsilon
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1000
+	}
+	m := &Model{
+		opts: opts,
+		c:    c,
+		src:  src,
+		T:    src.Len(),
+		V:    c.VocabSize(),
+		D:    c.NumDocs(),
+	}
+	m.phi = src.SmoothedDistributions(m.V, opts.Epsilon)
+	m.nd = make([][]int, m.D)
+	m.z = make([][]int, m.D)
+	for d := range m.nd {
+		m.nd[d] = make([]int, m.T)
+		m.z[d] = make([]int, len(c.Docs[d].Words))
+	}
+	m.ndsum = make([]int, m.D)
+
+	r := rng.New(opts.Seed)
+	for d, doc := range c.Docs {
+		for i := range doc.Words {
+			k := r.Intn(m.T)
+			m.z[d][i] = k
+			m.nd[d][k]++
+			m.ndsum[d]++
+		}
+	}
+	probs := make([]float64, m.T)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		start := time.Now()
+		for d, doc := range c.Docs {
+			nd := m.nd[d]
+			for i, w := range doc.Words {
+				old := m.z[d][i]
+				nd[old]--
+				for t := 0; t < m.T; t++ {
+					probs[t] = m.phi[t][w] * (float64(nd[t]) + opts.Alpha)
+				}
+				k := r.Categorical(probs)
+				m.z[d][i] = k
+				nd[k]++
+			}
+		}
+		m.IterationTimes = append(m.IterationTimes, time.Since(start))
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, m)
+		}
+	}
+	return m, nil
+}
+
+// Phi returns the frozen topic-word distributions. Live state; do not
+// mutate.
+func (m *Model) Phi() [][]float64 { return m.phi }
+
+// Theta returns the inferred document-topic distributions.
+func (m *Model) Theta() [][]float64 {
+	alpha := m.opts.Alpha
+	tAlpha := float64(m.T) * alpha
+	theta := make([][]float64, m.D)
+	for d := range theta {
+		row := make([]float64, m.T)
+		den := float64(m.ndsum[d]) + tAlpha
+		for t := 0; t < m.T; t++ {
+			row[t] = (float64(m.nd[d][t]) + alpha) / den
+		}
+		theta[d] = row
+	}
+	return theta
+}
+
+// Assignments returns live per-token assignments; do not mutate.
+func (m *Model) Assignments() [][]int { return m.z }
+
+// Labels returns the knowledge-source labels (EDA topics are the articles).
+func (m *Model) Labels() []string { return m.src.Labels() }
+
+// NumTopics returns the topic count (= number of articles).
+func (m *Model) NumTopics() int { return m.T }

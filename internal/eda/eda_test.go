@@ -1,0 +1,143 @@
+package eda
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/stats"
+)
+
+func fixture(t *testing.T) (*corpus.Corpus, *knowledge.Source) {
+	t.Helper()
+	c := corpus.New()
+	for i := 0; i < 15; i++ {
+		c.AddText("s", "pencil ruler eraser pencil ruler pencil", nil)
+		c.AddText("b", "baseball umpire pitcher baseball umpire baseball", nil)
+	}
+	school := knowledge.NewArticleFromText("School Supplies",
+		strings.Repeat("pencil pencil pencil ruler ruler eraser ", 20), c.Vocab, nil, true)
+	ball := knowledge.NewArticleFromText("Baseball",
+		strings.Repeat("baseball baseball baseball umpire umpire pitcher ", 20), c.Vocab, nil, true)
+	return c, knowledge.MustNewSource([]*knowledge.Article{school, ball})
+}
+
+func TestValidation(t *testing.T) {
+	c, src := fixture(t)
+	if _, err := Fit(nil, src, Options{Alpha: 1, Iterations: 1}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Fit(c, nil, Options{Alpha: 1, Iterations: 1}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Fit(c, src, Options{Alpha: 0, Iterations: 1}); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+func TestPhiIsFrozenToSource(t *testing.T) {
+	// EDA's defining property: φ equals the source distributions exactly,
+	// before and after sampling.
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Iterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.SmoothedDistributions(c.VocabSize(), knowledge.DefaultEpsilon)
+	for k := range want {
+		if js := stats.JSDivergence(m.Phi()[k], want[k]); js != 0 {
+			t.Fatalf("φ[%d] deviates from the source (JS %v); EDA must not update φ", k, js)
+		}
+	}
+}
+
+func TestAssignsTokensToMatchingTopic(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Iterations: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// School documents' tokens should sit on topic 0 (School Supplies).
+	var correct, total int
+	for d, doc := range c.Docs {
+		want := 0
+		if doc.Name == "b" {
+			want = 1
+		}
+		for _, k := range m.Assignments()[d] {
+			total++
+			if k == want {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("assignment accuracy %v, want ≥ 0.95 on separable data", acc)
+	}
+}
+
+func TestThetaNormalized(t *testing.T) {
+	c, src := fixture(t)
+	m, err := Fit(c, src, Options{Alpha: 0.5, Iterations: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, row := range m.Theta() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("θ[%d] sums to %v", d, s)
+		}
+	}
+}
+
+func TestCannotDeviateFromSource(t *testing.T) {
+	// Put a word in the corpus that no article contains: EDA must still
+	// assign it (via ε smoothing) but can never give it real probability —
+	// the weakness Source-LDA fixes (§IV-A: EDA mislabels augmented
+	// topics).
+	c, src := fixture(t)
+	extra := corpus.NewWithVocab(c.Vocab)
+	extra.AddText("x", "quasar quasar quasar pencil", nil)
+	for _, d := range extra.Docs {
+		c.AddDocument(d)
+	}
+	m, err := Fit(c, src, Options{Alpha: 0.5, Iterations: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasar, _ := c.Vocab.ID("quasar")
+	for k := 0; k < m.NumTopics(); k++ {
+		if m.Phi()[k][quasar] > 0.01 {
+			t.Fatalf("frozen φ learned an unseen word: %v", m.Phi()[k][quasar])
+		}
+	}
+}
+
+func TestLabelsAndDeterminism(t *testing.T) {
+	c, src := fixture(t)
+	labels := func() []string {
+		m, err := Fit(c, src, Options{Alpha: 0.5, Iterations: 5, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Labels()
+	}
+	l := labels()
+	if l[0] != "School Supplies" || l[1] != "Baseball" {
+		t.Fatalf("labels = %v", l)
+	}
+	m1, _ := Fit(c, src, Options{Alpha: 0.5, Iterations: 5, Seed: 7})
+	m2, _ := Fit(c, src, Options{Alpha: 0.5, Iterations: 5, Seed: 7})
+	for d := range m1.Assignments() {
+		for i := range m1.Assignments()[d] {
+			if m1.Assignments()[d][i] != m2.Assignments()[d][i] {
+				t.Fatal("same seed differed")
+			}
+		}
+	}
+}

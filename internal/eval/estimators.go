@@ -1,0 +1,181 @@
+package eval
+
+import (
+	"errors"
+	"math"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/rng"
+)
+
+// LeftToRightPerplexity estimates held-out perplexity with Wallach et al.'s
+// left-to-right sequential algorithm — the recommended estimator from the
+// "Evaluation methods for topic models" paper the §III-C5a discussion cites.
+// For each document position n, `particles` independent runs resample the
+// topics of positions < n once and score P(w_n | w_<n):
+//
+//	P(w_n | w_<n) ≈ (1/R) Σ_r Σ_t P(w_n | t) · P(t | θ_r(w_<n))
+//
+// with P(w|t) given by the trained φ and θ_r from the particle's running
+// assignments with symmetric prior α. Unlike simple importance sampling it
+// conditions on the document prefix, giving much lower variance on long
+// documents.
+func LeftToRightPerplexity(phi [][]float64, alpha float64, test *corpus.Corpus, particles int, seed int64) (float64, error) {
+	if len(phi) == 0 {
+		return 0, errors.New("eval: empty phi")
+	}
+	if test == nil || test.TotalTokens() == 0 {
+		return 0, errors.New("eval: empty held-out corpus")
+	}
+	if particles <= 0 {
+		particles = 10
+	}
+	T := len(phi)
+	r := rng.New(seed)
+	probs := make([]float64, T)
+	var totalLog float64
+	var tokens int
+
+	for _, doc := range test.Docs {
+		n := len(doc.Words)
+		if n == 0 {
+			continue
+		}
+		// Per-particle topic assignments and counts for the prefix.
+		z := make([][]int, particles)
+		counts := make([][]int, particles)
+		for p := range z {
+			z[p] = make([]int, 0, n)
+			counts[p] = make([]int, T)
+		}
+		for pos, w := range doc.Words {
+			var pw float64
+			for p := 0; p < particles; p++ {
+				// Resample the prefix once (the algorithm's inner loop).
+				for j := 0; j < pos; j++ {
+					old := z[p][j]
+					counts[p][old]--
+					wj := doc.Words[j]
+					for t := 0; t < T; t++ {
+						probs[t] = phi[t][wj] * (float64(counts[p][t]) + alpha)
+					}
+					k := r.Categorical(probs)
+					z[p][j] = k
+					counts[p][k]++
+				}
+				// Score position pos.
+				den := float64(pos) + float64(T)*alpha
+				var pp float64
+				for t := 0; t < T; t++ {
+					pp += phi[t][w] * (float64(counts[p][t]) + alpha) / den
+				}
+				pw += pp
+				// Sample a topic for position pos and extend the prefix.
+				for t := 0; t < T; t++ {
+					probs[t] = phi[t][w] * (float64(counts[p][t]) + alpha)
+				}
+				k := r.Categorical(probs)
+				z[p] = append(z[p], k)
+				counts[p][k]++
+			}
+			pw /= float64(particles)
+			if pw <= 0 {
+				pw = math.SmallestNonzeroFloat64
+			}
+			totalLog += math.Log(pw)
+			tokens++
+		}
+	}
+	if tokens == 0 {
+		return 0, errors.New("eval: held-out corpus has no tokens")
+	}
+	return math.Exp(-totalLog / float64(tokens)), nil
+}
+
+// AgreementResult reports clustering-agreement statistics between two token
+// labelings.
+type AgreementResult struct {
+	// NMI is the normalized mutual information in [0, 1].
+	NMI float64
+	// Purity is the fraction of tokens whose predicted cluster's majority
+	// truth label matches their own, in [0, 1].
+	Purity float64
+	// Tokens is the number of scored tokens.
+	Tokens int
+}
+
+// TokenAgreement compares per-token topic assignments against ground truth
+// without requiring any topic↔truth mapping: normalized mutual information
+// and cluster purity treat the assignments as a clustering. Useful when a
+// model's topic identities are anonymous (plain LDA) and JS-based mapping
+// would conflate mapping error with clustering error.
+func TokenAgreement(c *corpus.Corpus, assignments [][]int) (AgreementResult, error) {
+	if !c.HasGroundTruth() {
+		return AgreementResult{}, errors.New("eval: corpus lacks ground-truth topics")
+	}
+	if len(assignments) != c.NumDocs() {
+		return AgreementResult{}, errors.New("eval: assignment/document count mismatch")
+	}
+	joint := map[[2]int]int{}
+	predCount := map[int]int{}
+	truthCount := map[int]int{}
+	n := 0
+	for d, doc := range c.Docs {
+		if len(assignments[d]) != len(doc.Words) {
+			return AgreementResult{}, errors.New("eval: assignment/token count mismatch")
+		}
+		for i := range doc.Words {
+			p, g := assignments[d][i], doc.Topics[i]
+			joint[[2]int{p, g}]++
+			predCount[p]++
+			truthCount[g]++
+			n++
+		}
+	}
+	if n == 0 {
+		return AgreementResult{}, errors.New("eval: no tokens")
+	}
+	fn := float64(n)
+	// Mutual information and entropies.
+	var mi, hPred, hTruth float64
+	for pg, c2 := range joint {
+		pxy := float64(c2) / fn
+		px := float64(predCount[pg[0]]) / fn
+		py := float64(truthCount[pg[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	for _, c2 := range predCount {
+		p := float64(c2) / fn
+		hPred -= p * math.Log(p)
+	}
+	for _, c2 := range truthCount {
+		p := float64(c2) / fn
+		hTruth -= p * math.Log(p)
+	}
+	res := AgreementResult{Tokens: n}
+	if hPred > 0 && hTruth > 0 {
+		res.NMI = mi / math.Sqrt(hPred*hTruth)
+		if res.NMI > 1 {
+			res.NMI = 1 // guard round-off
+		}
+	} else if hPred == 0 && hTruth == 0 {
+		res.NMI = 1 // both labelings constant and identical partitioning
+	}
+	// Purity: majority truth label per predicted cluster.
+	majority := map[int]int{}
+	best := map[int]int{}
+	for pg, c2 := range joint {
+		if c2 > best[pg[0]] {
+			best[pg[0]] = c2
+			majority[pg[0]] = pg[1]
+		}
+	}
+	correct := 0
+	for pg, c2 := range joint {
+		if majority[pg[0]] == pg[1] {
+			correct += c2
+		}
+	}
+	res.Purity = float64(correct) / fn
+	return res, nil
+}

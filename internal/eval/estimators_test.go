@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sourcelda/internal/corpus"
+)
+
+func twoTopicPhi() [][]float64 {
+	return [][]float64{{0.95, 0.05}, {0.05, 0.95}}
+}
+
+func heldOutCorpus(words ...int) *corpus.Corpus {
+	c := corpus.New()
+	c.Vocab.Add("w0")
+	c.Vocab.Add("w1")
+	c.AddDocument(&corpus.Document{Words: words})
+	return c
+}
+
+func TestLeftToRightPerplexityBasics(t *testing.T) {
+	phi := twoTopicPhi()
+	// A pure-topic document should be only mildly perplexing.
+	ppx, err := LeftToRightPerplexity(phi, 0.5, heldOutCorpus(0, 0, 0, 0, 0, 0), 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppx <= 1 || ppx > 2.5 {
+		t.Fatalf("pure-topic perplexity %v outside (1, 2.5]", ppx)
+	}
+	// Uniform φ gives perplexity ≈ V exactly.
+	uniform := [][]float64{{0.5, 0.5}}
+	ppxU, err := LeftToRightPerplexity(uniform, 0.5, heldOutCorpus(0, 1, 0, 1), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppxU-2) > 1e-9 {
+		t.Fatalf("uniform perplexity %v, want exactly 2", ppxU)
+	}
+}
+
+func TestLeftToRightOrdersModels(t *testing.T) {
+	// A sharp matched model must beat a blurred one on a document dominated
+	// by one topic (with a little noise).
+	good := twoTopicPhi()
+	swapped := [][]float64{{0.05, 0.95}, {0.95, 0.05}}
+	words := make([]int, 0, 20)
+	for i := 0; i < 18; i++ {
+		words = append(words, 0)
+	}
+	words = append(words, 1, 1)
+	doc := heldOutCorpus(words...)
+	gp, err := LeftToRightPerplexity(good, 0.1, doc, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swapped topic ids describe the same model family — similar score.
+	sp, err := LeftToRightPerplexity(swapped, 0.1, doc, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gp-sp) > 0.4 {
+		t.Fatalf("label-swapped models should score similarly: %v vs %v", gp, sp)
+	}
+	// A genuinely worse model: near-uniform topics.
+	blur := [][]float64{{0.55, 0.45}, {0.45, 0.55}}
+	wp, err := LeftToRightPerplexity(blur, 0.1, doc, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp >= wp {
+		t.Fatalf("sharp model perplexity %v should beat blurred %v", gp, wp)
+	}
+}
+
+func TestLeftToRightAgreesWithImportanceSampling(t *testing.T) {
+	// Both estimators target the same quantity; on a short document they
+	// should land in the same neighbourhood.
+	phi := twoTopicPhi()
+	doc := heldOutCorpus(0, 0, 1, 0, 0)
+	lr, err := LeftToRightPerplexity(phi, 0.5, doc, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := ImportanceSamplingPerplexity(phi, 0.5, doc, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr <= 0 || is <= 0 {
+		t.Fatal("degenerate estimates")
+	}
+	if ratio := lr / is; ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("estimators disagree badly: left-to-right %v vs IS %v", lr, is)
+	}
+}
+
+func TestLeftToRightValidation(t *testing.T) {
+	phi := twoTopicPhi()
+	if _, err := LeftToRightPerplexity(nil, 0.5, heldOutCorpus(0), 5, 1); err == nil {
+		t.Error("empty phi accepted")
+	}
+	if _, err := LeftToRightPerplexity(phi, 0.5, corpus.New(), 5, 1); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestTokenAgreementPerfect(t *testing.T) {
+	c := truthCorpus()
+	// Identical clustering up to a label permutation → NMI = purity = 1.
+	swapped := [][]int{{1, 1, 1, 0}, {0, 0, 0, 1}}
+	res, err := TokenAgreement(c, swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NMI-1) > 1e-9 {
+		t.Fatalf("NMI %v, want 1 (label permutation is a perfect clustering)", res.NMI)
+	}
+	if res.Purity != 1 {
+		t.Fatalf("purity %v, want 1", res.Purity)
+	}
+	if res.Tokens != 8 {
+		t.Fatalf("tokens %d", res.Tokens)
+	}
+}
+
+func TestTokenAgreementDegraded(t *testing.T) {
+	c := truthCorpus()
+	// Everything in one cluster: NMI 0, purity = majority share.
+	constant := [][]int{{0, 0, 0, 0}, {0, 0, 0, 0}}
+	res, err := TokenAgreement(c, constant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NMI > 1e-9 {
+		t.Fatalf("constant clustering NMI %v, want 0", res.NMI)
+	}
+	if res.Purity != 0.5 {
+		t.Fatalf("purity %v, want 0.5 (4 of 8 tokens in the majority class)", res.Purity)
+	}
+}
+
+func TestTokenAgreementErrors(t *testing.T) {
+	c := truthCorpus()
+	noTruth := corpus.New()
+	noTruth.AddText("d", "a b", nil)
+	if _, err := TokenAgreement(noTruth, [][]int{{0, 0}}); err == nil {
+		t.Error("missing ground truth accepted")
+	}
+	if _, err := TokenAgreement(c, [][]int{{0}}); err == nil {
+		t.Error("wrong document count accepted")
+	}
+	if _, err := TokenAgreement(c, [][]int{{0}, {0, 0, 0, 0}}); err == nil {
+		t.Error("wrong token count accepted")
+	}
+}
+
+func TestTokenAgreementBetterModelScoresHigher(t *testing.T) {
+	c := truthCorpus()
+	perfect := [][]int{{0, 0, 0, 1}, {1, 1, 1, 0}}
+	noisy := [][]int{{0, 1, 0, 1}, {1, 0, 1, 0}}
+	p, err := TokenAgreement(c, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := TokenAgreement(c, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NMI <= q.NMI {
+		t.Fatalf("perfect NMI %v should exceed noisy %v", p.NMI, q.NMI)
+	}
+	if p.Purity <= q.Purity {
+		t.Fatalf("perfect purity %v should exceed noisy %v", p.Purity, q.Purity)
+	}
+}

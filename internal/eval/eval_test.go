@@ -1,0 +1,283 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/mathx"
+	"sourcelda/internal/rng"
+)
+
+// truthCorpus builds a 2-topic ground-truth corpus: topic 0 words {0,1},
+// topic 1 words {2,3}.
+func truthCorpus() *corpus.Corpus {
+	c := corpus.New()
+	for _, w := range []string{"w0", "w1", "w2", "w3"} {
+		c.Vocab.Add(w)
+	}
+	c.AddDocument(&corpus.Document{
+		Words:  []int{0, 1, 0, 2},
+		Topics: []int{0, 0, 0, 1},
+	})
+	c.AddDocument(&corpus.Document{
+		Words:  []int{2, 3, 3, 1},
+		Topics: []int{1, 1, 1, 0},
+	})
+	return c
+}
+
+func TestClassifyTokensPerfect(t *testing.T) {
+	c := truthCorpus()
+	assignments := [][]int{{0, 0, 0, 1}, {1, 1, 1, 0}}
+	res, err := ClassifyTokens(c, assignments, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != 8 || res.Total != 8 || res.Accuracy() != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestClassifyTokensWithMapping(t *testing.T) {
+	c := truthCorpus()
+	// Model used swapped topic ids; mapping fixes it.
+	assignments := [][]int{{1, 1, 1, 0}, {0, 0, 0, 1}}
+	res, err := ClassifyTokens(c, assignments, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() != 1 {
+		t.Fatalf("accuracy %v with corrective mapping", res.Accuracy())
+	}
+	// Unmapped topics (-1) never count as correct.
+	res, err = ClassifyTokens(c, assignments, []int{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct != 0 {
+		t.Fatalf("unmapped topics scored %d correct", res.Correct)
+	}
+}
+
+func TestClassifyTokensErrors(t *testing.T) {
+	c := truthCorpus()
+	good := [][]int{{0, 0, 0, 1}, {1, 1, 1, 0}}
+	c2 := corpus.New()
+	c2.AddText("d", "a b", nil)
+	if _, err := ClassifyTokens(c2, [][]int{{0, 0}}, []int{0}); err == nil {
+		t.Error("corpus without ground truth accepted")
+	}
+	if _, err := ClassifyTokens(c, good[:1], []int{0, 1}); err == nil {
+		t.Error("short assignment list accepted")
+	}
+	if _, err := ClassifyTokens(c, [][]int{{0}, {1, 1, 1, 0}}, []int{0, 1}); err == nil {
+		t.Error("short token assignment accepted")
+	}
+	// Out-of-range assignment ids are tolerated (counted incorrect).
+	res, err := ClassifyTokens(c, [][]int{{99, -5, 0, 1}, {1, 1, 1, 0}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 8 || res.Correct != 6 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMatchTopicsGreedyOneToOne(t *testing.T) {
+	truth := [][]float64{{0.9, 0.1, 0, 0}, {0, 0, 0.5, 0.5}}
+	phis := [][]float64{{0, 0, 0.45, 0.55}, {0.85, 0.15, 0, 0}}
+	m := MatchTopicsGreedy(phis, truth)
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("mapping = %v", m)
+	}
+	// Surplus topics map to -1.
+	phis3 := append(phis, []float64{0.25, 0.25, 0.25, 0.25})
+	m = MatchTopicsGreedy(phis3, truth)
+	count := 0
+	for _, g := range m {
+		if g == -1 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("mapping = %v, want exactly one unmatched", m)
+	}
+}
+
+func TestMatchTopicsNearestManyToOne(t *testing.T) {
+	truth := [][]float64{{1, 0}, {0, 1}}
+	phis := [][]float64{{0.9, 0.1}, {0.8, 0.2}}
+	m := MatchTopicsNearest(phis, truth)
+	if m[0] != 0 || m[1] != 0 {
+		t.Fatalf("mapping = %v, want both nearest to truth 0", m)
+	}
+}
+
+func TestSortedThetaJS(t *testing.T) {
+	// Identical mixtures up to topic relabeling score zero (the metric is
+	// "irrespective to any unknown mapping").
+	inferred := [][]float64{{0.7, 0.3}, {0.2, 0.8}}
+	truth := [][]float64{{0.3, 0.7}, {0.8, 0.2}}
+	js, err := SortedThetaJS(inferred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js != 0 {
+		t.Fatalf("permuted mixtures scored %v, want 0", js)
+	}
+	// Different shapes accumulate positive divergence.
+	js2, err := SortedThetaJS([][]float64{{1, 0}, {1, 0}}, [][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js2 <= 0 {
+		t.Fatalf("mismatched mixtures scored %v", js2)
+	}
+	// Length padding: a 3-topic θ against 2-topic truth works.
+	if _, err := SortedThetaJS([][]float64{{0.5, 0.3, 0.2}}, [][]float64{{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortedThetaJS(inferred, truth[:1]); err == nil {
+		t.Fatal("document count mismatch accepted")
+	}
+}
+
+func TestPMICoherenceOrdersTopics(t *testing.T) {
+	// Build a corpus where words 0,1 always co-occur and words 0,2 never
+	// do; a topic on {0,1} must score higher than a topic on {0,2}.
+	c := corpus.New()
+	for _, w := range []string{"a", "b", "c", "d"} {
+		c.Vocab.Add(w)
+	}
+	for i := 0; i < 30; i++ {
+		c.AddDocument(&corpus.Document{Words: []int{0, 1}})
+		c.AddDocument(&corpus.Document{Words: []int{2, 3}})
+	}
+	good := [][]float64{{0.5, 0.5, 0, 0}}
+	bad := [][]float64{{0.5, 0, 0.5, 0}}
+	pGood := PMICoherence(c, good, PMIOptions{TopN: 2})
+	pBad := PMICoherence(c, bad, PMIOptions{TopN: 2})
+	if pGood <= pBad {
+		t.Fatalf("PMI(good)=%v should exceed PMI(bad)=%v", pGood, pBad)
+	}
+}
+
+func TestPMICoherenceEmpty(t *testing.T) {
+	if got := PMICoherence(corpus.New(), nil, PMIOptions{}); got != 0 {
+		t.Fatalf("empty inputs scored %v", got)
+	}
+}
+
+func TestImportanceSamplingPerplexity(t *testing.T) {
+	// φ puts all mass on word 0 for topic 0, word 1 for topic 1. A test doc
+	// of only word 0 should be far less perplexing than a doc mixing both
+	// words... and a uniform φ should give perplexity ≈ V.
+	phi := [][]float64{{0.99, 0.01}, {0.01, 0.99}}
+	c := corpus.New()
+	c.Vocab.Add("w0")
+	c.Vocab.Add("w1")
+	c.AddDocument(&corpus.Document{Words: []int{0, 0, 0, 0}})
+	ppx, err := ImportanceSamplingPerplexity(phi, 0.5, c, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppx <= 0 || ppx > 2.2 {
+		t.Fatalf("perplexity %v out of expected range", ppx)
+	}
+	uniform := [][]float64{{0.5, 0.5}}
+	ppxU, err := ImportanceSamplingPerplexity(uniform, 0.5, c, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ppxU-2) > 0.05 {
+		t.Fatalf("uniform perplexity %v, want ≈2 (=V)", ppxU)
+	}
+	if _, err := ImportanceSamplingPerplexity(nil, 0.5, c, 8, 1); err == nil {
+		t.Fatal("empty phi accepted")
+	}
+	if _, err := ImportanceSamplingPerplexity(phi, 0.5, corpus.New(), 8, 1); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+}
+
+func TestTruthTopicDistributions(t *testing.T) {
+	c := truthCorpus()
+	dists := TruthTopicDistributions(c, 2, 4)
+	if len(dists) != 2 {
+		t.Fatal("wrong topic count")
+	}
+	// Topic 0 emitted w0×2, w1×2 → 0.5/0.5 over {0,1}.
+	if math.Abs(dists[0][0]-0.5) > 1e-12 || math.Abs(dists[0][1]-0.5) > 1e-12 {
+		t.Fatalf("topic 0 dist = %v", dists[0])
+	}
+	if dists[0][2] != 0 {
+		t.Fatal("topic 0 should not emit w2")
+	}
+	var s float64
+	for _, p := range dists[1] {
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("topic 1 not normalized: %v", s)
+	}
+}
+
+func TestMeanPairwiseJS(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := [][]float64{{1, 0}, {0, 1}}
+	if got := MeanPairwiseJS(a, b, []int{0, 1}); got != 0 {
+		t.Fatalf("identical rows scored %v", got)
+	}
+	if got := MeanPairwiseJS(a, b, []int{1, 0}); got <= 0 {
+		t.Fatalf("crossed rows scored %v", got)
+	}
+	if got := MeanPairwiseJS(a, b, []int{-1, -1}); got != 0 {
+		t.Fatalf("all-unmapped scored %v", got)
+	}
+}
+
+func TestClassificationAccuracyMatchesByConstruction(t *testing.T) {
+	// End-to-end property: classify a synthetic corpus against itself via
+	// nearest-topic matching — must be 100%.
+	r := rng.New(5)
+	c := corpus.New()
+	V := 20
+	for w := 0; w < V; w++ {
+		c.Vocab.Add(string(rune('a'+w%26)) + string(rune('0'+w/26)))
+	}
+	truth := make([][]float64, 2)
+	for k := range truth {
+		truth[k] = make([]float64, V)
+		for w := k * 10; w < (k+1)*10; w++ {
+			truth[k][w] = 1
+		}
+		mathx.Normalize(truth[k])
+	}
+	for d := 0; d < 20; d++ {
+		doc := &corpus.Document{Words: make([]int, 30), Topics: make([]int, 30)}
+		for i := range doc.Words {
+			k := r.Intn(2)
+			doc.Topics[i] = k
+			doc.Words[i] = r.Categorical(truth[k])
+		}
+		c.AddDocument(doc)
+	}
+	truthDists := TruthTopicDistributions(c, 2, V)
+	mapping := MatchTopicsGreedy(truthDists, truthDists)
+	res, err := ClassifyTokens(c, assignmentsFromTruth(c), mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() != 1 {
+		t.Fatalf("self-classification accuracy %v", res.Accuracy())
+	}
+}
+
+func assignmentsFromTruth(c *corpus.Corpus) [][]int {
+	out := make([][]int, len(c.Docs))
+	for d, doc := range c.Docs {
+		out[d] = append([]int(nil), doc.Topics...)
+	}
+	return out
+}

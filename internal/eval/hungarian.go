@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"math"
+
+	"sourcelda/internal/stats"
+)
+
+// Hungarian solves the rectangular min-cost assignment problem on cost
+// (rows ≤ cols required; pad with zero-cost dummy columns otherwise) and
+// returns, per row, the assigned column. It is the O(n³) potential-based
+// Kuhn–Munkres variant (Jonker-style shortest augmenting paths).
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	if m < n {
+		panic("eval: Hungarian requires rows ≤ cols")
+	}
+	// Potentials u (rows) and v (cols), and matching p: p[j] = row matched
+	// to column j (1-based internally, 0 = free).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)
+	way := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assignment := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	return assignment
+}
+
+// MatchTopicsOptimal maps each model topic to a distinct ground-truth
+// distribution minimizing the *total* JS divergence — the optimal
+// counterpart of MatchTopicsGreedy, solved with the Hungarian algorithm.
+// When len(phis) > len(truth), surplus topics are matched to padded dummy
+// targets and map to -1.
+func MatchTopicsOptimal(phis, truth [][]float64) []int {
+	n, m := len(phis), len(truth)
+	if n == 0 {
+		return nil
+	}
+	cols := m
+	if cols < n {
+		cols = n // pad with zero-cost dummies
+	}
+	cost := make([][]float64, n)
+	for t, p := range phis {
+		row := make([]float64, cols)
+		for g, q := range truth {
+			row[g] = stats.JSDivergence(p, q)
+		}
+		cost[t] = row
+	}
+	assign := Hungarian(cost)
+	for t, g := range assign {
+		if g >= m {
+			assign[t] = -1
+		}
+	}
+	return assign
+}
+
+// MatchingCost sums the JS divergence of a topic→truth mapping, skipping
+// unmatched (-1) entries.
+func MatchingCost(phis, truth [][]float64, mapping []int) float64 {
+	var total float64
+	for t, g := range mapping {
+		if g >= 0 && t < len(phis) && g < len(truth) {
+			total += stats.JSDivergence(phis[t], truth[g])
+		}
+	}
+	return total
+}

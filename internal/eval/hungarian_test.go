@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sourcelda/internal/rng"
+)
+
+func TestHungarianKnownMatrix(t *testing.T) {
+	// Classic example: optimal assignment is the anti-diagonal.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := Hungarian(cost)
+	var total float64
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total cost %v, want 5 (assignment %v)", total, assign)
+	}
+}
+
+func TestHungarianIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = r.Float64()
+			}
+		}
+		assign := Hungarian(cost)
+		seen := make([]bool, n)
+		for _, j := range assign {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHungarianBeatsBruteForceNever(t *testing.T) {
+	// Exhaustively verify optimality on random 4×4 matrices.
+	r := rng.New(17)
+	for trial := 0; trial < 50; trial++ {
+		const n = 4
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = r.Float64()
+			}
+		}
+		assign := Hungarian(cost)
+		var got float64
+		for i, j := range assign {
+			got += cost[i][j]
+		}
+		best := math.Inf(1)
+		perm := []int{0, 1, 2, 3}
+		permute(perm, 0, func(p []int) {
+			var c float64
+			for i, j := range p {
+				c += cost[i][j]
+			}
+			if c < best {
+				best = c
+			}
+		})
+		if got > best+1e-9 {
+			t.Fatalf("trial %d: Hungarian %v > brute force %v", trial, got, best)
+		}
+	}
+}
+
+func permute(p []int, k int, visit func([]int)) {
+	if k == len(p) {
+		visit(p)
+		return
+	}
+	for i := k; i < len(p); i++ {
+		p[k], p[i] = p[i], p[k]
+		permute(p, k+1, visit)
+		p[k], p[i] = p[i], p[k]
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// 2 rows, 4 columns: each row gets a distinct column.
+	cost := [][]float64{
+		{9, 9, 1, 9},
+		{9, 9, 0.5, 2},
+	}
+	assign := Hungarian(cost)
+	if assign[0] == assign[1] {
+		t.Fatal("columns not distinct")
+	}
+	total := cost[0][assign[0]] + cost[1][assign[1]]
+	if total != 3 { // row0→col2 (1) + row1→col3 (2)
+		t.Fatalf("total %v, want 3 (assignment %v)", total, assign)
+	}
+}
+
+func TestHungarianPanicsOnTooFewColumns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rows > cols")
+		}
+	}()
+	Hungarian([][]float64{{1}, {2}})
+}
+
+func TestMatchTopicsOptimalAtMostGreedy(t *testing.T) {
+	// Optimal matching can never cost more than greedy.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(5)
+		dim := 6
+		mk := func() [][]float64 {
+			out := make([][]float64, n)
+			for i := range out {
+				out[i] = make([]float64, dim)
+				r.DirichletSymmetric(0.5, out[i])
+			}
+			return out
+		}
+		phis, truth := mk(), mk()
+		greedy := MatchTopicsGreedy(phis, truth)
+		optimal := MatchTopicsOptimal(phis, truth)
+		return MatchingCost(phis, truth, optimal) <= MatchingCost(phis, truth, greedy)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchTopicsOptimalSurplus(t *testing.T) {
+	truth := [][]float64{{1, 0}}
+	phis := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	m := MatchTopicsOptimal(phis, truth)
+	matched, unmatched := 0, 0
+	for _, g := range m {
+		if g == -1 {
+			unmatched++
+		} else {
+			matched++
+		}
+	}
+	if matched != 1 || unmatched != 1 {
+		t.Fatalf("mapping %v, want one matched and one -1", m)
+	}
+	// The closer topic should win the single truth slot.
+	if m[0] != 0 {
+		t.Fatalf("mapping %v: nearest topic should take the slot", m)
+	}
+}
+
+func TestMatchTopicsOptimalEmpty(t *testing.T) {
+	if out := MatchTopicsOptimal(nil, nil); out != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

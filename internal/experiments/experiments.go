@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) on the synthetic substitutes documented in
+// DESIGN.md. Each experiment returns a Report containing the same rows or
+// series the paper presents, the paper's expected shape, and a pass/fail
+// shape check (who wins, by roughly what factor) — absolute numbers are not
+// expected to match the authors' testbed.
+//
+// Experiments run at two scales: the default scale is sized for a laptop
+// CPU (parameters recorded in each report and in EXPERIMENTS.md), and Quick
+// mode shrinks everything further for use inside the test suite.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Quick shrinks workloads for fast test runs.
+	Quick bool
+	// Seed drives all randomness; reports are deterministic per seed.
+	Seed int64
+	// Verbose adds per-step progress lines to reports.
+	Verbose bool
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID and Title identify the experiment ("fig8a", …).
+	ID, Title string
+	// PaperClaim summarizes the shape the paper reports for this artifact.
+	PaperClaim string
+	// Parameters records the workload parameters actually used.
+	Parameters string
+	// Lines holds the regenerated rows/series, formatted for display.
+	Lines []string
+	// Metrics holds machine-checkable outcomes.
+	Metrics map[string]float64
+	// ShapeOK reports whether the paper's qualitative shape held.
+	ShapeOK bool
+	// ShapeNotes explains each shape check.
+	ShapeNotes []string
+}
+
+func newReport(id, title, claim string) *Report {
+	return &Report{ID: id, Title: title, PaperClaim: claim, Metrics: map[string]float64{}, ShapeOK: true}
+}
+
+func (r *Report) addLine(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) metric(name string, v float64) {
+	r.Metrics[name] = v
+}
+
+// check records a named shape check; all checks must hold for ShapeOK.
+func (r *Report) check(ok bool, format string, args ...any) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+		r.ShapeOK = false
+	}
+	r.ShapeNotes = append(r.ShapeNotes, fmt.Sprintf("[%s] %s", status, fmt.Sprintf(format, args...)))
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the artifact id used by `cmd/experiments -run`.
+	ID string
+	// Title names the artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Report, error)
+}
+
+var registry = []Experiment{
+	{"case-study", "§I case-study labeling table", runCaseStudy},
+	{"fig2", "Fig. 2: JS divergence of Dirichlet draws per source topic", runFig2},
+	{"fig3", "Fig. 3: JS divergence vs λ (no smoothing)", runFig3},
+	{"fig4", "Fig. 4: JS divergence vs g(λ) (linear smoothing)", runFig4},
+	{"fig5", "Fig. 5: original and augmented pixel topics", runFig5},
+	{"fig6", "Fig. 6: pixel-topic recovery, log-likelihood and JS", runFig6},
+	{"fig7", "Fig. 7: fixed λ vs dynamic λ (classification and perplexity)", runFig7},
+	{"table1", "Table I: Reuters topics for SRC-LDA / IR-LDA / CTM", runTable1},
+	{"fig8a", "Fig. 8(a): correct assignments, mixed model", runFig8a},
+	{"fig8b", "Fig. 8(b): correct assignments, bijective model", runFig8b},
+	{"fig8c", "Fig. 8(c): PMI vs number of topics", runFig8c},
+	{"fig8d", "Fig. 8(d): JS divergence of θ, mixed model", runFig8d},
+	{"fig8e", "Fig. 8(e): JS divergence of θ, bijective model", runFig8e},
+	{"fig8f", "Fig. 8(f): average iteration time vs topics and threads", runFig8f},
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns all experiment ids in paper order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// memo caches expensive shared workloads (the fig8 family reuses the same
+// fitted models for accuracy and θ-divergence figures) within a process.
+var memo = struct {
+	sync.Mutex
+	m map[string]any
+}{m: map[string]any{}}
+
+func memoized[T any](key string, build func() (T, error)) (T, error) {
+	memo.Lock()
+	if v, ok := memo.m[key]; ok {
+		memo.Unlock()
+		return v.(T), nil
+	}
+	memo.Unlock()
+	v, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	memo.Lock()
+	memo.m[key] = v
+	memo.Unlock()
+	return v, nil
+}
+
+// sortedMetricNames lists metric keys deterministically for rendering.
+func sortedMetricNames(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

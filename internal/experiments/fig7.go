@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/eval"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/stats"
+	"sourcelda/internal/synth"
+)
+
+// runFig7 regenerates Fig. 7 (§IV-B): a corpus generated under the
+// bijective model with per-topic λ ~ N(0.5, 1.0) bounded to [0, 1] is fit
+// with a dynamic-λ baseline and with λ fixed at several values; the paper
+// shows the baseline's classification accuracy beating every fixed-λ run
+// even when perplexity suggests otherwise (classification and perplexity
+// are imperfectly correlated).
+//
+// Workload notes: topics share one word pool, so they are identified by
+// frequency profiles, not supports — the Wikipedia regime (knowledge
+// articles cover overlapping vocabulary); and articles are large relative
+// to per-topic corpus mass, so a fixed λ = 1 prior cannot adapt to the
+// topics whose λ was drawn low.
+func runFig7(cfg Config) (*Report, error) {
+	r := newReport("fig7", "Fig. 7: fixed λ vs dynamic λ (classification and perplexity)",
+		"the dynamic-λ (Gaussian prior) baseline achieves the best classification "+
+			"accuracy; fixed-λ runs trail it, and perplexity does not perfectly "+
+			"track classification (paper baseline: 25.7% / 1119.9)")
+	numTopics, numDocs, avgLen, iters := 16, 350, 70, 150
+	wordsPer, pool, articleTokens := 30, 55, 3000
+	fixed := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0}
+	if cfg.Quick {
+		numTopics, numDocs, avgLen, iters = 12, 200, 60, 100
+		wordsPer, pool = 30, 50
+		fixed = []float64{0.1, 0.5, 1.0}
+	}
+	r.Parameters = fmt.Sprintf(
+		"B=K=%d topics (bijective, shared %d-word pool, %d words each), D=%d, Davg=%d, articles=%d tokens, generation µ=0.5 σ=1.0 α=0.5, %d iterations, seed=%d (paper scale: 100 topics, 500 docs, Davg=100)",
+		numTopics, pool, wordsPer, numDocs, avgLen, articleTokens, iters, cfg.seed())
+
+	cats := synth.OverlappingCategories(numTopics, wordsPer, pool, cfg.seed()+7)
+	enc := synth.BuildEncyclopedia(cats, nil, synth.EncyclopediaOptions{
+		ArticleTokens:  articleTokens,
+		ExtraCoreWords: 0,
+		Seed:           cfg.seed() + 8,
+	})
+	live := identityLabels(numTopics)
+	gen, err := synth.Generate(enc.Source, enc.Vocab, synth.GenerativeOptions{
+		NumDocs:    numDocs,
+		AvgDocLen:  avgLen,
+		Alpha:      0.5,
+		Mu:         0.5,
+		Sigma:      1.0,
+		LiveTopics: live,
+		Seed:       cfg.seed() + 9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	train, test := gen.Corpus.Split(0.15, rng.New(cfg.seed()+10))
+
+	type row struct {
+		name       string
+		accuracy   float64
+		perplexity float64
+	}
+	fit := func(name string, opts core.Options) (row, error) {
+		opts.Alpha = 0.5
+		opts.Iterations = iters
+		opts.Seed = cfg.seed() + 77
+		m, err := core.Fit(train, enc.Source, opts)
+		if err != nil {
+			return row{}, err
+		}
+		defer m.Close()
+		// Bijective: model topic t is truth topic t.
+		res, err := eval.ClassifyTokens(train, m.Assignments(), identityLabels(m.NumTopics()))
+		if err != nil {
+			return row{}, err
+		}
+		ppx, err := m.HeldOutPerplexity(test, 30, 15, cfg.seed()+5)
+		if err != nil {
+			return row{}, err
+		}
+		return row{name, res.Accuracy(), ppx}, nil
+	}
+
+	// The corpus is generated with raw λ exponents (§IV-B's bijective
+	// protocol), so the integrated baseline also uses raw exponents; its
+	// per-topic λ posterior (the collapsed treatment of the latent λ_t)
+	// lets each topic settle on its own deviation level.
+	baseline, err := fit("dynamic λ (µ=0.5, σ=1.0)", core.Options{
+		LambdaMode:       core.LambdaIntegrated,
+		Mu:               0.5,
+		Sigma:            1.0,
+		QuadraturePoints: 9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []row{baseline}
+	for _, l := range fixed {
+		rw, err := fit(fmt.Sprintf("fixed λ=%.1f", l), core.Options{
+			LambdaMode: core.LambdaFixed,
+			Lambda:     l,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rw)
+	}
+
+	r.addLine("%-24s %14s %12s", "Run", "Classification", "Perplexity")
+	for _, rw := range rows {
+		r.addLine("%-24s %13.1f%% %12.1f", rw.name, rw.accuracy*100, rw.perplexity)
+	}
+	r.metric("baseline_accuracy", baseline.accuracy)
+	r.metric("baseline_perplexity", baseline.perplexity)
+
+	bestFixed, bestFixedName := -1.0, ""
+	for _, rw := range rows[1:] {
+		r.metric("accuracy_"+rw.name, rw.accuracy)
+		if rw.accuracy > bestFixed {
+			bestFixed, bestFixedName = rw.accuracy, rw.name
+		}
+	}
+	// The paper's headline: the baseline beats every fixed-λ run. Allow a
+	// small tolerance at reduced scale.
+	r.check(baseline.accuracy >= bestFixed*0.98,
+		"dynamic λ (%.1f%%) at or above the best fixed λ (%s, %.1f%%)",
+		baseline.accuracy*100, bestFixedName, bestFixed*100)
+
+	// Imperfect correlation: the accuracy ranking and perplexity ranking
+	// must not coincide perfectly across runs (Fig. 7's second message).
+	accs := make([]float64, len(rows))
+	ppxs := make([]float64, len(rows))
+	for i, rw := range rows {
+		accs[i] = rw.accuracy
+		ppxs[i] = -rw.perplexity // negate: lower perplexity = "better"
+	}
+	corr := stats.PearsonCorrelation(accs, ppxs)
+	r.metric("accuracy_perplexity_correlation", corr)
+	r.check(corr < 0.999, "classification not perfectly correlated with perplexity (r=%.3f)", corr)
+	return r, nil
+}

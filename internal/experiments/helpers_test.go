@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/core"
+)
+
+func TestTopTopicsByTokens(t *testing.T) {
+	res := &core.Result{
+		Phi:         [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}},
+		TokenCounts: []int{5, 50, 20},
+	}
+	top := topTopicsByTokens(res, 2)
+	if len(top) != 2 {
+		t.Fatalf("got %d rows", len(top))
+	}
+	// Heaviest first: topic 1, then topic 2.
+	if top[0][1] != 1 {
+		t.Fatalf("first row should be topic 1's φ, got %v", top[0])
+	}
+	if top[1][0] != 0.5 {
+		t.Fatalf("second row should be topic 2's φ, got %v", top[1])
+	}
+	// Over-length request clamps.
+	if got := topTopicsByTokens(res, 10); len(got) != 3 {
+		t.Fatalf("over-length request returned %d", len(got))
+	}
+}
+
+func TestIdentityLabels(t *testing.T) {
+	ids := identityLabels(4)
+	for i, v := range ids {
+		if v != i {
+			t.Fatalf("ids[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestGridEleven(t *testing.T) {
+	g := gridEleven()
+	if len(g) != 11 || g[0] != 0 || g[10] != 1 {
+		t.Fatalf("grid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if math.Abs(g[i]-g[i-1]-0.1) > 1e-12 {
+			t.Fatal("grid not uniform")
+		}
+	}
+}
+
+func TestIsNonIncreasing(t *testing.T) {
+	if !isNonIncreasing([]float64{3, 2, 1}, 0) {
+		t.Fatal("strictly decreasing rejected")
+	}
+	if !isNonIncreasing([]float64{3, 3.01, 1}, 0.02) {
+		t.Fatal("within-tolerance bump rejected")
+	}
+	if isNonIncreasing([]float64{1, 2}, 0.5) {
+		t.Fatal("large increase accepted")
+	}
+}
+
+func TestBoolToFloat(t *testing.T) {
+	if boolToFloat(true) != 1 || boolToFloat(false) != 0 {
+		t.Fatal("boolToFloat wrong")
+	}
+}
+
+func TestAbsOr1(t *testing.T) {
+	if absOr1(-3) != 3 || absOr1(0) != 1 || absOr1(2) != 2 {
+		t.Fatal("absOr1 wrong")
+	}
+}
+
+func TestReportCheckAggregation(t *testing.T) {
+	r := newReport("x", "t", "claim")
+	r.check(true, "first %d", 1)
+	if !r.ShapeOK {
+		t.Fatal("passing check flipped ShapeOK")
+	}
+	r.check(false, "second")
+	if r.ShapeOK {
+		t.Fatal("failing check did not flip ShapeOK")
+	}
+	if len(r.ShapeNotes) != 2 {
+		t.Fatalf("notes = %v", r.ShapeNotes)
+	}
+	if !strings.HasPrefix(r.ShapeNotes[0], "[PASS]") || !strings.HasPrefix(r.ShapeNotes[1], "[FAIL]") {
+		t.Fatalf("notes = %v", r.ShapeNotes)
+	}
+	r.metric("m", 2.5)
+	if r.Metrics["m"] != 2.5 {
+		t.Fatal("metric not recorded")
+	}
+	r.addLine("row %d", 7)
+	if r.Lines[len(r.Lines)-1] != "row 7" {
+		t.Fatal("addLine formatting wrong")
+	}
+}
+
+func TestMemoizedErrorsNotCached(t *testing.T) {
+	calls := 0
+	fail := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errTest
+		}
+		return 42, nil
+	}
+	if _, err := memoized("helper-test-key", fail); err == nil {
+		t.Fatal("first call should fail")
+	}
+	v, err := memoized("helper-test-key", fail)
+	if err != nil || v != 42 {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+	// Third call hits the cache.
+	v, err = memoized("helper-test-key", fail)
+	if err != nil || v != 42 || calls != 2 {
+		t.Fatalf("cache miss: v=%v calls=%d", v, calls)
+	}
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

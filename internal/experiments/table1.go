@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/ctm"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/labeling"
+	"sourcelda/internal/lda"
+	"sourcelda/internal/synth"
+	"sourcelda/internal/textproc"
+)
+
+// runTable1 regenerates Table I (§IV-C): the Reuters-like corpus is modeled
+// by Source-LDA, by LDA labeled post-hoc with the IR approach (IR-LDA), and
+// by CTM; the table shows each model's most probable words for shared
+// labeled topics, plus the paper's side statistics — how many labeled topics
+// each model discovered (paper: Source-LDA 15, CTM 6) and the label-mismatch
+// rate of top words (paper: SRC 36%, IR-LDA 77%, CTM 86%).
+func runTable1(cfg Config) (*Report, error) {
+	r := newReport("table1", "Table I: Reuters topics for SRC-LDA / IR-LDA / CTM",
+		"Source-LDA's word lists match their labels best; IR-LDA mixes concepts; "+
+			"CTM overweights unimportant words; Source-LDA discovers more labeled "+
+			"topics than CTM and mismatches less than IR-LDA")
+	numCats, liveCats, numDocs, avgLen, iters := 40, 20, 400, 70, 150
+	freeTopics := 10
+	if cfg.Quick {
+		numCats, liveCats, numDocs, avgLen, iters = 16, 8, 120, 40, 60
+		freeTopics = 4
+	}
+	r.Parameters = fmt.Sprintf(
+		"%d-category superset, %d live, D=%d, Davg=%d, α=50/T β=200/V µ=0.7 σ=0.3, %d iterations, seed=%d (paper scale: 80 categories, 49 live, 2000 docs)",
+		numCats, liveCats, numDocs, avgLen, iters, cfg.seed())
+
+	data, err := synth.ReutersLike(synth.ReutersOptions{
+		NumCategories:  numCats,
+		LiveCategories: liveCats,
+		NumDocs:        numDocs,
+		AvgDocLen:      avgLen,
+		UnknownTopics:  3,
+		Seed:           cfg.seed(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, src := data.Corpus, data.Source
+	T := freeTopics + src.Len()
+	V := c.VocabSize()
+	alpha := 50.0 / float64(T)
+	beta := 200.0 / float64(V)
+
+	// Source-LDA over the full superset plus free topics, with in-inference
+	// superset reduction (§III-C3) eliminating categories the corpus never
+	// uses.
+	srcModel, err := core.Fit(c, src, core.Options{
+		NumFreeTopics:    freeTopics,
+		Alpha:            alpha,
+		Beta:             beta,
+		LambdaMode:       core.LambdaIntegrated,
+		Mu:               0.7,
+		Sigma:            0.3,
+		QuadraturePoints: 7,
+		UseSmoothing:     true,
+		PruneDeadTopics:  true,
+		PruneAfter:       iters / 2,
+		PruneMinDocs:     numDocs / 10,
+		PruneMinTokens:   3,
+		Iterations:       iters,
+		Seed:             cfg.seed() + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srcModel.Close()
+	srcRes := srcModel.Result()
+
+	// IR-LDA: plain LDA labeled by the TF-IDF/cosine retrieval approach.
+	ldaModel, err := lda.Fit(c, lda.Options{
+		NumTopics:  liveCats + freeTopics,
+		Alpha:      50.0 / float64(liveCats+freeTopics),
+		Beta:       beta,
+		Iterations: iters,
+		Seed:       cfg.seed() + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	irLabeler := labeling.NewIRLabeler(src, V, 10)
+	ldaPhi := ldaModel.Phi()
+	ldaLabels := labeling.LabelAll(irLabeler, ldaPhi)
+
+	// CTM over the same superset.
+	ctmModel, err := ctm.Fit(c, src, ctm.Options{
+		NumFreeTopics: freeTopics,
+		Alpha:         alpha,
+		Beta:          beta,
+		Iterations:    iters,
+		Seed:          cfg.seed() + 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctmPhi := ctmModel.Phi()
+
+	// Showcase topics: prefer the paper's three Table I categories when
+	// live, else the first live curated categories.
+	want := []string{"Inventories", "Natural Gas", "Balance of Payments"}
+	liveSet := map[int]bool{}
+	for _, l := range data.Live {
+		liveSet[l] = true
+	}
+	var showcase []int
+	for _, label := range want {
+		if i, ok := src.IndexOf(label); ok && liveSet[i] {
+			showcase = append(showcase, i)
+		}
+	}
+	for _, l := range data.Live {
+		if len(showcase) >= 3 {
+			break
+		}
+		dup := false
+		for _, s := range showcase {
+			if s == l {
+				dup = true
+			}
+		}
+		if !dup {
+			showcase = append(showcase, l)
+		}
+	}
+
+	topWords := func(phi []float64, n int) string {
+		ids := textproc.TopWords(phi, n)
+		words := make([]string, len(ids))
+		for i, id := range ids {
+			words[i] = c.Vocab.Word(id)
+		}
+		return strings.Join(words, ", ")
+	}
+	for _, art := range showcase {
+		label := src.Label(art)
+		r.addLine("== %s ==", label)
+		r.addLine("  SRC-LDA: %s", topWords(srcRes.Phi[freeTopics+art], 10))
+		irTopic := -1
+		for t, a := range ldaLabels {
+			if a == art {
+				irTopic = t
+				break
+			}
+		}
+		if irTopic >= 0 {
+			r.addLine("  IR-LDA:  %s", topWords(ldaPhi[irTopic], 10))
+		} else {
+			r.addLine("  IR-LDA:  (no LDA topic mapped to this label)")
+		}
+		r.addLine("  CTM:     %s", topWords(ctmPhi[freeTopics+art], 10))
+	}
+
+	// Discovery under a document-frequency threshold (§III-C3). The paper
+	// reports raw counts (15 vs 6); at reduced scale the comparable
+	// statistic is discovery *quality*: how many of the passed-through
+	// labeled topics are genuinely live in the corpus, and how much of the
+	// live set is covered.
+	minDocs := numDocs / 10
+	if minDocs < 2 {
+		minDocs = 2
+	}
+	srcDiscovered := srcRes.DiscoveredSourceTopics(minDocs, 3)
+	ctmDiscovered := ctmModel.DiscoveredConcepts(minDocs, 3)
+	liveLabels := map[string]bool{}
+	for _, l := range data.Live {
+		liveLabels[src.Label(l)] = true
+	}
+	precision := func(found []string) float64 {
+		if len(found) == 0 {
+			return 0
+		}
+		hit := 0
+		for _, l := range found {
+			if liveLabels[l] {
+				hit++
+			}
+		}
+		return float64(hit) / float64(len(found))
+	}
+	srcPrec, ctmPrec := precision(srcDiscovered), precision(ctmDiscovered)
+	srcLive := int(srcPrec * float64(len(srcDiscovered)))
+	r.addLine("")
+	r.addLine("discovered labeled topics (≥%d docs): SRC=%d (%.0f%% live) CTM=%d (%.0f%% live); paper: 15 vs 6",
+		minDocs, len(srcDiscovered), srcPrec*100, len(ctmDiscovered), ctmPrec*100)
+	r.metric("src_discovered", float64(len(srcDiscovered)))
+	r.metric("ctm_discovered", float64(len(ctmDiscovered)))
+	r.metric("src_discovery_precision", srcPrec)
+	r.metric("ctm_discovery_precision", ctmPrec)
+	r.check(srcPrec >= ctmPrec,
+		"Source-LDA's discovered topics are at least as often genuinely live (%.2f ≥ %.2f)",
+		srcPrec, ctmPrec)
+	r.check(srcLive >= liveCats/2,
+		"Source-LDA discovers a majority of the %d live topics (%d)", liveCats, srcLive)
+
+	// Mismatch rate: fraction of a labeled topic's top-10 words that do not
+	// appear in the labeling article — the automatable proxy for the
+	// paper's human judgment of words "not appropriate for the label".
+	srcMismatch := mismatchRate(srcRes.Phi[freeTopics:], identityLabels(src.Len()), src, 10)
+	irMismatch := mismatchRate(ldaPhi, ldaLabels, src, 10)
+	r.addLine("top-word label mismatch: SRC=%.0f%% IR-LDA=%.0f%% (paper: 36%% vs 77%%)",
+		srcMismatch*100, irMismatch*100)
+	r.metric("src_mismatch", srcMismatch)
+	r.metric("ir_mismatch", irMismatch)
+	r.check(srcMismatch < irMismatch,
+		"Source-LDA's top words fit their labels better (%.2f < %.2f)", srcMismatch, irMismatch)
+	return r, nil
+}
+
+func identityLabels(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// mismatchRate averages, over topics with label assignments, the fraction
+// of top-n words missing from the labeling article.
+func mismatchRate(phis [][]float64, labels []int, src *knowledge.Source, n int) float64 {
+	var total float64
+	var topics int
+	for t, phi := range phis {
+		art := src.Article(labels[t])
+		ids := textproc.TopWords(phi, n)
+		missing := 0
+		counted := 0
+		for _, w := range ids {
+			if phi[w] <= 0 {
+				continue
+			}
+			counted++
+			if art.Counts[w] == 0 {
+				missing++
+			}
+		}
+		if counted > 0 {
+			total += float64(missing) / float64(counted)
+			topics++
+		}
+	}
+	if topics == 0 {
+		return 0
+	}
+	return total / float64(topics)
+}

@@ -1,0 +1,265 @@
+package knowledge
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sourcelda/internal/textproc"
+)
+
+func articleFixture() *Article {
+	// Words 0..2 present with counts 3, 2, 1; vocab size will be 5.
+	return NewArticle("fixture", []int{0, 0, 0, 1, 1, 2})
+}
+
+func TestNewArticleCounts(t *testing.T) {
+	a := articleFixture()
+	if a.TotalTokens != 6 {
+		t.Fatalf("total = %d", a.TotalTokens)
+	}
+	if a.Counts[0] != 3 || a.Counts[1] != 2 || a.Counts[2] != 1 {
+		t.Fatalf("counts = %v", a.Counts)
+	}
+}
+
+func TestDistributionDefinition2(t *testing.T) {
+	a := articleFixture()
+	d := a.Distribution(5)
+	if math.Abs(d[0]-0.5) > 1e-12 || math.Abs(d[1]-1.0/3) > 1e-12 {
+		t.Fatalf("distribution = %v", d)
+	}
+	if d[3] != 0 || d[4] != 0 {
+		t.Fatal("absent words must have zero probability")
+	}
+	var s float64
+	for _, x := range d {
+		s += x
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("sums to %v", s)
+	}
+}
+
+func TestDistributionEmptyArticleUniform(t *testing.T) {
+	a := NewArticle("empty", nil)
+	d := a.Distribution(4)
+	for _, x := range d {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Fatalf("empty article should be uniform, got %v", d)
+		}
+	}
+}
+
+func TestSmoothedDistributionPositive(t *testing.T) {
+	a := articleFixture()
+	d := a.SmoothedDistribution(5, 0.01)
+	var s float64
+	for _, x := range d {
+		if x <= 0 {
+			t.Fatal("smoothed distribution must be strictly positive")
+		}
+		s += x
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("sums to %v", s)
+	}
+	if d[0] <= d[3] {
+		t.Fatal("present word must outweigh absent word")
+	}
+}
+
+func TestHyperparamsDefinition3(t *testing.T) {
+	a := articleFixture()
+	h := a.Hyperparams(5, 0.01)
+	if got := h.Value(0); math.Abs(got-3.01) > 1e-12 {
+		t.Fatalf("X_0 = %v, want 3.01", got)
+	}
+	if got := h.Value(4); got != 0.01 {
+		t.Fatalf("absent X = %v, want ε", got)
+	}
+	wantSum := 3.01 + 2.01 + 1.01 + 0.01 + 0.01
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	if h.NumPresent() != 3 {
+		t.Fatalf("present = %d", h.NumPresent())
+	}
+	dense := h.Dense()
+	for w := 0; w < 5; w++ {
+		if dense[w] != h.Value(w) {
+			t.Fatalf("dense[%d] = %v != Value %v", w, dense[w], h.Value(w))
+		}
+	}
+}
+
+func TestHyperparamsDropsOutOfVocabCounts(t *testing.T) {
+	a := NewArticle("x", []int{0, 7}) // id 7 outside vocab of 5
+	h := a.Hyperparams(5, 0.01)
+	if h.NumPresent() != 1 {
+		t.Fatalf("present = %d, want 1", h.NumPresent())
+	}
+}
+
+func TestHyperparamsPanicsOnBadEpsilon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	articleFixture().Hyperparams(5, 0)
+}
+
+func TestPowEndpoints(t *testing.T) {
+	h := articleFixture().Hyperparams(5, 0.01)
+	// λ = 0: every entry becomes 1 (the paper: "as λ approaches 0 each
+	// hyperparameter will approach 1").
+	p0 := h.Pow(0)
+	for w := 0; w < 5; w++ {
+		if math.Abs(p0.Value(w)-1) > 1e-12 {
+			t.Fatalf("δ^0[%d] = %v, want 1", w, p0.Value(w))
+		}
+	}
+	if math.Abs(p0.Total-5) > 1e-12 {
+		t.Fatalf("total = %v, want V", p0.Total)
+	}
+	// λ = 1: identical to raw counts.
+	p1 := h.Pow(1)
+	for w := 0; w < 5; w++ {
+		if math.Abs(p1.Value(w)-h.Value(w)) > 1e-12 {
+			t.Fatalf("δ^1[%d] = %v, want %v", w, p1.Value(w), h.Value(w))
+		}
+	}
+}
+
+func TestPowTotalMatchesDense(t *testing.T) {
+	f := func(e float64) bool {
+		e = math.Abs(math.Mod(e, 1))
+		h := articleFixture().Hyperparams(5, 0.01)
+		p := h.Pow(e)
+		var s float64
+		for _, x := range p.Dense() {
+			s += x
+		}
+		return math.Abs(s-p.Total) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoweredDeltaIterators(t *testing.T) {
+	h := articleFixture().Hyperparams(5, 0.01)
+	p := h.Pow(0.5)
+	if p.NumPresent() != 3 {
+		t.Fatalf("present = %d", p.NumPresent())
+	}
+	seen := map[int]bool{}
+	p.ForEachPresent(func(w int, v float64) {
+		seen[w] = true
+		if math.Abs(v-p.Value(w)) > 1e-15 {
+			t.Fatalf("iterator value mismatch at %d", w)
+		}
+	})
+	if len(seen) != 3 {
+		t.Fatalf("iterated %d words", len(seen))
+	}
+	if got := len(p.PresentWords()); got != 3 {
+		t.Fatalf("PresentWords len = %d", got)
+	}
+}
+
+func TestSourceConstruction(t *testing.T) {
+	a := NewArticle("A", []int{0})
+	b := NewArticle("B", []int{1})
+	s, err := NewSource([]*Article{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Label(1) != "B" {
+		t.Fatalf("label = %q", s.Label(1))
+	}
+	if i, ok := s.IndexOf("A"); !ok || i != 0 {
+		t.Fatalf("IndexOf(A) = %d, %v", i, ok)
+	}
+	if _, ok := s.IndexOf("missing"); ok {
+		t.Fatal("missing label found")
+	}
+	labels := s.Labels()
+	if labels[0] != "A" || labels[1] != "B" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestSourceRejectsDuplicatesAndNil(t *testing.T) {
+	a := NewArticle("A", []int{0})
+	if _, err := NewSource([]*Article{a, NewArticle("A", []int{1})}); err == nil {
+		t.Fatal("duplicate labels accepted")
+	}
+	if _, err := NewSource([]*Article{a, nil}); err == nil {
+		t.Fatal("nil article accepted")
+	}
+}
+
+func TestSourceSubset(t *testing.T) {
+	s := MustNewSource([]*Article{
+		NewArticle("A", []int{0}),
+		NewArticle("B", []int{1}),
+		NewArticle("C", []int{2}),
+	})
+	sub := s.Subset([]int{2, 0})
+	if sub.Len() != 2 || sub.Label(0) != "C" || sub.Label(1) != "A" {
+		t.Fatalf("subset labels: %v", sub.Labels())
+	}
+}
+
+func TestSourceBulkDerivations(t *testing.T) {
+	s := MustNewSource([]*Article{articleFixture()})
+	hs := s.Hyperparams(5, 0.01)
+	if len(hs) != 1 || hs[0].NumPresent() != 3 {
+		t.Fatal("hyperparams derivation broken")
+	}
+	ds := s.Distributions(5)
+	if len(ds) != 1 || math.Abs(ds[0][0]-0.5) > 1e-12 {
+		t.Fatal("distributions derivation broken")
+	}
+	sm := s.SmoothedDistributions(5, 0.01)
+	if len(sm) != 1 || sm[0][4] <= 0 {
+		t.Fatal("smoothed distributions broken")
+	}
+}
+
+func TestWordSets(t *testing.T) {
+	s := MustNewSource([]*Article{articleFixture()})
+	all := s.WordSets(5, 0)
+	if len(all[0]) != 3 {
+		t.Fatalf("full set = %v", all[0])
+	}
+	top2 := s.WordSets(5, 2)
+	if len(top2[0]) != 2 {
+		t.Fatalf("top-2 set = %v", top2[0])
+	}
+	// Top-2 by frequency are words 0 (count 3) and 1 (count 2); sorted ids.
+	if top2[0][0] != 0 || top2[0][1] != 1 {
+		t.Fatalf("top-2 = %v, want [0 1]", top2[0])
+	}
+}
+
+func TestNewArticleFromText(t *testing.T) {
+	v := textproc.NewVocabulary()
+	v.Add("pencil")
+	// Non-growing: words outside the corpus vocabulary are dropped per
+	// Definition 3.
+	a := NewArticleFromText("School", "pencil pencil ruler", v, nil, false)
+	if a.TotalTokens != 2 {
+		t.Fatalf("tokens = %d, want 2 (ruler dropped)", a.TotalTokens)
+	}
+	// Growing: ruler interned.
+	b := NewArticleFromText("School2", "pencil ruler", v, nil, true)
+	if b.TotalTokens != 2 || v.Size() != 2 {
+		t.Fatalf("grow failed: tokens=%d vocab=%d", b.TotalTokens, v.Size())
+	}
+}

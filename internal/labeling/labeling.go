@@ -1,0 +1,328 @@
+// Package labeling implements the post-hoc topic-labeling techniques the
+// paper compares against in its introduction and Reuters experiment: the
+// four mapping techniques of the §I case study (Jensen–Shannon divergence,
+// TF-IDF/cosine similarity, word-overlap counting, and pointwise mutual
+// information), and the IR-LDA labeler of §IV-C built from TF-IDF vectors of
+// knowledge-source articles queried with each topic's top-10 words.
+//
+// Every labeler maps a fitted topic-word distribution φ_t to the index of
+// the best-matching knowledge-source article; labels are the article labels.
+package labeling
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/stats"
+	"sourcelda/internal/textproc"
+)
+
+// Labeler assigns a knowledge-source article index (and score) to a topic's
+// word distribution.
+type Labeler interface {
+	// Label returns the best article index for the topic-word distribution
+	// phi (dense over the corpus vocabulary) and a score where higher is
+	// better. Implementations must be deterministic.
+	Label(phi []float64) (article int, score float64)
+	// Name identifies the technique for reporting.
+	Name() string
+}
+
+// LabelAll applies a labeler to every topic and returns per-topic article
+// indices.
+func LabelAll(l Labeler, phis [][]float64) []int {
+	out := make([]int, len(phis))
+	for t, phi := range phis {
+		out[t], _ = l.Label(phi)
+	}
+	return out
+}
+
+// topSupportedWords returns the topic's top-n words restricted to positive
+// probability: querying with unsupported words would only add noise (and,
+// on small vocabularies, spurious overlap ties).
+func topSupportedWords(phi []float64, n int) []int {
+	words := textproc.TopWords(phi, n)
+	out := words[:0]
+	for _, w := range words {
+		if phi[w] > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// JSLabeler labels a topic with the article whose smoothed source
+// distribution minimizes Jensen–Shannon divergence to φ (the "JS Divergence"
+// row of the case-study table, and the technique the paper uses to map LDA
+// topics to Wikipedia topics in §IV-D).
+type JSLabeler struct {
+	dists  [][]float64
+	labels []string
+}
+
+// NewJSLabeler precomputes smoothed source distributions over a vocabulary
+// of size v.
+func NewJSLabeler(src *knowledge.Source, v int, epsilon float64) *JSLabeler {
+	if epsilon <= 0 {
+		epsilon = knowledge.DefaultEpsilon
+	}
+	return &JSLabeler{dists: src.SmoothedDistributions(v, epsilon), labels: src.Labels()}
+}
+
+// Name implements Labeler.
+func (l *JSLabeler) Name() string { return "js-divergence" }
+
+// Label implements Labeler. The score is the negated divergence so higher is
+// better.
+func (l *JSLabeler) Label(phi []float64) (int, float64) {
+	best, bestJS := 0, math.Inf(1)
+	for i, d := range l.dists {
+		js := stats.JSDivergence(phi, d)
+		if js < bestJS {
+			best, bestJS = i, js
+		}
+	}
+	return best, -bestJS
+}
+
+// Divergences returns the JS divergence of phi against every article.
+func (l *JSLabeler) Divergences(phi []float64) []float64 {
+	out := make([]float64, len(l.dists))
+	for i, d := range l.dists {
+		out[i] = stats.JSDivergence(phi, d)
+	}
+	return out
+}
+
+// IRLabeler is the paper's information-retrieval labeling approach (§IV-C):
+// knowledge-source articles become TF-IDF document vectors; a topic queries
+// with a TF-IDF-weighted vector of its top-N words; the label is the article
+// with the highest cosine similarity. LDA + IRLabeler is the paper's
+// "IR-LDA".
+type IRLabeler struct {
+	tfidf   *textproc.TFIDF
+	docVecs [][]float64
+	topN    int
+}
+
+// NewIRLabeler builds TF-IDF vectors from the knowledge source over a
+// vocabulary of size v; topN is the query size (the paper uses 10).
+func NewIRLabeler(src *knowledge.Source, v, topN int) *IRLabeler {
+	if topN <= 0 {
+		topN = 10
+	}
+	docs := make([][]int, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		art := src.Article(i)
+		var stream []int
+		for w, n := range art.Counts {
+			if w < 0 || w >= v {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				stream = append(stream, w)
+			}
+		}
+		docs[i] = stream
+	}
+	t := textproc.NewTFIDF(docs, v)
+	vecs := make([][]float64, len(docs))
+	for i, d := range docs {
+		vecs[i] = t.Vector(d)
+	}
+	return &IRLabeler{tfidf: t, docVecs: vecs, topN: topN}
+}
+
+// Name implements Labeler.
+func (l *IRLabeler) Name() string { return "tfidf-cosine" }
+
+// Label implements Labeler. The score is the cosine similarity.
+func (l *IRLabeler) Label(phi []float64) (int, float64) {
+	words := topSupportedWords(phi, l.topN)
+	weights := make([]float64, len(words))
+	for i, w := range words {
+		weights[i] = phi[w]
+	}
+	query := l.tfidf.WeightedQueryVector(words, weights)
+	best, bestSim := 0, math.Inf(-1)
+	for i, dv := range l.docVecs {
+		sim := stats.CosineSimilarity(query, dv)
+		if sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return best, bestSim
+}
+
+// CountLabeler labels a topic by counting how many of its top-N words occur
+// in each article (the case-study "Counting" technique); ties break toward
+// the article where the overlapping words have higher total counts.
+type CountLabeler struct {
+	articles []*knowledge.Article
+	topN     int
+}
+
+// NewCountLabeler builds a counting labeler with query size topN (default
+// 10).
+func NewCountLabeler(src *knowledge.Source, topN int) *CountLabeler {
+	if topN <= 0 {
+		topN = 10
+	}
+	return &CountLabeler{articles: src.Articles(), topN: topN}
+}
+
+// Name implements Labeler.
+func (l *CountLabeler) Name() string { return "counting" }
+
+// Label implements Labeler. The score is the overlap count plus a
+// tie-breaking fraction from the article frequencies.
+func (l *CountLabeler) Label(phi []float64) (int, float64) {
+	words := topSupportedWords(phi, l.topN)
+	best, bestScore := 0, math.Inf(-1)
+	for i, art := range l.articles {
+		var overlap int
+		var freq float64
+		for _, w := range words {
+			if n, ok := art.Counts[w]; ok && n > 0 {
+				overlap++
+				freq += float64(n)
+			}
+		}
+		score := float64(overlap)
+		if art.TotalTokens > 0 {
+			score += freq / float64(art.TotalTokens) * 0.5 // tie-break < 1
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, bestScore
+}
+
+// PMILabeler labels a topic with the article maximizing the average
+// pointwise mutual information between the topic's top-N words and the
+// article's top-N words, computed from co-occurrence statistics of a
+// reference corpus (the case-study "PMI" technique).
+type PMILabeler struct {
+	cc       *corpus.CooccurrenceCounter
+	artWords [][]int
+	topN     int
+}
+
+// NewPMILabeler builds a PMI labeler whose co-occurrence statistics come
+// from reference (typically the modeled corpus, whole-document windows).
+// Each article is represented by its topN most frequent in-vocabulary words.
+func NewPMILabeler(src *knowledge.Source, reference *corpus.Corpus, topN int) *PMILabeler {
+	if topN <= 0 {
+		topN = 10
+	}
+	v := reference.VocabSize()
+	artWords := make([][]int, src.Len())
+	for i := 0; i < src.Len(); i++ {
+		artWords[i] = topArticleWords(src.Article(i), v, topN)
+	}
+	return &PMILabeler{
+		cc:       corpus.NewCooccurrenceCounter(reference, 0),
+		artWords: artWords,
+		topN:     topN,
+	}
+}
+
+func topArticleWords(a *knowledge.Article, v, topN int) []int {
+	type wc struct{ w, n int }
+	items := make([]wc, 0, len(a.Counts))
+	for w, n := range a.Counts {
+		if w >= 0 && w < v {
+			items = append(items, wc{w, n})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].w < items[j].w
+	})
+	if len(items) > topN {
+		items = items[:topN]
+	}
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.w
+	}
+	return out
+}
+
+// Name implements Labeler.
+func (l *PMILabeler) Name() string { return "pmi" }
+
+// Label implements Labeler. The score is the mean pairwise PMI between the
+// topic's and the article's top words.
+func (l *PMILabeler) Label(phi []float64) (int, float64) {
+	words := topSupportedWords(phi, l.topN)
+	best, bestScore := 0, math.Inf(-1)
+	for i, aw := range l.artWords {
+		score := l.meanPMI(words, aw)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, bestScore
+}
+
+func (l *PMILabeler) meanPMI(a, b []int) float64 {
+	n := float64(l.cc.NumWindows())
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	var pairs int
+	for _, wa := range a {
+		ca := l.cc.WordCount(wa)
+		for _, wb := range b {
+			if wa == wb {
+				continue
+			}
+			cb := l.cc.WordCount(wb)
+			joint := l.cc.PairCount(wa, wb)
+			pairs++
+			if ca == 0 || cb == 0 || joint == 0 {
+				continue // PMI of an unseen pair contributes 0 (smoothed floor)
+			}
+			total += math.Log(float64(joint) * n / (float64(ca) * float64(cb)))
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs)
+}
+
+// Assignment pairs a topic with its chosen article and score.
+type Assignment struct {
+	Topic   int
+	Article int
+	Label   string
+	Score   float64
+}
+
+// Table runs several labelers over the same topics and returns technique →
+// per-topic assignments, the structure behind the §I case-study table.
+func Table(labelers []Labeler, phis [][]float64, src *knowledge.Source) (map[string][]Assignment, error) {
+	if len(labelers) == 0 {
+		return nil, errors.New("labeling: no labelers supplied")
+	}
+	out := make(map[string][]Assignment, len(labelers))
+	for _, l := range labelers {
+		rows := make([]Assignment, len(phis))
+		for t, phi := range phis {
+			a, s := l.Label(phi)
+			rows[t] = Assignment{Topic: t, Article: a, Label: src.Label(a), Score: s}
+		}
+		out[l.Name()] = rows
+	}
+	return out, nil
+}

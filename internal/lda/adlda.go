@@ -1,0 +1,241 @@
+package lda
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/rng"
+)
+
+// ADLDAOptions configures the approximate distributed sampler.
+type ADLDAOptions struct {
+	// NumTopics, Alpha, Beta, Iterations, Seed as in Options.
+	NumTopics  int
+	Alpha      float64
+	Beta       float64
+	Iterations int
+	Seed       int64
+	// Workers is the number of parallel document shards (the paper's P).
+	Workers int
+}
+
+// ADLDAModel is a fitted approximate-distributed LDA chain.
+type ADLDAModel struct {
+	opts ADLDAOptions
+	c    *corpus.Corpus
+
+	K, V, D int
+	nw      [][]int // global word-topic counts, synchronized per sweep
+	nd      [][]int
+	nwsum   []int
+	z       [][]int
+	shards  [][]int // document indices per worker
+
+	// IterationTimes holds per-sweep wall-clock durations.
+	IterationTimes []time.Duration
+}
+
+// FitADLDA runs AD-LDA (Newman et al., "Distributed inference for latent
+// Dirichlet allocation"): documents are sharded across workers, each worker
+// Gibbs-samples its shard against a stale copy of the global word-topic
+// counts, and the copies are merged after every sweep.
+//
+// This is the class of parallel LDA the paper's §III-C4 contrasts against:
+// it scales, but the per-sweep staleness makes it an *approximation* — with
+// more than one worker the chain is NOT equivalent to serial collapsed
+// Gibbs (unlike Algorithms 2 and 3, which parallelize within a token and
+// preserve exactness). The tests demonstrate both properties.
+func FitADLDA(c *corpus.Corpus, opts ADLDAOptions) (*ADLDAModel, error) {
+	if c == nil || c.NumDocs() == 0 {
+		return nil, errors.New("lda: empty corpus")
+	}
+	if opts.NumTopics <= 0 || opts.Alpha <= 0 || opts.Beta <= 0 {
+		return nil, errors.New("lda: NumTopics, Alpha and Beta must be positive")
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1000
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Workers > c.NumDocs() {
+		opts.Workers = c.NumDocs()
+	}
+	m := &ADLDAModel{
+		opts: opts,
+		c:    c,
+		K:    opts.NumTopics,
+		V:    c.VocabSize(),
+		D:    c.NumDocs(),
+	}
+	m.nw = make([][]int, m.V)
+	for w := range m.nw {
+		m.nw[w] = make([]int, m.K)
+	}
+	m.nd = make([][]int, m.D)
+	m.z = make([][]int, m.D)
+	for d := range m.nd {
+		m.nd[d] = make([]int, m.K)
+		m.z[d] = make([]int, len(c.Docs[d].Words))
+	}
+	m.nwsum = make([]int, m.K)
+
+	// Contiguous document shards.
+	m.shards = make([][]int, opts.Workers)
+	per := (m.D + opts.Workers - 1) / opts.Workers
+	for s := range m.shards {
+		lo := s * per
+		hi := lo + per
+		if hi > m.D {
+			hi = m.D
+		}
+		for d := lo; d < hi; d++ {
+			m.shards[s] = append(m.shards[s], d)
+		}
+	}
+
+	// Deterministic initialization with the global seed.
+	r := rng.New(opts.Seed)
+	for d, doc := range c.Docs {
+		for i, w := range doc.Words {
+			k := r.Intn(m.K)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			m.nd[d][k]++
+			m.nwsum[k]++
+		}
+	}
+
+	// Per-worker generators so shard sampling is deterministic regardless
+	// of scheduling.
+	workerRNG := make([]*rng.RNG, opts.Workers)
+	for s := range workerRNG {
+		workerRNG[s] = rng.New(opts.Seed + int64(s) + 1)
+	}
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		start := time.Now()
+		m.parallelSweep(workerRNG)
+		m.IterationTimes = append(m.IterationTimes, time.Since(start))
+	}
+	return m, nil
+}
+
+// parallelSweep runs one AD-LDA iteration: every worker samples its shard
+// against a private stale copy of (nw, nwsum); afterwards the global counts
+// are rebuilt from the updated assignments.
+func (m *ADLDAModel) parallelSweep(workerRNG []*rng.RNG) {
+	var wg sync.WaitGroup
+	for s, shard := range m.shards {
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, shard []int) {
+			defer wg.Done()
+			// Stale snapshot of the global state.
+			nw := make([][]int, m.V)
+			flat := make([]int, m.V*m.K)
+			for w := range nw {
+				nw[w] = flat[w*m.K : (w+1)*m.K]
+				copy(nw[w], m.nw[w])
+			}
+			nwsum := make([]int, m.K)
+			copy(nwsum, m.nwsum)
+
+			r := workerRNG[s]
+			probs := make([]float64, m.K)
+			alpha, beta := m.opts.Alpha, m.opts.Beta
+			vBeta := float64(m.V) * beta
+			for _, d := range shard {
+				nd := m.nd[d]
+				for i, w := range m.c.Docs[d].Words {
+					old := m.z[d][i]
+					nw[w][old]--
+					nd[old]--
+					nwsum[old]--
+					for k := 0; k < m.K; k++ {
+						probs[k] = (float64(nw[w][k]) + beta) / (float64(nwsum[k]) + vBeta) *
+							(float64(nd[k]) + alpha)
+					}
+					k := r.Categorical(probs)
+					m.z[d][i] = k
+					nw[w][k]++
+					nd[k]++
+					nwsum[k]++
+				}
+			}
+		}(s, shard)
+	}
+	wg.Wait()
+
+	// Merge: rebuild the global counts from the (now authoritative)
+	// assignments — equivalent to summing per-worker deltas.
+	for w := range m.nw {
+		for k := range m.nw[w] {
+			m.nw[w][k] = 0
+		}
+	}
+	for k := range m.nwsum {
+		m.nwsum[k] = 0
+	}
+	for d, doc := range m.c.Docs {
+		for i, w := range doc.Words {
+			k := m.z[d][i]
+			m.nw[w][k]++
+			m.nwsum[k]++
+		}
+	}
+}
+
+// Phi returns the topic-word distributions.
+func (m *ADLDAModel) Phi() [][]float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	phi := make([][]float64, m.K)
+	for k := range phi {
+		row := make([]float64, m.V)
+		den := float64(m.nwsum[k]) + vBeta
+		for w := 0; w < m.V; w++ {
+			row[w] = (float64(m.nw[w][k]) + beta) / den
+		}
+		phi[k] = row
+	}
+	return phi
+}
+
+// Theta returns the document-topic distributions.
+func (m *ADLDAModel) Theta() [][]float64 {
+	alpha := m.opts.Alpha
+	kAlpha := float64(m.K) * alpha
+	theta := make([][]float64, m.D)
+	for d := range theta {
+		row := make([]float64, m.K)
+		var nd int
+		for _, n := range m.nd[d] {
+			nd += n
+		}
+		den := float64(nd) + kAlpha
+		for k := 0; k < m.K; k++ {
+			row[k] = (float64(m.nd[d][k]) + alpha) / den
+		}
+		theta[d] = row
+	}
+	return theta
+}
+
+// Assignments returns live per-token assignments; do not mutate.
+func (m *ADLDAModel) Assignments() [][]int { return m.z }
+
+// LogLikelihood returns the collapsed joint log P(w|z) (same estimator as
+// the serial model).
+func (m *ADLDAModel) LogLikelihood() float64 {
+	ser := &Model{
+		opts: Options{NumTopics: m.K, Alpha: m.opts.Alpha, Beta: m.opts.Beta},
+		K:    m.K, V: m.V, D: m.D,
+		nw: m.nw, nwsum: m.nwsum,
+	}
+	return ser.LogLikelihood()
+}

@@ -1,0 +1,178 @@
+package lda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestADLDAValidation(t *testing.T) {
+	c := separableCorpus()
+	bad := []ADLDAOptions{
+		{NumTopics: 0, Alpha: 1, Beta: 0.1},
+		{NumTopics: 2, Alpha: 0, Beta: 0.1},
+		{NumTopics: 2, Alpha: 1, Beta: 0},
+	}
+	for i, o := range bad {
+		o.Iterations = 1
+		if _, err := FitADLDA(c, o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := FitADLDA(nil, ADLDAOptions{NumTopics: 2, Alpha: 1, Beta: 0.1}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+}
+
+func TestADLDASingleWorkerNormalization(t *testing.T) {
+	c := separableCorpus()
+	m, err := FitADLDA(c, ADLDAOptions{
+		NumTopics: 3, Alpha: 0.5, Beta: 0.1, Iterations: 20, Seed: 1, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, row := range m.Phi() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("φ[%d] sums to %v", k, s)
+		}
+	}
+	for d, row := range m.Theta() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("θ[%d] sums to %v", d, s)
+		}
+	}
+}
+
+func TestADLDACountsConsistent(t *testing.T) {
+	c := separableCorpus()
+	m, err := FitADLDA(c, ADLDAOptions{
+		NumTopics: 4, Alpha: 0.5, Beta: 0.1, Iterations: 8, Seed: 2, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]int, 4)
+	for d, doc := range c.Docs {
+		for i := range doc.Words {
+			totals[m.Assignments()[d][i]]++
+		}
+	}
+	for k, n := range m.nwsum {
+		if n != totals[k] {
+			t.Fatalf("merged nwsum[%d] = %d, rebuilt %d", k, n, totals[k])
+		}
+	}
+}
+
+func TestADLDAIsApproximate(t *testing.T) {
+	// The paper's §III-C4 point: document-sharded parallel LDA with stale
+	// counts is NOT equivalent to the serial chain, unlike the
+	// exactness-preserving Algorithms 2 and 3. With >1 worker the
+	// assignments must diverge from the 1-worker chain (different RNG
+	// streams and stale snapshots). Compare mid-burn-in — after full
+	// convergence on separable data every chain reaches the same fixed
+	// point, which is exactly why the approximation is acceptable in
+	// practice (see TestADLDAStillConverges).
+	c := separableCorpus()
+	base := ADLDAOptions{NumTopics: 2, Alpha: 0.5, Beta: 0.05, Iterations: 2, Seed: 3}
+	one := base
+	one.Workers = 1
+	m1, err := FitADLDA(c, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := base
+	four.Workers = 4
+	m4, err := FitADLDA(c, four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for d := range m1.Assignments() {
+		for i := range m1.Assignments()[d] {
+			if m1.Assignments()[d][i] != m4.Assignments()[d][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("4-worker AD-LDA reproduced the 1-worker chain exactly; staleness should diverge")
+	}
+}
+
+func TestADLDAStillConverges(t *testing.T) {
+	// Approximate ≠ broken: the sharded sampler must still separate the
+	// two disjoint-vocabulary topics.
+	c := separableCorpus()
+	m, err := FitADLDA(c, ADLDAOptions{
+		NumTopics: 2, Alpha: 0.5, Beta: 0.01, Iterations: 100, Seed: 7, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.Phi()
+	apple, _ := c.Vocab.ID("apple")
+	engine, _ := c.Vocab.ID("engine")
+	appleTopic := 0
+	if phi[1][apple] > phi[0][apple] {
+		appleTopic = 1
+	}
+	if phi[appleTopic][apple] < 0.2 {
+		t.Fatalf("apple mass %v", phi[appleTopic][apple])
+	}
+	if phi[appleTopic][engine] > 0.05 {
+		t.Fatalf("topic mixing: engine mass %v", phi[appleTopic][engine])
+	}
+	// Likelihood comparable to the serial fit on the same data.
+	serial, err := Fit(c, Options{NumTopics: 2, Alpha: 0.5, Beta: 0.01, Iterations: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad, s := m.LogLikelihood(), serial.LogLikelihood(); ad < s-math.Abs(s)*0.05 {
+		t.Fatalf("AD-LDA likelihood %v far below serial %v", ad, s)
+	}
+}
+
+func TestADLDADeterministicPerWorkerCount(t *testing.T) {
+	// Same seed and worker count → identical chains (scheduling must not
+	// leak into results).
+	c := separableCorpus()
+	opts := ADLDAOptions{NumTopics: 3, Alpha: 0.5, Beta: 0.1, Iterations: 6, Seed: 9, Workers: 3}
+	m1, err := FitADLDA(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := FitADLDA(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range m1.Assignments() {
+		for i := range m1.Assignments()[d] {
+			if m1.Assignments()[d][i] != m2.Assignments()[d][i] {
+				t.Fatal("same seed+workers produced different chains")
+			}
+		}
+	}
+}
+
+func TestADLDAMoreWorkersThanDocs(t *testing.T) {
+	c := separableCorpus()
+	m, err := FitADLDA(c, ADLDAOptions{
+		NumTopics: 2, Alpha: 0.5, Beta: 0.1, Iterations: 2, Seed: 1,
+		Workers: c.NumDocs() + 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.shards) != c.NumDocs() {
+		t.Fatalf("shards = %d, want clamped to %d", len(m.shards), c.NumDocs())
+	}
+}

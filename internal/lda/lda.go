@@ -1,0 +1,244 @@
+// Package lda implements the baseline Latent Dirichlet Allocation model with
+// the collapsed Gibbs sampler of Griffiths & Steyvers, the reference point
+// for every comparison in the paper (§II-B, §IV). The count-matrix layout and
+// estimation equations are shared conventions with the Source-LDA sampler in
+// internal/core:
+//
+//	P(z_i = j | z_-i, w) ∝ (n^wi_-i,j + β)/(n^·_-i,j + Vβ) · (n^di_-i,j + α)/(n^di_-i + Kα)
+//	φ_w,t = (n_w,t + β)/(n_t + Vβ)      θ_t,d = (n_d,t + α)/(n_d + Kα)
+package lda
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/rng"
+)
+
+// Options configures an LDA fit.
+type Options struct {
+	// NumTopics is K, the number of latent topics. Required.
+	NumTopics int
+	// Alpha is the symmetric document-topic Dirichlet prior. The paper's
+	// experiments use 50/T.
+	Alpha float64
+	// Beta is the symmetric topic-word Dirichlet prior. The paper's
+	// experiments use 200/V.
+	Beta float64
+	// Iterations is the number of full Gibbs sweeps. Default 1000 (the
+	// paper observes good convergence at 1000).
+	Iterations int
+	// Seed seeds the sampler.
+	Seed int64
+	// TraceLikelihood, when true, records the joint log-likelihood
+	// log P(w|z) after every sweep (the Fig. 6 trace).
+	TraceLikelihood bool
+	// OnIteration, when non-nil, is invoked after each sweep with the sweep
+	// index (0-based) and the model; it may inspect but must not mutate.
+	OnIteration func(iter int, m *Model)
+}
+
+func (o Options) validate(c *corpus.Corpus) error {
+	if o.NumTopics <= 0 {
+		return errors.New("lda: NumTopics must be positive")
+	}
+	if o.Alpha <= 0 || o.Beta <= 0 {
+		return errors.New("lda: Alpha and Beta must be positive")
+	}
+	if c.NumDocs() == 0 {
+		return errors.New("lda: empty corpus")
+	}
+	if c.VocabSize() == 0 {
+		return errors.New("lda: empty vocabulary")
+	}
+	return nil
+}
+
+// Model holds the collapsed-Gibbs state and the count matrices.
+type Model struct {
+	opts Options
+	c    *corpus.Corpus
+	r    *rng.RNG
+
+	K, V, D int
+
+	// nw[w][k]: tokens of word w assigned to topic k.
+	nw [][]int
+	// nd[d][k]: tokens of document d assigned to topic k.
+	nd [][]int
+	// nwsum[k]: total tokens assigned to topic k.
+	nwsum []int
+	// ndsum[d]: tokens in document d.
+	ndsum []int
+	// z[d][i]: topic of token i of document d.
+	z [][]int
+
+	probs []float64 // scratch for sampling
+
+	// LikelihoodTrace holds log P(w|z) per sweep when tracing is enabled.
+	LikelihoodTrace []float64
+	// IterationTimes holds the wall-clock duration of each sweep.
+	IterationTimes []time.Duration
+}
+
+// Fit runs collapsed Gibbs sampling on c and returns the fitted model.
+func Fit(c *corpus.Corpus, opts Options) (*Model, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1000
+	}
+	if err := opts.validate(c); err != nil {
+		return nil, err
+	}
+	m := newModel(c, opts)
+	m.initialize()
+	for iter := 0; iter < opts.Iterations; iter++ {
+		start := time.Now()
+		m.sweep()
+		m.IterationTimes = append(m.IterationTimes, time.Since(start))
+		if opts.TraceLikelihood {
+			m.LikelihoodTrace = append(m.LikelihoodTrace, m.LogLikelihood())
+		}
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, m)
+		}
+	}
+	return m, nil
+}
+
+func newModel(c *corpus.Corpus, opts Options) *Model {
+	m := &Model{
+		opts:  opts,
+		c:     c,
+		r:     rng.New(opts.Seed),
+		K:     opts.NumTopics,
+		V:     c.VocabSize(),
+		D:     c.NumDocs(),
+		probs: make([]float64, opts.NumTopics),
+	}
+	m.nw = make([][]int, m.V)
+	for w := range m.nw {
+		m.nw[w] = make([]int, m.K)
+	}
+	m.nd = make([][]int, m.D)
+	m.z = make([][]int, m.D)
+	for d := range m.nd {
+		m.nd[d] = make([]int, m.K)
+		m.z[d] = make([]int, len(c.Docs[d].Words))
+	}
+	m.nwsum = make([]int, m.K)
+	m.ndsum = make([]int, m.D)
+	return m
+}
+
+func (m *Model) initialize() {
+	for d, doc := range m.c.Docs {
+		for i, w := range doc.Words {
+			k := m.r.Intn(m.K)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			m.nd[d][k]++
+			m.nwsum[k]++
+			m.ndsum[d]++
+		}
+	}
+}
+
+func (m *Model) sweep() {
+	alpha, beta := m.opts.Alpha, m.opts.Beta
+	vBeta := float64(m.V) * beta
+	for d, doc := range m.c.Docs {
+		nd := m.nd[d]
+		for i, w := range doc.Words {
+			old := m.z[d][i]
+			m.nw[w][old]--
+			nd[old]--
+			m.nwsum[old]--
+			nww := m.nw[w]
+			for k := 0; k < m.K; k++ {
+				m.probs[k] = (float64(nww[k]) + beta) / (float64(m.nwsum[k]) + vBeta) *
+					(float64(nd[k]) + alpha)
+			}
+			k := m.r.Categorical(m.probs)
+			m.z[d][i] = k
+			m.nw[w][k]++
+			nd[k]++
+			m.nwsum[k]++
+		}
+	}
+}
+
+// Phi returns the topic-word distributions, φ[k][w] = (n_w,k + β)/(n_k + Vβ).
+func (m *Model) Phi() [][]float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	phi := make([][]float64, m.K)
+	for k := range phi {
+		row := make([]float64, m.V)
+		den := float64(m.nwsum[k]) + vBeta
+		for w := 0; w < m.V; w++ {
+			row[w] = (float64(m.nw[w][k]) + beta) / den
+		}
+		phi[k] = row
+	}
+	return phi
+}
+
+// Theta returns the document-topic distributions,
+// θ[d][k] = (n_d,k + α)/(n_d + Kα).
+func (m *Model) Theta() [][]float64 {
+	alpha := m.opts.Alpha
+	kAlpha := float64(m.K) * alpha
+	theta := make([][]float64, m.D)
+	for d := range theta {
+		row := make([]float64, m.K)
+		den := float64(m.ndsum[d]) + kAlpha
+		for k := 0; k < m.K; k++ {
+			row[k] = (float64(m.nd[d][k]) + alpha) / den
+		}
+		theta[d] = row
+	}
+	return theta
+}
+
+// Assignments returns the per-token topic assignments, indexed [doc][token].
+// The returned slices are the live sampler state; callers must not mutate.
+func (m *Model) Assignments() [][]int { return m.z }
+
+// NumTopics returns K.
+func (m *Model) NumTopics() int { return m.K }
+
+// LogLikelihood returns the collapsed joint log P(w|z) (Griffiths &
+// Steyvers): Σ_k [log Γ(Vβ) − V log Γ(β) + Σ_w log Γ(n_w,k + β) − log Γ(n_k + Vβ)].
+func (m *Model) LogLikelihood() float64 {
+	beta := m.opts.Beta
+	vBeta := float64(m.V) * beta
+	lgBeta, _ := math.Lgamma(beta)
+	lgVBeta, _ := math.Lgamma(vBeta)
+	var ll float64
+	for k := 0; k < m.K; k++ {
+		ll += lgVBeta - float64(m.V)*lgBeta
+		for w := 0; w < m.V; w++ {
+			if m.nw[w][k] > 0 {
+				lg, _ := math.Lgamma(float64(m.nw[w][k]) + beta)
+				ll += lg - lgBeta
+			}
+		}
+		lg, _ := math.Lgamma(float64(m.nwsum[k]) + vBeta)
+		ll -= lg - lgVBeta
+	}
+	return ll
+}
+
+// WordTopicCounts returns the n_w,k matrix. Live state; do not mutate.
+func (m *Model) WordTopicCounts() [][]int { return m.nw }
+
+// TopicTotals returns the n_k vector. Live state; do not mutate.
+func (m *Model) TopicTotals() []int { return m.nwsum }
+
+// String summarizes the fit.
+func (m *Model) String() string {
+	return fmt.Sprintf("lda.Model{K=%d V=%d D=%d iters=%d}", m.K, m.V, m.D, len(m.IterationTimes))
+}

@@ -1,0 +1,247 @@
+package lda
+
+import (
+	"math"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/rng"
+)
+
+// separableCorpus builds a corpus with two disjoint vocabularies so any
+// reasonable 2-topic model separates them.
+func separableCorpus() *corpus.Corpus {
+	c := corpus.New()
+	for i := 0; i < 30; i++ {
+		c.AddText("a", "apple banana cherry apple banana cherry apple banana", nil)
+		c.AddText("b", "engine wheel brake engine wheel brake engine wheel", nil)
+	}
+	return c
+}
+
+func TestFitValidation(t *testing.T) {
+	c := separableCorpus()
+	cases := []Options{
+		{NumTopics: 0, Alpha: 1, Beta: 0.1},
+		{NumTopics: 2, Alpha: 0, Beta: 0.1},
+		{NumTopics: 2, Alpha: 1, Beta: 0},
+	}
+	for i, o := range cases {
+		o.Iterations = 1
+		if _, err := Fit(c, o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := Fit(corpus.New(), Options{NumTopics: 2, Alpha: 1, Beta: 0.1, Iterations: 1}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestPhiThetaNormalized(t *testing.T) {
+	c := separableCorpus()
+	m, err := Fit(c, Options{NumTopics: 3, Alpha: 0.5, Beta: 0.1, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, row := range m.Phi() {
+		var s float64
+		for _, p := range row {
+			if p < 0 {
+				t.Fatalf("negative φ[%d]", k)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("φ[%d] sums to %v", k, s)
+		}
+	}
+	for d, row := range m.Theta() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("θ[%d] sums to %v", d, s)
+		}
+	}
+}
+
+func TestSeparatesDisjointTopics(t *testing.T) {
+	c := separableCorpus()
+	m, err := Fit(c, Options{NumTopics: 2, Alpha: 0.5, Beta: 0.01, Iterations: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.Phi()
+	apple, _ := c.Vocab.ID("apple")
+	engine, _ := c.Vocab.ID("engine")
+	// Whichever topic likes apple must dislike engine and vice versa.
+	appleTopic := 0
+	if phi[1][apple] > phi[0][apple] {
+		appleTopic = 1
+	}
+	other := 1 - appleTopic
+	if phi[appleTopic][apple] < 0.2 {
+		t.Fatalf("apple topic gives apple only %v", phi[appleTopic][apple])
+	}
+	if phi[appleTopic][engine] > 0.05 {
+		t.Fatalf("apple topic leaks engine: %v", phi[appleTopic][engine])
+	}
+	if phi[other][engine] < 0.2 {
+		t.Fatalf("engine topic gives engine only %v", phi[other][engine])
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	c := separableCorpus()
+	opts := Options{NumTopics: 2, Alpha: 0.5, Beta: 0.1, Iterations: 10, Seed: 42}
+	m1, err := Fit(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, z2 := m1.Assignments(), m2.Assignments()
+	for d := range z1 {
+		for i := range z1[d] {
+			if z1[d][i] != z2[d][i] {
+				t.Fatal("same seed produced different chains")
+			}
+		}
+	}
+}
+
+func TestLikelihoodImproves(t *testing.T) {
+	c := separableCorpus()
+	m, err := Fit(c, Options{NumTopics: 2, Alpha: 0.5, Beta: 0.01, Iterations: 60, Seed: 3, TraceLikelihood: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := m.LikelihoodTrace
+	if len(trace) != 60 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if trace[len(trace)-1] <= trace[0] {
+		t.Fatalf("likelihood did not improve: %v → %v", trace[0], trace[len(trace)-1])
+	}
+}
+
+func TestCountsConsistentAfterSampling(t *testing.T) {
+	c := separableCorpus()
+	m, err := Fit(c, Options{NumTopics: 4, Alpha: 0.5, Beta: 0.1, Iterations: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild counts from assignments and compare against the matrices.
+	nw := make(map[[2]int]int)
+	totals := make([]int, 4)
+	for d, doc := range c.Docs {
+		for i, w := range doc.Words {
+			k := m.Assignments()[d][i]
+			nw[[2]int{w, k}]++
+			totals[k]++
+		}
+	}
+	for w := 0; w < c.VocabSize(); w++ {
+		for k := 0; k < 4; k++ {
+			if got := m.WordTopicCounts()[w][k]; got != nw[[2]int{w, k}] {
+				t.Fatalf("nw[%d][%d] = %d, rebuilt %d", w, k, got, nw[[2]int{w, k}])
+			}
+		}
+	}
+	for k, tot := range m.TopicTotals() {
+		if tot != totals[k] {
+			t.Fatalf("topic %d total %d, rebuilt %d", k, tot, totals[k])
+		}
+	}
+}
+
+func TestOnIterationCallback(t *testing.T) {
+	c := separableCorpus()
+	var calls int
+	_, err := Fit(c, Options{
+		NumTopics: 2, Alpha: 0.5, Beta: 0.1, Iterations: 7, Seed: 1,
+		OnIteration: func(iter int, m *Model) {
+			if iter != calls {
+				t.Fatalf("iteration %d delivered out of order (want %d)", iter, calls)
+			}
+			calls++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 7 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+}
+
+func TestThetaReflectsDocumentContent(t *testing.T) {
+	c := separableCorpus()
+	m, err := Fit(c, Options{NumTopics: 2, Alpha: 0.1, Beta: 0.01, Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.Theta()
+	phi := m.Phi()
+	apple, _ := c.Vocab.ID("apple")
+	appleTopic := 0
+	if phi[1][apple] > phi[0][apple] {
+		appleTopic = 1
+	}
+	// Document 0 is all fruit; its mixture should lean to the apple topic.
+	if theta[0][appleTopic] < 0.8 {
+		t.Fatalf("fruit document mixture %v, want ≥ 0.8 on fruit topic", theta[0][appleTopic])
+	}
+}
+
+func TestGeneratedCorpusRecovery(t *testing.T) {
+	// Generate from a known 3-topic model and verify LDA recovers topics
+	// with low JS divergence to the truth.
+	r := rng.New(9)
+	V := 30
+	truth := make([][]float64, 3)
+	for k := range truth {
+		truth[k] = make([]float64, V)
+		for w := k * 10; w < (k+1)*10; w++ {
+			truth[k][w] = 0.1
+		}
+	}
+	c := corpus.New()
+	for w := 0; w < V; w++ {
+		c.Vocab.Add(string(rune('a'+w%26)) + string(rune('0'+w/26)))
+	}
+	theta := make([]float64, 3)
+	for d := 0; d < 120; d++ {
+		r.DirichletSymmetric(0.3, theta)
+		doc := &corpus.Document{Words: make([]int, 40)}
+		for i := range doc.Words {
+			doc.Words[i] = r.Categorical(truth[r.Categorical(theta)])
+		}
+		c.AddDocument(doc)
+	}
+	m, err := Fit(c, Options{NumTopics: 3, Alpha: 0.3, Beta: 0.05, Iterations: 150, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := m.Phi()
+	// Each truth topic should have a learned topic concentrated on its
+	// 10-word block.
+	for k := range truth {
+		bestMass := 0.0
+		for _, learned := range phi {
+			var mass float64
+			for w := k * 10; w < (k+1)*10; w++ {
+				mass += learned[w]
+			}
+			if mass > bestMass {
+				bestMass = mass
+			}
+		}
+		if bestMass < 0.85 {
+			t.Fatalf("truth topic %d best recovered mass %v, want ≥ 0.85", k, bestMass)
+		}
+	}
+}

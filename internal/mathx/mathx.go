@@ -1,0 +1,273 @@
+// Package mathx provides small numeric helpers shared by the samplers and
+// evaluation code: stable log-domain reductions, normalization, interpolation
+// and prefix sums. All functions are allocation-free unless documented
+// otherwise.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by reductions that require at least one element.
+var ErrEmpty = errors.New("mathx: empty input")
+
+// LogSumExp returns log(sum(exp(x_i))) computed stably. It returns -Inf for
+// an empty slice.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	max := xs[0]
+	for _, x := range xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Sum returns the arithmetic sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales xs in place so it sums to one and returns the original
+// sum. If the sum is zero or not finite the slice is set to the uniform
+// distribution.
+func Normalize(xs []float64) float64 {
+	s := Sum(xs)
+	if s <= 0 || math.IsInf(s, 0) || math.IsNaN(s) {
+		u := 1.0 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return s
+	}
+	inv := 1.0 / s
+	for i := range xs {
+		xs[i] *= inv
+	}
+	return s
+}
+
+// Normalized returns a fresh normalized copy of xs.
+func Normalized(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	Normalize(out)
+	return out
+}
+
+// PrefixSums overwrites xs with its inclusive prefix sums and returns the
+// total.
+func PrefixSums(xs []float64) float64 {
+	var run float64
+	for i, x := range xs {
+		run += x
+		xs[i] = run
+	}
+	return run
+}
+
+// SearchCumulative returns the smallest index i such that target < cum[i],
+// where cum holds inclusive prefix sums. It is the sampling primitive used by
+// the categorical samplers: draw u ~ U(0, total) and binary-search for the
+// bucket.
+func SearchCumulative(cum []float64, target float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if target < cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Lerp linearly interpolates between a and b with parameter t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// InterpolateMonotone evaluates, at x, the piecewise-linear function through
+// the points (xs[i], ys[i]). xs must be strictly increasing. Values of x
+// outside the range clamp to the endpoints.
+func InterpolateMonotone(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := xs[hi] - xs[lo]
+	if span <= 0 {
+		return ys[lo]
+	}
+	t := (x - xs[lo]) / span
+	return Lerp(ys[lo], ys[hi], t)
+}
+
+// InvertMonotone evaluates the inverse of the piecewise-linear function
+// through (xs[i], ys[i]) at the ordinate y. ys must be monotone
+// (non-decreasing or non-increasing); values outside the range clamp.
+func InvertMonotone(xs, ys []float64, y float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	increasing := ys[n-1] >= ys[0]
+	lo, hi := 0, n-1
+	clampLo, clampHi := ys[0], ys[n-1]
+	if !increasing {
+		clampLo, clampHi = clampHi, clampLo
+	}
+	if y <= clampLo {
+		if increasing {
+			return xs[0]
+		}
+		return xs[n-1]
+	}
+	if y >= clampHi {
+		if increasing {
+			return xs[n-1]
+		}
+		return xs[0]
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		v := ys[mid]
+		if (increasing && v <= y) || (!increasing && v >= y) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := ys[hi] - ys[lo]
+	if span == 0 {
+		return xs[lo]
+	}
+	t := (y - ys[lo]) / span
+	return Lerp(xs[lo], xs[hi], t)
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// AlmostEqual reports whether a and b differ by at most tol in absolute
+// value, treating NaN as never equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// RelativeError returns |a-b| / max(|a|, |b|, 1).
+func RelativeError(a, b float64) float64 {
+	d := math.Abs(a - b)
+	den := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return d / den
+}
+
+// MaxIndex returns the index of the largest element, or an error for empty
+// input. Ties resolve to the lowest index.
+func MaxIndex(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// MinIndex returns the index of the smallest element, or an error for empty
+// input. Ties resolve to the lowest index.
+func MinIndex(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// LogGamma is math.Lgamma restricted to positive arguments, where the sign is
+// always +1.
+func LogGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// LogDirichletNormalizer returns log B(alpha)^-1 = log Γ(Σα) − Σ log Γ(α),
+// the log normalizing constant of a Dirichlet with parameter vector alpha.
+func LogDirichletNormalizer(alpha []float64) float64 {
+	var sum, lg float64
+	for _, a := range alpha {
+		sum += a
+		lg += LogGamma(a)
+	}
+	return LogGamma(sum) - lg
+}

@@ -1,0 +1,238 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSumExpEmpty(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+}
+
+func TestLogSumExpSingle(t *testing.T) {
+	if got := LogSumExp([]float64{3.5}); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("LogSumExp([3.5]) = %v, want 3.5", got)
+	}
+}
+
+func TestLogSumExpKnown(t *testing.T) {
+	// log(e^0 + e^0) = log 2.
+	if got := LogSumExp([]float64{0, 0}); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("got %v, want ln2", got)
+	}
+}
+
+func TestLogSumExpLargeValues(t *testing.T) {
+	// Naive computation overflows; the stable version must not.
+	got := LogSumExp([]float64{1000, 1000})
+	want := 1000 + math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpAllNegInf(t *testing.T) {
+	if got := LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Fatalf("got %v, want -Inf", got)
+	}
+}
+
+func TestLogSumExpPropertyDominatesMax(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		c = math.Mod(c, 50)
+		xs := []float64{a, b, c}
+		lse := LogSumExp(xs)
+		max := math.Max(a, math.Max(b, c))
+		return lse >= max-1e-12 && lse <= max+math.Log(3)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	total := Normalize(xs)
+	if total != 10 {
+		t.Fatalf("returned sum %v, want 10", total)
+	}
+	if s := Sum(xs); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("normalized sum %v, want 1", s)
+	}
+	if math.Abs(xs[3]-0.4) > 1e-12 {
+		t.Fatalf("xs[3] = %v, want 0.4", xs[3])
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	xs := []float64{0, 0, 0}
+	Normalize(xs)
+	for i, x := range xs {
+		if math.Abs(x-1.0/3) > 1e-12 {
+			t.Fatalf("xs[%d] = %v, want uniform 1/3", i, x)
+		}
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	total := PrefixSums(xs)
+	if total != 6 {
+		t.Fatalf("total %v, want 6", total)
+	}
+	want := []float64{1, 3, 6}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestSearchCumulative(t *testing.T) {
+	cum := []float64{1, 3, 6}
+	cases := []struct {
+		target float64
+		want   int
+	}{
+		{0, 0}, {0.99, 0}, {1, 1}, {2.5, 1}, {3, 2}, {5.9, 2},
+	}
+	for _, c := range cases {
+		if got := SearchCumulative(cum, c.target); got != c.want {
+			t.Errorf("SearchCumulative(%v) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestSearchCumulativeProperty(t *testing.T) {
+	cum := []float64{0.5, 0.5, 2, 2.25, 9}
+	f := func(u float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		target := u * cum[len(cum)-1]
+		i := SearchCumulative(cum, target)
+		if i < 0 || i >= len(cum) {
+			return false
+		}
+		// Invariant: target < cum[i] and (i == 0 or target >= cum[i-1]).
+		if target >= cum[i] {
+			return false
+		}
+		return i == 0 || target >= cum[i-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpolateMonotone(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 40}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 25}, {2, 40}, {3, 40},
+	}
+	for _, c := range cases {
+		if got := InterpolateMonotone(xs, ys, c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Interpolate(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestInvertMonotoneIncreasing(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 40}
+	for _, y := range []float64{0, 5, 10, 25, 40} {
+		x := InvertMonotone(xs, ys, y)
+		back := InterpolateMonotone(xs, ys, x)
+		if math.Abs(back-y) > 1e-9 {
+			t.Errorf("round trip of y=%v gave %v", y, back)
+		}
+	}
+}
+
+func TestInvertMonotoneDecreasing(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	ys := []float64{0.6, 0.3, 0.1} // decreasing, like a JS-vs-λ curve
+	for _, y := range []float64{0.6, 0.45, 0.3, 0.2, 0.1} {
+		x := InvertMonotone(xs, ys, y)
+		back := InterpolateMonotone(xs, ys, x)
+		if math.Abs(back-y) > 1e-9 {
+			t.Errorf("round trip of y=%v gave x=%v back=%v", y, x, back)
+		}
+	}
+}
+
+func TestInvertMonotoneClamps(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{2, 4}
+	if got := InvertMonotone(xs, ys, 1); got != 0 {
+		t.Fatalf("below-range inversion = %v, want 0", got)
+	}
+	if got := InvertMonotone(xs, ys, 5); got != 1 {
+		t.Fatalf("above-range inversion = %v, want 1", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 1) != 0 || Clamp(2, 0, 1) != 1 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestMaxMinIndex(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if i, err := MaxIndex(xs); err != nil || i != 4 {
+		t.Fatalf("MaxIndex = %d, %v", i, err)
+	}
+	if i, err := MinIndex(xs); err != nil || i != 1 {
+		t.Fatalf("MinIndex = %d, %v", i, err)
+	}
+	if _, err := MaxIndex(nil); err != ErrEmpty {
+		t.Fatalf("MaxIndex(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := MinIndex(nil); err != ErrEmpty {
+		t.Fatalf("MinIndex(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-input moments should be 0")
+	}
+}
+
+func TestLogDirichletNormalizer(t *testing.T) {
+	// For alpha = (1,1): B = Γ(1)Γ(1)/Γ(2) = 1 → log normalizer 0.
+	if got := LogDirichletNormalizer([]float64{1, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("got %v, want 0", got)
+	}
+	// For alpha = (2,2): log Γ(4) − 2 log Γ(2) = log 6.
+	if got := LogDirichletNormalizer([]float64{2, 2}); math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Fatalf("got %v, want ln6", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(1, 1) != 0 {
+		t.Fatal("identical values should have zero relative error")
+	}
+	if got := RelativeError(100, 110); math.Abs(got-10.0/110) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAlmostEqualNaN(t *testing.T) {
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Fatal("NaN must never compare equal")
+	}
+}

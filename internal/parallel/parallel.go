@@ -1,0 +1,285 @@
+// Package parallel implements the paper's two exactness-preserving parallel
+// sampling procedures (§III-C4): Algorithm 2, prefix-sum (Blelloch scan)
+// sampling, and Algorithm 3, simple chunked parallel sampling. Both compute
+// the unnormalized topic probabilities in parallel, form cumulative sums, and
+// select the sampled topic with a binary search over the cumulative vector —
+// so given the same uniform draw they return the same topic the serial
+// sampler would (up to floating-point summation order), without the
+// approximation error of asynchronous parallel LDA schemes.
+package parallel
+
+import (
+	"math"
+	"sync"
+
+	"sourcelda/internal/mathx"
+)
+
+// Pool is a reusable fixed-size worker pool supporting barrier-style
+// parallel-for regions. A Pool with one worker executes regions inline.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	closed  bool
+	mu      sync.Mutex
+}
+
+// NewPool starts a pool with the given number of workers (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan func(), workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for fn := range p.tasks {
+					fn()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the worker goroutines. The pool must not be used after
+// Close. Closing a single-worker pool is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tasks != nil && !p.closed {
+		close(p.tasks)
+		p.closed = true
+	}
+}
+
+// Run splits [0, n) into one contiguous chunk per worker and executes fn on
+// each chunk concurrently, returning when every chunk completes (a barrier).
+func (p *Pool) Run(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		lo, hi := lo, hi
+		p.tasks <- func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+	}
+	wg.Wait()
+}
+
+// TopicSampler selects a topic index given a per-topic probability evaluator
+// and a uniform variate u in [0, 1). Implementations differ only in how the
+// probability vector is computed and scanned.
+type TopicSampler interface {
+	// Sample evaluates compute(t) for t in [0, T), forms cumulative sums,
+	// and returns the index selected by u·total via binary search.
+	Sample(T int, compute func(t int) float64, u float64) int
+	// Name identifies the algorithm for reporting.
+	Name() string
+}
+
+// Serial is the baseline sequential sampler (Algorithm 1's SAMPLE inner
+// loop).
+type Serial struct {
+	buf []float64
+}
+
+// NewSerial returns a serial sampler.
+func NewSerial() *Serial { return &Serial{} }
+
+// Name implements TopicSampler.
+func (s *Serial) Name() string { return "serial" }
+
+// Sample implements TopicSampler.
+func (s *Serial) Sample(T int, compute func(t int) float64, u float64) int {
+	s.buf = resize(s.buf, T)
+	var run float64
+	for t := 0; t < T; t++ {
+		run += compute(t)
+		s.buf[t] = run
+	}
+	return searchTarget(s.buf[:T], u)
+}
+
+// SimpleParallel implements Algorithm 3: each worker computes and locally
+// scans a contiguous chunk, chunk totals are combined sequentially at the
+// barrier, and a second parallel pass adds each chunk's offset.
+type SimpleParallel struct {
+	pool *Pool
+	buf  []float64
+	ends []float64
+}
+
+// NewSimpleParallel returns an Algorithm 3 sampler backed by pool.
+func NewSimpleParallel(pool *Pool) *SimpleParallel {
+	return &SimpleParallel{pool: pool, ends: make([]float64, pool.Workers())}
+}
+
+// Name implements TopicSampler.
+func (s *SimpleParallel) Name() string { return "simple-parallel" }
+
+// Sample implements TopicSampler.
+func (s *SimpleParallel) Sample(T int, compute func(t int) float64, u float64) int {
+	s.buf = resize(s.buf, T)
+	buf := s.buf[:T]
+	workers := s.pool.Workers()
+	chunks := workers
+	if chunks > T {
+		chunks = T
+	}
+	size := (T + chunks - 1) / chunks
+	nChunks := (T + size - 1) / size
+	if cap(s.ends) < nChunks {
+		s.ends = make([]float64, nChunks)
+	}
+	ends := s.ends[:nChunks]
+
+	// Phase 1 (parallel): evaluate and locally scan each chunk.
+	s.pool.Run(T, func(lo, hi int) {
+		var run float64
+		for t := lo; t < hi; t++ {
+			run += compute(t)
+			buf[t] = run
+		}
+		ends[lo/size] = run
+	})
+	// Phase 2 (sequential): combine chunk end values into offsets.
+	var offset float64
+	for c := 0; c < nChunks; c++ {
+		end := ends[c]
+		ends[c] = offset
+		offset += end
+	}
+	// Phase 3 (parallel): add each chunk's offset to its items.
+	s.pool.Run(T, func(lo, hi int) {
+		off := ends[lo/size]
+		if off == 0 {
+			return
+		}
+		for t := lo; t < hi; t++ {
+			buf[t] += off
+		}
+	})
+	return searchTarget(buf, u)
+}
+
+// PrefixSums implements Algorithm 2: a Blelloch work-efficient scan
+// (upsweep, clear, downsweep) over a power-of-two padded buffer, converted
+// to inclusive sums with a final parallel pass, followed by binary search.
+type PrefixSums struct {
+	pool *Pool
+	vals []float64
+	scan []float64
+}
+
+// NewPrefixSums returns an Algorithm 2 sampler backed by pool.
+func NewPrefixSums(pool *Pool) *PrefixSums { return &PrefixSums{pool: pool} }
+
+// Name implements TopicSampler.
+func (s *PrefixSums) Name() string { return "prefix-sums" }
+
+// Sample implements TopicSampler.
+func (s *PrefixSums) Sample(T int, compute func(t int) float64, u float64) int {
+	n := nextPow2(T)
+	s.vals = resize(s.vals, n)
+	s.scan = resize(s.scan, n)
+	vals, scan := s.vals[:n], s.scan[:n]
+
+	// Evaluate probabilities in parallel; zero the padding.
+	s.pool.Run(T, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			v := compute(t)
+			vals[t] = v
+			scan[t] = v
+		}
+	})
+	for t := T; t < n; t++ {
+		vals[t] = 0
+		scan[t] = 0
+	}
+
+	// Upsweep: for d in [0, log2 n): scan[i+2^{d+1}-1] += scan[i+2^d-1].
+	for d := 1; d < n; d <<= 1 {
+		stride := d << 1
+		iterations := n / stride
+		s.pool.Run(iterations, func(lo, hi int) {
+			for it := lo; it < hi; it++ {
+				i := it * stride
+				scan[i+stride-1] += scan[i+d-1]
+			}
+		})
+	}
+	// Clear the root, downsweep.
+	scan[n-1] = 0
+	for d := n >> 1; d >= 1; d >>= 1 {
+		stride := d << 1
+		iterations := n / stride
+		s.pool.Run(iterations, func(lo, hi int) {
+			for it := lo; it < hi; it++ {
+				i := it * stride
+				left := scan[i+d-1]
+				scan[i+d-1] = scan[i+stride-1]
+				scan[i+stride-1] = left + scan[i+stride-1]
+			}
+		})
+	}
+	// Convert the exclusive scan to inclusive sums in parallel.
+	s.pool.Run(T, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			scan[t] += vals[t]
+		}
+	})
+	return searchTarget(scan[:T], u)
+}
+
+// searchTarget maps u in [0, 1) onto the cumulative vector and
+// binary-searches for the selected index. A non-positive or non-finite total
+// falls back to the last bucket scaled by u, i.e. a uniform choice, matching
+// the serial samplers' degenerate behaviour.
+func searchTarget(cum []float64, u float64) int {
+	total := cum[len(cum)-1]
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		idx := int(u * float64(len(cum)))
+		if idx >= len(cum) {
+			idx = len(cum) - 1
+		}
+		return idx
+	}
+	return mathx.SearchCumulative(cum, u*total)
+}
+
+func resize(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

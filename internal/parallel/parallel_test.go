@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"sourcelda/internal/rng"
+)
+
+func TestPoolRunCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers)
+		var hits [100]int32
+		p.Run(100, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		p.Close()
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolRunEmpty(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	called := false
+	p.Run(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("Run(0) should not invoke fn")
+	}
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() != 1 {
+		t.Fatalf("workers = %d, want 1", p.Workers())
+	}
+	p.Close() // must be a safe no-op for single-worker pools
+	p.Close()
+}
+
+func TestPoolDoubleCloseSafe(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	p.Close() // second close must not panic
+}
+
+// evaluators returns one sampler of each kind sharing the worker count.
+func evaluators(workers int) ([]TopicSampler, func()) {
+	pool := NewPool(workers)
+	return []TopicSampler{
+		NewSerial(),
+		NewSimpleParallel(pool),
+		NewPrefixSums(pool),
+	}, pool.Close
+}
+
+func TestSamplersAgreeExactly(t *testing.T) {
+	// The paper's exactness guarantee: all three kernels must select the
+	// same topic given the same probabilities and the same uniform draw.
+	for _, workers := range []int{1, 2, 3, 5} {
+		samplers, done := evaluators(workers)
+		r := rng.New(101)
+		for trial := 0; trial < 200; trial++ {
+			T := 1 + r.Intn(300)
+			probs := make([]float64, T)
+			for i := range probs {
+				probs[i] = r.Float64() * 10
+			}
+			u := r.Float64()
+			compute := func(t int) float64 { return probs[t] }
+			base := samplers[0].Sample(T, compute, u)
+			for _, s := range samplers[1:] {
+				if got := s.Sample(T, compute, u); got != base {
+					t.Fatalf("workers=%d trial=%d T=%d: %s chose %d, serial chose %d",
+						workers, trial, T, s.Name(), got, base)
+				}
+			}
+		}
+		done()
+	}
+}
+
+func TestSamplersMatchDistribution(t *testing.T) {
+	// Sampling frequencies must match the probability vector.
+	samplers, done := evaluators(3)
+	defer done()
+	probs := []float64{1, 2, 3, 4} // P = 0.1, 0.2, 0.3, 0.4
+	for _, s := range samplers {
+		r := rng.New(55)
+		counts := make([]int, 4)
+		const n = 40000
+		for i := 0; i < n; i++ {
+			counts[s.Sample(4, func(t int) float64 { return probs[t] }, r.Float64())]++
+		}
+		for i, c := range counts {
+			want := probs[i] / 10
+			got := float64(c) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("%s: P(%d) = %v, want ≈%v", s.Name(), i, got, want)
+			}
+		}
+	}
+}
+
+func TestSamplersSingleTopic(t *testing.T) {
+	samplers, done := evaluators(2)
+	defer done()
+	for _, s := range samplers {
+		if got := s.Sample(1, func(int) float64 { return 5 }, 0.7); got != 0 {
+			t.Fatalf("%s: single topic must return 0, got %d", s.Name(), got)
+		}
+	}
+}
+
+func TestSamplersZeroMassFallback(t *testing.T) {
+	samplers, done := evaluators(2)
+	defer done()
+	for _, s := range samplers {
+		got := s.Sample(4, func(int) float64 { return 0 }, 0.6)
+		if got < 0 || got >= 4 {
+			t.Fatalf("%s: zero-mass fallback out of range: %d", s.Name(), got)
+		}
+	}
+}
+
+func TestSamplersRespectZeroProbability(t *testing.T) {
+	samplers, done := evaluators(3)
+	defer done()
+	probs := []float64{0, 1, 0, 1, 0}
+	r := rng.New(77)
+	for _, s := range samplers {
+		for i := 0; i < 500; i++ {
+			k := s.Sample(5, func(t int) float64 { return probs[t] }, r.Float64())
+			if probs[k] == 0 {
+				t.Fatalf("%s selected zero-probability topic %d", s.Name(), k)
+			}
+		}
+	}
+}
+
+func TestPrefixSumsNonPowerOfTwo(t *testing.T) {
+	// Blelloch pads to a power of two; verify odd sizes behave.
+	pool := NewPool(3)
+	defer pool.Close()
+	ps := NewPrefixSums(pool)
+	serial := NewSerial()
+	r := rng.New(31)
+	for _, T := range []int{1, 2, 3, 5, 17, 63, 65, 100, 127, 129} {
+		probs := make([]float64, T)
+		for i := range probs {
+			probs[i] = r.Float64()
+		}
+		u := r.Float64()
+		compute := func(t int) float64 { return probs[t] }
+		if a, b := ps.Sample(T, compute, u), serial.Sample(T, compute, u); a != b {
+			t.Fatalf("T=%d: prefix %d vs serial %d", T, a, b)
+		}
+	}
+}
+
+func TestSamplerPropertyValidIndex(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	sp := NewSimpleParallel(pool)
+	f := func(seed int64, u float64) bool {
+		u = math.Abs(math.Mod(u, 1))
+		r := rng.New(seed)
+		T := 1 + r.Intn(50)
+		probs := make([]float64, T)
+		for i := range probs {
+			probs[i] = r.Float64()
+		}
+		k := sp.Sample(T, func(t int) float64 { return probs[t] }, u)
+		return k >= 0 && k < T
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	samplers, done := evaluators(2)
+	defer done()
+	want := []string{"serial", "simple-parallel", "prefix-sums"}
+	for i, s := range samplers {
+		if s.Name() != want[i] {
+			t.Fatalf("sampler %d name = %q, want %q", i, s.Name(), want[i])
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 128: 128}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCorpus asserts the loader never panics and never returns an
+// invalid corpus on arbitrary bytes.
+func FuzzLoadCorpus(f *testing.F) {
+	f.Add(`{"version":1,"kind":"corpus","vocabulary":["a","b"],"documents":[{"words":[0,1]}]}`)
+	f.Add(`{"version":1,"kind":"corpus"`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Add(`{"version":1,"kind":"corpus","vocabulary":["a"],"documents":[{"words":[9]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := LoadCorpus(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("loader returned invalid corpus: %v", err)
+		}
+	})
+}
+
+// FuzzCorpusRoundTrip: any corpus the loader accepts must survive a second
+// save/load unchanged.
+func FuzzCorpusRoundTrip(f *testing.F) {
+	f.Add(`{"version":1,"kind":"corpus","vocabulary":["a","b"],"documents":[{"name":"d","words":[0,1,0],"topics":[1,0,1]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := LoadCorpus(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveCorpus(&buf, c); err != nil {
+			t.Fatalf("saving a loaded corpus failed: %v", err)
+		}
+		again, err := LoadCorpus(&buf)
+		if err != nil {
+			t.Fatalf("reloading a saved corpus failed: %v", err)
+		}
+		if again.NumDocs() != c.NumDocs() || again.VocabSize() != c.VocabSize() ||
+			again.TotalTokens() != c.TotalTokens() {
+			t.Fatal("round trip changed the corpus")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+// Package persist serializes the library's data artifacts — corpora,
+// knowledge sources, and fitted model results — to a stable JSON format, so
+// trained models can be stored, shipped and reloaded without refitting.
+// Formats carry a version tag for forward compatibility.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/textproc"
+)
+
+// FormatVersion tags every serialized artifact.
+const FormatVersion = 1
+
+type corpusJSON struct {
+	Version int       `json:"version"`
+	Kind    string    `json:"kind"`
+	Words   []string  `json:"vocabulary"`
+	Docs    []docJSON `json:"documents"`
+}
+
+type docJSON struct {
+	Name   string `json:"name,omitempty"`
+	Words  []int  `json:"words"`
+	Topics []int  `json:"topics,omitempty"`
+}
+
+// SaveCorpus writes c to w as JSON, including ground-truth topics when
+// present.
+func SaveCorpus(w io.Writer, c *corpus.Corpus) error {
+	out := corpusJSON{
+		Version: FormatVersion,
+		Kind:    "corpus",
+		Words:   c.Vocab.Words(),
+		Docs:    make([]docJSON, len(c.Docs)),
+	}
+	for i, d := range c.Docs {
+		out.Docs[i] = docJSON{Name: d.Name, Words: d.Words, Topics: d.Topics}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadCorpus reads a corpus written by SaveCorpus and validates it.
+func LoadCorpus(r io.Reader) (*corpus.Corpus, error) {
+	var in corpusJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode corpus: %w", err)
+	}
+	if in.Kind != "corpus" {
+		return nil, fmt.Errorf("persist: expected kind \"corpus\", got %q", in.Kind)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported corpus version %d", in.Version)
+	}
+	vocab := textproc.NewVocabulary()
+	for _, w := range in.Words {
+		vocab.Add(w)
+	}
+	if vocab.Size() != len(in.Words) {
+		return nil, fmt.Errorf("persist: vocabulary contains duplicates")
+	}
+	c := corpus.NewWithVocab(vocab)
+	for _, d := range in.Docs {
+		c.AddDocument(&corpus.Document{Name: d.Name, Words: d.Words, Topics: d.Topics})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return c, nil
+}
+
+type sourceJSON struct {
+	Version  int           `json:"version"`
+	Kind     string        `json:"kind"`
+	Articles []articleJSON `json:"articles"`
+}
+
+type articleJSON struct {
+	Label  string      `json:"label"`
+	Counts map[int]int `json:"counts"`
+}
+
+// SaveSource writes a knowledge source to w as JSON. Word ids refer to the
+// companion corpus vocabulary.
+func SaveSource(w io.Writer, s *knowledge.Source) error {
+	out := sourceJSON{Version: FormatVersion, Kind: "source"}
+	for _, a := range s.Articles() {
+		out.Articles = append(out.Articles, articleJSON{Label: a.Label, Counts: a.Counts})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadSource reads a knowledge source written by SaveSource.
+func LoadSource(r io.Reader) (*knowledge.Source, error) {
+	var in sourceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode source: %w", err)
+	}
+	if in.Kind != "source" {
+		return nil, fmt.Errorf("persist: expected kind \"source\", got %q", in.Kind)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported source version %d", in.Version)
+	}
+	articles := make([]*knowledge.Article, len(in.Articles))
+	for i, a := range in.Articles {
+		total := 0
+		for _, n := range a.Counts {
+			total += n
+		}
+		counts := a.Counts
+		if counts == nil {
+			counts = map[int]int{}
+		}
+		articles[i] = &knowledge.Article{Label: a.Label, Counts: counts, TotalTokens: total}
+	}
+	return knowledge.NewSource(articles)
+}
+
+type resultJSON struct {
+	Version       int         `json:"version"`
+	Kind          string      `json:"kind"`
+	Phi           [][]float64 `json:"phi"`
+	Theta         [][]float64 `json:"theta"`
+	Labels        []string    `json:"labels"`
+	SourceIndices []int       `json:"source_indices"`
+	NumFreeTopics int         `json:"num_free_topics"`
+	TokenCounts   []int       `json:"token_counts"`
+	DocFreq       []int       `json:"doc_frequencies"`
+}
+
+// SaveResult writes a fitted model snapshot (distributions, labels and
+// summary statistics; per-token assignments and traces are omitted for
+// size).
+func SaveResult(w io.Writer, res *core.Result) error {
+	out := resultJSON{
+		Version:       FormatVersion,
+		Kind:          "result",
+		Phi:           res.Phi,
+		Theta:         res.Theta,
+		Labels:        res.Labels,
+		SourceIndices: res.SourceIndices,
+		NumFreeTopics: res.NumFreeTopics,
+		TokenCounts:   res.TokenCounts,
+		DocFreq:       res.DocFrequencies,
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadResult reads a snapshot written by SaveResult.
+func LoadResult(r io.Reader) (*core.Result, error) {
+	var in resultJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode result: %w", err)
+	}
+	if in.Kind != "result" {
+		return nil, fmt.Errorf("persist: expected kind \"result\", got %q", in.Kind)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported result version %d", in.Version)
+	}
+	if len(in.Phi) != len(in.Labels) || len(in.Phi) != len(in.SourceIndices) {
+		return nil, fmt.Errorf("persist: inconsistent result shapes")
+	}
+	return &core.Result{
+		Phi:            in.Phi,
+		Theta:          in.Theta,
+		Labels:         in.Labels,
+		SourceIndices:  in.SourceIndices,
+		NumFreeTopics:  in.NumFreeTopics,
+		TokenCounts:    in.TokenCounts,
+		DocFrequencies: in.DocFreq,
+	}, nil
+}

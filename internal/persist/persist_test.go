@@ -1,0 +1,163 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+)
+
+func fixture(t *testing.T) (*corpus.Corpus, *knowledge.Source) {
+	t.Helper()
+	c := corpus.New()
+	c.AddText("d1", "pencil pencil umpire", nil)
+	c.AddText("d2", "ruler ruler baseball", nil)
+	c.Docs[0].Topics = []int{0, 0, 1}
+	c.Docs[1].Topics = []int{0, 0, 1}
+	school := knowledge.NewArticleFromText("School",
+		strings.Repeat("pencil ruler ", 10), c.Vocab, nil, true)
+	ball := knowledge.NewArticleFromText("Baseball",
+		strings.Repeat("umpire baseball ", 10), c.Vocab, nil, true)
+	return c, knowledge.MustNewSource([]*knowledge.Article{school, ball})
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c, _ := fixture(t)
+	var buf bytes.Buffer
+	if err := SaveCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumDocs() != c.NumDocs() || back.VocabSize() != c.VocabSize() {
+		t.Fatalf("shape changed: %d/%d docs, %d/%d vocab",
+			back.NumDocs(), c.NumDocs(), back.VocabSize(), c.VocabSize())
+	}
+	for d := range c.Docs {
+		if back.Docs[d].Name != c.Docs[d].Name {
+			t.Fatal("names differ")
+		}
+		for i := range c.Docs[d].Words {
+			if back.Docs[d].Words[i] != c.Docs[d].Words[i] {
+				t.Fatal("words differ")
+			}
+			if back.Docs[d].Topics[i] != c.Docs[d].Topics[i] {
+				t.Fatal("ground truth lost")
+			}
+		}
+	}
+	for id := 0; id < c.VocabSize(); id++ {
+		if back.Vocab.Word(id) != c.Vocab.Word(id) {
+			t.Fatal("vocabulary order changed")
+		}
+	}
+}
+
+func TestSourceRoundTrip(t *testing.T) {
+	c, src := fixture(t)
+	_ = c
+	var buf bytes.Buffer
+	if err := SaveSource(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSource(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != src.Len() {
+		t.Fatalf("article count %d, want %d", back.Len(), src.Len())
+	}
+	for i := 0; i < src.Len(); i++ {
+		a, b := src.Article(i), back.Article(i)
+		if a.Label != b.Label || a.TotalTokens != b.TotalTokens {
+			t.Fatalf("article %d metadata changed", i)
+		}
+		for w, n := range a.Counts {
+			if b.Counts[w] != n {
+				t.Fatalf("article %d count for %d changed", i, w)
+			}
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	c, src := fixture(t)
+	m, err := core.Fit(c, src, core.Options{
+		LambdaMode: core.LambdaFixed, Lambda: 1, Iterations: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res := m.Result()
+	var buf bytes.Buffer
+	if err := SaveResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTopics() != res.NumTopics() {
+		t.Fatal("topic count changed")
+	}
+	for t2 := range res.Phi {
+		if back.Labels[t2] != res.Labels[t2] {
+			t.Fatal("labels changed")
+		}
+		for w := range res.Phi[t2] {
+			if back.Phi[t2][w] != res.Phi[t2][w] {
+				t.Fatal("phi changed")
+			}
+		}
+	}
+	// Reduction works on a loaded snapshot.
+	red := back.ReduceToK(1)
+	if len(red.Result.Phi) != 1 {
+		t.Fatal("reduction on loaded result failed")
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	c, src := fixture(t)
+	var buf bytes.Buffer
+	if err := SaveCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSource(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("corpus accepted as source")
+	}
+	buf.Reset()
+	if err := SaveSource(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("source accepted as corpus")
+	}
+	if _, err := LoadCorpus(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsCorruptCorpus(t *testing.T) {
+	// Out-of-range word id must fail validation.
+	bad := `{"version":1,"kind":"corpus","vocabulary":["a"],"documents":[{"words":[5]}]}`
+	if _, err := LoadCorpus(strings.NewReader(bad)); err == nil {
+		t.Fatal("corrupt corpus accepted")
+	}
+	// Duplicate vocabulary entries must fail.
+	dup := `{"version":1,"kind":"corpus","vocabulary":["a","a"],"documents":[]}`
+	if _, err := LoadCorpus(strings.NewReader(dup)); err == nil {
+		t.Fatal("duplicate vocabulary accepted")
+	}
+	// Wrong version must fail.
+	ver := `{"version":99,"kind":"corpus","vocabulary":["a"],"documents":[]}`
+	if _, err := LoadCorpus(strings.NewReader(ver)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Package pixel implements the graphical-example substrate of §IV-A: topics
+// over a 5×5 "pixel" vocabulary following Griffiths & Steyvers' classic
+// visualization, with the paper's key twist — the original row/column topics
+// are augmented by randomly swapping an assigned pixel between paired
+// topics, the corpus is generated from the augmented topics, and only the
+// original topics are given to the model as the knowledge source. Recovering
+// and correctly labeling the augmented topics demonstrates Source-LDA's
+// ability to deviate from its supervised input (Figs. 5 and 6).
+package pixel
+
+import (
+	"fmt"
+	"strings"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/textproc"
+)
+
+// Side is the picture side length (5 in the paper).
+const Side = 5
+
+// NumWords is the vocabulary size, Side².
+const NumWords = Side * Side
+
+// NumTopics is the number of row+column topics (2·Side).
+const NumTopics = 2 * Side
+
+// WordID maps a pixel coordinate to its vocabulary id.
+func WordID(x, y int) int { return y*Side + x }
+
+// Coord inverts WordID.
+func Coord(id int) (x, y int) { return id % Side, id / Side }
+
+// WordName renders a pixel word as "xy" per the paper's vocabulary
+// definition V = {xy | 0 ≤ x < 5 ∧ 0 ≤ y < 5}.
+func WordName(id int) string {
+	x, y := Coord(id)
+	return fmt.Sprintf("%d%d", x, y)
+}
+
+// Vocabulary returns the 25-word pixel vocabulary in id order.
+func Vocabulary() *textproc.Vocabulary {
+	v := textproc.NewVocabulary()
+	for id := 0; id < NumWords; id++ {
+		v.Add(WordName(id))
+	}
+	return v
+}
+
+// Topic is a distribution over the 25 pixel words.
+type Topic []float64
+
+// OriginalTopics returns the ten row/column topics of Fig. 5(a): topic i for
+// i < 5 puts uniform mass on row i; topic i ≥ 5 on column i−5.
+func OriginalTopics() []Topic {
+	topics := make([]Topic, NumTopics)
+	for i := range topics {
+		t := make(Topic, NumWords)
+		for k := 0; k < Side; k++ {
+			if i < Side {
+				t[WordID(k, i)] = 1.0 / Side
+			} else {
+				t[WordID(i-Side, k)] = 1.0 / Side
+			}
+		}
+		topics[i] = t
+	}
+	return topics
+}
+
+// Augment pairs the topics in a random perfect matching and swaps one
+// randomly chosen assigned word (pixel) between each pair, requiring that
+// each swapped word is not already assigned in the receiving topic —
+// Fig. 5(b)'s construction. Every topic changes in exactly one of its five
+// pixels, the paper's "20% augmentation rate between the original topics".
+// With an odd topic count the leftover topic stays unmodified. The input
+// topics are not modified.
+func Augment(topics []Topic, r *rng.RNG) []Topic {
+	out := make([]Topic, len(topics))
+	for i, t := range topics {
+		c := make(Topic, len(t))
+		copy(c, t)
+		out[i] = c
+	}
+	perm := r.Perm(len(out))
+	for i := 0; i+1 < len(perm); i += 2 {
+		swapRandomPixels(out[perm[i]], out[perm[i+1]], r)
+	}
+	return out
+}
+
+// swapRandomPixels moves one random supported word of a to b and one random
+// supported word of b to a, choosing words not already supported on the
+// receiving side; mass moves with the words so each topic stays normalized.
+func swapRandomPixels(a, b Topic, r *rng.RNG) {
+	aw := exclusiveSupport(a, b)
+	bw := exclusiveSupport(b, a)
+	if len(aw) == 0 || len(bw) == 0 {
+		return
+	}
+	wa := aw[r.Intn(len(aw))]
+	wb := bw[r.Intn(len(bw))]
+	a[wb], b[wa] = a[wa], b[wb]
+	a[wa], b[wb] = 0, 0
+}
+
+// exclusiveSupport returns words supported in a but not in b.
+func exclusiveSupport(a, b Topic) []int {
+	var out []int
+	for w := range a {
+		if a[w] > 0 && b[w] == 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// GenerateCorpus draws documents from the standard LDA generative model
+// over the given topics: θ_d ~ Dir(alpha) (symmetric), each of wordsPerDoc
+// tokens draws a topic then a word, recording ground-truth topic ids
+// (§IV-A: 2,000 documents of 25 words with α = 1).
+func GenerateCorpus(topics []Topic, numDocs, wordsPerDoc int, alpha float64, r *rng.RNG) *corpus.Corpus {
+	c := corpus.NewWithVocab(Vocabulary())
+	theta := make([]float64, len(topics))
+	for d := 0; d < numDocs; d++ {
+		r.DirichletSymmetric(alpha, theta)
+		doc := &corpus.Document{
+			Name:   fmt.Sprintf("pixel-doc-%d", d),
+			Words:  make([]int, wordsPerDoc),
+			Topics: make([]int, wordsPerDoc),
+		}
+		for n := 0; n < wordsPerDoc; n++ {
+			t := r.Categorical(theta)
+			w := r.Categorical(topics[t])
+			doc.Topics[n] = t
+			doc.Words[n] = w
+		}
+		c.AddDocument(doc)
+	}
+	return c
+}
+
+// KnowledgeSource converts topics to knowledge-source articles by scaling
+// each distribution to integer pseudo-counts (tokensPerTopic total tokens),
+// labeled "row-i" / "col-i". Only the *original* topics are exposed to the
+// models; the augmented ones stay hidden as ground truth.
+func KnowledgeSource(topics []Topic, tokensPerTopic int) *knowledge.Source {
+	articles := make([]*knowledge.Article, len(topics))
+	for i, t := range topics {
+		counts := make(map[int]int)
+		total := 0
+		for w, p := range t {
+			n := int(p * float64(tokensPerTopic))
+			if p > 0 && n == 0 {
+				n = 1
+			}
+			if n > 0 {
+				counts[w] = n
+				total += n
+			}
+		}
+		articles[i] = &knowledge.Article{Label: TopicLabel(i), Counts: counts, TotalTokens: total}
+	}
+	return knowledge.MustNewSource(articles)
+}
+
+// TopicLabel names topic i "row-i" or "col-j" per its §IV-A definition.
+func TopicLabel(i int) string {
+	if i < Side {
+		return fmt.Sprintf("row-%d", i)
+	}
+	return fmt.Sprintf("col-%d", i-Side)
+}
+
+// Intensity returns the paper's display intensity for word w in topic t:
+// I(w, t) = Max[5 × P(w|t), 1] — probabilities below 0.2 render at the floor
+// intensity 1.
+func Intensity(t Topic, w int) float64 {
+	v := 5 * t[w]
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Render draws a topic as a 5×5 ASCII grid, one character per pixel scaled
+// by intensity: ' ' (floor) through '#' (full mass on the pixel scale).
+func Render(t Topic) string {
+	ramp := []byte(" .:-=+*%@#")
+	var b strings.Builder
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			// A fully-lit pixel of a row/column topic carries p = 0.2, so
+			// scale by 5 (the paper's intensity factor) before ramping.
+			p := t[WordID(x, y)] * 5
+			idx := int(p * float64(len(ramp)-1))
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(ramp[idx])
+		}
+		if y != Side-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderRow renders several topics side by side, separated by two spaces.
+func RenderRow(topics []Topic) string {
+	grids := make([][]string, len(topics))
+	for i, t := range topics {
+		grids[i] = strings.Split(Render(t), "\n")
+	}
+	var b strings.Builder
+	for y := 0; y < Side; y++ {
+		for i := range grids {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(grids[i][y])
+		}
+		if y != Side-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

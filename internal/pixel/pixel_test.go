@@ -1,0 +1,210 @@
+package pixel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/rng"
+)
+
+func TestVocabulary(t *testing.T) {
+	v := Vocabulary()
+	if v.Size() != NumWords {
+		t.Fatalf("vocab size %d, want %d", v.Size(), NumWords)
+	}
+	// Word names follow the paper's "xy" convention.
+	if v.Word(WordID(3, 1)) != "31" {
+		t.Fatalf("word at (3,1) = %q, want \"31\"", v.Word(WordID(3, 1)))
+	}
+}
+
+func TestWordIDRoundTrip(t *testing.T) {
+	for id := 0; id < NumWords; id++ {
+		x, y := Coord(id)
+		if WordID(x, y) != id {
+			t.Fatalf("round trip failed for %d", id)
+		}
+	}
+}
+
+func TestOriginalTopics(t *testing.T) {
+	topics := OriginalTopics()
+	if len(topics) != NumTopics {
+		t.Fatalf("got %d topics", len(topics))
+	}
+	for i, topic := range topics {
+		var support []int
+		var sum float64
+		for w, p := range topic {
+			if p > 0 {
+				support = append(support, w)
+				if math.Abs(p-0.2) > 1e-12 {
+					t.Fatalf("topic %d mass %v, want 0.2", i, p)
+				}
+			}
+			sum += p
+		}
+		if len(support) != Side {
+			t.Fatalf("topic %d supports %d pixels", i, len(support))
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("topic %d sums to %v", i, sum)
+		}
+		// Rows: constant y; columns: constant x.
+		x0, y0 := Coord(support[0])
+		for _, w := range support {
+			x, y := Coord(w)
+			if i < Side && y != y0 {
+				t.Fatalf("row topic %d mixes rows", i)
+			}
+			if i >= Side && x != x0 {
+				t.Fatalf("column topic %d mixes columns", i)
+			}
+		}
+	}
+}
+
+func TestAugmentProperties(t *testing.T) {
+	orig := OriginalTopics()
+	aug := Augment(orig, rng.New(5))
+	if len(aug) != len(orig) {
+		t.Fatal("augmentation changed topic count")
+	}
+	changed := 0
+	for i := range aug {
+		var sum float64
+		support := 0
+		diff := false
+		for w := range aug[i] {
+			sum += aug[i][w]
+			if aug[i][w] > 0 {
+				support++
+			}
+			if aug[i][w] != orig[i][w] {
+				diff = true
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("augmented topic %d sums to %v", i, sum)
+		}
+		if support != Side {
+			t.Fatalf("augmented topic %d has %d support pixels, want %d", i, support, Side)
+		}
+		if diff {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("augmentation changed nothing")
+	}
+	// Originals untouched.
+	orig2 := OriginalTopics()
+	for i := range orig {
+		for w := range orig[i] {
+			if orig[i][w] != orig2[i][w] {
+				t.Fatal("Augment mutated its input")
+			}
+		}
+	}
+}
+
+func TestGenerateCorpus(t *testing.T) {
+	topics := OriginalTopics()
+	c := GenerateCorpus(topics, 50, 25, 1, rng.New(9))
+	if c.NumDocs() != 50 {
+		t.Fatalf("docs = %d", c.NumDocs())
+	}
+	if !c.HasGroundTruth() {
+		t.Fatal("generated corpus must carry ground truth")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Docs {
+		if len(d.Words) != 25 {
+			t.Fatalf("doc length %d, want 25", len(d.Words))
+		}
+		for i, w := range d.Words {
+			// Word must be in its generating topic's support.
+			if topics[d.Topics[i]][w] == 0 {
+				t.Fatal("token outside its topic's support")
+			}
+		}
+	}
+}
+
+func TestKnowledgeSource(t *testing.T) {
+	topics := OriginalTopics()
+	src := KnowledgeSource(topics, 100)
+	if src.Len() != NumTopics {
+		t.Fatalf("source size %d", src.Len())
+	}
+	if src.Label(0) != "row-0" || src.Label(Side) != "col-0" {
+		t.Fatalf("labels: %v", src.Labels()[:6])
+	}
+	// Article counts must mirror the distribution: 5 words à 20 tokens.
+	a := src.Article(0)
+	if a.TotalTokens != 100 || len(a.Counts) != Side {
+		t.Fatalf("article: total %d, support %d", a.TotalTokens, len(a.Counts))
+	}
+}
+
+func TestIntensityFloor(t *testing.T) {
+	topics := OriginalTopics()
+	// Supported pixel: 5 × 0.2 = 1.0; unsupported: floor 1.
+	if got := Intensity(topics[0], WordID(0, 0)); got != 1 {
+		t.Fatalf("supported intensity %v", got)
+	}
+	unsupported := WordID(0, 1) // row topic 0 has y=0 only
+	if got := Intensity(topics[0], unsupported); got != 1 {
+		t.Fatalf("unsupported intensity %v, want floor 1", got)
+	}
+	peaked := make(Topic, NumWords)
+	peaked[0] = 1
+	if got := Intensity(peaked, 0); got != 5 {
+		t.Fatalf("peaked intensity %v, want 5", got)
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	topics := OriginalTopics()
+	out := Render(topics[0])
+	lines := strings.Split(out, "\n")
+	if len(lines) != Side {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != Side {
+			t.Fatalf("line %q has %d chars", l, len(l))
+		}
+	}
+	// Row topic 0: first line lit, others blank.
+	if strings.TrimSpace(lines[0]) == "" {
+		t.Fatal("row 0 should be lit")
+	}
+	if strings.TrimSpace(lines[1]) != "" {
+		t.Fatal("row 1 should be blank")
+	}
+}
+
+func TestRenderRow(t *testing.T) {
+	topics := OriginalTopics()
+	out := RenderRow(topics[:3])
+	lines := strings.Split(out, "\n")
+	if len(lines) != Side {
+		t.Fatalf("%d lines", len(lines))
+	}
+	wantWidth := 3*Side + 2*2
+	for _, l := range lines {
+		if len(l) != wantWidth {
+			t.Fatalf("line width %d, want %d", len(l), wantWidth)
+		}
+	}
+}
+
+func TestTopicLabel(t *testing.T) {
+	if TopicLabel(0) != "row-0" || TopicLabel(7) != "col-2" {
+		t.Fatal("labels wrong")
+	}
+}

@@ -1,0 +1,364 @@
+// Package rng provides the deterministic random-number generation used by
+// every sampler in the repository: Gamma and Dirichlet draws for topic-word
+// distributions, Gaussian draws for the λ prior, Poisson draws for document
+// lengths, Zipf draws for synthetic vocabularies, and categorical draws for
+// Gibbs sampling. All generators are seeded explicitly so experiments are
+// reproducible bit-for-bit.
+package rng
+
+import (
+	"math"
+	"math/rand"
+
+	"sourcelda/internal/mathx"
+)
+
+// RNG wraps a seeded source with the distribution samplers the topic models
+// need. It is not safe for concurrent use; create one per goroutine.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform draw in [0, n).
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Normal returns a draw from N(mu, sigma^2). Sigma must be non-negative; a
+// zero sigma returns mu exactly.
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	if sigma == 0 {
+		return mu
+	}
+	return mu + sigma*r.src.NormFloat64()
+}
+
+// ClampedNormal draws from N(mu, sigma^2) and clamps the result to
+// [lo, hi]. This is the paper's λ bounding in §IV-B ("we bound the value
+// drawn to the interval [0, 1]"): out-of-range draws collapse onto the
+// endpoints, so a wide prior puts point masses at exactly 0 and 1 —
+// topics that ignore their source entirely, and topics that follow it
+// exactly.
+func (r *RNG) ClampedNormal(mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return mathx.Clamp(r.Normal(mu, sigma), lo, hi)
+}
+
+// TruncatedNormal returns a draw from N(mu, sigma^2) conditioned on the
+// closed interval [lo, hi], using rejection with a clamping fallback after
+// maxTries attempts.
+func (r *RNG) TruncatedNormal(mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if sigma == 0 {
+		return mathx.Clamp(mu, lo, hi)
+	}
+	const maxTries = 256
+	for i := 0; i < maxTries; i++ {
+		x := r.Normal(mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return mathx.Clamp(r.Normal(mu, sigma), lo, hi)
+}
+
+// Gamma returns a draw from the Gamma distribution with the given shape and
+// scale parameters, using the Marsaglia–Tsang squeeze method, with the
+// standard shape-boosting transform for shape < 1. Shape and scale must be
+// positive.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: if X ~ Gamma(shape+1) and U ~ U(0,1) then
+		// X * U^(1/shape) ~ Gamma(shape).
+		u := r.src.Float64()
+		for u == 0 {
+			u = r.src.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.src.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.src.Float64()
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Dirichlet fills out with a draw from Dirichlet(alpha). The output slice
+// must have the same length as alpha. Entries of alpha must be positive.
+func (r *RNG) Dirichlet(alpha []float64, out []float64) {
+	if len(alpha) != len(out) {
+		panic("rng: Dirichlet output length mismatch")
+	}
+	var sum float64
+	for i, a := range alpha {
+		g := r.Gamma(a, 1)
+		out[i] = g
+		sum += g
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		// Degenerate draw (all-tiny alphas can underflow); fall back to a
+		// uniform draw over a single random atom, the limiting behaviour of
+		// a symmetric Dirichlet as alpha -> 0.
+		for i := range out {
+			out[i] = 0
+		}
+		out[r.Intn(len(out))] = 1
+		return
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// DirichletSymmetric fills out with a draw from a symmetric Dirichlet with
+// concentration alpha over len(out) atoms.
+func (r *RNG) DirichletSymmetric(alpha float64, out []float64) {
+	var sum float64
+	for i := range out {
+		g := r.Gamma(alpha, 1)
+		out[i] = g
+		sum += g
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		for i := range out {
+			out[i] = 0
+		}
+		out[r.Intn(len(out))] = 1
+		return
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// Poisson returns a draw from Poisson(lambda). For small lambda it uses
+// Knuth's product method; for large lambda the PTRS-like normal
+// approximation with rejection on the discretized tail is replaced by the
+// simpler decomposition Poisson(λ) = Poisson(λ-chunk) + Poisson(chunk),
+// which keeps the draw exact while avoiding underflow of exp(-λ).
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	const chunk = 500.0
+	var total int
+	for lambda > chunk {
+		total += r.poissonKnuth(chunk)
+		lambda -= chunk
+	}
+	return total + r.poissonKnuth(lambda)
+}
+
+func (r *RNG) poissonKnuth(lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical returns an index drawn proportionally to the non-negative
+// weights. The weights need not be normalized. A zero total draws uniformly.
+func (r *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return r.Intn(len(weights))
+	}
+	target := r.src.Float64() * total
+	var run float64
+	for i, w := range weights {
+		run += w
+		if target < run {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// CategoricalCumulative draws an index given inclusive prefix sums cum, whose
+// last entry is the total mass. It uses binary search, matching the parallel
+// samplers in the paper (Algorithms 2 and 3).
+func (r *RNG) CategoricalCumulative(cum []float64) int {
+	total := cum[len(cum)-1]
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return r.Intn(len(cum))
+	}
+	target := r.src.Float64() * total
+	return mathx.SearchCumulative(cum, target)
+}
+
+// Multinomial distributes n trials over the categories of probs (which must
+// be normalized or at least non-negative) and returns the per-category
+// counts.
+func (r *RNG) Multinomial(n int, probs []float64) []int {
+	counts := make([]int, len(probs))
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(probs)]++
+	}
+	return counts
+}
+
+// Zipf returns a draw in [0, n) with P(k) proportional to 1/(k+1)^s. It uses
+// inversion over the precomputed harmonic table held by ZipfTable for
+// efficiency; this convenience method rebuilds the table each call and is
+// intended for one-off draws.
+func (r *RNG) Zipf(n int, s float64) int {
+	t := NewZipfTable(n, s)
+	return t.Draw(r)
+}
+
+// ZipfTable caches the cumulative mass function of a Zipf distribution over
+// [0, n) with exponent s, for repeated sampling.
+type ZipfTable struct {
+	cum []float64
+}
+
+// NewZipfTable builds the cumulative table for ranks [0, n).
+func NewZipfTable(n int, s float64) *ZipfTable {
+	cum := make([]float64, n)
+	var run float64
+	for k := 0; k < n; k++ {
+		run += 1 / math.Pow(float64(k+1), s)
+		cum[k] = run
+	}
+	return &ZipfTable{cum: cum}
+}
+
+// Draw samples a rank from the table.
+func (t *ZipfTable) Draw(r *RNG) int {
+	return r.CategoricalCumulative(t.cum)
+}
+
+// Probabilities returns the normalized Zipf PMF represented by the table.
+func (t *ZipfTable) Probabilities() []float64 {
+	out := make([]float64, len(t.cum))
+	prev := 0.0
+	total := t.cum[len(t.cum)-1]
+	for i, c := range t.cum {
+		out[i] = (c - prev) / total
+		prev = c
+	}
+	return out
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n) in random order. It panics if k > n.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic("rng: SampleWithoutReplacement k > n")
+	}
+	perm := r.src.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}
+
+// WeightedSampleWithoutReplacement returns k distinct indices drawn without
+// replacement with probability proportional to weights. Indices whose weight
+// is exhausted are chosen uniformly once all remaining mass is zero. It
+// panics if k > len(weights).
+func (r *RNG) WeightedSampleWithoutReplacement(weights []float64, k int) []int {
+	n := len(weights)
+	if k > n {
+		panic("rng: WeightedSampleWithoutReplacement k > n")
+	}
+	w := make([]float64, n)
+	copy(w, weights)
+	taken := make([]bool, n)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		var total float64
+		for i, wi := range w {
+			if !taken[i] {
+				total += wi
+			}
+		}
+		var idx int
+		if total > 0 {
+			target := r.src.Float64() * total
+			var run float64
+			idx = -1
+			for i, wi := range w {
+				if taken[i] {
+					continue
+				}
+				run += wi
+				if target < run {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 { // numeric edge: fall through to last untaken
+				for i := n - 1; i >= 0; i-- {
+					if !taken[i] {
+						idx = i
+						break
+					}
+				}
+			}
+		} else {
+			// All remaining mass zero: uniform over the untaken indices.
+			remaining := make([]int, 0, n-len(out))
+			for i := range w {
+				if !taken[i] {
+					remaining = append(remaining, i)
+				}
+			}
+			idx = remaining[r.Intn(len(remaining))]
+		}
+		taken[idx] = true
+		out = append(out, idx)
+	}
+	return out
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }

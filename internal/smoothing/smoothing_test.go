@@ -1,0 +1,196 @@
+package smoothing
+
+import (
+	"math"
+	"testing"
+
+	"sourcelda/internal/knowledge"
+)
+
+// fixtureTopic builds a peaked article (Zipf-ish counts) over a 50-word
+// vocabulary and returns its hyperparameters and smoothed distribution.
+func fixtureTopic(t *testing.T) (*knowledge.Hyperparams, []float64) {
+	t.Helper()
+	var words []int
+	for w := 0; w < 20; w++ {
+		for c := 0; c < 40/(w+1)+1; c++ {
+			words = append(words, w)
+		}
+	}
+	a := knowledge.NewArticle("fixture", words)
+	const v = 50
+	return a.Hyperparams(v, knowledge.DefaultEpsilon), a.SmoothedDistribution(v, knowledge.DefaultEpsilon)
+}
+
+func TestIdentity(t *testing.T) {
+	g := Identity()
+	for _, l := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := g.Eval(l); math.Abs(got-l) > 1e-12 {
+			t.Fatalf("Identity(%v) = %v", l, got)
+		}
+	}
+}
+
+func TestEstimateEndpoints(t *testing.T) {
+	h, src := fixtureTopic(t)
+	g := Estimate(h, src, Config{GridPoints: 11, Samples: 20, Seed: 1})
+	if got := g.Eval(0); got != 0 {
+		t.Fatalf("g(0) = %v, want 0", got)
+	}
+	if got := g.Eval(1); got != 1 {
+		t.Fatalf("g(1) = %v, want 1", got)
+	}
+}
+
+func TestEstimateMonotone(t *testing.T) {
+	h, src := fixtureTopic(t)
+	for _, meanField := range []bool{false, true} {
+		g := Estimate(h, src, Config{GridPoints: 11, Samples: 20, Seed: 2, MeanField: meanField})
+		prev := -1.0
+		for l := 0.0; l <= 1.0001; l += 0.05 {
+			v := g.Eval(l)
+			if v < prev-1e-12 {
+				t.Fatalf("meanField=%v: g not monotone at λ=%v (%v < %v)", meanField, l, v, prev)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("g(%v) = %v outside [0,1]", l, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestJSCurveDecreasing(t *testing.T) {
+	// Fig. 3's premise: JS divergence decreases as the exponent grows.
+	h, src := fixtureTopic(t)
+	g := Estimate(h, src, Config{GridPoints: 11, Samples: 30, Seed: 3})
+	_, js := g.JSCurve()
+	if js[0] <= js[len(js)-1] {
+		t.Fatalf("JS(0)=%v should exceed JS(1)=%v", js[0], js[len(js)-1])
+	}
+	for i := 1; i < len(js); i++ {
+		if js[i] > js[i-1]+1e-12 {
+			t.Fatalf("JS curve not non-increasing at %d", i)
+		}
+	}
+}
+
+func TestSmoothingLinearizesJS(t *testing.T) {
+	// Fig. 4's claim: mapping λ through g makes the JS-vs-λ curve linear.
+	// Compare the linearity metric of the raw curve against the composed
+	// curve JS(g(λ)).
+	h, src := fixtureTopic(t)
+	g := Estimate(h, src, Config{GridPoints: 15, Samples: 60, Seed: 4})
+	lambdas, rawJS := g.JSCurve()
+	composed := make([]float64, len(lambdas))
+	for i, l := range lambdas {
+		composed[i] = g.JSAt(g.Eval(l))
+	}
+	rawLin := Linearity(lambdas, rawJS)
+	smoothLin := Linearity(lambdas, composed)
+	if smoothLin > rawLin {
+		t.Fatalf("smoothing increased nonlinearity: raw %v vs smoothed %v", rawLin, smoothLin)
+	}
+	if smoothLin > 0.05 {
+		t.Fatalf("smoothed curve should be nearly linear, deviation %v", smoothLin)
+	}
+}
+
+func TestMeanFieldCloseToMonteCarlo(t *testing.T) {
+	// The ablation claim from DESIGN.md: the deterministic mean-field
+	// estimator preserves the curve's shape. Compare g values pointwise.
+	h, src := fixtureTopic(t)
+	mc := Estimate(h, src, Config{GridPoints: 11, Samples: 80, Seed: 5})
+	mf := Estimate(h, src, Config{GridPoints: 11, Seed: 5, MeanField: true})
+	var worst float64
+	for l := 0.0; l <= 1.0; l += 0.1 {
+		d := math.Abs(mc.Eval(l) - mf.Eval(l))
+		if d > worst {
+			worst = d
+		}
+	}
+	// Mean-field ignores Dirichlet sampling noise so some gap is expected,
+	// but the curves must stay broadly aligned.
+	if worst > 0.35 {
+		t.Fatalf("mean-field deviates from Monte Carlo by %v", worst)
+	}
+}
+
+func TestFlatCurveFallsBackToIdentity(t *testing.T) {
+	// A uniform article: Dir(δ^λ) is statistically identical for all λ at
+	// the mean-field level, so g should be the identity.
+	words := make([]int, 50)
+	for w := range words {
+		words[w] = w
+	}
+	a := knowledge.NewArticle("uniform", words)
+	h := a.Hyperparams(50, knowledge.DefaultEpsilon)
+	src := a.SmoothedDistribution(50, knowledge.DefaultEpsilon)
+	g := Estimate(h, src, Config{GridPoints: 5, MeanField: true, Seed: 6})
+	for _, l := range []float64{0, 0.5, 1} {
+		if got := g.Eval(l); math.Abs(got-l) > 0.3 {
+			t.Fatalf("flat-curve g(%v) = %v, too far from identity", l, got)
+		}
+	}
+}
+
+func TestEvalClamps(t *testing.T) {
+	h, src := fixtureTopic(t)
+	g := Estimate(h, src, Config{GridPoints: 5, MeanField: true, Seed: 7})
+	if got := g.Eval(-1); got != g.Eval(0) {
+		t.Fatalf("Eval(-1) = %v, want Eval(0)", got)
+	}
+	if got := g.Eval(2); got != g.Eval(1) {
+		t.Fatalf("Eval(2) = %v, want Eval(1)", got)
+	}
+}
+
+func TestLinearityMetric(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	if got := Linearity(xs, []float64{0, 0.5, 1}); got != 0 {
+		t.Fatalf("straight line linearity = %v", got)
+	}
+	if got := Linearity(xs, []float64{0, 0.9, 1}); got < 0.3 {
+		t.Fatalf("bent curve linearity = %v, want ≥ 0.3", got)
+	}
+	if got := Linearity(xs, []float64{1, 1, 1}); got != 0 {
+		t.Fatalf("flat curve = %v, want 0 (degenerate)", got)
+	}
+}
+
+func TestSampleJSBoxData(t *testing.T) {
+	h, src := fixtureTopic(t)
+	lambdas := []float64{0, 0.5, 1}
+	data := SampleJSBoxData(h, src, lambdas, 25, func(x float64) float64 { return x }, 8)
+	if len(data) != 3 {
+		t.Fatalf("rows = %d", len(data))
+	}
+	for i, row := range data {
+		if len(row) != 25 {
+			t.Fatalf("row %d has %d samples", i, len(row))
+		}
+		for _, js := range row {
+			if js < 0 || js > math.Log(2) {
+				t.Fatalf("JS %v out of range", js)
+			}
+		}
+	}
+	// Mean at λ=1 must be below mean at λ=0 (tighter conformance).
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(data[2]) >= mean(data[0]) {
+		t.Fatalf("JS at λ=1 (%v) should be below λ=0 (%v)", mean(data[2]), mean(data[0]))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.GridPoints != 11 || c.Samples != 30 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,305 @@
+// Package stats provides the statistical primitives the evaluation section
+// of the paper relies on: Jensen–Shannon and Kullback–Leibler divergences
+// between discrete distributions, cosine similarity, descriptive statistics,
+// and the five-number summaries that back the paper's box-plot figures
+// (Figs. 2, 3 and 4).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KLDivergence returns the Kullback–Leibler divergence KL(p || q) in nats for
+// discrete distributions p and q of equal length. Terms with p_i == 0
+// contribute zero; terms with p_i > 0 and q_i == 0 contribute +Inf, matching
+// the mathematical definition.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence length mismatch")
+	}
+	var sum float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		sum += p[i] * math.Log(p[i]/q[i])
+	}
+	return sum
+}
+
+// JSDivergence returns the Jensen–Shannon divergence between discrete
+// distributions p and q in nats. It is symmetric, finite, and bounded by
+// ln 2. The paper uses it to compare topic-word distributions with source
+// distributions and to map unlabeled topics to knowledge-source topics.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JSDivergence length mismatch")
+	}
+	var sum float64
+	for i := range p {
+		pi, qi := p[i], q[i]
+		mi := 0.5 * (pi + qi)
+		if pi > 0 {
+			sum += 0.5 * pi * math.Log(pi/mi)
+		}
+		if qi > 0 {
+			sum += 0.5 * qi * math.Log(qi/mi)
+		}
+	}
+	if sum < 0 { // guard against tiny negative round-off
+		return 0
+	}
+	return sum
+}
+
+// JSDistance returns the square root of the Jensen–Shannon divergence, which
+// is a true metric.
+func JSDistance(p, q []float64) float64 { return math.Sqrt(JSDivergence(p, q)) }
+
+// CosineSimilarity returns the cosine of the angle between vectors a and b,
+// or 0 when either vector is all-zero.
+func CosineSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: CosineSimilarity length mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Hellinger returns the Hellinger distance between two discrete
+// distributions, in [0, 1].
+func Hellinger(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: Hellinger length mismatch")
+	}
+	var sum float64
+	for i := range p {
+		d := math.Sqrt(p[i]) - math.Sqrt(q[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum) / math.Sqrt2
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R and NumPy default).
+// xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// BoxPlot is the five-number summary (plus mean and outlier fences) used to
+// report the distributional figures. Whiskers follow the Tukey convention:
+// the most extreme data points within 1.5 IQR of the quartiles.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	LowWhisker, HighWhisker  float64
+	Mean                     float64
+	N                        int
+	Outliers                 []float64
+}
+
+// NewBoxPlot computes the summary of xs. It returns a zero-value summary for
+// empty input.
+func NewBoxPlot(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	bp := BoxPlot{
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	bp.Mean = sum / float64(len(sorted))
+	iqr := bp.Q3 - bp.Q1
+	loFence := bp.Q1 - 1.5*iqr
+	hiFence := bp.Q3 + 1.5*iqr
+	bp.LowWhisker, bp.HighWhisker = bp.Min, bp.Max
+	for _, x := range sorted {
+		if x >= loFence {
+			bp.LowWhisker = x
+			break
+		}
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i] <= hiFence {
+			bp.HighWhisker = sorted[i]
+			break
+		}
+	}
+	for _, x := range sorted {
+		if x < loFence || x > hiFence {
+			bp.Outliers = append(bp.Outliers, x)
+		}
+	}
+	return bp
+}
+
+// Summary holds simple descriptive statistics.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	Sum            float64
+	Q1, Q3         float64
+	StandardError  float64
+	CoefficientVar float64
+}
+
+// Describe computes a Summary of xs. Std is the sample standard deviation
+// (n-1 denominator) when n > 1.
+func Describe(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Q1 = quantileSorted(sorted, 0.25)
+	s.Q3 = quantileSorted(sorted, 0.75)
+	for _, x := range xs {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+		s.StandardError = s.Std / math.Sqrt(float64(len(xs)))
+		if s.Mean != 0 {
+			s.CoefficientVar = s.Std / math.Abs(s.Mean)
+		}
+	}
+	return s
+}
+
+// PearsonCorrelation returns the sample Pearson correlation coefficient of
+// the paired samples xs and ys, or 0 if either sample is constant.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: PearsonCorrelation length mismatch")
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Entropy returns the Shannon entropy of a discrete distribution in nats.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, pi := range p {
+		if pi > 0 {
+			h -= pi * math.Log(pi)
+		}
+	}
+	return h
+}
+
+// Histogram bins xs into nbins equal-width buckets over [min, max] and
+// returns bucket counts together with the left edges. Degenerate ranges
+// place everything in the first bucket.
+func Histogram(xs []float64, nbins int) (counts []int, edges []float64) {
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins)
+	if len(xs) == 0 || nbins == 0 {
+		return counts, edges
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	if width == 0 {
+		counts[0] = len(xs)
+		return counts, edges
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}

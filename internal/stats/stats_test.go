@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sourcelda/internal/rng"
+)
+
+func TestKLDivergenceIdentical(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.5}
+	if got := KLDivergence(p, p); got != 0 {
+		t.Fatalf("KL(p||p) = %v, want 0", got)
+	}
+}
+
+func TestKLDivergenceKnown(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0.5, 0.5}
+	if got := KLDivergence(p, q); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("got %v, want ln2", got)
+	}
+}
+
+func TestKLDivergenceInfiniteWhenUnsupported(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0}
+	if got := KLDivergence(p, q); !math.IsInf(got, 1) {
+		t.Fatalf("got %v, want +Inf", got)
+	}
+}
+
+func TestJSDivergenceProperties(t *testing.T) {
+	r := rng.New(5)
+	buf1 := make([]float64, 8)
+	buf2 := make([]float64, 8)
+	for i := 0; i < 200; i++ {
+		r.DirichletSymmetric(0.5, buf1)
+		r.DirichletSymmetric(0.5, buf2)
+		js := JSDivergence(buf1, buf2)
+		if js < 0 || js > math.Log(2)+1e-12 {
+			t.Fatalf("JS %v outside [0, ln2]", js)
+		}
+		if sym := JSDivergence(buf2, buf1); math.Abs(js-sym) > 1e-12 {
+			t.Fatalf("asymmetric: %v vs %v", js, sym)
+		}
+	}
+}
+
+func TestJSDivergenceIdentityAndMax(t *testing.T) {
+	p := []float64{0.3, 0.7}
+	if got := JSDivergence(p, p); got != 0 {
+		t.Fatalf("JS(p,p) = %v, want 0", got)
+	}
+	// Disjoint supports achieve the maximum ln 2.
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := JSDivergence(a, b); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("JS(disjoint) = %v, want ln2", got)
+	}
+}
+
+func TestJSDistanceTriangleInequality(t *testing.T) {
+	// sqrt(JS) is a metric; spot-check the triangle inequality on random
+	// distributions.
+	r := rng.New(7)
+	p := make([]float64, 5)
+	q := make([]float64, 5)
+	m := make([]float64, 5)
+	for i := 0; i < 100; i++ {
+		r.DirichletSymmetric(1, p)
+		r.DirichletSymmetric(1, q)
+		r.DirichletSymmetric(1, m)
+		if JSDistance(p, q) > JSDistance(p, m)+JSDistance(m, q)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := CosineSimilarity(a, b); got != 0 {
+		t.Fatalf("orthogonal cos = %v", got)
+	}
+	if got := CosineSimilarity(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self cos = %v", got)
+	}
+	if got := CosineSimilarity(a, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-vector cos = %v, want 0", got)
+	}
+}
+
+func TestHellingerBounds(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := Hellinger(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("disjoint Hellinger = %v, want 1", got)
+	}
+	if got := Hellinger(a, a); got != 0 {
+		t.Fatalf("self Hellinger = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestBoxPlotSummary(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100} // 100 is an outlier
+	bp := NewBoxPlot(xs)
+	if bp.N != 6 {
+		t.Fatalf("N = %d", bp.N)
+	}
+	if bp.Min != 1 || bp.Max != 100 {
+		t.Fatalf("min/max = %v/%v", bp.Min, bp.Max)
+	}
+	if bp.Median != 3.5 {
+		t.Fatalf("median = %v, want 3.5", bp.Median)
+	}
+	if len(bp.Outliers) != 1 || bp.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v, want [100]", bp.Outliers)
+	}
+	if bp.HighWhisker == 100 {
+		t.Fatal("high whisker must exclude the outlier")
+	}
+	if bp.Q1 > bp.Median || bp.Median > bp.Q3 {
+		t.Fatal("quartiles out of order")
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	bp := NewBoxPlot(nil)
+	if bp.N != 0 {
+		t.Fatal("empty box plot should have N=0")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Sum != 40 {
+		t.Fatal("min/max/sum wrong")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := PearsonCorrelation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := PearsonCorrelation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if got := PearsonCorrelation(xs, []float64{1, 1, 1, 1}); got != 0 {
+		t.Fatalf("constant series correlation = %v, want 0", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]float64{0.5, 0.5}); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("H(fair coin) = %v", got)
+	}
+	if got := Entropy([]float64{1, 0}); got != 0 {
+		t.Fatalf("H(deterministic) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if len(counts) != 2 || len(edges) != 2 {
+		t.Fatal("wrong shapes")
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Fatalf("total %d, want 5", counts[0]+counts[1])
+	}
+	// 0 and 0.1 land in bin 0; 0.5 sits exactly on the split and belongs to
+	// bin 1; 0.9 and 1.0 land in bin 1.
+	if counts[0] != 2 || counts[1] != 3 {
+		t.Fatalf("counts = %v, want [2 3]", counts)
+	}
+}
+
+func TestJSDivergencePropertyNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		p := make([]float64, 6)
+		q := make([]float64, 6)
+		r.DirichletSymmetric(0.3, p)
+		r.DirichletSymmetric(0.3, q)
+		js := JSDivergence(p, q)
+		return js >= 0 && js <= math.Log(2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivergenceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"KL":        func() { KLDivergence([]float64{1}, []float64{0.5, 0.5}) },
+		"JS":        func() { JSDivergence([]float64{1}, []float64{0.5, 0.5}) },
+		"cosine":    func() { CosineSimilarity([]float64{1}, []float64{0.5, 0.5}) },
+		"hellinger": func() { Hellinger([]float64{1}, []float64{0.5, 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,202 @@
+package synth
+
+import (
+	"fmt"
+
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/textproc"
+)
+
+// EncyclopediaOptions controls synthetic knowledge-source generation.
+type EncyclopediaOptions struct {
+	// ArticleTokens is the token count per article. Default 400.
+	ArticleTokens int
+	// ZipfExponent shapes the within-article frequency law over a topic's
+	// core words (heavy head, long tail, like a real encyclopedia article).
+	// Default 1.05.
+	ZipfExponent float64
+	// BackgroundWords is the shared filler vocabulary; nil uses the
+	// built-in newswire filler.
+	BackgroundWords []string
+	// BackgroundFraction is the fraction of article tokens drawn from the
+	// background vocabulary. Default 0.25.
+	BackgroundFraction float64
+	// ExtraCoreWords mints this many additional pseudo-words per topic on
+	// top of the curated signature words, deepening the article vocabulary.
+	// Default 10.
+	ExtraCoreWords int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o EncyclopediaOptions) withDefaults() EncyclopediaOptions {
+	if o.ArticleTokens <= 0 {
+		o.ArticleTokens = 400
+	}
+	if o.ZipfExponent <= 0 {
+		o.ZipfExponent = 1.05
+	}
+	if o.BackgroundWords == nil {
+		o.BackgroundWords = SharedBackgroundWords()
+	}
+	if o.BackgroundFraction < 0 || o.BackgroundFraction >= 1 {
+		o.BackgroundFraction = 0.25
+	} else if o.BackgroundFraction == 0 {
+		o.BackgroundFraction = 0.25
+	}
+	if o.ExtraCoreWords < 0 {
+		o.ExtraCoreWords = 0
+	}
+	return o
+}
+
+// Encyclopedia is a generated knowledge source plus the vocabulary its
+// articles were interned into.
+type Encyclopedia struct {
+	Source *knowledge.Source
+	Vocab  *textproc.Vocabulary
+	// CoreWordIDs[i] lists the word ids of topic i's core vocabulary in
+	// Zipf-rank order (rank 0 = most frequent).
+	CoreWordIDs [][]int
+}
+
+// BuildEncyclopedia generates one article per category: core words receive
+// Zipf-distributed counts (rank order shuffled per topic so different topics
+// emphasize different words), background words fill the remainder. All words
+// are interned into vocab (created fresh when nil).
+func BuildEncyclopedia(categories []CuratedCategory, vocab *textproc.Vocabulary, opts EncyclopediaOptions) *Encyclopedia {
+	opts = opts.withDefaults()
+	if vocab == nil {
+		vocab = textproc.NewVocabulary()
+	}
+	r := rng.New(opts.Seed)
+	bgIDs := make([]int, len(opts.BackgroundWords))
+	for i, w := range opts.BackgroundWords {
+		bgIDs[i] = vocab.Add(w)
+	}
+	bgZipf := rng.NewZipfTable(len(bgIDs), 1.0)
+
+	articles := make([]*knowledge.Article, len(categories))
+	coreIDs := make([][]int, len(categories))
+	for ci, cat := range categories {
+		words := append([]string(nil), cat.Words...)
+		if opts.ExtraCoreWords > 0 {
+			minted := MintVocabulary(r, opts.ExtraCoreWords, 2)
+			for i, mw := range minted {
+				minted[i] = fmt.Sprintf("%s%s", mw, suffixFor(ci, i))
+			}
+			words = append(words, minted...)
+		}
+		ids := make([]int, len(words))
+		for i, w := range words {
+			ids[i] = vocab.Add(w)
+		}
+		// Shuffle rank order so the Zipf head differs across topics that
+		// share words.
+		r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		coreIDs[ci] = ids
+
+		counts := make(map[int]int)
+		total := 0
+		coreZipf := rng.NewZipfTable(len(ids), opts.ZipfExponent)
+		nBg := int(float64(opts.ArticleTokens) * opts.BackgroundFraction)
+		nCore := opts.ArticleTokens - nBg
+		for n := 0; n < nCore; n++ {
+			counts[ids[coreZipf.Draw(r)]]++
+			total++
+		}
+		for n := 0; n < nBg; n++ {
+			counts[bgIDs[bgZipf.Draw(r)]]++
+			total++
+		}
+		// Guarantee every core word appears at least once, so source
+		// distributions have full support over the topic's signature set.
+		for _, id := range ids {
+			if counts[id] == 0 {
+				counts[id] = 1
+				total++
+			}
+		}
+		articles[ci] = &knowledge.Article{Label: cat.Label, Counts: counts, TotalTokens: total}
+	}
+	return &Encyclopedia{
+		Source:      knowledge.MustNewSource(articles),
+		Vocab:       vocab,
+		CoreWordIDs: coreIDs,
+	}
+}
+
+// suffixFor disambiguates minted words across topics so two topics never
+// accidentally share a minted term.
+func suffixFor(topic, i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return string(letters[topic%26]) + string(letters[(topic/26+i)%26])
+}
+
+// GeneratedCategories builds n categories: the curated Reuters-style list
+// first, then minted filler categories, each filler with wordsPerTopic
+// minted signature words.
+func GeneratedCategories(n, wordsPerTopic int, seed int64) []CuratedCategory {
+	r := rng.New(seed)
+	cats := CuratedCategories()
+	if n <= len(cats) {
+		return cats[:n]
+	}
+	extra := n - len(cats)
+	names := FillerCategoryNames(extra, r)
+	for _, name := range names {
+		words := MintVocabulary(r, wordsPerTopic, 2)
+		cats = append(cats, CuratedCategory{Label: name, Words: words})
+	}
+	return cats
+}
+
+// OverlappingCategories builds n categories whose signature words all come
+// from one shared pool, so topics overlap heavily and are distinguished by
+// their *frequency profiles* rather than by disjoint supports — the regime
+// of the paper's Wikipedia experiments (and of its case-study argument that
+// word frequencies, not word sets, identify a topic). Each topic samples
+// wordsPerTopic words from a pool of poolSize ≥ wordsPerTopic.
+func OverlappingCategories(n, wordsPerTopic, poolSize int, seed int64) []CuratedCategory {
+	if poolSize < wordsPerTopic {
+		poolSize = wordsPerTopic
+	}
+	r := rng.New(seed)
+	pool := MintVocabulary(r, poolSize, 2)
+	cats := make([]CuratedCategory, n)
+	for i := range cats {
+		idx := r.SampleWithoutReplacement(poolSize, wordsPerTopic)
+		words := make([]string, wordsPerTopic)
+		for j, id := range idx {
+			words[j] = pool[id]
+		}
+		cats[i] = CuratedCategory{Label: fmt.Sprintf("Profile Topic %d", i), Words: words}
+	}
+	return cats
+}
+
+// MedicalCategories builds n medical-dictionary categories with minted
+// terminology (the MedlinePlus substitute). Roughly 40% of each topic's
+// signature words are unique; the rest are drawn from a shared domain pool
+// ("symptom", "treatment"-style vocabulary), mirroring the heavy word
+// overlap between real medical dictionary entries — the property that makes
+// unsupervised LDA merge and split such topics while knowledge-anchored
+// models keep them apart.
+func MedicalCategories(n, wordsPerTopic int, seed int64) []CuratedCategory {
+	r := rng.New(seed)
+	names := MedicalTopicNames(n)
+	poolSize := 4 * wordsPerTopic
+	pool := MintVocabulary(r, poolSize, 2)
+	shared := 3 * wordsPerTopic / 5
+	unique := wordsPerTopic - shared
+	cats := make([]CuratedCategory, n)
+	for i, name := range names {
+		words := MintVocabulary(r, unique, 3)
+		for _, idx := range r.SampleWithoutReplacement(poolSize, shared) {
+			words = append(words, pool[idx])
+		}
+		cats[i] = CuratedCategory{Label: name, Words: words}
+	}
+	return cats
+}

@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/smoothing"
+	"sourcelda/internal/textproc"
+)
+
+// GenerativeOptions parameterizes the forward Source-LDA generative process
+// (§III-C's complete generative model), which the paper uses to build its
+// ground-truth evaluation corpora (§IV-B, §IV-D).
+type GenerativeOptions struct {
+	// NumDocs is D.
+	NumDocs int
+	// AvgDocLen is the Poisson mean ξ for document lengths.
+	AvgDocLen int
+	// MinDocLen floors document lengths (Poisson can draw 0). Default 2.
+	MinDocLen int
+	// Alpha is the symmetric document-topic Dirichlet parameter.
+	Alpha float64
+	// Mu, Sigma parameterize the per-topic λ ~ N(µ, σ), truncated to [0, 1]
+	// as in §IV-B ("we bound the value drawn to the interval [0,1]").
+	Mu, Sigma float64
+	// FixedLambda, when non-nil, uses this λ for every live topic instead
+	// of drawing from the Gaussian.
+	FixedLambda *float64
+	// UseSmoothing maps drawn λ through the per-topic g before
+	// exponentiation (step 6 of the complete generative process).
+	UseSmoothing bool
+	// SmoothingConfig configures g estimation; zero value = fast mean-field.
+	SmoothingConfig smoothing.Config
+	// Epsilon is the Definition 3 smoothing mass.
+	Epsilon float64
+	// LiveTopics are the knowledge-source article indices actually used to
+	// generate the corpus (the paper's K chosen topics out of B).
+	LiveTopics []int
+	// NumUnknownTopics adds this many non-source topics drawn from a
+	// symmetric Dirichlet over the vocabulary.
+	NumUnknownTopics int
+	// UnknownBeta is the symmetric parameter for unknown topics. Default
+	// 0.05 (peaked, so unknown topics are distinctive).
+	UnknownBeta float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o GenerativeOptions) withDefaults() GenerativeOptions {
+	if o.MinDocLen <= 0 {
+		o.MinDocLen = 2
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.5
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = knowledge.DefaultEpsilon
+	}
+	if o.UnknownBeta <= 0 {
+		o.UnknownBeta = 0.05
+	}
+	if o.SmoothingConfig.GridPoints == 0 && o.SmoothingConfig.Samples == 0 {
+		o.SmoothingConfig = smoothing.Config{GridPoints: 11, MeanField: true, Seed: o.Seed}
+	}
+	return o
+}
+
+// Generated is a synthetic corpus with full ground truth. Truth topic ids:
+// a token from live source topic with article index s has id s; a token
+// from unknown topic u (0-based) has id src.Len() + u. NumTruthTopics is
+// src.Len() + NumUnknown.
+type Generated struct {
+	Corpus *corpus.Corpus
+	// TruthPhi maps truth topic id → the exact distribution used during
+	// generation (only live ids and unknown ids are non-nil).
+	TruthPhi [][]float64
+	// Lambdas[i] is the λ drawn for LiveTopics[i].
+	Lambdas []float64
+	// LiveTopics echoes the generating article indices.
+	LiveTopics []int
+	// NumSource is the knowledge-source size B.
+	NumSource int
+	// NumUnknown is the number of unknown (non-source) generating topics.
+	NumUnknown int
+	// NumTruthTopics is the truth-id space size, B + NumUnknown.
+	NumTruthTopics int
+}
+
+// Generate runs the Source-LDA generative process forward over the given
+// knowledge source and vocabulary and returns the corpus with per-token
+// ground truth.
+func Generate(src *knowledge.Source, vocab *textproc.Vocabulary, opts GenerativeOptions) (*Generated, error) {
+	opts = opts.withDefaults()
+	if src == nil || src.Len() == 0 {
+		return nil, errors.New("synth: empty knowledge source")
+	}
+	if vocab == nil || vocab.Size() == 0 {
+		return nil, errors.New("synth: empty vocabulary")
+	}
+	if opts.NumDocs <= 0 || opts.AvgDocLen <= 0 {
+		return nil, errors.New("synth: NumDocs and AvgDocLen must be positive")
+	}
+	if len(opts.LiveTopics) == 0 && opts.NumUnknownTopics == 0 {
+		return nil, errors.New("synth: no live or unknown topics to generate from")
+	}
+	for _, s := range opts.LiveTopics {
+		if s < 0 || s >= src.Len() {
+			return nil, fmt.Errorf("synth: live topic %d outside knowledge source of size %d", s, src.Len())
+		}
+	}
+	V := vocab.Size()
+	B := src.Len()
+	r := rng.New(opts.Seed)
+
+	g := &Generated{
+		Corpus:         corpus.NewWithVocab(vocab),
+		LiveTopics:     append([]int(nil), opts.LiveTopics...),
+		NumSource:      B,
+		NumUnknown:     opts.NumUnknownTopics,
+		NumTruthTopics: B + opts.NumUnknownTopics,
+		TruthPhi:       make([][]float64, B+opts.NumUnknownTopics),
+		Lambdas:        make([]float64, len(opts.LiveTopics)),
+	}
+
+	// Steps 4–7 of the complete generative process: φ_t ~ Dir(δ_t^{g(λ_t)})
+	// for source topics.
+	activePhi := make([][]float64, 0, len(opts.LiveTopics)+opts.NumUnknownTopics)
+	activeIDs := make([]int, 0, cap(activePhi))
+	for i, s := range opts.LiveTopics {
+		art := src.Article(s)
+		h := art.Hyperparams(V, opts.Epsilon)
+		var lambda float64
+		if opts.FixedLambda != nil {
+			lambda = *opts.FixedLambda
+		} else {
+			// §IV-B: λ ~ N(µ, σ) bounded (clamped) to [0, 1].
+			lambda = r.ClampedNormal(opts.Mu, opts.Sigma, 0, 1)
+		}
+		g.Lambdas[i] = lambda
+		e := lambda
+		if opts.UseSmoothing {
+			cfg := opts.SmoothingConfig
+			cfg.Seed = opts.SmoothingConfig.Seed + int64(s)
+			gfun := smoothing.Estimate(h, art.SmoothedDistribution(V, opts.Epsilon), cfg)
+			e = gfun.Eval(lambda)
+		}
+		phi := make([]float64, V)
+		r.Dirichlet(h.Pow(e).Dense(), phi)
+		g.TruthPhi[s] = phi
+		activePhi = append(activePhi, phi)
+		activeIDs = append(activeIDs, s)
+	}
+	// Steps 2–3: unknown topics φ ~ Dir(β).
+	for u := 0; u < opts.NumUnknownTopics; u++ {
+		phi := make([]float64, V)
+		r.DirichletSymmetric(opts.UnknownBeta, phi)
+		id := B + u
+		g.TruthPhi[id] = phi
+		activePhi = append(activePhi, phi)
+		activeIDs = append(activeIDs, id)
+	}
+
+	// Steps 8–13: documents.
+	theta := make([]float64, len(activePhi))
+	for d := 0; d < opts.NumDocs; d++ {
+		n := r.Poisson(float64(opts.AvgDocLen))
+		if n < opts.MinDocLen {
+			n = opts.MinDocLen
+		}
+		r.DirichletSymmetric(opts.Alpha, theta)
+		doc := &corpus.Document{
+			Name:   fmt.Sprintf("synth-doc-%d", d),
+			Words:  make([]int, n),
+			Topics: make([]int, n),
+		}
+		for i := 0; i < n; i++ {
+			z := r.Categorical(theta)
+			doc.Words[i] = r.Categorical(activePhi[z])
+			doc.Topics[i] = activeIDs[z]
+		}
+		g.Corpus.AddDocument(doc)
+	}
+	return g, nil
+}
+
+// ActiveTruthIDs returns the generating topic ids in order: the live source
+// article indices followed by the unknown-topic ids.
+func (g *Generated) ActiveTruthIDs() []int {
+	ids := append([]int(nil), g.LiveTopics...)
+	for u := 0; u < g.NumUnknown; u++ {
+		ids = append(ids, g.NumSource+u)
+	}
+	return ids
+}
+
+// TruthThetaOverActive returns per-document ground-truth mixtures restricted
+// to the active (live + unknown) topics, in ActiveTruthIDs order — the
+// reference for the sorted-JS θ comparisons.
+func (g *Generated) TruthThetaOverActive() [][]float64 {
+	ids := g.ActiveTruthIDs()
+	pos := make(map[int]int, len(ids))
+	for i, id := range ids {
+		pos[id] = i
+	}
+	out := make([][]float64, g.Corpus.NumDocs())
+	for d, doc := range g.Corpus.Docs {
+		row := make([]float64, len(ids))
+		for _, t := range doc.Topics {
+			if p, ok := pos[t]; ok {
+				row[p]++
+			}
+		}
+		if len(doc.Topics) > 0 {
+			inv := 1 / float64(len(doc.Topics))
+			for i := range row {
+				row[i] *= inv
+			}
+		}
+		out[d] = row
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package synth
+
+import (
+	"fmt"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/rng"
+	"sourcelda/internal/textproc"
+)
+
+// CaseStudy reproduces the §I motivating example: a two-document corpus
+//
+//	d1 - pencil, pencil, umpire
+//	d2 - ruler, ruler, baseball
+//
+// with knowledge-source articles for "School Supplies" and "Baseball"
+// (stand-ins for the Wikipedia articles the paper uses). The ideal
+// assignment places pencil/ruler under School Supplies and umpire/baseball
+// under Baseball.
+type CaseStudyData struct {
+	Corpus *corpus.Corpus
+	Source *knowledge.Source
+	// SchoolSupplies and Baseball are the article indices.
+	SchoolSupplies, Baseball int
+}
+
+// CaseStudy builds the case-study corpus and knowledge source.
+func CaseStudy() *CaseStudyData {
+	c := corpus.New()
+	stop := textproc.DefaultStopwords()
+	c.AddText("d1", "pencil pencil umpire", stop)
+	c.AddText("d2", "ruler ruler baseball", stop)
+
+	school := knowledge.NewArticleFromText("School Supplies",
+		`pencil pencil pencil pencil pencil pencil eraser eraser eraser ruler
+		 ruler ruler ruler notebook notebook paper paper paper pen pen pen
+		 laptop laptop book book book backpack crayon marker glue scissors
+		 pencil ruler eraser paper classroom classroom student student
+		 school school school supplies supplies stationery binder folder`,
+		c.Vocab, stop, true)
+	baseball := knowledge.NewArticleFromText("Baseball",
+		`baseball baseball baseball baseball baseball baseball pitcher pitcher
+		 pitcher batter batter batter umpire umpire umpire inning inning
+		 catcher catcher outfield infield home run runs bases bases stolen
+		 league league league stadium fans glove bat bat ball ball ball
+		 strike strike pitch pitch team team game game game season player players`,
+		c.Vocab, stop, true)
+
+	src := knowledge.MustNewSource([]*knowledge.Article{school, baseball})
+	return &CaseStudyData{Corpus: c, Source: src, SchoolSupplies: 0, Baseball: 1}
+}
+
+// ReutersOptions parameterizes the Reuters-21578-like scenario (§IV-C's
+// conditions: a 2,000-document subset, an 80-topic crawled superset of which
+// 49 appear in the corpus).
+type ReutersOptions struct {
+	// NumCategories is the knowledge-source superset size (paper: 80).
+	NumCategories int
+	// LiveCategories is how many categories actually generate documents
+	// (paper: 49).
+	LiveCategories int
+	// NumDocs is the corpus size (paper subset: 2000).
+	NumDocs int
+	// AvgDocLen is the Poisson mean document length. Default 80.
+	AvgDocLen int
+	// UnknownTopics is the number of non-source topics mixed into the
+	// corpus (newswire content with no knowledge-source entry). Default 5.
+	UnknownTopics int
+	// Alpha is the document-topic concentration. Default 0.08 (sparse
+	// mixtures — a newswire article covers few categories).
+	Alpha float64
+	// Mu, Sigma parameterize per-topic λ. Defaults 0.7 / 0.3 (the values
+	// §IV-C selects by perplexity).
+	Mu, Sigma float64
+	// ArticleTokens is the knowledge-source article length. Default 400.
+	ArticleTokens int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (o ReutersOptions) withDefaults() ReutersOptions {
+	if o.NumCategories <= 0 {
+		o.NumCategories = 80
+	}
+	if o.LiveCategories <= 0 || o.LiveCategories > o.NumCategories {
+		o.LiveCategories = (o.NumCategories*49 + 40) / 80
+	}
+	if o.NumDocs <= 0 {
+		o.NumDocs = 2000
+	}
+	if o.AvgDocLen <= 0 {
+		o.AvgDocLen = 80
+	}
+	if o.UnknownTopics < 0 {
+		o.UnknownTopics = 0
+	} else if o.UnknownTopics == 0 {
+		o.UnknownTopics = 5
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.08
+	}
+	if o.Mu == 0 {
+		o.Mu = 0.7
+	}
+	if o.Sigma == 0 {
+		o.Sigma = 0.3
+	}
+	if o.ArticleTokens <= 0 {
+		o.ArticleTokens = 400
+	}
+	return o
+}
+
+// ReutersData is the generated newswire scenario.
+type ReutersData struct {
+	Corpus *corpus.Corpus
+	Source *knowledge.Source
+	Vocab  *textproc.Vocabulary
+	// Live lists the article indices that generated documents.
+	Live []int
+	// Generated carries the full ground truth.
+	Generated *Generated
+}
+
+// ReutersLike builds the 80-category knowledge source (curated categories
+// first, minted fillers after) and generates a newswire-like corpus from a
+// random subset of live categories plus unknown topics, following the
+// Source-LDA generative model.
+func ReutersLike(opts ReutersOptions) (*ReutersData, error) {
+	opts = opts.withDefaults()
+	cats := GeneratedCategories(opts.NumCategories, 15, opts.Seed+1)
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{
+		ArticleTokens: opts.ArticleTokens,
+		Seed:          opts.Seed + 2,
+	})
+	r := rng.New(opts.Seed + 3)
+	live := r.SampleWithoutReplacement(opts.NumCategories, opts.LiveCategories)
+
+	gen, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{
+		NumDocs:          opts.NumDocs,
+		AvgDocLen:        opts.AvgDocLen,
+		Alpha:            opts.Alpha,
+		Mu:               opts.Mu,
+		Sigma:            opts.Sigma,
+		LiveTopics:       live,
+		NumUnknownTopics: opts.UnknownTopics,
+		Seed:             opts.Seed + 4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: reuters generation: %w", err)
+	}
+	return &ReutersData{
+		Corpus:    gen.Corpus,
+		Source:    enc.Source,
+		Vocab:     enc.Vocab,
+		Live:      live,
+		Generated: gen,
+	}, nil
+}
+
+// MedlineOptions parameterizes the MedlinePlus-like scenario (§IV-D: 578
+// topics, 100 live, 2000 documents, Davg = 500).
+type MedlineOptions struct {
+	// NumTopics is B, the dictionary size (paper: 578).
+	NumTopics int
+	// LiveTopics is K, the number of generating topics (paper: 100).
+	LiveTopics int
+	// NumDocs is D (paper: 2000).
+	NumDocs int
+	// AvgDocLen is Davg (paper: 500).
+	AvgDocLen int
+	// Alpha is the document-topic concentration. Default 0.1.
+	Alpha float64
+	// Mu, Sigma parameterize per-topic λ (paper: 0.7/0.3 for the full
+	// model, 5.0/2.0 for the bijective evaluation — values above 1 clamp
+	// to 1 after truncation).
+	Mu, Sigma float64
+	// WordsPerTopic is the minted signature vocabulary per topic. Default 20.
+	WordsPerTopic int
+	// ArticleTokens is the knowledge-source article length. Default 300.
+	ArticleTokens int
+	// UnknownTopics mixes in non-source topics (0 for the bijective
+	// experiments).
+	UnknownTopics int
+	// Seed drives everything.
+	Seed int64
+}
+
+func (o MedlineOptions) withDefaults() MedlineOptions {
+	if o.NumTopics <= 0 {
+		o.NumTopics = 578
+	}
+	if o.LiveTopics <= 0 || o.LiveTopics > o.NumTopics {
+		o.LiveTopics = 100
+		if o.LiveTopics > o.NumTopics {
+			o.LiveTopics = o.NumTopics
+		}
+	}
+	if o.NumDocs <= 0 {
+		o.NumDocs = 2000
+	}
+	if o.AvgDocLen <= 0 {
+		o.AvgDocLen = 500
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.1
+	}
+	if o.Mu == 0 {
+		o.Mu = 0.7
+	}
+	if o.Sigma == 0 {
+		o.Sigma = 0.3
+	}
+	if o.WordsPerTopic <= 0 {
+		o.WordsPerTopic = 20
+	}
+	if o.ArticleTokens <= 0 {
+		o.ArticleTokens = 300
+	}
+	return o
+}
+
+// MedlineData is the generated medical-dictionary scenario.
+type MedlineData struct {
+	Corpus    *corpus.Corpus
+	Source    *knowledge.Source
+	Vocab     *textproc.Vocabulary
+	Live      []int
+	Generated *Generated
+}
+
+// MedlineLike builds the medical-dictionary knowledge source and generates a
+// ground-truth corpus from a random live subset, per the §IV-D protocol.
+func MedlineLike(opts MedlineOptions) (*MedlineData, error) {
+	opts = opts.withDefaults()
+	cats := MedicalCategories(opts.NumTopics, opts.WordsPerTopic, opts.Seed+1)
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{
+		ArticleTokens:  opts.ArticleTokens,
+		ExtraCoreWords: 0,
+		Seed:           opts.Seed + 2,
+	})
+	r := rng.New(opts.Seed + 3)
+	live := r.SampleWithoutReplacement(opts.NumTopics, opts.LiveTopics)
+
+	gen, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{
+		NumDocs:          opts.NumDocs,
+		AvgDocLen:        opts.AvgDocLen,
+		Alpha:            opts.Alpha,
+		Mu:               opts.Mu,
+		Sigma:            opts.Sigma,
+		LiveTopics:       live,
+		NumUnknownTopics: opts.UnknownTopics,
+		Seed:             opts.Seed + 4,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("synth: medline generation: %w", err)
+	}
+	return &MedlineData{
+		Corpus:    gen.Corpus,
+		Source:    enc.Source,
+		Vocab:     enc.Vocab,
+		Live:      live,
+		Generated: gen,
+	}, nil
+}

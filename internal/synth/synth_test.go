@@ -1,0 +1,387 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/rng"
+	"sourcelda/internal/stats"
+)
+
+func TestCuratedCategoriesWellFormed(t *testing.T) {
+	cats := CuratedCategories()
+	if len(cats) < 30 {
+		t.Fatalf("only %d curated categories", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		if c.Label == "" || len(c.Words) < 10 {
+			t.Fatalf("category %q underspecified", c.Label)
+		}
+		if seen[c.Label] {
+			t.Fatalf("duplicate category %q", c.Label)
+		}
+		seen[c.Label] = true
+	}
+	// The paper's Fig. 2 topics must be present.
+	for _, want := range []string{"Money Supply", "Unemployment", "Balance of Payments",
+		"Inventories", "Natural Gas", "Housing Starts", "Personal Income"} {
+		if !seen[want] {
+			t.Errorf("missing paper category %q", want)
+		}
+	}
+}
+
+func TestTableOneSignatureWords(t *testing.T) {
+	// Table I's Source-LDA word lists must be reproducible: the signature
+	// words the paper reports have to exist in our curated articles.
+	cats := CuratedCategories()
+	byLabel := map[string][]string{}
+	for _, c := range cats {
+		byLabel[c.Label] = c.Words
+	}
+	checks := map[string][]string{
+		"Inventories":         {"inventory", "cost", "stock", "accounting", "goods"},
+		"Natural Gas":         {"gas", "natural", "cubic", "energy", "fuel"},
+		"Balance of Payments": {"account", "surplus", "deficit", "current", "balance"},
+	}
+	for label, words := range checks {
+		have := map[string]bool{}
+		for _, w := range byLabel[label] {
+			have[w] = true
+		}
+		for _, w := range words {
+			if !have[w] {
+				t.Errorf("%s: missing Table I word %q", label, w)
+			}
+		}
+	}
+}
+
+func TestMintWordDeterministic(t *testing.T) {
+	a := MintWord(rng.New(1), 2)
+	b := MintWord(rng.New(1), 2)
+	if a != b {
+		t.Fatal("same seed minted different words")
+	}
+	if len(a) < 2 {
+		t.Fatalf("minted word %q too short", a)
+	}
+}
+
+func TestMintVocabularyDistinct(t *testing.T) {
+	words := MintVocabulary(rng.New(2), 500, 2)
+	if len(words) != 500 {
+		t.Fatalf("got %d words", len(words))
+	}
+	seen := map[string]bool{}
+	for _, w := range words {
+		if seen[w] {
+			t.Fatalf("duplicate minted word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestMedicalTopicNames(t *testing.T) {
+	names := MedicalTopicNames(578)
+	if len(names) != 578 {
+		t.Fatalf("got %d names", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if !strings.Contains(n, " ") {
+			t.Fatalf("name %q lacks prefix/suffix structure", n)
+		}
+	}
+}
+
+func TestBuildEncyclopedia(t *testing.T) {
+	cats := CuratedCategories()[:10]
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{ArticleTokens: 300, Seed: 3})
+	if enc.Source.Len() != 10 {
+		t.Fatalf("articles = %d", enc.Source.Len())
+	}
+	for i := 0; i < enc.Source.Len(); i++ {
+		a := enc.Source.Article(i)
+		if a.TotalTokens < 300 {
+			t.Fatalf("article %d has %d tokens, want ≥ 300", i, a.TotalTokens)
+		}
+		// Every signature word must appear.
+		for _, w := range cats[i].Words {
+			id, ok := enc.Vocab.ID(w)
+			if !ok {
+				t.Fatalf("signature word %q not interned", w)
+			}
+			if a.Counts[id] == 0 {
+				t.Fatalf("article %q lacks its signature word %q", a.Label, w)
+			}
+		}
+	}
+	// Zipf head: the most frequent core word should clearly dominate the
+	// median core word on average.
+	var headCount, midCount int
+	for i := 0; i < enc.Source.Len(); i++ {
+		a := enc.Source.Article(i)
+		ids := enc.CoreWordIDs[i]
+		headCount += a.Counts[ids[0]]
+		midCount += a.Counts[ids[len(ids)/2]]
+	}
+	if headCount <= midCount {
+		t.Fatalf("Zipf head %d not heavier than middle %d", headCount, midCount)
+	}
+}
+
+func TestEncyclopediaDeterministic(t *testing.T) {
+	cats := CuratedCategories()[:5]
+	a := BuildEncyclopedia(cats, nil, EncyclopediaOptions{Seed: 9})
+	b := BuildEncyclopedia(cats, nil, EncyclopediaOptions{Seed: 9})
+	for i := 0; i < a.Source.Len(); i++ {
+		ca, cb := a.Source.Article(i).Counts, b.Source.Article(i).Counts
+		if len(ca) != len(cb) {
+			t.Fatal("different supports for same seed")
+		}
+		for w, n := range ca {
+			if cb[w] != n {
+				t.Fatal("different counts for same seed")
+			}
+		}
+	}
+}
+
+func TestGeneratedCategoriesExtends(t *testing.T) {
+	cats := GeneratedCategories(80, 15, 7)
+	if len(cats) != 80 {
+		t.Fatalf("got %d categories", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		if seen[c.Label] {
+			t.Fatalf("duplicate label %q", c.Label)
+		}
+		seen[c.Label] = true
+	}
+	if !seen["Money Supply"] {
+		t.Fatal("curated categories must come first")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cats := CuratedCategories()[:3]
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{Seed: 1})
+	if _, err := Generate(nil, enc.Vocab, GenerativeOptions{NumDocs: 1, AvgDocLen: 5, LiveTopics: []int{0}}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{NumDocs: 0, AvgDocLen: 5, LiveTopics: []int{0}}); err == nil {
+		t.Error("zero docs accepted")
+	}
+	if _, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{NumDocs: 1, AvgDocLen: 5}); err == nil {
+		t.Error("no topics accepted")
+	}
+	if _, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{NumDocs: 1, AvgDocLen: 5, LiveTopics: []int{99}}); err == nil {
+		t.Error("out-of-range live topic accepted")
+	}
+}
+
+func TestGenerateGroundTruth(t *testing.T) {
+	cats := CuratedCategories()[:6]
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{Seed: 2})
+	gen, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{
+		NumDocs: 40, AvgDocLen: 30, Alpha: 0.3,
+		Mu: 0.7, Sigma: 0.3,
+		LiveTopics:       []int{0, 2, 4},
+		NumUnknownTopics: 2,
+		Seed:             11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Corpus.NumDocs() != 40 {
+		t.Fatalf("docs = %d", gen.Corpus.NumDocs())
+	}
+	if !gen.Corpus.HasGroundTruth() {
+		t.Fatal("no ground truth")
+	}
+	if err := gen.Corpus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumTruthTopics != 6+2 {
+		t.Fatalf("truth space %d", gen.NumTruthTopics)
+	}
+	// Tokens only from live/unknown topics.
+	allowed := map[int]bool{0: true, 2: true, 4: true, 6: true, 7: true}
+	for _, d := range gen.Corpus.Docs {
+		for _, z := range d.Topics {
+			if !allowed[z] {
+				t.Fatalf("token from non-live topic %d", z)
+			}
+		}
+	}
+	// λ recorded per live topic, within [0,1].
+	if len(gen.Lambdas) != 3 {
+		t.Fatalf("lambdas = %v", gen.Lambdas)
+	}
+	for _, l := range gen.Lambdas {
+		if l < 0 || l > 1 {
+			t.Fatalf("λ = %v outside [0,1]", l)
+		}
+	}
+	// TruthPhi populated exactly for live + unknown ids.
+	for id, phi := range gen.TruthPhi {
+		if allowed[id] {
+			if phi == nil {
+				t.Fatalf("missing truth φ for %d", id)
+			}
+			var s float64
+			for _, p := range phi {
+				s += p
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Fatalf("truth φ[%d] sums to %v", id, s)
+			}
+		} else if phi != nil {
+			t.Fatalf("unexpected truth φ for dead topic %d", id)
+		}
+	}
+	ids := gen.ActiveTruthIDs()
+	if len(ids) != 5 || ids[3] != 6 || ids[4] != 7 {
+		t.Fatalf("active ids = %v", ids)
+	}
+	theta := gen.TruthThetaOverActive()
+	for d, row := range theta {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("truth θ[%d] sums to %v", d, s)
+		}
+	}
+}
+
+func TestGenerateFixedLambdaConformance(t *testing.T) {
+	// λ = 1 must generate corpora whose empirical topic distributions track
+	// the source distributions much more closely than λ = 0.
+	cats := CuratedCategories()[:4]
+	enc := BuildEncyclopedia(cats, nil, EncyclopediaOptions{Seed: 4})
+	divergence := func(lambda float64) float64 {
+		gen, err := Generate(enc.Source, enc.Vocab, GenerativeOptions{
+			NumDocs: 60, AvgDocLen: 60, Alpha: 0.5,
+			FixedLambda: &lambda,
+			LiveTopics:  []int{0, 1, 2, 3},
+			Seed:        21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		V := enc.Vocab.Size()
+		var total float64
+		for _, s := range gen.LiveTopics {
+			src := enc.Source.Article(s).SmoothedDistribution(V, 0.01)
+			total += stats.JSDivergence(gen.TruthPhi[s], src)
+		}
+		return total
+	}
+	if d1, d0 := divergence(1), divergence(0); d1 >= d0 {
+		t.Fatalf("λ=1 divergence %v should be below λ=0 divergence %v", d1, d0)
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	cs := CaseStudy()
+	if cs.Corpus.NumDocs() != 2 {
+		t.Fatalf("docs = %d", cs.Corpus.NumDocs())
+	}
+	if cs.Source.Len() != 2 {
+		t.Fatalf("articles = %d", cs.Source.Len())
+	}
+	if cs.Source.Label(cs.SchoolSupplies) != "School Supplies" {
+		t.Fatal("wrong school label")
+	}
+	// d1 = pencil pencil umpire.
+	if got := cs.Corpus.Docs[0].Len(); got != 3 {
+		t.Fatalf("d1 length %d", got)
+	}
+	// Corpus words must all appear in at least one article (Definition 3's
+	// regime: corpus topics covered by the knowledge source).
+	for _, d := range cs.Corpus.Docs {
+		for _, w := range d.Words {
+			inSchool := cs.Source.Article(0).Counts[w] > 0
+			inBall := cs.Source.Article(1).Counts[w] > 0
+			if !inSchool && !inBall {
+				t.Fatalf("corpus word %q missing from both articles", cs.Corpus.Vocab.Word(w))
+			}
+		}
+	}
+}
+
+func TestReutersLike(t *testing.T) {
+	data, err := ReutersLike(ReutersOptions{
+		NumCategories: 20, LiveCategories: 8, NumDocs: 60, AvgDocLen: 40,
+		UnknownTopics: 2, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Source.Len() != 20 {
+		t.Fatalf("source size %d", data.Source.Len())
+	}
+	if len(data.Live) != 8 {
+		t.Fatalf("live = %d", len(data.Live))
+	}
+	if data.Corpus.NumDocs() != 60 {
+		t.Fatalf("docs = %d", data.Corpus.NumDocs())
+	}
+	if err := data.Corpus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Live fraction: documents use live or unknown topics only.
+	liveSet := map[int]bool{}
+	for _, l := range data.Live {
+		liveSet[l] = true
+	}
+	for _, d := range data.Corpus.Docs {
+		for _, z := range d.Topics {
+			if z < data.Source.Len() && !liveSet[z] {
+				t.Fatalf("dead category %d generated a token", z)
+			}
+		}
+	}
+}
+
+func TestReutersDefaultsScale(t *testing.T) {
+	o := ReutersOptions{}.withDefaults()
+	if o.NumCategories != 80 || o.LiveCategories != 49 || o.NumDocs != 2000 {
+		t.Fatalf("defaults = %+v, want the paper's 80/49/2000", o)
+	}
+}
+
+func TestMedlineLike(t *testing.T) {
+	data, err := MedlineLike(MedlineOptions{
+		NumTopics: 30, LiveTopics: 10, NumDocs: 40, AvgDocLen: 50, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Source.Len() != 30 || len(data.Live) != 10 {
+		t.Fatalf("source %d, live %d", data.Source.Len(), len(data.Live))
+	}
+	if err := data.Corpus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !data.Corpus.HasGroundTruth() {
+		t.Fatal("no ground truth")
+	}
+}
+
+func TestMedlineDefaultsScale(t *testing.T) {
+	o := MedlineOptions{}.withDefaults()
+	if o.NumTopics != 578 || o.LiveTopics != 100 || o.NumDocs != 2000 || o.AvgDocLen != 500 {
+		t.Fatalf("defaults = %+v, want the paper's 578/100/2000/500", o)
+	}
+}

@@ -1,0 +1,223 @@
+// Package synth generates the synthetic substitutes for the paper's external
+// resources: Wikipedia-like knowledge-source articles, the Reuters-21578-like
+// newswire corpus, the MedlinePlus-like medical topic collection, and the
+// forward Source-LDA generative sampler that produces ground-truth corpora
+// (§IV-B and §IV-D generate their evaluation corpora exactly this way). See
+// DESIGN.md §1 for the substitution rationale.
+package synth
+
+import (
+	"fmt"
+
+	"sourcelda/internal/rng"
+)
+
+// CuratedCategory is a named topic with curated signature words, used so the
+// Reuters-style experiments produce word lists recognizably close to the
+// paper's Table I.
+type CuratedCategory struct {
+	Label string
+	Words []string
+}
+
+// sharedBackground is newswire filler vocabulary shared across all topics;
+// a fraction of every article and document is drawn from it, creating the
+// inter-topic overlap real corpora exhibit.
+var sharedBackground = []string{
+	"said", "year", "market", "company", "prices", "government", "percent",
+	"report", "week", "month", "billion", "million", "official", "statement",
+	"rose", "fell", "increase", "decline", "economy", "economic", "growth",
+	"figures", "data", "analysts", "expected", "quarter", "annual", "total",
+	"major", "new", "last", "high", "low", "level", "record", "pct", "mln",
+	"dlrs", "released", "announced", "early", "late", "compared", "previous",
+}
+
+// curatedCategories carries the paper's own Reuters category names (the
+// Fig. 2 topic list plus Table I's topics and the commodity categories the
+// dataset section mentions), each with signature vocabulary. The Table I
+// word lists for Inventories, Natural Gas and Balance of Payments appear
+// verbatim so the reproduction's Table I is directly comparable.
+var curatedCategories = []CuratedCategory{
+	{"Money Supply", []string{"money", "supply", "m1", "m2", "m3", "fed", "reserve", "federal", "monetary", "aggregates", "liquidity", "circulation", "deposits", "banking", "central"}},
+	{"Unemployment", []string{"unemployment", "jobless", "jobs", "workers", "labor", "labour", "employment", "workforce", "claims", "payroll", "hiring", "layoffs", "seasonally", "adjusted", "rate"}},
+	{"Balance of Payments", []string{"account", "surplus", "deficit", "current", "balance", "currency", "trade", "exchange", "capital", "foreign", "payments", "reserves", "external", "flows", "invisible"}},
+	{"Consumer Price Index", []string{"consumer", "price", "index", "inflation", "cpi", "cost", "living", "prices", "basket", "goods", "monthly", "food", "housing", "energy", "core"}},
+	{"Canadian Dollar", []string{"canadian", "dollar", "canada", "ottawa", "toronto", "currency", "exchange", "cents", "traded", "bank", "intervention", "crosses", "quoted", "firm", "parity"}},
+	{"Hong Kong Dollar", []string{"hong", "kong", "dollar", "peg", "pegged", "currency", "exchange", "monetary", "authority", "territory", "traded", "link", "band", "colony", "rate"}},
+	{"Inventories", []string{"inventory", "cost", "stock", "accounting", "goods", "management", "time", "costs", "financial", "process", "warehouse", "stocks", "turnover", "storage", "materials"}},
+	{"Japanese Yen", []string{"yen", "japan", "japanese", "tokyo", "currency", "exchange", "dealers", "intervention", "boj", "traded", "firmer", "dollar", "session", "ministry", "finance"}},
+	{"Australian Dollar", []string{"australian", "dollar", "australia", "sydney", "currency", "exchange", "traded", "reserve", "cents", "firm", "commodity", "rate", "float", "canberra", "dealers"}},
+	{"Interest Rates", []string{"interest", "rates", "rate", "discount", "lending", "prime", "bank", "credit", "borrowing", "cut", "raised", "monetary", "policy", "basis", "points"}},
+	{"Swiss Franc", []string{"swiss", "franc", "switzerland", "zurich", "currency", "exchange", "national", "bank", "traded", "firm", "safe", "haven", "francs", "dealers", "rate"}},
+	{"Singapore Dollar", []string{"singapore", "dollar", "currency", "exchange", "monetary", "authority", "traded", "band", "managed", "float", "rate", "dealers", "firm", "city", "state"}},
+	{"Wholesale Price Index", []string{"wholesale", "price", "index", "producer", "prices", "wpi", "inflation", "goods", "factory", "gate", "monthly", "commodities", "raw", "materials", "finished"}},
+	{"New Zealand Dollar", []string{"zealand", "dollar", "wellington", "kiwi", "currency", "exchange", "traded", "reserve", "cents", "float", "rate", "auckland", "dealers", "firm", "commodity"}},
+	{"Retail Sales", []string{"retail", "sales", "stores", "consumer", "spending", "shoppers", "merchandise", "sold", "outlets", "seasonally", "adjusted", "monthly", "goods", "demand", "volume"}},
+	{"Capacity Utilisation", []string{"capacity", "utilisation", "utilization", "factories", "operating", "plants", "industrial", "output", "production", "rate", "manufacturing", "idle", "full", "slack", "mills"}},
+	{"Trade", []string{"trade", "exports", "imports", "tariff", "deficit", "surplus", "goods", "shipments", "customs", "barriers", "agreement", "partners", "balance", "protectionism", "quotas"}},
+	{"Industrial Production Index", []string{"industrial", "production", "index", "output", "factories", "manufacturing", "mining", "utilities", "seasonally", "adjusted", "monthly", "plants", "goods", "durable", "machinery"}},
+	{"Housing Starts", []string{"housing", "starts", "homes", "construction", "builders", "units", "permits", "residential", "single", "family", "apartments", "mortgage", "building", "annualized", "dwellings"}},
+	{"Personal Income", []string{"personal", "income", "earnings", "wages", "salaries", "disposable", "households", "spending", "savings", "consumers", "benefits", "transfer", "adjusted", "monthly", "gains"}},
+	{"Natural Gas", []string{"gas", "natural", "used", "water", "oil", "carbon", "cubic", "energy", "fuel", "million", "pipeline", "methane", "drilling", "wells", "feet"}},
+	{"Crude Oil", []string{"crude", "oil", "barrel", "barrels", "opec", "petroleum", "refinery", "output", "drilling", "wells", "posted", "bpd", "producers", "fields", "exploration"}},
+	{"Shipping", []string{"shipping", "vessels", "port", "cargo", "freight", "tonnage", "ships", "tanker", "charter", "seamen", "gulf", "strike", "loading", "harbour", "maritime"}},
+	{"Rubber", []string{"rubber", "tyre", "plantations", "latex", "malaysian", "tonnes", "natural", "synthetic", "producers", "kuala", "lumpur", "agreement", "buffer", "stockpile", "growers"}},
+	{"Zinc", []string{"zinc", "metal", "smelter", "mine", "ore", "tonnes", "refined", "galvanizing", "producers", "concentrate", "mining", "output", "lead", "alloy", "metals"}},
+	{"Coffee", []string{"coffee", "beans", "bags", "brazil", "colombia", "ico", "quotas", "export", "arabica", "robusta", "harvest", "growers", "roasters", "crop", "producers"}},
+	{"Gold", []string{"gold", "ounce", "bullion", "mine", "mining", "ounces", "troy", "precious", "metal", "reserves", "fixing", "karat", "refinery", "jewellery", "ingots"}},
+	{"Wheat", []string{"wheat", "grain", "bushels", "harvest", "crop", "farmers", "tonnes", "winter", "spring", "acreage", "export", "flour", "usda", "planting", "yields"}},
+	{"Sugar", []string{"sugar", "cane", "beet", "tonnes", "refined", "raw", "mills", "harvest", "quota", "sweetener", "producers", "crop", "exporters", "intervention", "white"}},
+	{"Copper", []string{"copper", "metal", "smelter", "mine", "cathode", "tonnes", "ore", "concentrate", "refined", "wire", "producers", "mining", "chile", "output", "grade"}},
+	{"Cocoa", []string{"cocoa", "beans", "tonnes", "ivory", "coast", "ghana", "buffer", "stock", "icco", "butter", "grinding", "crop", "harvest", "exporters", "producers"}},
+	{"Cotton", []string{"cotton", "bales", "crop", "textile", "fiber", "harvest", "acreage", "planting", "mills", "lint", "growers", "staple", "yarn", "export", "usda"}},
+	{"Soybeans", []string{"soybean", "soybeans", "meal", "oilseed", "bushels", "crush", "crop", "harvest", "export", "acreage", "farmers", "usda", "planting", "processors", "oil"}},
+	{"Livestock", []string{"cattle", "hogs", "livestock", "slaughter", "beef", "pork", "herds", "feedlots", "ranchers", "meat", "weights", "heads", "packers", "auction", "steers"}},
+	{"Aluminium", []string{"aluminium", "aluminum", "smelter", "alumina", "bauxite", "tonnes", "ingot", "producers", "metal", "rolling", "capacity", "potlines", "refinery", "output", "alloy"}},
+	{"Gross National Product", []string{"gross", "national", "product", "gnp", "gdp", "growth", "quarterly", "output", "expansion", "recession", "revised", "real", "annualized", "domestic", "forecast"}},
+	{"Reserves", []string{"reserves", "foreign", "exchange", "gold", "holdings", "central", "bank", "official", "assets", "drawing", "rights", "imf", "position", "currency", "fund"}},
+	{"Leading Indicators", []string{"leading", "indicators", "composite", "index", "economy", "signals", "outlook", "forecast", "turning", "points", "recession", "expansion", "monthly", "gauge", "activity"}},
+	{"Orange Juice", []string{"orange", "juice", "concentrate", "frozen", "florida", "crop", "citrus", "groves", "freeze", "brazil", "boxes", "processors", "harvest", "gallons", "futures"}},
+	{"Tin", []string{"tin", "metal", "tonnes", "smelter", "ore", "itc", "buffer", "stock", "penang", "producers", "mining", "solder", "council", "kuala", "concentrates"}},
+	{"Acquisitions", []string{"acquisition", "merger", "takeover", "shares", "stake", "shareholders", "offer", "bid", "tender", "acquire", "board", "stock", "buyout", "agreed", "deal"}},
+	{"Earnings", []string{"earnings", "profit", "net", "loss", "shr", "qtr", "revs", "dividend", "quarter", "results", "income", "operating", "share", "reported", "year"}},
+	{"Grain", []string{"grain", "tonnes", "shipment", "export", "crop", "harvest", "elevator", "cargoes", "maize", "sorghum", "deliveries", "usda", "silo", "stocks", "carryover"}},
+	{"Corn", []string{"corn", "maize", "bushels", "acreage", "planting", "harvest", "yield", "belt", "feed", "usda", "crop", "farmers", "silking", "export", "kernels"}},
+	{"Barley", []string{"barley", "malting", "feed", "tonnes", "crop", "harvest", "acreage", "brewers", "export", "grain", "spring", "winter", "yields", "farmers", "shipments"}},
+	{"Rice", []string{"rice", "paddy", "milled", "tonnes", "harvest", "crop", "export", "thailand", "jasmine", "growers", "irrigation", "mills", "broken", "grades", "stocks"}},
+	{"Rapeseed", []string{"rapeseed", "canola", "oilseed", "crush", "tonnes", "crop", "acreage", "harvest", "meal", "oil", "winnipeg", "farmers", "export", "planting", "yields"}},
+	{"Palm Oil", []string{"palm", "oil", "crude", "refined", "malaysia", "indonesia", "tonnes", "plantations", "olein", "stearin", "kernel", "export", "estates", "mills", "shipments"}},
+	{"Soy Oil", []string{"soyoil", "soybean", "oil", "crude", "refined", "tonnes", "crush", "export", "tanks", "processors", "degummed", "shipments", "cargoes", "edible", "stocks"}},
+	{"Soy Meal", []string{"soymeal", "meal", "protein", "pellets", "tonnes", "crush", "feed", "export", "processors", "cargoes", "shipments", "hipro", "stocks", "demand", "poultry"}},
+	{"Sunseed", []string{"sunflower", "sunseed", "oilseed", "tonnes", "crop", "crush", "harvest", "acreage", "oil", "meal", "export", "farmers", "planting", "yields", "seeds"}},
+	{"Groundnut", []string{"groundnut", "peanut", "kernels", "tonnes", "crop", "harvest", "shelled", "export", "oil", "meal", "growers", "acreage", "india", "senegal", "crushing"}},
+	{"Linseed", []string{"linseed", "flaxseed", "oilseed", "tonnes", "crop", "crush", "oil", "meal", "export", "acreage", "harvest", "farmers", "fibre", "planting", "yields"}},
+	{"Coconut", []string{"coconut", "copra", "oil", "tonnes", "philippines", "desiccated", "mills", "export", "plantations", "crushing", "kernel", "shipments", "producers", "estates", "groves"}},
+	{"Palladium", []string{"palladium", "ounce", "metal", "precious", "troy", "catalytic", "refinery", "mining", "producers", "fixing", "ingots", "russia", "autocatalyst", "ounces", "supplies"}},
+	{"Platinum", []string{"platinum", "ounce", "troy", "precious", "metal", "mining", "refinery", "fixing", "jewellery", "autocatalyst", "producers", "ounces", "ingots", "supplies", "mines"}},
+	{"Silver", []string{"silver", "ounce", "troy", "bullion", "metal", "precious", "fixing", "coins", "mining", "refinery", "ounces", "ingots", "producers", "supplies", "mines"}},
+	{"Lead", []string{"lead", "metal", "smelter", "tonnes", "ore", "concentrate", "batteries", "refined", "producers", "mining", "output", "galena", "recycling", "stocks", "grades"}},
+	{"Nickel", []string{"nickel", "metal", "tonnes", "smelter", "ore", "stainless", "steel", "producers", "mining", "refined", "cathode", "laterite", "output", "stocks", "alloys"}},
+	{"Iron and Steel", []string{"steel", "iron", "ore", "mills", "tonnes", "blast", "furnace", "rolled", "producers", "scrap", "ingots", "slabs", "output", "smelting", "coke"}},
+	{"Strategic Metals", []string{"strategic", "metals", "tungsten", "cobalt", "titanium", "stockpile", "defense", "reserves", "alloys", "rare", "ores", "supplies", "producers", "critical", "minerals"}},
+	{"Propane", []string{"propane", "gas", "liquefied", "petroleum", "lpg", "gallons", "cargoes", "tanks", "heating", "butane", "shipments", "terminals", "posted", "supplies", "distributors"}},
+	{"Heating Oil", []string{"heating", "oil", "gallons", "distillate", "barrels", "refinery", "winter", "supplies", "cargoes", "harbor", "posted", "stocks", "terminals", "demand", "gasoil"}},
+	{"Jet Fuel", []string{"jet", "fuel", "kerosene", "gallons", "barrels", "refinery", "airlines", "aviation", "cargoes", "posted", "supplies", "stocks", "terminals", "demand", "distillate"}},
+	{"Naphtha", []string{"naphtha", "barrels", "cargoes", "petrochemical", "refinery", "feedstock", "tonnes", "gasoline", "blending", "shipments", "cracker", "supplies", "terminals", "posted", "spot"}},
+	{"Fuel Oil", []string{"fuel", "oil", "residual", "barrels", "bunker", "cargoes", "refinery", "viscosity", "sulphur", "posted", "supplies", "terminals", "stocks", "shipments", "spot"}},
+	{"Petrochemicals", []string{"petrochemical", "ethylene", "polymer", "plastics", "resin", "plants", "cracker", "feedstock", "propylene", "benzene", "styrene", "producers", "capacity", "tonnes", "chemicals"}},
+	{"Potato", []string{"potato", "potatoes", "tubers", "crop", "harvest", "acreage", "growers", "storage", "seed", "processing", "chips", "tonnes", "yields", "planting", "farms"}},
+	{"Tea", []string{"tea", "auction", "kilos", "leaf", "estates", "brokers", "colombo", "mombasa", "gardens", "plucking", "export", "growers", "blends", "chests", "crop"}},
+	{"Rye", []string{"rye", "grain", "tonnes", "crop", "winter", "harvest", "acreage", "bread", "feed", "export", "farmers", "planting", "yields", "milling", "stocks"}},
+	{"Hops", []string{"hops", "brewing", "beer", "alpha", "acids", "growers", "harvest", "acreage", "pellets", "contracts", "breweries", "crop", "yards", "kilns", "bales"}},
+	{"Lumber", []string{"lumber", "timber", "sawmills", "logs", "board", "feet", "plywood", "forestry", "softwood", "spruce", "mills", "housing", "studs", "harvest", "stumpage"}},
+	{"Wool", []string{"wool", "bales", "fleece", "auction", "merino", "greasy", "micron", "growers", "shearing", "textile", "clip", "brokers", "yarn", "sheep", "export"}},
+	{"Vegetable Oil", []string{"vegetable", "oil", "edible", "tonnes", "refined", "crude", "cooking", "cargoes", "import", "export", "tanks", "processors", "blends", "shipments", "stocks"}},
+	{"Carcass Meat", []string{"carcass", "beef", "pork", "meat", "slaughter", "weights", "packers", "boxed", "frozen", "tonnes", "export", "inspection", "cuts", "chilled", "shipments"}},
+	{"Cattle Feed", []string{"feed", "cattle", "rations", "feedlots", "grains", "supplement", "fodder", "silage", "hay", "pellets", "nutrition", "mills", "tonnes", "livestock", "protein"}},
+	{"Dollar General", []string{"dollar", "currency", "exchange", "dealers", "traded", "intervention", "central", "banks", "session", "firmer", "softer", "quoted", "crosses", "spot", "forward"}},
+	{"Oat", []string{"oats", "grain", "bushels", "crop", "harvest", "acreage", "feed", "milling", "farmers", "planting", "yields", "export", "tonnes", "rolled", "stocks"}},
+}
+
+// CuratedCategories returns a copy of the curated Reuters-style categories.
+func CuratedCategories() []CuratedCategory {
+	out := make([]CuratedCategory, len(curatedCategories))
+	copy(out, curatedCategories)
+	return out
+}
+
+// SharedBackgroundWords returns the shared newswire filler vocabulary.
+func SharedBackgroundWords() []string {
+	out := make([]string, len(sharedBackground))
+	copy(out, sharedBackground)
+	return out
+}
+
+// syllables used to mint deterministic pseudo-terms for synthetic topic
+// vocabularies (medical dictionary, filler categories).
+var syllableOnsets = []string{"br", "c", "d", "f", "g", "gr", "k", "l", "m", "n", "p", "pl", "r", "s", "st", "t", "tr", "v", "z"}
+var syllableNuclei = []string{"a", "e", "i", "o", "u", "ae", "io", "ea", "ou"}
+var syllableCodas = []string{"", "n", "r", "s", "x", "l", "m", "st", "nd"}
+
+// MintWord deterministically generates a pronounceable pseudo-word from r
+// with the given number of syllables.
+func MintWord(r *rng.RNG, syllables int) string {
+	if syllables < 1 {
+		syllables = 1
+	}
+	var out []byte
+	for i := 0; i < syllables; i++ {
+		out = append(out, syllableOnsets[r.Intn(len(syllableOnsets))]...)
+		out = append(out, syllableNuclei[r.Intn(len(syllableNuclei))]...)
+		out = append(out, syllableCodas[r.Intn(len(syllableCodas))]...)
+	}
+	return string(out)
+}
+
+// MintVocabulary generates n distinct pseudo-words.
+func MintVocabulary(r *rng.RNG, n, syllables int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		w := MintWord(r, syllables)
+		if seen[w] {
+			w = fmt.Sprintf("%s%d", w, len(out))
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// medicalPrefixes and medicalSuffixes combine into the synthetic MedlinePlus
+// topic names ("Cardio Syndrome", "Neuro Disorder", …).
+var medicalPrefixes = []string{
+	"Cardio", "Neuro", "Gastro", "Hepato", "Nephro", "Pulmo", "Dermato",
+	"Hemato", "Immuno", "Endo", "Osteo", "Arthro", "Myo", "Angio", "Broncho",
+	"Cranio", "Cyto", "Entero", "Fibro", "Glyco", "Litho", "Lympho", "Melano",
+	"Onco", "Opto", "Oto", "Patho", "Pedia", "Psycho", "Rhino", "Sclero",
+	"Thermo", "Thrombo", "Toxo", "Vaso", "Viro", "Xeno", "Chondro", "Spondylo",
+}
+var medicalSuffixes = []string{
+	"Syndrome", "Disorder", "Disease", "Infection", "Deficiency", "Therapy",
+	"Condition", "Dystrophy", "Lesion", "Trauma", "Pathy", "Itis", "Osis",
+	"Emia", "Plasia",
+}
+
+// MedicalTopicNames deterministically generates n distinct medical-sounding
+// topic names (enough combinations exist for the paper's 578).
+func MedicalTopicNames(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		p := medicalPrefixes[i%len(medicalPrefixes)]
+		s := medicalSuffixes[(i/len(medicalPrefixes))%len(medicalSuffixes)]
+		name := p + " " + s
+		if i >= len(medicalPrefixes)*len(medicalSuffixes) {
+			name = fmt.Sprintf("%s %d", name, i)
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// FillerCategoryNames mints n extra category names ("Category Alpha-7"
+// style) to extend the curated list up to the paper's 80-topic superset.
+func FillerCategoryNames(n int, r *rng.RNG) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Commodity %s-%d", capitalize(MintWord(r, 2)), i)
+	}
+	return out
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,75 @@
+package textproc
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts the tokenizer's invariants on arbitrary input: no
+// empty tokens, only lower-case letters and digits, and idempotence
+// (tokenizing the joined tokens yields the same tokens).
+func FuzzTokenize(f *testing.F) {
+	f.Add("Hello, World!")
+	f.Add("don't stop")
+	f.Add("Zürich café 42")
+	f.Add("")
+	f.Add("  \t\n ... ")
+	f.Add("a'b''c")
+	f.Fuzz(func(t *testing.T, input string) {
+		tokens := Tokenize(input)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lower-cased", tok)
+				}
+			}
+		}
+		// Idempotence: re-tokenizing the space-joined tokens is stable.
+		var joined string
+		for i, tok := range tokens {
+			if i > 0 {
+				joined += " "
+			}
+			joined += tok
+		}
+		again := Tokenize(joined)
+		if len(again) != len(tokens) {
+			t.Fatalf("re-tokenizing %d tokens yielded %d", len(tokens), len(again))
+		}
+		for i := range tokens {
+			if again[i] != tokens[i] {
+				t.Fatalf("token %d changed: %q → %q", i, tokens[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzVocabulary asserts interning invariants under arbitrary word
+// sequences.
+func FuzzVocabulary(f *testing.F) {
+	f.Add("a b a c")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		v := NewVocabulary()
+		words := Tokenize(input)
+		ids := v.EncodeTokens(words, true)
+		if len(ids) != len(words) {
+			t.Fatal("growing encode dropped tokens")
+		}
+		for i, w := range words {
+			id, ok := v.ID(w)
+			if !ok || id != ids[i] {
+				t.Fatalf("ID(%q) = %d,%v; encoded %d", w, id, ok, ids[i])
+			}
+			if v.Word(id) != w {
+				t.Fatal("Word/ID round trip failed")
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package sourcelda
+
+import (
+	"errors"
+	"io"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/persist"
+)
+
+// SaveCorpus writes the corpus (vocabulary, documents, and ground-truth
+// topics when present) as versioned JSON.
+func SaveCorpus(w io.Writer, c *Corpus) error {
+	if c == nil {
+		return errors.New("sourcelda: nil corpus")
+	}
+	return persist.SaveCorpus(w, c.c)
+}
+
+// LoadCorpus reads a corpus written by SaveCorpus.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	c, err := persist.LoadCorpus(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// SaveKnowledgeSource writes the knowledge source as versioned JSON. Word
+// ids refer to the companion corpus's vocabulary, so save and load the two
+// together.
+func SaveKnowledgeSource(w io.Writer, k *KnowledgeSource) error {
+	if k == nil {
+		return errors.New("sourcelda: nil knowledge source")
+	}
+	return persist.SaveSource(w, k.s)
+}
+
+// LoadKnowledgeSource reads a source written by SaveKnowledgeSource.
+func LoadKnowledgeSource(r io.Reader) (*KnowledgeSource, error) {
+	s, err := persist.LoadSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return &KnowledgeSource{s: s}, nil
+}
+
+// SaveModel writes a fitted model's snapshot (topic-word and document-topic
+// distributions, labels, statistics) as versioned JSON. Assignments and
+// traces are not serialized.
+func SaveModel(w io.Writer, m *Model) error {
+	if m == nil {
+		return errors.New("sourcelda: nil model")
+	}
+	return persist.SaveResult(w, m.res)
+}
+
+// LoadModel reads a snapshot written by SaveModel, reattaching it to the
+// corpus and knowledge source it was trained with (needed to render words
+// and labels).
+func LoadModel(r io.Reader, c *Corpus, k *KnowledgeSource) (*Model, error) {
+	if c == nil || k == nil {
+		return nil, errors.New("sourcelda: nil corpus or knowledge source")
+	}
+	res, err := persist.LoadResult(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range res.Phi {
+		if len(row) != c.c.VocabSize() {
+			return nil, errors.New("sourcelda: snapshot vocabulary size does not match the corpus")
+		}
+	}
+	return &Model{res: res, vocab: c.c.Vocab, source: k.s}, nil
+}
+
+// TuningResult reports a (µ, σ) grid search (§III-C5a: select the prior by
+// held-out perplexity).
+type TuningResult struct {
+	// Mu and Sigma are the selected λ-prior parameters.
+	Mu, Sigma float64
+	// Perplexity is the selected pair's held-out perplexity.
+	Perplexity float64
+	// Surface lists every evaluated (µ, σ, perplexity) triple.
+	Surface [][3]float64
+}
+
+// SelectLambdaPrior grid-searches the λ prior by held-out perplexity, the
+// procedure the paper uses to set µ = 0.7, σ = 0.3 for its Reuters
+// experiment. Pass zero-length slices to use the default grid.
+func SelectLambdaPrior(c *Corpus, k *KnowledgeSource, opts Options, mus, sigmas []float64) (*TuningResult, error) {
+	if c == nil || k == nil {
+		return nil, errors.New("sourcelda: nil corpus or knowledge source")
+	}
+	base := core.Options{
+		NumFreeTopics: opts.FreeTopics,
+		Alpha:         opts.Alpha,
+		Beta:          opts.Beta,
+		UseSmoothing:  true,
+	}
+	if base.Alpha == 0 {
+		base.Alpha = 50.0 / float64(opts.FreeTopics+k.s.Len())
+	}
+	if base.Beta == 0 {
+		base.Beta = 200.0 / float64(c.c.VocabSize())
+	}
+	sel, err := core.SelectParameters(c.c, k.s, base, core.ParameterGrid{
+		Mus:    mus,
+		Sigmas: sigmas,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TuningResult{
+		Mu:         sel.Best.Mu,
+		Sigma:      sel.Best.Sigma,
+		Perplexity: sel.Best.Perplexity,
+	}
+	for _, cand := range sel.Candidates {
+		out.Surface = append(out.Surface, [3]float64{cand.Mu, cand.Sigma, cand.Perplexity})
+	}
+	return out, nil
+}
+
+// Vocabulary returns the corpus's interned words in id order.
+func (c *Corpus) Vocabulary() []string {
+	words := c.c.Vocab.Words()
+	out := make([]string, len(words))
+	copy(out, words)
+	return out
+}

@@ -1,0 +1,157 @@
+package sourcelda
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadCorpusAndSource(t *testing.T) {
+	c, k := buildFixture(t)
+	var cb, kb bytes.Buffer
+	if err := SaveCorpus(&cb, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKnowledgeSource(&kb, k); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadCorpus(&cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := LoadKnowledgeSource(&kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumDocuments() != c.NumDocuments() || c2.TotalTokens() != c.TotalTokens() {
+		t.Fatal("corpus changed in round trip")
+	}
+	if strings.Join(k2.Labels(), ",") != strings.Join(k.Labels(), ",") {
+		t.Fatal("labels changed in round trip")
+	}
+	vocab := c2.Vocabulary()
+	if len(vocab) != c.VocabularySize() {
+		t.Fatalf("vocabulary size %d, want %d", len(vocab), c.VocabularySize())
+	}
+	// A model trained on the loaded pair behaves identically to one trained
+	// on the originals (same seed).
+	opts := Options{Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 20, Seed: 5}
+	m1, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(c2, k2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m1.Raw().Assignments, m2.Raw().Assignments
+	for d := range a {
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatal("loaded pair trains differently")
+			}
+		}
+	}
+}
+
+func TestSaveLoadModel(t *testing.T) {
+	c, k := buildFixture(t)
+	m, err := Fit(c, k, Options{
+		Lambda:     &LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 50,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf, c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Topics()
+	loaded := back.Topics()
+	if len(orig) != len(loaded) {
+		t.Fatal("topic count changed")
+	}
+	for i := range orig {
+		if orig[i].Label != loaded[i].Label {
+			t.Fatalf("topic %d label %q → %q", i, orig[i].Label, loaded[i].Label)
+		}
+		ow, lw := orig[i].TopWords(3), loaded[i].TopWords(3)
+		for j := range ow {
+			if ow[j] != lw[j] {
+				t.Fatal("top words changed")
+			}
+		}
+	}
+}
+
+func TestLoadModelRejectsMismatchedCorpus(t *testing.T) {
+	c, k := buildFixture(t)
+	m, err := Fit(c, k, Options{
+		Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// A corpus with a different vocabulary must be rejected.
+	other := NewCorpusBuilder()
+	other.AddDocument("d", "completely different words here")
+	oc, ok2, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf, oc, ok2); err == nil {
+		t.Fatal("mismatched corpus accepted")
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveCorpus(&buf, nil); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if err := SaveKnowledgeSource(&buf, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if err := SaveModel(&buf, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := LoadModel(&buf, nil, nil); err == nil {
+		t.Error("nil corpus/source accepted in LoadModel")
+	}
+	if _, err := SelectLambdaPrior(nil, nil, Options{}, nil, nil); err == nil {
+		t.Error("nil inputs accepted in SelectLambdaPrior")
+	}
+}
+
+func TestSelectLambdaPrior(t *testing.T) {
+	c, k := buildFixture(t)
+	res, err := SelectLambdaPrior(c, k, Options{FreeTopics: 1, Seed: 3},
+		[]float64{0.3, 0.9}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Surface) != 2 {
+		t.Fatalf("surface has %d points, want 2", len(res.Surface))
+	}
+	if res.Perplexity <= 1 {
+		t.Fatalf("perplexity %v", res.Perplexity)
+	}
+	if res.Mu != 0.3 && res.Mu != 0.9 {
+		t.Fatalf("selected µ=%v off the grid", res.Mu)
+	}
+	for _, p := range res.Surface {
+		if p[2] < res.Perplexity {
+			t.Fatal("selected pair is not the minimum")
+		}
+	}
+}
