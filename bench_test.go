@@ -140,7 +140,7 @@ func BenchmarkSamplerKernels(b *testing.B) {
 		for i := range probs {
 			probs[i] = r.Float64()
 		}
-		compute := func(t int) float64 { return probs[t] }
+		compute := func(lo, hi int, out []float64) { copy(out, probs[lo:hi]) }
 		for _, workers := range []int{1, 3, 6} {
 			pool := parallel.NewPool(workers)
 			samplers := []parallel.TopicSampler{
@@ -163,6 +163,70 @@ func BenchmarkSamplerKernels(b *testing.B) {
 			}
 			pool.Close()
 		}
+	}
+}
+
+// BenchmarkSweepModes compares Gibbs sweep throughput (tokens/sec) across
+// the corpus-traversal modes: the exact sequential sweep with each §III-C4
+// kernel, and the document-sharded data-parallel sweep at increasing shard
+// counts. Sharded sweeps with S shards use S worker threads, so the series
+// shows both the flat-state single-core gain and the multi-core scaling.
+func BenchmarkSweepModes(b *testing.B) {
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := core.Options{
+		NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+		LambdaMode: core.LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 7, Iterations: 1, Seed: 3,
+	}
+	type mode struct {
+		name string
+		set  func(*core.Options)
+	}
+	modes := []mode{
+		{"sequential/serial", func(o *core.Options) {}},
+		{"sequential/prefix-sums", func(o *core.Options) {
+			o.Sampler = core.SamplerPrefixSums
+			o.Threads = 4
+		}},
+		{"sequential/simple-parallel", func(o *core.Options) {
+			o.Sampler = core.SamplerSimpleParallel
+			o.Threads = 4
+		}},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		modes = append(modes, mode{
+			fmt.Sprintf("sharded/shards=%d", shards),
+			func(o *core.Options) {
+				o.SweepMode = core.SweepShardedDocs
+				o.Shards = shards
+				o.Threads = shards
+			},
+		})
+	}
+	tokens := data.Corpus.TotalTokens()
+	for _, md := range modes {
+		b.Run(md.name, func(b *testing.B) {
+			opts := base
+			md.set(&opts)
+			m, err := core.NewModel(data.Corpus, data.Source, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Run(1)
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(tokens)*float64(b.N)/secs, "tokens/sec")
+			}
+		})
 	}
 }
 

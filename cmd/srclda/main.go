@@ -45,11 +45,42 @@ func main() {
 		sigma     = flag.Float64("sigma", 0.3, "λ prior std dev")
 		lambda    = flag.Float64("lambda", -1, "fixed λ in [0,1]; -1 = integrate λ out")
 		threads   = flag.Int("threads", 1, "worker threads (>1 enables Algorithm 3 parallel sampling)")
+		sweep     = flag.String("sweepmode", "sequential", "sweep mode: sequential (exact) or sharded (document-sharded data-parallel)")
+		shards    = flag.Int("shards", 0, "document shards; > 0 implies -sweepmode=sharded (0 = one per thread)")
 		topN      = flag.Int("top", 10, "words to print per topic")
 		minDocs   = flag.Int("mindocs", 2, "superset reduction: min documents per discovered topic")
 		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file")
 	)
 	flag.Parse()
+
+	// Validate up front so a typo'd mode fails for every -model, not just
+	// srclda (the only model the sweep flags apply to).
+	if *sweep != "sequential" && *sweep != "sharded" {
+		fmt.Fprintf(os.Stderr, "unknown sweep mode %q (want sequential or sharded)\n", *sweep)
+		os.Exit(2)
+	}
+	sweepSet, threadsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sweepmode":
+			sweepSet = true
+		case "threads":
+			threadsSet = true
+		}
+	})
+	// -shards alone implies the sharded mode, matching the sourcelda
+	// facade's Shards semantics; pairing it with an explicit sequential
+	// request is a contradiction worth stopping on.
+	if *shards > 0 && *sweep == "sequential" {
+		if sweepSet {
+			fmt.Fprintln(os.Stderr, "-shards requires -sweepmode=sharded")
+			os.Exit(2)
+		}
+		*sweep = "sharded"
+	}
+	if (*sweep == "sharded" || *shards > 0) && *model != "srclda" {
+		fmt.Fprintf(os.Stderr, "note: -sweepmode/-shards only apply to -model srclda; ignored for %q\n", *model)
+	}
 
 	c, src, err := loadData(*corpusDir, *sourceDir, *seed)
 	if err != nil {
@@ -81,6 +112,17 @@ func main() {
 		}
 		if *threads > 1 {
 			opts.Sampler = core.SamplerSimpleParallel
+		}
+		if *sweep == "sharded" {
+			opts.SweepMode = core.SweepShardedDocs
+			opts.Shards = *shards
+			opts.Sampler = core.SamplerSerial
+			// Default the pool to one worker per shard (capped at docs and
+			// CPUs) so -shards alone actually sweeps in parallel; an
+			// explicit -threads stays a hard resource bound.
+			if !threadsSet {
+				opts.Threads = core.DefaultShardWorkers(*shards, c.NumDocs())
+			}
 		}
 		m, err := core.Fit(c, src, opts)
 		exitOn(err)

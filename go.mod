@@ -1,0 +1,3 @@
+module sourcelda
+
+go 1.24

@@ -1,0 +1,73 @@
+package core
+
+import "sourcelda/internal/corpus"
+
+// countStore holds a Gibbs chain's sufficient statistics as flat,
+// cache-friendly slabs. The seed implementation kept [][]int matrices — one
+// pointer dereference per row plus a full int per counter; this store packs
+// everything into four contiguous int32 slabs so the per-token hot path
+// touches plain offsets:
+//
+//	wordTopic[w*T + t]  — tokens of word w assigned to topic t
+//	docTopic[d*T + t]   — tokens of document d assigned to topic t
+//	topicTotal[t]       — tokens assigned to topic t (Σ_w wordTopic)
+//	docTotal[d]         — tokens of document d (fixed after initialization)
+//
+// Rows are laid out with the topic index fastest so the inner loop of the
+// collapsed conditional — "for every topic t, given this token's word and
+// document" — walks both count rows with unit stride. int32 halves memory
+// bandwidth against int; a single topic would need 2^31 assigned tokens to
+// overflow, far beyond what fits in memory.
+type countStore struct {
+	V, D, T    int
+	wordTopic  []int32
+	docTopic   []int32
+	topicTotal []int32
+	docTotal   []int32
+}
+
+func newCountStore(V, D, T int) *countStore {
+	return &countStore{
+		V: V, D: D, T: T,
+		wordTopic:  make([]int32, V*T),
+		docTopic:   make([]int32, D*T),
+		topicTotal: make([]int32, T),
+		docTotal:   make([]int32, D),
+	}
+}
+
+// wordRow returns the T-length counts of word w, one entry per topic.
+func (cs *countStore) wordRow(w int) []int32 {
+	return cs.wordTopic[w*cs.T : (w+1)*cs.T : (w+1)*cs.T]
+}
+
+// docRow returns the T-length counts of document d, one entry per topic.
+func (cs *countStore) docRow(d int) []int32 {
+	return cs.docTopic[d*cs.T : (d+1)*cs.T : (d+1)*cs.T]
+}
+
+// add counts one token of word w in document d under topic t during
+// initialization.
+func (cs *countStore) add(d, w, t int) {
+	cs.wordTopic[w*cs.T+t]++
+	cs.docTopic[d*cs.T+t]++
+	cs.topicTotal[t]++
+	cs.docTotal[d]++
+}
+
+// rebuildFromAssignments recomputes wordTopic and topicTotal from the
+// per-token assignments — the shard-barrier reconciliation of the sharded
+// sweep mode. Document-topic counts are not touched: each shard owns its
+// documents' rows exclusively and keeps them exact in place.
+func (cs *countStore) rebuildFromAssignments(docs []*corpus.Document, z [][]int) {
+	clear(cs.wordTopic)
+	clear(cs.topicTotal)
+	for d := range docs {
+		zd := z[d]
+		for i, w := range docs[d].Words {
+			t := zd[i]
+			cs.wordTopic[w*cs.T+t]++
+			cs.topicTotal[t]++
+		}
+	}
+}

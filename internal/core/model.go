@@ -9,58 +9,7 @@ import (
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/parallel"
 	"sourcelda/internal/rng"
-	"sourcelda/internal/smoothing"
 )
-
-// sourceTopic holds the precomputed λ-quadrature state for one
-// knowledge-source topic. The Gibbs inner loop needs, for a word w, the A
-// values (δ_w)^{e_p} and the A totals Σ_a (δ_a)^{e_p}; both are fixed for
-// the whole chain because δ derives from the knowledge source, not from the
-// corpus, so they are materialized once at model construction (§III-C's
-// "Calculate g_t" preamble in Algorithm 1).
-type sourceTopic struct {
-	hyper *knowledge.Hyperparams
-	g     *smoothing.G
-	// exponents[p] = g(λ_p) (or λ_p without smoothing); fixed mode has one.
-	exponents []float64
-	// nodes[p] is the raw λ quadrature node.
-	nodes []float64
-	// priorLogWeights[p] is log of the normalized N(µ,σ) node mass.
-	priorLogWeights []float64
-	// weights[p] is the current normalized quadrature weight: the prior
-	// mass, reweighted each sweep by the topic's collapsed likelihood
-	// unless Options.FreezeLambdaWeights is set.
-	weights []float64
-	// valueAt[w][p] = (δ_w)^{exponents[p]} for words with article support.
-	valueAt map[int][]float64
-	// defaults[p] = ε^{exponents[p]}, the value of unsupported words.
-	defaults []float64
-	// totals[p] = Σ_a (δ_a)^{exponents[p]} over the whole vocabulary.
-	totals []float64
-}
-
-// wordProb returns P(w | topic) under the collapsed conditional given nw
-// (tokens of w in this topic, excluding the current token) and nsum (total
-// tokens in this topic): the λ-integral of Eq. 3 evaluated by quadrature, or
-// the single fixed-λ ratio of §III-A.
-func (st *sourceTopic) wordProb(vals []float64, nw, nsum float64) float64 {
-	if len(st.weights) == 1 {
-		return (nw + vals[0]) / (nsum + st.totals[0])
-	}
-	var p float64
-	for i, wgt := range st.weights {
-		p += wgt * (nw + vals[i]) / (nsum + st.totals[i])
-	}
-	return p
-}
-
-// values returns the per-quadrature-point δ^e values for word w.
-func (st *sourceTopic) values(w int) []float64 {
-	if v, ok := st.valueAt[w]; ok {
-		return v
-	}
-	return st.defaults
-}
 
 // Model is a fitted (or in-progress) Source-LDA chain.
 type Model struct {
@@ -74,12 +23,12 @@ type Model struct {
 	K, S, T int
 	V, D    int
 
-	nw     [][]int // [V][T] word-topic counts
-	nd     [][]int // [D][T] document-topic counts
-	nwsum  []int   // [T] tokens per topic
-	ndsum  []int   // [D] tokens per document
-	z      [][]int // [D][tokens] assignments
-	topics []*sourceTopic
+	// counts holds the flat word-topic / document-topic slabs; z the
+	// per-token assignments ([D][tokens]).
+	counts *countStore
+	z      [][]int
+	// delta holds the precomputed λ-quadrature state of the source topics.
+	delta *deltaStore
 
 	pool       *parallel.Pool
 	sampler    parallel.TopicSampler
@@ -87,10 +36,15 @@ type Model struct {
 	// disabled marks topics eliminated by in-inference superset reduction
 	// (§III-C3); disabled topics sample with probability zero.
 	disabled []bool
-	// ctx and computeFn are the reusable per-token conditional evaluator;
-	// binding the method value once avoids a closure allocation per token.
-	ctx       sampleContext
-	computeFn func(t int) float64
+
+	// seq is the sampling view over the global count slabs used by the
+	// sequential sweep mode and by token resampling during pruning.
+	seq *gibbsView
+	// streams are the deterministic RNG streams tokens draw from: stream 0
+	// for sequential sweeps (and pruning), stream i for document shard i.
+	streams []*rng.RNG
+	// shards are the per-shard working states of SweepShardedDocs.
+	shards []*shardView
 
 	// LikelihoodTrace holds the collapsed joint log-likelihood per sweep
 	// when tracing is enabled.
@@ -101,7 +55,7 @@ type Model struct {
 
 // Fit runs Source-LDA collapsed Gibbs sampling over corpus c with knowledge
 // source src and returns the fitted model. The model owns a worker pool when
-// a parallel sampler is selected; Close releases it.
+// a parallel sampler or sweep mode is selected; Close releases it.
 func Fit(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
 	m, err := NewModel(c, src, opts)
 	if err != nil {
@@ -130,8 +84,12 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 	}
 	m.T = m.K + m.S
 	m.disabled = make([]bool, m.T)
-	m.buildSourceTopics()
-	m.allocateCounts()
+	m.delta = newDeltaStore(src, m.V, &m.opts)
+	m.counts = newCountStore(m.V, m.D, m.T)
+	m.z = make([][]int, m.D)
+	for d := range m.z {
+		m.z[d] = make([]int, len(c.Docs[d].Words))
+	}
 	m.initAssignments()
 	m.pool = parallel.NewPool(opts.Threads)
 	switch opts.Sampler {
@@ -141,6 +99,45 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 		m.sampler = parallel.NewPrefixSums(m.pool)
 	default:
 		m.sampler = parallel.NewSerial()
+	}
+
+	nStreams := 1
+	if opts.SweepMode == SweepShardedDocs {
+		nStreams = opts.Shards
+		if nStreams > m.D {
+			nStreams = m.D
+		}
+		if nStreams < 1 {
+			nStreams = 1
+		}
+	}
+	m.streams = make([]*rng.RNG, nStreams)
+	for i := range m.streams {
+		m.streams[i] = rng.NewStream(opts.Seed, int64(i))
+	}
+	m.seq = newGibbsView(m, m.counts.wordTopic, m.counts.topicTotal)
+	if opts.SweepMode == SweepShardedDocs {
+		m.shards = make([]*shardView, nStreams)
+		for i := range m.shards {
+			// Balanced split: every shard owns at least one document (the
+			// shard count is capped at D above), so no shard pays the
+			// per-sweep slab copy without sampling anything.
+			lo, hi := i*m.D/nStreams, (i+1)*m.D/nStreams
+			view := m.seq
+			if nStreams > 1 {
+				view = newGibbsView(m, make([]int32, m.V*m.T), make([]int32, m.T))
+			}
+			// A single shard aliases the sequential view over the global
+			// slabs, so the "exact" sharded configuration runs at
+			// sequential speed with no per-sweep copy or reconciliation.
+			m.shards[i] = &shardView{
+				view:    view,
+				sampler: parallel.NewSerial(),
+				r:       m.streams[i],
+				lo:      lo,
+				hi:      hi,
+			}
+		}
 	}
 	return m, nil
 }
@@ -189,81 +186,6 @@ func quadratureNodes(mu, sigma float64, a int) (nodes, weights []float64) {
 	return nodes, weights
 }
 
-func (m *Model) buildSourceTopics() {
-	o := &m.opts
-	m.topics = make([]*sourceTopic, m.S)
-
-	var nodes, weights []float64
-	if o.LambdaMode == LambdaIntegrated {
-		nodes, weights = quadratureNodes(o.Mu, o.Sigma, o.QuadraturePoints)
-	} else {
-		nodes, weights = []float64{o.Lambda}, []float64{1}
-	}
-
-	for s := 0; s < m.S; s++ {
-		art := m.src.Article(s)
-		h := art.Hyperparams(m.V, o.Epsilon)
-		st := &sourceTopic{hyper: h}
-		if o.UseSmoothing {
-			cfg := o.SmoothingConfig
-			cfg.Seed = o.SmoothingConfig.Seed + int64(s)
-			st.g = smoothing.Estimate(h, art.SmoothedDistribution(m.V, o.Epsilon), cfg)
-		} else {
-			st.g = smoothing.Identity()
-		}
-		st.exponents = make([]float64, len(nodes))
-		st.nodes = append([]float64(nil), nodes...)
-		st.weights = make([]float64, len(weights))
-		copy(st.weights, weights)
-		st.priorLogWeights = make([]float64, len(weights))
-		for p, w := range weights {
-			if w <= 0 {
-				st.priorLogWeights[p] = math.Inf(-1)
-			} else {
-				st.priorLogWeights[p] = math.Log(w)
-			}
-		}
-		st.defaults = make([]float64, len(nodes))
-		st.totals = make([]float64, len(nodes))
-		st.valueAt = make(map[int][]float64, h.NumPresent())
-		for p, node := range nodes {
-			e := node
-			if o.UseSmoothing {
-				e = st.g.Eval(node)
-			}
-			st.exponents[p] = e
-			pd := h.Pow(e)
-			st.defaults[p] = pd.Default
-			st.totals[p] = pd.Total
-			pd.ForEachPresent(func(w int, v float64) {
-				vals, ok := st.valueAt[w]
-				if !ok {
-					vals = make([]float64, len(nodes))
-					st.valueAt[w] = vals
-				}
-				vals[p] = v
-			})
-		}
-		m.topics[s] = st
-	}
-}
-
-func (m *Model) allocateCounts() {
-	m.nw = make([][]int, m.V)
-	flat := make([]int, m.V*m.T)
-	for w := range m.nw {
-		m.nw[w] = flat[w*m.T : (w+1)*m.T : (w+1)*m.T]
-	}
-	m.nd = make([][]int, m.D)
-	m.z = make([][]int, m.D)
-	for d := range m.nd {
-		m.nd[d] = make([]int, m.T)
-		m.z[d] = make([]int, len(m.c.Docs[d].Words))
-	}
-	m.nwsum = make([]int, m.T)
-	m.ndsum = make([]int, m.D)
-}
-
 // initAssignments draws each token's initial topic from the model priors
 // (free topics uniform at β-level, source topics at their δ-based word
 // probability). Unlike uniform-random initialization this starts every
@@ -276,21 +198,18 @@ func (m *Model) initAssignments() {
 	beta := m.opts.Beta
 	vBeta := float64(m.V) * beta
 	freeProb := beta / vBeta // uniform over V for an empty free topic
+	ds := m.delta
 	for d, doc := range m.c.Docs {
 		for i, w := range doc.Words {
 			for t := 0; t < m.K; t++ {
 				probs[t] = freeProb
 			}
 			for s := 0; s < m.S; s++ {
-				st := m.topics[s]
-				probs[m.K+s] = st.wordProb(st.values(w), 0, 0)
+				probs[m.K+s] = ds.wordProb(s, ds.values(s, w), 0, 0)
 			}
 			k := m.r.Categorical(probs)
 			m.z[d][i] = k
-			m.nw[w][k]++
-			m.nd[d][k]++
-			m.nwsum[k]++
-			m.ndsum[d]++
+			m.counts.add(d, w, k)
 		}
 	}
 }
@@ -322,33 +241,35 @@ func (m *Model) Run(iterations int) {
 // exponent e_p). Topics whose realized counts match the source keep weight
 // on high-λ nodes; deviating topics shift weight to relaxed nodes.
 func (m *Model) updateLambdaPosteriors() {
-	logPost := make([]float64, 0, 16)
+	ds := m.delta
+	P := ds.P
+	if P < 2 {
+		return
+	}
+	logPost := make([]float64, P)
 	for s := 0; s < m.S; s++ {
-		st := m.topics[s]
-		nNodes := len(st.weights)
-		if nNodes < 2 {
-			continue
-		}
 		t := m.K + s
-		logPost = logPost[:0]
-		for p := 0; p < nNodes; p++ {
-			lgTot, _ := math.Lgamma(st.totals[p])
-			lgDen, _ := math.Lgamma(st.totals[p] + float64(m.nwsum[t]))
-			logPost = append(logPost, st.priorLogWeights[p]+lgTot-lgDen)
+		base := s * P
+		nt := float64(m.counts.topicTotal[t])
+		for p := 0; p < P; p++ {
+			lgTot, _ := math.Lgamma(ds.totals[base+p])
+			lgDen, _ := math.Lgamma(ds.totals[base+p] + nt)
+			logPost[p] = ds.priorLogW[p] + lgTot - lgDen
 		}
 		for w := 0; w < m.V; w++ {
-			n := m.nw[w][t]
+			n := m.counts.wordTopic[w*m.T+t]
 			if n == 0 {
 				continue
 			}
-			vals := st.values(w)
-			for p := 0; p < nNodes; p++ {
+			vals := ds.values(s, w)
+			for p := 0; p < P; p++ {
 				lgN, _ := math.Lgamma(float64(n) + vals[p])
 				lgP, _ := math.Lgamma(vals[p])
 				logPost[p] += lgN - lgP
 			}
 		}
 		// Softmax back to normalized weights.
+		weights := ds.topicWeights(s)
 		max := logPost[0]
 		for _, lp := range logPost[1:] {
 			if lp > max {
@@ -357,17 +278,17 @@ func (m *Model) updateLambdaPosteriors() {
 		}
 		var total float64
 		for p, lp := range logPost {
-			st.weights[p] = math.Exp(lp - max)
-			total += st.weights[p]
+			weights[p] = math.Exp(lp - max)
+			total += weights[p]
 		}
 		if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-			for p := range st.weights {
-				st.weights[p] = math.Exp(st.priorLogWeights[p])
+			for p := range weights {
+				weights[p] = math.Exp(ds.priorLogW[p])
 			}
 			continue
 		}
-		for p := range st.weights {
-			st.weights[p] /= total
+		for p := range weights {
+			weights[p] /= total
 		}
 	}
 }
@@ -376,11 +297,12 @@ func (m *Model) updateLambdaPosteriors() {
 // mean of the λ quadrature nodes — a diagnostic for how much each topic is
 // estimated to deviate from its knowledge source (1 = conforming).
 func (m *Model) LambdaPosteriorMeans() []float64 {
+	ds := m.delta
 	out := make([]float64, m.S)
-	for s, st := range m.topics {
+	for s := 0; s < m.S; s++ {
 		var mean float64
-		for p, w := range st.weights {
-			mean += w * st.nodes[p]
+		for p, w := range ds.topicWeights(s) {
+			mean += w * ds.nodes[p]
 		}
 		out[s] = mean
 	}
@@ -393,68 +315,19 @@ func (m *Model) sweep() {
 	m.sweepCount++
 	if o.LambdaMode == LambdaIntegrated && !o.FreezeLambdaWeights && m.sweepCount > o.lambdaBurnIn() {
 		m.updateLambdaPosteriors()
+		// The λ weights feed the cached wInv denominators of the sequential
+		// view; shard views rebuild their own at the next sweep barrier.
+		m.seq.rebuildDenoms()
 	}
 	if o.PruneDeadTopics && m.sweepCount >= o.PruneAfter &&
 		(m.sweepCount-o.PruneAfter)%o.PruneEvery == 0 {
 		m.pruneDeadTopics()
 	}
-	alpha, beta := o.Alpha, o.Beta
-	vBeta := float64(m.V) * beta
-	for d, doc := range m.c.Docs {
-		nd := m.nd[d]
-		for i, w := range doc.Words {
-			old := m.z[d][i]
-			m.nw[w][old]--
-			nd[old]--
-			m.nwsum[old]--
-
-			k := m.sampleTopic(nd, m.nw[w], w, alpha, beta, vBeta)
-
-			m.z[d][i] = k
-			m.nw[w][k]++
-			nd[k]++
-			m.nwsum[k]++
-		}
+	if o.SweepMode == SweepShardedDocs {
+		m.sweepSharded()
+		return
 	}
-}
-
-// sampleContext carries the per-token state of the collapsed conditional.
-type sampleContext struct {
-	m       *Model
-	nd, nww []int
-	w       int
-	alpha   float64
-	beta    float64
-	vBeta   float64
-}
-
-// prob evaluates the unnormalized conditional P(z = t | …) for the current
-// token. Disabled topics have probability zero.
-func (c *sampleContext) prob(t int) float64 {
-	m := c.m
-	if m.disabled[t] {
-		return 0
-	}
-	docPart := float64(c.nd[t]) + c.alpha
-	if t < m.K {
-		// Eq. 2, free-topic branch.
-		return (float64(c.nww[t]) + c.beta) / (float64(m.nwsum[t]) + c.vBeta) * docPart
-	}
-	// Eq. 3, source-topic branch with λ integrated by quadrature (single
-	// node in fixed mode).
-	st := m.topics[t-m.K]
-	return st.wordProb(st.values(c.w), float64(c.nww[t]), float64(m.nwsum[t])) * docPart
-}
-
-// sampleTopic draws a topic for a token of word w given the current
-// document counts nd and word counts nww (with the token itself already
-// decremented).
-func (m *Model) sampleTopic(nd, nww []int, w int, alpha, beta, vBeta float64) int {
-	m.ctx = sampleContext{m: m, nd: nd, nww: nww, w: w, alpha: alpha, beta: beta, vBeta: vBeta}
-	if m.computeFn == nil {
-		m.computeFn = m.ctx.prob
-	}
-	return m.sampler.Sample(m.T, m.computeFn, m.r.Float64())
+	m.sweepSequential()
 }
 
 // pruneDeadTopics disables source topics whose document frequency (counting
@@ -487,27 +360,21 @@ func (m *Model) pruneDeadTopics() {
 	if len(newly) == 0 {
 		return
 	}
-	dead := make(map[int]bool, len(newly))
+	dead := make([]bool, m.T)
 	for _, t := range newly {
 		dead[t] = true
+		m.seq.refreshTopic(t) // zero the cached denominators
 	}
-	alpha, beta := o.Alpha, o.Beta
-	vBeta := float64(m.V) * beta
-	for d, doc := range m.c.Docs {
-		nd := m.nd[d]
-		for i, w := range doc.Words {
-			old := m.z[d][i]
-			if !dead[old] {
+	v := m.seq
+	u := m.streams[0]
+	for d := range m.c.Docs {
+		v.docRow = m.counts.docRow(d)
+		zd := m.z[d]
+		for i, w := range m.c.Docs[d].Words {
+			if !dead[zd[i]] {
 				continue
 			}
-			m.nw[w][old]--
-			nd[old]--
-			m.nwsum[old]--
-			k := m.sampleTopic(nd, m.nw[w], w, alpha, beta, vBeta)
-			m.z[d][i] = k
-			m.nw[w][k]++
-			nd[k]++
-			m.nwsum[k]++
+			v.resample(zd, i, w, m.sampler, u)
 		}
 	}
 }
@@ -542,22 +409,23 @@ func (m *Model) SourceIndex(t int) int {
 func (m *Model) Phi() [][]float64 {
 	beta := m.opts.Beta
 	vBeta := float64(m.V) * beta
+	cs := m.counts
 	phi := make([][]float64, m.T)
 	for t := 0; t < m.K; t++ {
 		row := make([]float64, m.V)
-		den := float64(m.nwsum[t]) + vBeta
+		den := float64(cs.topicTotal[t]) + vBeta
 		for w := 0; w < m.V; w++ {
-			row[w] = (float64(m.nw[w][t]) + beta) / den
+			row[w] = (float64(cs.wordTopic[w*m.T+t]) + beta) / den
 		}
 		phi[t] = row
 	}
+	ds := m.delta
 	for s := 0; s < m.S; s++ {
 		t := m.K + s
-		st := m.topics[s]
 		row := make([]float64, m.V)
-		nsum := float64(m.nwsum[t])
+		nsum := float64(cs.topicTotal[t])
 		for w := 0; w < m.V; w++ {
-			row[w] = st.wordProb(st.values(w), float64(m.nw[w][t]), nsum)
+			row[w] = ds.wordProb(s, ds.values(s, w), float64(cs.wordTopic[w*m.T+t]), nsum)
 		}
 		// The quadrature mixture of normalized ratios is normalized up to
 		// quadrature error; renormalize exactly.
@@ -583,9 +451,10 @@ func (m *Model) Theta() [][]float64 {
 	theta := make([][]float64, m.D)
 	for d := range theta {
 		row := make([]float64, m.T)
-		den := float64(m.ndsum[d]) + tAlpha
+		den := float64(m.counts.docTotal[d]) + tAlpha
+		docRow := m.counts.docRow(d)
 		for t := 0; t < m.T; t++ {
-			row[t] = (float64(m.nd[d][t]) + alpha) / den
+			row[t] = (float64(docRow[t]) + alpha) / den
 		}
 		theta[d] = row
 	}
@@ -616,10 +485,11 @@ func (m *Model) TopicDocumentFrequencies(minTokens int) []int {
 	if minTokens < 1 {
 		minTokens = 1
 	}
+	min32 := int32(minTokens)
 	df := make([]int, m.T)
 	for d := 0; d < m.D; d++ {
-		for t, n := range m.nd[d] {
-			if n >= minTokens {
+		for t, n := range m.counts.docRow(d) {
+			if n >= min32 {
 				df[t]++
 			}
 		}
@@ -630,7 +500,9 @@ func (m *Model) TopicDocumentFrequencies(minTokens int) []int {
 // TokensPerTopic returns a copy of the per-topic token totals.
 func (m *Model) TokensPerTopic() []int {
 	out := make([]int, m.T)
-	copy(out, m.nwsum)
+	for t, n := range m.counts.topicTotal {
+		out[t] = int(n)
+	}
 	return out
 }
 
@@ -643,16 +515,17 @@ func (m *Model) LogLikelihood() float64 {
 	vBeta := float64(m.V) * beta
 	lgBeta, _ := math.Lgamma(beta)
 	lgVBeta, _ := math.Lgamma(vBeta)
+	cs := m.counts
 	var ll float64
 	for t := 0; t < m.K; t++ {
 		ll += lgVBeta - float64(m.V)*lgBeta
 		for w := 0; w < m.V; w++ {
-			if n := m.nw[w][t]; n > 0 {
+			if n := cs.wordTopic[w*m.T+t]; n > 0 {
 				lg, _ := math.Lgamma(float64(n) + beta)
 				ll += lg - lgBeta
 			}
 		}
-		lg, _ := math.Lgamma(float64(m.nwsum[t]) + vBeta)
+		lg, _ := math.Lgamma(float64(cs.topicTotal[t]) + vBeta)
 		ll -= lg - lgVBeta
 	}
 	// For a topic with prior vector δ the collapsed term is
@@ -660,19 +533,19 @@ func (m *Model) LogLikelihood() float64 {
 	// (words with n_w = 0 contribute log Γ(δ_w) to both prior and posterior
 	// products and cancel). Source topics evaluate δ at the quadrature's
 	// weighted-mean exponent (fixed mode: the fixed exponent).
+	ds := m.delta
 	for s := 0; s < m.S; s++ {
 		t := m.K + s
-		st := m.topics[s]
 		var e float64
-		for p, wgt := range st.weights {
-			e += wgt * st.exponents[p]
+		for p, wgt := range ds.topicWeights(s) {
+			e += wgt * ds.exponents[s*ds.P+p]
 		}
-		pd := st.hyper.Pow(e)
+		pd := ds.hyper[s].Pow(e)
 		lgTotal, _ := math.Lgamma(pd.Total)
-		lgDen, _ := math.Lgamma(pd.Total + float64(m.nwsum[t]))
+		lgDen, _ := math.Lgamma(pd.Total + float64(cs.topicTotal[t]))
 		ll += lgTotal - lgDen
 		for w := 0; w < m.V; w++ {
-			if n := m.nw[w][t]; n > 0 {
+			if n := cs.wordTopic[w*m.T+t]; n > 0 {
 				dw := pd.Value(w)
 				lgN, _ := math.Lgamma(float64(n) + dw)
 				lgP, _ := math.Lgamma(dw)

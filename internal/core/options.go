@@ -20,12 +20,16 @@
 //
 // Sampling can run with the serial collapsed Gibbs kernel (Algorithm 1) or
 // either of the paper's two exactness-preserving parallel kernels
-// (Algorithms 2 and 3) from internal/parallel.
+// (Algorithms 2 and 3) from internal/parallel — both within the exact
+// sequential sweep mode — or with the document-sharded data-parallel sweep
+// mode (SweepShardedDocs), which trades within-sweep count freshness for
+// corpus-scale throughput across cores.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"sourcelda/internal/corpus"
 	"sourcelda/internal/knowledge"
@@ -80,6 +84,40 @@ func (k SamplerKind) String() string {
 		return "prefix-sums"
 	default:
 		return fmt.Sprintf("SamplerKind(%d)", int(k))
+	}
+}
+
+// SweepMode selects how a Gibbs sweep traverses the corpus.
+type SweepMode int
+
+const (
+	// SweepSequential resamples tokens one at a time against the live
+	// global counts — exact collapsed Gibbs (Algorithm 1). The configured
+	// SamplerKind may parallelize within one token's topic vector
+	// (§III-C4), but tokens are strictly ordered.
+	SweepSequential SweepMode = iota
+	// SweepShardedDocs partitions documents into Options.Shards contiguous
+	// shards swept concurrently, each against a private copy of the
+	// word-topic counts taken at the sweep barrier and reconciled
+	// afterwards (AD-LDA style; Newman et al., "Distributed inference for
+	// latent Dirichlet allocation"). With more than one shard the chain is
+	// an approximation — counts are stale across shards within a sweep —
+	// but sweeps scale across cores instead of across topics. With exactly
+	// one shard the chain is identical to SweepSequential with the serial
+	// kernel. Each shard draws from its own deterministic RNG stream, so
+	// results depend on the shard count but never on worker scheduling.
+	SweepShardedDocs
+)
+
+// String implements fmt.Stringer.
+func (s SweepMode) String() string {
+	switch s {
+	case SweepSequential:
+		return "sequential"
+	case SweepShardedDocs:
+		return "sharded-docs"
+	default:
+		return fmt.Sprintf("SweepMode(%d)", int(s))
 	}
 }
 
@@ -157,17 +195,46 @@ type Options struct {
 	Iterations int
 	// Seed seeds the sampler chain.
 	Seed int64
-	// Sampler selects the sampling kernel. Default SamplerSerial.
+	// Sampler selects the per-token sampling kernel. Default SamplerSerial.
+	// SweepShardedDocs ignores it for the sweep itself (each shard scans
+	// serially) but still uses it for token resampling during pruning.
 	Sampler SamplerKind
-	// Threads is the worker count for the parallel kernels (the paper's P).
-	// Default 1.
+	// Threads is the worker count shared by the parallel kernels (the
+	// paper's P) and the sharded sweep mode. Default 1.
 	Threads int
+	// SweepMode selects how sweeps traverse the corpus. Default
+	// SweepSequential (exact collapsed Gibbs).
+	SweepMode SweepMode
+	// Shards is the number of document shards for SweepShardedDocs; it is
+	// capped at the document count. Default Threads, so selecting the
+	// sharded mode with N threads shards the corpus N ways.
+	Shards int
 	// TraceLikelihood records the collapsed joint log-likelihood after each
 	// sweep (the Fig. 6 trace).
 	TraceLikelihood bool
 	// OnIteration, when non-nil, runs after each sweep with the 0-based
 	// sweep index; it may inspect the model but must not mutate it.
 	OnIteration func(iter int, m *Model)
+}
+
+// DefaultShardWorkers returns the default worker count for a sharded sweep
+// over docs documents given a requested shard count: one worker per shard,
+// capped at the document count (shards beyond it never sample) and the CPU
+// count (extra workers only add scheduling overhead). A non-positive shard
+// request means "as many as useful". The sourcelda façade and the srclda
+// CLI both derive their defaults from this so the two entry points never
+// diverge.
+func DefaultShardWorkers(shards, docs int) int {
+	if shards <= 0 || shards > docs {
+		shards = docs
+	}
+	if n := runtime.NumCPU(); shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
 }
 
 // lambdaBurnIn returns the effective burn-in before λ posterior updates.
@@ -208,6 +275,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Threads <= 0 {
 		o.Threads = 1
+	}
+	if o.Shards <= 0 {
+		o.Shards = o.Threads
 	}
 	if o.SmoothingConfig.GridPoints == 0 && o.SmoothingConfig.Samples == 0 {
 		o.SmoothingConfig = smoothing.Config{GridPoints: 11, MeanField: true, Seed: o.Seed}

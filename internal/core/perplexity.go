@@ -83,16 +83,16 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 				nd[old]--
 				nwsumTil[old]--
 
-				trainW := m.nw[w]
+				trainW := m.counts.wordRow(w)
 				for t := 0; t < m.T; t++ {
 					docPart := float64(nd[t]) + alpha
-					combinedW := float64(trainW[t] + nww[t])
-					combinedSum := float64(m.nwsum[t] + nwsumTil[t])
+					combinedW := float64(int(trainW[t]) + nww[t])
+					combinedSum := float64(int(m.counts.topicTotal[t]) + nwsumTil[t])
 					if t < m.K {
 						probs[t] = (combinedW + beta) / (combinedSum + vBeta) * docPart
 					} else {
-						st := m.topics[t-m.K]
-						probs[t] = st.wordProb(st.values(w), combinedW, combinedSum) * docPart
+						s := t - m.K
+						probs[t] = m.delta.wordProb(s, m.delta.values(s, w), combinedW, combinedSum) * docPart
 					}
 				}
 				k := r.Categorical(probs)

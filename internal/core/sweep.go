@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sourcelda/internal/parallel"
+	"sourcelda/internal/rng"
+)
+
+// gibbsView is the working state one goroutine sweeps with: the count slabs
+// it samples against (the global slabs for the sequential mode, shard-local
+// copies in sharded mode), cached per-topic denominators, and the current
+// token's row pointers. Its fill method evaluates the collapsed conditional
+// of Eq. 2/3 for a topic range with direct slice indexing — no closure call
+// per topic, no map probe per word, and no division in the token loop.
+//
+// The denominator caches are the key: the conditional divides by
+// (n_t + Vβ) for free topics and (n_t + Σδ^{e_p}) per quadrature node for
+// source topics, yet a resampled token changes n_t for only two topics.
+// Caching the reciprocals and refreshing just those two rows replaces
+// K + S·P divisions per token with at most 2·P.
+type gibbsView struct {
+	m          *Model
+	K, T, S, P int
+	alpha      float64
+	beta       float64
+	vBeta      float64
+
+	wordTopic  []int32
+	topicTotal []int32
+
+	// freeDen[t] = 1/(topicTotal[t] + Vβ) for free topics t < K — the
+	// cached smoothing denominator of Eq. 2; 0 when the topic is disabled.
+	freeDen []float64
+	// wInv[s*P+p] = weights[s*P+p] / (topicTotal[K+s] + totals[s*P+p]),
+	// the quadrature weight pre-divided by its node denominator, so one
+	// source-topic probability is a P-term multiply-accumulate; 0 when the
+	// topic is disabled.
+	wInv []float64
+
+	// Per-token state, set by setToken and the caller before fill runs.
+	tokenRow []int32 // wordTopic row of the current word
+	supRow   []int32 // supporting source topics of the current word (CSR)
+	supBase  int     // deltaStore entry index of supRow[0]
+	docRow   []int32 // docTopic row of the current document
+
+	// fillFn is the method value bound once so sampling allocates no
+	// closure per token.
+	fillFn parallel.FillFunc
+}
+
+func newGibbsView(m *Model, wordTopic, topicTotal []int32) *gibbsView {
+	v := &gibbsView{
+		m: m, K: m.K, T: m.T, S: m.S, P: m.delta.P,
+		alpha: m.opts.Alpha, beta: m.opts.Beta,
+		vBeta:      float64(m.V) * m.opts.Beta,
+		wordTopic:  wordTopic,
+		topicTotal: topicTotal,
+		freeDen:    make([]float64, m.K),
+		wInv:       make([]float64, m.S*m.delta.P),
+	}
+	v.fillFn = v.fill
+	v.rebuildDenoms()
+	return v
+}
+
+// fill implements parallel.FillFunc for the current token: out[i] is the
+// unnormalized P(z = lo+i | …) of Eq. 2 (free topics) or Eq. 3 with λ
+// integrated by quadrature (source topics). Disabled topics fall out with
+// probability zero because their cached denominators are zeroed.
+func (v *gibbsView) fill(lo, hi int, out []float64) {
+	row, doc := v.tokenRow, v.docRow
+	t := lo
+	for ; t < hi && t < v.K; t++ {
+		out[t-lo] = (float64(row[t]) + v.beta) * v.freeDen[t] * (float64(doc[t]) + v.alpha)
+	}
+	P := v.P
+	ds := v.m.delta
+	// The word's supporting topics (supRow) are ascending, as is the topic
+	// loop: advance a cursor in lockstep instead of searching per topic.
+	// Chunked fills (parallel kernels) start mid-range, so position the
+	// cursor once per call with a binary search.
+	sup := v.supRow
+	idx := 0
+	if s0 := t - v.K; s0 > 0 {
+		idx = searchTopic(sup, s0)
+	}
+	for ; t < hi; t++ {
+		s := t - v.K
+		var vals []float64
+		if idx < len(sup) && int(sup[idx]) == s {
+			e := v.supBase + idx
+			vals = ds.vals[e*P : (e+1)*P]
+			idx++
+		} else {
+			vals = ds.defaults[s*P : (s+1)*P]
+		}
+		wi := v.wInv[s*P : (s+1)*P]
+		nw := float64(row[t])
+		var acc float64
+		for p := 0; p < P; p++ {
+			acc += (nw + vals[p]) * wi[p]
+		}
+		out[t-lo] = acc * (float64(doc[t]) + v.alpha)
+	}
+}
+
+// setToken points the view at word w's count row and sparse-value window.
+func (v *gibbsView) setToken(w int) {
+	v.tokenRow = v.wordTopic[w*v.T : (w+1)*v.T : (w+1)*v.T]
+	v.supRow, v.supBase = v.m.delta.wordEntries(w)
+}
+
+// resample redraws token i of zd — a token of word w in the document whose
+// counts docRow currently points at — with the given kernel and RNG stream.
+// This is the one place the dec → fill → inc protocol lives; the sequential
+// sweep, the sharded sweep, and prune resampling all go through it.
+func (v *gibbsView) resample(zd []int, i, w int, sampler parallel.TopicSampler, r *rng.RNG) {
+	v.setToken(w)
+	v.dec(zd[i])
+	zd[i] = sampler.Sample(v.T, v.fillFn, r.Float64())
+	v.inc(zd[i])
+}
+
+// dec removes the current token from topic t; setToken and docRow must be
+// current. inc is its inverse.
+func (v *gibbsView) dec(t int) {
+	v.tokenRow[t]--
+	v.docRow[t]--
+	v.topicTotal[t]--
+	v.refreshTopic(t)
+}
+
+func (v *gibbsView) inc(t int) {
+	v.tokenRow[t]++
+	v.docRow[t]++
+	v.topicTotal[t]++
+	v.refreshTopic(t)
+}
+
+// refreshTopic recomputes topic t's cached denominators after its total
+// changed (or its disabled flag / quadrature weights did).
+func (v *gibbsView) refreshTopic(t int) {
+	if t < v.K {
+		if v.m.disabled[t] {
+			v.freeDen[t] = 0
+			return
+		}
+		v.freeDen[t] = 1 / (float64(v.topicTotal[t]) + v.vBeta)
+		return
+	}
+	s := t - v.K
+	base := s * v.P
+	wi := v.wInv[base : base+v.P]
+	if v.m.disabled[t] {
+		clear(wi)
+		return
+	}
+	ds := v.m.delta
+	tot := float64(v.topicTotal[t])
+	for p := range wi {
+		wi[p] = ds.weights[base+p] / (tot + ds.totals[base+p])
+	}
+}
+
+// rebuildDenoms refreshes every topic's cached denominators — needed after
+// bulk count changes (shard reconciliation), λ posterior reweighting, and
+// topic pruning.
+func (v *gibbsView) rebuildDenoms() {
+	for t := 0; t < v.T; t++ {
+		v.refreshTopic(t)
+	}
+}
+
+// shardView is one document shard of the sharded sweep mode: a gibbsView
+// over private copies of the word-topic slabs, a serial in-shard sampler,
+// and the shard's own deterministic RNG stream.
+type shardView struct {
+	view    *gibbsView
+	sampler *parallel.Serial
+	r       *rng.RNG
+	lo, hi  int // document range [lo, hi)
+}
+
+// sweepRange resamples every token of documents [lo, hi) through view v
+// with the given kernel and RNG stream — the one corpus-traversal loop the
+// sequential sweep and every shard share.
+func (m *Model) sweepRange(v *gibbsView, lo, hi int, sampler parallel.TopicSampler, r *rng.RNG) {
+	for d := lo; d < hi; d++ {
+		v.docRow = m.counts.docRow(d)
+		zd := m.z[d]
+		for i, w := range m.c.Docs[d].Words {
+			v.resample(zd, i, w, sampler, r)
+		}
+	}
+}
+
+// sweepSequential is Algorithm 1's corpus loop: tokens are resampled one at
+// a time against the live global counts, so the chain is exact collapsed
+// Gibbs. The configured kernel (serial, prefix-sum, or simple-parallel)
+// parallelizes — at most — within one token's topic vector (§III-C4).
+func (m *Model) sweepSequential() {
+	m.sweepRange(m.seq, 0, m.D, m.sampler, m.streams[0])
+}
+
+// sweepSharded is the document-sharded data-parallel sweep (AD-LDA style,
+// Newman et al.): every shard resamples its documents against a private
+// copy of the word-topic counts taken at the sweep barrier, and the global
+// counts are rebuilt from the assignments afterwards. With more than one
+// shard the chain is an approximation of collapsed Gibbs (counts are stale
+// within a sweep across shards); with exactly one shard it IS the
+// sequential chain — same seed, same assignments — because the single
+// shard's copy sees every one of its own updates.
+//
+// Determinism: shard i always covers the same document range and draws from
+// the same rng.NewStream(seed, i) stream, so results depend on the shard
+// count but never on worker scheduling.
+func (m *Model) sweepSharded() {
+	if len(m.shards) == 1 {
+		// A single shard IS the sequential chain: its view aliases the
+		// global slabs (see NewModel), so there is no copy, no barrier
+		// rebuild — just the shard's serial kernel and RNG stream, which
+		// match the sequential mode's defaults.
+		m.runShard(m.shards[0])
+		return
+	}
+	m.pool.Run(len(m.shards), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.runShard(m.shards[i])
+		}
+	})
+	// Shard barrier: fold every shard's local deltas back into the global
+	// store. Rebuilding from assignments is equivalent to summing the
+	// per-shard deltas (each token's reassignment is -1/+1 on its word row)
+	// and touches each token once, deterministically.
+	m.counts.rebuildFromAssignments(m.c.Docs, m.z)
+	m.seq.rebuildDenoms()
+}
+
+func (m *Model) runShard(sh *shardView) {
+	v := sh.view
+	if v != m.seq {
+		copy(v.wordTopic, m.counts.wordTopic)
+		copy(v.topicTotal, m.counts.topicTotal)
+		v.rebuildDenoms()
+	}
+	m.sweepRange(v, sh.lo, sh.hi, sh.sampler, sh.r)
+}

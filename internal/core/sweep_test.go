@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"sourcelda/internal/synth"
+)
+
+// sweepFixture builds a small synthetic corpus with enough documents to
+// shard meaningfully.
+func sweepFixture(t testing.TB) *synth.MedlineData {
+	t.Helper()
+	data, err := synth.MedlineLike(synth.MedlineOptions{
+		NumTopics:  8,
+		LiveTopics: 5,
+		NumDocs:    24,
+		AvgDocLen:  30,
+		Alpha:      0.2,
+		Mu:         0.7,
+		Sigma:      0.3,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func assignmentsEqual(t *testing.T, name string, got, want [][]int) {
+	t.Helper()
+	for d := range want {
+		for i := range want[d] {
+			if got[d][i] != want[d][i] {
+				t.Fatalf("%s diverged from serial at doc %d token %d: got %d want %d",
+					name, d, i, got[d][i], want[d][i])
+			}
+		}
+	}
+}
+
+// TestSweepModeEquivalence pins the exactness contract across every
+// sampling configuration: with a fixed seed, the serial kernel, Algorithm 2
+// (prefix sums), Algorithm 3 (simple parallel), and the sharded sweep mode
+// restricted to one shard must all produce the identical chain.
+func TestSweepModeEquivalence(t *testing.T) {
+	data := sweepFixture(t)
+	base := Options{
+		NumFreeTopics: 3, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, UseSmoothing: true,
+		PruneDeadTopics: true, PruneAfter: 8, PruneEvery: 5,
+		Iterations: 25, Seed: 4242,
+	}
+	ref, err := Fit(data.Corpus, data.Source, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	variants := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"prefix-sums", func(o *Options) { o.Sampler = SamplerPrefixSums; o.Threads = 3 }},
+		{"simple-parallel", func(o *Options) { o.Sampler = SamplerSimpleParallel; o.Threads = 3 }},
+		{"sharded-one-shard", func(o *Options) { o.SweepMode = SweepShardedDocs; o.Shards = 1 }},
+		{"sharded-one-shard-threads", func(o *Options) {
+			// Extra worker threads must not change a single-shard chain.
+			o.SweepMode = SweepShardedDocs
+			o.Shards = 1
+			o.Threads = 4
+		}},
+	}
+	for _, v := range variants {
+		opts := base
+		v.set(&opts)
+		m, err := Fit(data.Corpus, data.Source, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assignmentsEqual(t, v.name, m.Assignments(), ref.Assignments())
+		m.Close()
+	}
+}
+
+// TestShardedSweepDeterministic checks the multi-shard chain is a pure
+// function of (seed, shard count): rerunning reproduces it bit for bit even
+// though shards race on wall-clock, because each shard owns a fixed
+// document range and RNG stream.
+func TestShardedSweepDeterministic(t *testing.T) {
+	data := sweepFixture(t)
+	opts := Options{
+		NumFreeTopics: 3, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, Iterations: 15, Seed: 77,
+		SweepMode: SweepShardedDocs, Shards: 4, Threads: 4,
+	}
+	m1, err := Fit(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	m2, err := Fit(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	assignmentsEqual(t, "second run", m2.Assignments(), m1.Assignments())
+}
+
+// TestShardedSweepCountsConsistent verifies the shard-barrier
+// reconciliation: after multi-shard sweeps the global count store must
+// agree exactly with the per-token assignments, and distributions must stay
+// normalized.
+func TestShardedSweepCountsConsistent(t *testing.T) {
+	data := sweepFixture(t)
+	m, err := Fit(data.Corpus, data.Source, Options{
+		NumFreeTopics: 3, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaFixed, Lambda: 0.8,
+		Iterations: 12, Seed: 9,
+		SweepMode: SweepShardedDocs, Shards: 5, Threads: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	wantWord := make([]int32, m.V*m.T)
+	wantTotal := make([]int32, m.T)
+	for d, doc := range data.Corpus.Docs {
+		for i, w := range doc.Words {
+			k := m.z[d][i]
+			wantWord[w*m.T+k]++
+			wantTotal[k]++
+			if k < 0 || k >= m.T {
+				t.Fatalf("assignment out of range: %d", k)
+			}
+		}
+	}
+	for i, n := range wantWord {
+		if m.counts.wordTopic[i] != n {
+			t.Fatalf("wordTopic[%d] = %d, want %d", i, m.counts.wordTopic[i], n)
+		}
+	}
+	for t2, n := range wantTotal {
+		if m.counts.topicTotal[t2] != n {
+			t.Fatalf("topicTotal[%d] = %d, want %d", t2, m.counts.topicTotal[t2], n)
+		}
+	}
+
+	var tokens int
+	for _, n := range m.TokensPerTopic() {
+		tokens += n
+	}
+	if tokens != data.Corpus.TotalTokens() {
+		t.Fatalf("token total %d, want %d", tokens, data.Corpus.TotalTokens())
+	}
+	for k, row := range m.Phi() {
+		var s float64
+		for _, p := range row {
+			s += p
+		}
+		if s < 0.999999 || s > 1.000001 {
+			t.Fatalf("φ[%d] sums to %v after sharded sweeps", k, s)
+		}
+	}
+}
+
+// TestShardedSweepImprovesLikelihood sanity-checks that the approximate
+// multi-shard chain still optimizes the collapsed joint likelihood on a
+// corpus drawn from the source topics.
+func TestShardedSweepImprovesLikelihood(t *testing.T) {
+	data := sweepFixture(t)
+	m, err := Fit(data.Corpus, data.Source, Options{
+		NumFreeTopics: 2, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaFixed, Lambda: 1,
+		Iterations: 30, Seed: 5,
+		SweepMode: SweepShardedDocs, Shards: 4, Threads: 2,
+		TraceLikelihood: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	trace := m.LikelihoodTrace
+	if len(trace) != 30 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	if last, first := trace[len(trace)-1], trace[0]; last < first-1e-9 {
+		t.Fatalf("sharded chain degraded the likelihood: %v → %v", first, last)
+	}
+}
+
+// TestShardsCappedAtDocuments: more shards than documents must degrade
+// gracefully to one shard per document.
+func TestShardsCappedAtDocuments(t *testing.T) {
+	data := sweepFixture(t)
+	m, err := Fit(data.Corpus, data.Source, Options{
+		LambdaMode: LambdaFixed, Lambda: 1, Iterations: 3, Seed: 2,
+		SweepMode: SweepShardedDocs, Shards: 10 * data.Corpus.NumDocs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.shards) != data.Corpus.NumDocs() {
+		t.Fatalf("%d shards for %d documents", len(m.shards), data.Corpus.NumDocs())
+	}
+	var tokens int
+	for _, n := range m.TokensPerTopic() {
+		tokens += n
+	}
+	if tokens != data.Corpus.TotalTokens() {
+		t.Fatalf("token total %d, want %d", tokens, data.Corpus.TotalTokens())
+	}
+}
+
+func TestSweepModeStringer(t *testing.T) {
+	if SweepSequential.String() != "sequential" || SweepShardedDocs.String() != "sharded-docs" {
+		t.Fatal("SweepMode strings wrong")
+	}
+	if SweepMode(9).String() == "" {
+		t.Fatal("unknown enum value should still render")
+	}
+}

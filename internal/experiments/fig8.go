@@ -116,6 +116,9 @@ func fig8Mixed(cfg Config) (*fig8Run, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Close on every exit path: an error return below would otherwise
+		// leak the model's worker pool.
+		defer srcModel.Close()
 		srcMapping := make([]int, srcModel.NumTopics())
 		for t := range srcMapping {
 			srcMapping[t] = srcModel.SourceIndex(t) // -1 for free topics
@@ -128,7 +131,6 @@ func fig8Mixed(cfg Config) (*fig8Run, error) {
 		if err := add("SRC-Unk", srcModel.Assignments(), srcMapping, srcReduced.Result.Theta); err != nil {
 			return nil, err
 		}
-		srcModel.Close()
 
 		edaModel, err := eda.Fit(c, src, eda.Options{
 			Alpha: alpha, Iterations: p.Iters, Seed: cfg.seed() + 2,
@@ -236,10 +238,10 @@ func fig8Exact(cfg Config) (*fig8Run, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer srcModel.Close()
 		if err := add("SRC-Exact", srcModel.Assignments(), subMapping, srcModel.Theta()); err != nil {
 			return nil, err
 		}
-		srcModel.Close()
 
 		edaModel, err := eda.Fit(c, sub, eda.Options{
 			Alpha: alpha, Iterations: p.Iters, Seed: cfg.seed() + 12,

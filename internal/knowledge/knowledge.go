@@ -153,6 +153,10 @@ func (h *Hyperparams) Sum() float64 {
 // NumPresent returns the number of vocabulary words with article support.
 func (h *Hyperparams) NumPresent() int { return len(h.present) }
 
+// PresentWords returns the word ids with article support in ascending
+// order. The returned slice is shared; do not modify.
+func (h *Hyperparams) PresentWords() []int { return h.order }
+
 // Dense materializes the full δ vector. Intended for small vocabularies
 // (tests, the pixel experiments); the samplers use the sparse form.
 func (h *Hyperparams) Dense() []float64 {

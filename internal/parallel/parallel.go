@@ -88,13 +88,20 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// TopicSampler selects a topic index given a per-topic probability evaluator
-// and a uniform variate u in [0, 1). Implementations differ only in how the
-// probability vector is computed and scanned.
+// FillFunc computes unnormalized topic probabilities for the contiguous
+// range [lo, hi) into out, which has length hi-lo: out[i] = P(z = lo+i | …).
+// Implementations evaluate with direct slice indexing over flat state, so a
+// sampler invokes one call per chunk instead of one closure call per topic.
+// A FillFunc must be safe for concurrent invocation on disjoint ranges.
+type FillFunc func(lo, hi int, out []float64)
+
+// TopicSampler selects a topic index given a range filler for the per-topic
+// probabilities and a uniform variate u in [0, 1). Implementations differ
+// only in how the probability vector is computed and scanned.
 type TopicSampler interface {
-	// Sample evaluates compute(t) for t in [0, T), forms cumulative sums,
-	// and returns the index selected by u·total via binary search.
-	Sample(T int, compute func(t int) float64, u float64) int
+	// Sample fills the probabilities for [0, T), forms cumulative sums, and
+	// returns the index selected by u·total via binary search.
+	Sample(T int, fill FillFunc, u float64) int
 	// Name identifies the algorithm for reporting.
 	Name() string
 }
@@ -112,14 +119,16 @@ func NewSerial() *Serial { return &Serial{} }
 func (s *Serial) Name() string { return "serial" }
 
 // Sample implements TopicSampler.
-func (s *Serial) Sample(T int, compute func(t int) float64, u float64) int {
+func (s *Serial) Sample(T int, fill FillFunc, u float64) int {
 	s.buf = resize(s.buf, T)
+	buf := s.buf[:T]
+	fill(0, T, buf)
 	var run float64
 	for t := 0; t < T; t++ {
-		run += compute(t)
-		s.buf[t] = run
+		run += buf[t]
+		buf[t] = run
 	}
-	return searchTarget(s.buf[:T], u)
+	return searchTarget(buf, u)
 }
 
 // SimpleParallel implements Algorithm 3: each worker computes and locally
@@ -140,7 +149,7 @@ func NewSimpleParallel(pool *Pool) *SimpleParallel {
 func (s *SimpleParallel) Name() string { return "simple-parallel" }
 
 // Sample implements TopicSampler.
-func (s *SimpleParallel) Sample(T int, compute func(t int) float64, u float64) int {
+func (s *SimpleParallel) Sample(T int, fill FillFunc, u float64) int {
 	s.buf = resize(s.buf, T)
 	buf := s.buf[:T]
 	workers := s.pool.Workers()
@@ -157,10 +166,12 @@ func (s *SimpleParallel) Sample(T int, compute func(t int) float64, u float64) i
 
 	// Phase 1 (parallel): evaluate and locally scan each chunk.
 	s.pool.Run(T, func(lo, hi int) {
+		chunk := buf[lo:hi]
+		fill(lo, hi, chunk)
 		var run float64
-		for t := lo; t < hi; t++ {
-			run += compute(t)
-			buf[t] = run
+		for i, v := range chunk {
+			run += v
+			chunk[i] = run
 		}
 		ends[lo/size] = run
 	})
@@ -200,7 +211,7 @@ func NewPrefixSums(pool *Pool) *PrefixSums { return &PrefixSums{pool: pool} }
 func (s *PrefixSums) Name() string { return "prefix-sums" }
 
 // Sample implements TopicSampler.
-func (s *PrefixSums) Sample(T int, compute func(t int) float64, u float64) int {
+func (s *PrefixSums) Sample(T int, fill FillFunc, u float64) int {
 	n := nextPow2(T)
 	s.vals = resize(s.vals, n)
 	s.scan = resize(s.scan, n)
@@ -208,11 +219,8 @@ func (s *PrefixSums) Sample(T int, compute func(t int) float64, u float64) int {
 
 	// Evaluate probabilities in parallel; zero the padding.
 	s.pool.Run(T, func(lo, hi int) {
-		for t := lo; t < hi; t++ {
-			v := compute(t)
-			vals[t] = v
-			scan[t] = v
-		}
+		fill(lo, hi, vals[lo:hi])
+		copy(scan[lo:hi], vals[lo:hi])
 	})
 	for t := T; t < n; t++ {
 		vals[t] = 0

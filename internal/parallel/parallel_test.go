@@ -52,6 +52,11 @@ func TestPoolDoubleCloseSafe(t *testing.T) {
 	p.Close() // second close must not panic
 }
 
+// fillFrom adapts a dense probability vector to the FillFunc contract.
+func fillFrom(probs []float64) FillFunc {
+	return func(lo, hi int, out []float64) { copy(out, probs[lo:hi]) }
+}
+
 // evaluators returns one sampler of each kind sharing the worker count.
 func evaluators(workers int) ([]TopicSampler, func()) {
 	pool := NewPool(workers)
@@ -75,10 +80,10 @@ func TestSamplersAgreeExactly(t *testing.T) {
 				probs[i] = r.Float64() * 10
 			}
 			u := r.Float64()
-			compute := func(t int) float64 { return probs[t] }
-			base := samplers[0].Sample(T, compute, u)
+			fill := fillFrom(probs)
+			base := samplers[0].Sample(T, fill, u)
 			for _, s := range samplers[1:] {
-				if got := s.Sample(T, compute, u); got != base {
+				if got := s.Sample(T, fill, u); got != base {
 					t.Fatalf("workers=%d trial=%d T=%d: %s chose %d, serial chose %d",
 						workers, trial, T, s.Name(), got, base)
 				}
@@ -93,12 +98,13 @@ func TestSamplersMatchDistribution(t *testing.T) {
 	samplers, done := evaluators(3)
 	defer done()
 	probs := []float64{1, 2, 3, 4} // P = 0.1, 0.2, 0.3, 0.4
+	fill := fillFrom(probs)
 	for _, s := range samplers {
 		r := rng.New(55)
 		counts := make([]int, 4)
 		const n = 40000
 		for i := 0; i < n; i++ {
-			counts[s.Sample(4, func(t int) float64 { return probs[t] }, r.Float64())]++
+			counts[s.Sample(4, fill, r.Float64())]++
 		}
 		for i, c := range counts {
 			want := probs[i] / 10
@@ -114,7 +120,7 @@ func TestSamplersSingleTopic(t *testing.T) {
 	samplers, done := evaluators(2)
 	defer done()
 	for _, s := range samplers {
-		if got := s.Sample(1, func(int) float64 { return 5 }, 0.7); got != 0 {
+		if got := s.Sample(1, fillFrom([]float64{5}), 0.7); got != 0 {
 			t.Fatalf("%s: single topic must return 0, got %d", s.Name(), got)
 		}
 	}
@@ -124,7 +130,7 @@ func TestSamplersZeroMassFallback(t *testing.T) {
 	samplers, done := evaluators(2)
 	defer done()
 	for _, s := range samplers {
-		got := s.Sample(4, func(int) float64 { return 0 }, 0.6)
+		got := s.Sample(4, fillFrom(make([]float64, 4)), 0.6)
 		if got < 0 || got >= 4 {
 			t.Fatalf("%s: zero-mass fallback out of range: %d", s.Name(), got)
 		}
@@ -135,10 +141,11 @@ func TestSamplersRespectZeroProbability(t *testing.T) {
 	samplers, done := evaluators(3)
 	defer done()
 	probs := []float64{0, 1, 0, 1, 0}
+	fill := fillFrom(probs)
 	r := rng.New(77)
 	for _, s := range samplers {
 		for i := 0; i < 500; i++ {
-			k := s.Sample(5, func(t int) float64 { return probs[t] }, r.Float64())
+			k := s.Sample(5, fill, r.Float64())
 			if probs[k] == 0 {
 				t.Fatalf("%s selected zero-probability topic %d", s.Name(), k)
 			}
@@ -159,8 +166,8 @@ func TestPrefixSumsNonPowerOfTwo(t *testing.T) {
 			probs[i] = r.Float64()
 		}
 		u := r.Float64()
-		compute := func(t int) float64 { return probs[t] }
-		if a, b := ps.Sample(T, compute, u), serial.Sample(T, compute, u); a != b {
+		fill := fillFrom(probs)
+		if a, b := ps.Sample(T, fill, u), serial.Sample(T, fill, u); a != b {
 			t.Fatalf("T=%d: prefix %d vs serial %d", T, a, b)
 		}
 	}
@@ -178,7 +185,7 @@ func TestSamplerPropertyValidIndex(t *testing.T) {
 		for i := range probs {
 			probs[i] = r.Float64()
 		}
-		k := sp.Sample(T, func(t int) float64 { return probs[t] }, u)
+		k := sp.Sample(T, fillFrom(probs), u)
 		return k >= 0 && k < T
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -24,6 +24,28 @@ func New(seed int64) *RNG {
 	return &RNG{src: rand.New(rand.NewSource(seed))}
 }
 
+// NewStream returns the generator for substream `stream` of a root seed.
+// The (seed, stream) pair is passed through a SplitMix64 finalizer so
+// sibling streams are decorrelated from each other and from New(seed),
+// while remaining a pure function of their inputs: a document shard keeps
+// the same random sequence no matter how many worker threads execute it or
+// in which order shards are scheduled.
+func NewStream(seed, stream int64) *RNG {
+	x := mix64(uint64(seed) + (uint64(stream)+1)*0x9E3779B97F4A7C15)
+	// Keep the derived seed non-negative for rand.NewSource.
+	return New(int64(x &^ (1 << 63)))
+}
+
+// mix64 is the SplitMix64 output finalizer (Steele, Lea & Flood 2014).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // Float64 returns a uniform draw in [0, 1).
 func (r *RNG) Float64() float64 { return r.src.Float64() }
 

@@ -397,3 +397,30 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[x] = true
 	}
 }
+
+func TestNewStreamDeterministicAndDecorrelated(t *testing.T) {
+	// Same (seed, stream) → identical sequence.
+	a, b := NewStream(42, 3), NewStream(42, 3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("stream is not a pure function of (seed, stream)")
+		}
+	}
+	// Sibling streams, and stream 0 vs New(seed), must differ.
+	pairs := [][2]*RNG{
+		{NewStream(42, 0), NewStream(42, 1)},
+		{NewStream(42, 0), New(42)},
+		{NewStream(42, 1), NewStream(43, 1)},
+	}
+	for i, pr := range pairs {
+		same := 0
+		for j := 0; j < 64; j++ {
+			if pr[0].Float64() == pr[1].Float64() {
+				same++
+			}
+		}
+		if same == 64 {
+			t.Fatalf("pair %d: streams are identical", i)
+		}
+	}
+}

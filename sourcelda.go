@@ -156,9 +156,18 @@ type Options struct {
 	Iterations int
 	// Seed makes runs reproducible.
 	Seed int64
-	// Threads > 1 selects the parallel prefix-sum sampler with that many
-	// workers (the paper's Algorithm 3).
+	// Threads > 1 selects the parallel chunked-scan sampler with that many
+	// workers (the paper's Algorithm 3), unless Shards also requests the
+	// document-sharded sweep mode.
 	Threads int
+	// Shards > 0 switches sweeps to the document-sharded data-parallel mode:
+	// the corpus is split into that many document shards swept concurrently
+	// against shard-local count copies reconciled every sweep. An explicit
+	// Threads bounds the workers executing them; otherwise one worker per
+	// shard is used (capped at the document and CPU counts). One shard
+	// reproduces the default chain exactly; more shards trade within-sweep
+	// count freshness for multi-core throughput.
+	Shards int
 	// TraceLikelihood records a per-iteration log-likelihood trace.
 	TraceLikelihood bool
 }
@@ -244,6 +253,17 @@ func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
 	if opts.Threads > 1 {
 		coreOpts.Sampler = core.SamplerSimpleParallel
 		coreOpts.Threads = opts.Threads
+	}
+	if opts.Shards > 0 {
+		coreOpts.SweepMode = core.SweepShardedDocs
+		coreOpts.Shards = opts.Shards
+		coreOpts.Sampler = core.SamplerSerial
+		if opts.Threads > 0 {
+			// An explicit Threads setting is a resource bound; honor it.
+			coreOpts.Threads = opts.Threads
+		} else {
+			coreOpts.Threads = core.DefaultShardWorkers(opts.Shards, c.c.NumDocs())
+		}
 	}
 	m, err := core.Fit(c.c, k.s, coreOpts)
 	if err != nil {

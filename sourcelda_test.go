@@ -225,6 +225,45 @@ func TestThreadedFitMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestShardedFitMatchesSerialWithOneShard(t *testing.T) {
+	c, k := buildFixture(t)
+	opts := Options{
+		Lambda:     &LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 15,
+		Seed:       9,
+	}
+	serial, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Shards = 1
+	sharded, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Raw().Assignments, sharded.Raw().Assignments
+	for d := range a {
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatal("one-shard sharded fit diverged from serial with same seed")
+			}
+		}
+	}
+	// Multi-shard fits must run and keep every token assigned.
+	opts.Shards = 4
+	multi, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokens int
+	for _, n := range multi.Raw().TokenCounts {
+		tokens += n
+	}
+	if tokens != c.TotalTokens() {
+		t.Fatalf("sharded fit lost tokens: %d of %d", tokens, c.TotalTokens())
+	}
+}
+
 func TestLabelers(t *testing.T) {
 	c, k := buildFixture(t)
 	for _, kind := range []LabelerKind{LabelJSDivergence, LabelTFIDFCosine, LabelCounting, LabelPMI} {
