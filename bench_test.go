@@ -10,6 +10,7 @@ import (
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/experiments"
+	"sourcelda/internal/infer"
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/lda"
 	"sourcelda/internal/parallel"
@@ -225,6 +226,74 @@ func BenchmarkSweepModes(b *testing.B) {
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(tokens)*float64(b.N)/secs, "tokens/sec")
+			}
+		})
+	}
+}
+
+// benchInferModel fits a mid-size model once and builds held-out documents
+// for the serving benchmarks.
+func benchInferModel(b *testing.B) (*core.Frozen, [][]int) {
+	b.Helper()
+	data, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Fit(data.Corpus, data.Source, core.Options{
+		NumFreeTopics: 6, Alpha: 0.1, Beta: 0.01,
+		LambdaMode: core.LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 7, Iterations: 20, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	// Held-out docs: reuse corpus token streams (the engine never sees the
+	// training assignments, only the frozen conditionals).
+	docs := make([][]int, 32)
+	for i := range docs {
+		docs[i] = data.Corpus.Docs[i%data.Corpus.NumDocs()].Words
+	}
+	return m.Freeze(), docs
+}
+
+// BenchmarkInfer measures single-document fold-in inference — the serving
+// hot path of cmd/srcldad.
+func BenchmarkInfer(b *testing.B) {
+	frozen, docs := benchInferModel(b)
+	e, err := infer.New(frozen, infer.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := e.Infer(docs[i%len(docs)]); d.Theta == nil {
+			b.Fatal("no mixture")
+		}
+	}
+}
+
+// BenchmarkInferBatch measures batched inference throughput across worker
+// counts (docs/sec over a 32-document batch).
+func BenchmarkInferBatch(b *testing.B) {
+	frozen, docs := benchInferModel(b)
+	e, err := infer.New(frozen, infer.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := parallel.NewPool(workers)
+			defer pool.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.InferBatch(docs, pool)
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(docs))*float64(b.N)/secs, "docs/sec")
 			}
 		})
 	}

@@ -10,6 +10,7 @@
 //	srclda                          # synthetic demo
 //	srclda -model lda -topics 20    # baseline LDA on the demo corpus
 //	srclda -corpus docs/ -source wiki/ -free 10 -iters 500
+//	srclda -save-bundle model.bundle   # emit a serving bundle for srcldad
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 		topN      = flag.Int("top", 10, "words to print per topic")
 		minDocs   = flag.Int("mindocs", 2, "superset reduction: min documents per discovered topic")
 		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file")
+		bundleTo  = flag.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file")
 	)
 	flag.Parse()
 
@@ -136,6 +138,13 @@ func main() {
 			exitOn(persist.SaveResult(f, res))
 			exitOn(f.Close())
 			fmt.Printf("\nsnapshot written to %s\n", *saveTo)
+		}
+		if *bundleTo != "" {
+			f, err := os.Create(*bundleTo)
+			exitOn(err)
+			exitOn(persist.SaveBundle(f, c.Vocab.Words(), src, res))
+			exitOn(f.Close())
+			fmt.Printf("\nserving bundle written to %s (serve it: srcldad -bundle %s)\n", *bundleTo, *bundleTo)
 		}
 	case "lda":
 		m, err := lda.Fit(c, lda.Options{

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are representative /v1/infer bodies: valid forms, every
+// rejection class, and truncation/overflow shapes.
+var fuzzSeeds = []string{
+	`{"text":"pencil ruler"}`,
+	`{"documents":["pencil","baseball umpire"]}`,
+	`{"text":""}`,
+	`{"documents":[]}`,
+	`{"documents":["", "a"]}`,
+	`{"text":"a","documents":["b"]}`,
+	`{"text": `,
+	`{}`,
+	`[]`,
+	`null`,
+	`"text"`,
+	`{"text":"a"} trailing`,
+	`{"unknown":"field"}`,
+	`{"text":123}`,
+	`{"documents":"not an array"}`,
+	"\x00\xff\xfe",
+	``,
+}
+
+// FuzzDecodeInferRequest asserts the request decoder never panics and never
+// accepts an empty document set.
+func FuzzDecodeInferRequest(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		texts, single, err := decodeInferRequest([]byte(body), 8)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(texts) == 0 {
+			t.Fatal("decoder accepted a request with no documents")
+		}
+		if len(texts) > 8 {
+			t.Fatalf("decoder accepted %d documents past the limit", len(texts))
+		}
+		if single && len(texts) != 1 {
+			t.Fatal("single-text form decoded to multiple documents")
+		}
+		for i, text := range texts {
+			if strings.TrimSpace(text) == "" {
+				t.Fatalf("decoder accepted blank document %d", i)
+			}
+		}
+	})
+}
+
+// FuzzInferEndpoint drives the full POST /v1/infer handler with arbitrary
+// bodies: it must never panic, and must answer 4xx — never 5xx — for any
+// body that does not decode to scoreable documents. One served model is
+// shared by every iteration (training per-iteration would dominate the
+// fuzz budget).
+func FuzzInferEndpoint(f *testing.F) {
+	_, srv := newTestServer(f, config{})
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add(`{"text":"zzz unknown words only"}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/infer", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) for body %q: %s", rec.Code, body, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			if code := rec.Code; code < 400 || code >= 500 {
+				t.Fatalf("non-4xx rejection %d for body %q", code, body)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Command srcldad serves a fitted Source-LDA model over HTTP as a
+// document-tagging daemon. It loads a self-contained bundle (written by
+// `srclda -save-bundle` or sourcelda.SaveBundle) and answers:
+//
+//	POST /v1/infer   {"text": "..."} or {"documents": ["...", ...]}
+//	                 → labeled topic mixtures and top topics per document
+//	GET  /v1/topics  → the model's labeled topics with top words
+//	GET  /healthz    → liveness and queue depth
+//
+// Incoming text is tokenized server-side against the training vocabulary;
+// unseen documents are scored by fold-in collapsed Gibbs with the trained
+// topic-word statistics locked. Concurrent requests are micro-batched onto
+// a bounded worker pool; because each document draws from a deterministic
+// RNG stream keyed by (seed, content), batching never changes a response.
+//
+//	srclda -save-bundle model.bundle
+//	srcldad -bundle model.bundle -addr :8080 &
+//	curl -s localhost:8080/v1/infer -d '{"text":"pencil ruler notebook"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sourcelda"
+)
+
+func main() {
+	var (
+		bundlePath  = flag.String("bundle", "", "serving bundle written by srclda -save-bundle (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker goroutines per inference batch (0 = GOMAXPROCS)")
+		burnIn      = flag.Int("burnin", 20, "fold-in Gibbs burn-in sweeps per document")
+		samples     = flag.Int("samples", 10, "post-burn-in sweeps averaged into each mixture")
+		seed        = flag.Int64("seed", 42, "inference seed (responses are deterministic given seed and text)")
+		topN        = flag.Int("top", 5, "top topics returned per document")
+		maxDocs     = flag.Int("max-docs", 64, "maximum documents per request")
+		maxBody     = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		queueSize   = flag.Int("queue", 256, "pending-document queue bound (full queue sheds load with 503)")
+		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch")
+		maxBatch    = flag.Int("max-batch", 32, "maximum coalesced batch size")
+	)
+	flag.Parse()
+	if *bundlePath == "" {
+		fmt.Fprintln(os.Stderr, "srcldad: -bundle is required (train one with: srclda -save-bundle model.bundle)")
+		os.Exit(2)
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *samples < 1 {
+		fmt.Fprintln(os.Stderr, "srcldad: -samples must be at least 1")
+		os.Exit(2)
+	}
+	if *burnIn < 0 {
+		fmt.Fprintln(os.Stderr, "srcldad: -burnin must be non-negative")
+		os.Exit(2)
+	}
+	if *burnIn == 0 {
+		// Zero is the facade's "default" sentinel; a negative value is how
+		// an explicit zero-burn-in schedule is requested.
+		*burnIn = -1
+	}
+
+	f, err := os.Open(*bundlePath)
+	exitOn(err)
+	model, err := sourcelda.LoadBundle(f)
+	f.Close()
+	exitOn(err)
+
+	s, err := newServer(model, config{
+		burnIn:      *burnIn,
+		samples:     *samples,
+		seed:        *seed,
+		workers:     *workers,
+		topN:        *topN,
+		maxDocs:     *maxDocs,
+		maxBody:     *maxBody,
+		queueSize:   *queueSize,
+		batchWindow: *batchWindow,
+		maxBatch:    *maxBatch,
+	})
+	exitOn(err)
+
+	// The dispatcher outlives the listener: it is canceled only after
+	// Shutdown has drained every in-flight handler, so no request waits on
+	// a reply that will never come.
+	dispatchCtx, stopDispatch := context.WithCancel(context.Background())
+	defer stopDispatch()
+	dispatchDone := make(chan struct{})
+	go func() {
+		s.run(dispatchCtx)
+		close(dispatchDone)
+	}()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("srcldad: serving %d labeled topics on %s (bundle %s)\n",
+		len(s.byIndex), *addr, *bundlePath)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		exitOn(err)
+	case <-sigCtx.Done():
+	}
+	fmt.Println("srcldad: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "srcldad: shutdown:", err)
+	}
+	stopDispatch()
+	<-dispatchDone
+	s.close()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,402 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sourcelda"
+)
+
+// config tunes the daemon's serving behaviour.
+type config struct {
+	// burnIn/samples/seed are the fold-in sweep schedule (see
+	// sourcelda.InferOptions).
+	burnIn, samples int
+	seed            int64
+	// workers bounds the goroutines scoring one coalesced batch.
+	workers int
+	// topN is the number of top topics reported per document.
+	topN int
+	// maxDocs caps the documents of one request; maxBody caps the request
+	// body in bytes.
+	maxDocs int
+	maxBody int64
+	// queueSize bounds the pending-document queue; a full queue sheds load
+	// with 503 instead of letting latency grow without bound.
+	queueSize int
+	// batchWindow is how long the dispatcher waits to coalesce more
+	// documents after the first arrives; maxBatch caps one coalesced batch.
+	// Micro-batching amortizes worker fan-out across concurrent callers and
+	// never changes results: a document's mixture is a pure function of
+	// (model, seed, content), independent of how requests are batched.
+	batchWindow time.Duration
+	maxBatch    int
+}
+
+func (c *config) applyDefaults() {
+	// burnIn and samples pass through unchanged: the sourcelda facade
+	// defaults zeros, and a negative burnIn is the explicit no-burn-in
+	// schedule.
+	if c.workers < 1 {
+		c.workers = 1
+	}
+	if c.topN < 1 {
+		c.topN = 5
+	}
+	if c.maxDocs < 1 {
+		c.maxDocs = 64
+	}
+	if c.maxBody <= 0 {
+		c.maxBody = 1 << 20
+	}
+	if c.queueSize < 1 {
+		c.queueSize = 256
+	}
+	if c.maxBatch < 1 {
+		c.maxBatch = 32
+	}
+}
+
+// job is one document awaiting inference; reply is buffered so the
+// dispatcher never blocks on a caller that gave up. ctx is the submitting
+// request's context: the dispatcher drops jobs whose context is already
+// done (caller disconnected, or its request was 503'd mid-submit) instead
+// of paying full inference for a reply nobody will read.
+type job struct {
+	text  string
+	reply chan *sourcelda.DocumentInference
+	ctx   context.Context
+}
+
+// server routes HTTP requests and owns the micro-batching dispatcher.
+type server struct {
+	model    *sourcelda.Model
+	inferrer *sourcelda.Inferrer
+	cfg      config
+	jobs     chan job
+	mux      *http.ServeMux
+	start    time.Time
+
+	// byIndex holds the model's topics in model-topic order, the order
+	// every mixture array is aligned with.
+	byIndex []sourcelda.Topic
+}
+
+var errOverloaded = errors.New("inference queue is full")
+
+// newServer wraps a loaded model. It fails fast if the model cannot build
+// its inference engine (e.g. a degenerate snapshot). Call close when done
+// to release the inference worker pool.
+func newServer(m *sourcelda.Model, cfg config) (*server, error) {
+	cfg.applyDefaults()
+	inferrer, err := m.NewInferrer(sourcelda.InferOptions{
+		BurnIn:  cfg.burnIn,
+		Samples: cfg.samples,
+		Seed:    cfg.seed,
+		Workers: cfg.workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("srcldad: model cannot serve inference: %w", err)
+	}
+	s := &server{
+		model:    m,
+		inferrer: inferrer,
+		cfg:      cfg,
+		jobs:     make(chan job, cfg.queueSize),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	tops := m.Topics()
+	s.byIndex = make([]sourcelda.Topic, len(tops))
+	for _, tp := range tops {
+		s.byIndex[tp.Index] = tp
+	}
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/topics", s.handleTopics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// close releases the long-lived inference worker pool. Call it only after
+// the dispatcher has stopped.
+func (s *server) close() { s.inferrer.Close() }
+
+// run is the dispatcher loop: it pulls the first pending document, waits up
+// to batchWindow for more (from any caller), scores the coalesced batch
+// over the bounded worker pool, and scatters results. It returns when ctx
+// is canceled; cancel only after the HTTP server has drained its handlers,
+// or in-flight requests would wait on replies that never come.
+func (s *server) run(ctx context.Context) {
+	for {
+		var first job
+		select {
+		case <-ctx.Done():
+			return
+		case first = <-s.jobs:
+		}
+		batch := append(make([]job, 0, s.cfg.maxBatch), first)
+		if s.cfg.batchWindow > 0 {
+			timer := time.NewTimer(s.cfg.batchWindow)
+		collect:
+			for len(batch) < s.cfg.maxBatch {
+				select {
+				case j := <-s.jobs:
+					batch = append(batch, j)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < s.cfg.maxBatch {
+				select {
+				case j := <-s.jobs:
+					batch = append(batch, j)
+				default:
+					break drain
+				}
+			}
+		}
+		// Drop jobs whose request is already gone — a 503'd or disconnected
+		// caller must not cost a full Gibbs run whose reply nobody reads.
+		live := batch[:0]
+		for _, j := range batch {
+			if j.ctx.Err() == nil {
+				live = append(live, j)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		texts := make([]string, len(live))
+		for i, j := range live {
+			texts[i] = j.text
+		}
+		results := s.inferrer.InferBatch(texts)
+		for i, j := range live {
+			j.reply <- results[i]
+		}
+	}
+}
+
+// enqueue submits the documents to the shared dispatcher and waits for
+// every reply (or the request context). A nil entry means the document had
+// no in-vocabulary tokens. On any early return the derived context is
+// canceled, which tells the dispatcher to drop this request's
+// already-queued jobs unscored.
+func (s *server) enqueue(reqCtx context.Context, texts []string) ([]*sourcelda.DocumentInference, error) {
+	ctx, cancel := context.WithCancel(reqCtx)
+	defer cancel()
+	replies := make([]chan *sourcelda.DocumentInference, len(texts))
+	for i, t := range texts {
+		ch := make(chan *sourcelda.DocumentInference, 1)
+		replies[i] = ch
+		select {
+		case s.jobs <- job{text: t, reply: ch, ctx: ctx}:
+		default:
+			return nil, errOverloaded
+		}
+	}
+	out := make([]*sourcelda.DocumentInference, len(texts))
+	for i, ch := range replies {
+		select {
+		case out[i] = <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// inferRequest is the POST /v1/infer body: exactly one of Text or
+// Documents.
+type inferRequest struct {
+	Text      *string  `json:"text,omitempty"`
+	Documents []string `json:"documents,omitempty"`
+}
+
+// decodeInferRequest parses and validates a /v1/infer body, returning the
+// documents to score and whether the caller used the single-text form.
+// Every rejection is a client error (4xx); it must never panic on
+// malformed input (fuzzed).
+func decodeInferRequest(body []byte, maxDocs int) (texts []string, single bool, err error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req inferRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, false, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	// Trailing garbage after the JSON value is a malformed request.
+	if dec.More() {
+		return nil, false, errors.New("invalid JSON body: trailing data")
+	}
+	switch {
+	case req.Text != nil && req.Documents != nil:
+		return nil, false, errors.New(`provide exactly one of "text" or "documents"`)
+	case req.Text != nil:
+		if strings.TrimSpace(*req.Text) == "" {
+			return nil, false, errors.New(`"text" must be non-empty`)
+		}
+		return []string{*req.Text}, true, nil
+	case req.Documents != nil:
+		if len(req.Documents) == 0 {
+			return nil, false, errors.New(`"documents" must be non-empty`)
+		}
+		if len(req.Documents) > maxDocs {
+			return nil, false, fmt.Errorf(`"documents" has %d entries; limit is %d`, len(req.Documents), maxDocs)
+		}
+		for i, d := range req.Documents {
+			if strings.TrimSpace(d) == "" {
+				return nil, false, fmt.Errorf("document %d is empty", i)
+			}
+		}
+		return req.Documents, false, nil
+	default:
+		return nil, false, errors.New(`provide "text" or "documents"`)
+	}
+}
+
+// topicJSON is one labeled topic weight in a response.
+type topicJSON struct {
+	Index  int     `json:"index"`
+	Label  string  `json:"label"`
+	Source bool    `json:"source"`
+	Weight float64 `json:"weight"`
+}
+
+// inferredDocJSON is one document's scored mixture.
+type inferredDocJSON struct {
+	// TopTopics are the heaviest topics, descending.
+	TopTopics []topicJSON `json:"top_topics"`
+	// Mixture is the full distribution in model-topic order (aligned with
+	// GET /v1/topics).
+	Mixture       []float64 `json:"mixture"`
+	KnownTokens   int       `json:"known_tokens"`
+	UnknownTokens int       `json:"unknown_tokens"`
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	texts, single, err := decodeInferRequest(body, s.cfg.maxDocs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Reject unknown-word-only documents before queueing: the check is one
+	// tokenization pass, so the 422 costs no sampling and no queue slots.
+	for i, text := range texts {
+		if s.model.CountKnownTokens(text) == 0 {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
+			return
+		}
+	}
+	results, err := s.enqueue(r.Context(), texts)
+	switch {
+	case errors.Is(err, errOverloaded):
+		writeError(w, http.StatusServiceUnavailable, errOverloaded.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	docs := make([]inferredDocJSON, len(results))
+	for i, res := range results {
+		if res == nil {
+			// Defense in depth: the pre-check above already filtered these.
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
+			return
+		}
+		docs[i] = s.renderDoc(res)
+	}
+	if single {
+		writeJSON(w, http.StatusOK, map[string]any{"result": docs[0]})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": docs})
+}
+
+func (s *server) renderDoc(res *sourcelda.DocumentInference) inferredDocJSON {
+	top := s.model.TopTopics(res, s.cfg.topN)
+	out := inferredDocJSON{
+		TopTopics:     make([]topicJSON, len(top)),
+		Mixture:       res.Topics,
+		KnownTokens:   res.KnownTokens,
+		UnknownTokens: res.UnknownTokens,
+	}
+	for i, tp := range top {
+		out.TopTopics[i] = topicJSON{
+			Index: tp.Index, Label: tp.Label, Source: tp.IsSourceTopic, Weight: tp.Weight,
+		}
+	}
+	return out
+}
+
+func (s *server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type topicInfo struct {
+		Index    int      `json:"index"`
+		Label    string   `json:"label"`
+		Source   bool     `json:"source"`
+		Weight   float64  `json:"weight"`
+		TopWords []string `json:"top_words"`
+	}
+	topics := make([]topicInfo, len(s.byIndex))
+	for i, tp := range s.byIndex {
+		topics[i] = topicInfo{
+			Index:    tp.Index,
+			Label:    tp.Label,
+			Source:   tp.IsSourceTopic,
+			Weight:   tp.Weight,
+			TopWords: tp.TopWords(10),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"topics": topics})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"topics":         len(s.byIndex),
+		"queue_depth":    len(s.jobs),
+		"queue_capacity": cap(s.jobs),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

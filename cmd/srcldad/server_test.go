@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sourcelda"
+)
+
+// newTestServer trains a tiny model, round-trips it through a bundle (the
+// full deployment path: train → SaveBundle → LoadBundle → serve), and
+// returns a running httptest server.
+func newTestServer(t testing.TB, cfg config) (*httptest.Server, *server) {
+	t.Helper()
+	b := sourcelda.NewCorpusBuilder()
+	for i := 0; i < 10; i++ {
+		b.AddDocument("school", "pencil ruler eraser pencil notebook paper")
+		b.AddDocument("ball", "baseball umpire pitcher baseball inning glove")
+	}
+	b.AddKnowledgeArticle("School Supplies",
+		strings.Repeat("pencil pencil ruler eraser notebook paper paper ", 20))
+	b.AddKnowledgeArticle("Baseball",
+		strings.Repeat("baseball baseball umpire pitcher inning glove ", 20))
+	c, k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sourcelda.Fit(c, k, sourcelda.Options{
+		Lambda:     &sourcelda.LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 60,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sourcelda.SaveBundle(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sourcelda.LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		s.run(ctx)
+		close(done)
+	}()
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close() // waits for in-flight handlers before the dispatcher stops
+		cancel()
+		<-done
+		s.close()
+	})
+	return ts, s
+}
+
+func postInfer(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("status %d: non-JSON response %q", resp.StatusCode, data)
+	}
+	return resp.StatusCode, out
+}
+
+func TestEndToEndInfer(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	code, out := postInfer(t, ts.URL, `{"text":"pencil ruler notebook eraser pencil"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	result, ok := out["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result object: %v", out)
+	}
+	top := result["top_topics"].([]any)
+	if len(top) == 0 {
+		t.Fatal("no top topics")
+	}
+	first := top[0].(map[string]any)
+	if first["label"] != "School Supplies" {
+		t.Fatalf("school text tagged %v", first["label"])
+	}
+	if first["source"] != true {
+		t.Fatal("top topic should be a source topic")
+	}
+	mixture := result["mixture"].([]any)
+	var sum float64
+	for _, p := range mixture {
+		sum += p.(float64)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mixture sums to %v", sum)
+	}
+	if result["known_tokens"].(float64) != 5 {
+		t.Fatalf("known_tokens = %v", result["known_tokens"])
+	}
+}
+
+func TestBatchEndpointAndDeterminism(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	body := `{"documents":["baseball umpire glove","pencil paper ruler"]}`
+	code, out := postInfer(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %v", code, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	// The same document must yield the same mixture on every request — and
+	// the same mixture whether sent alone or inside a batch.
+	code2, single := postInfer(t, ts.URL, `{"text":"baseball umpire glove"}`)
+	if code2 != http.StatusOK {
+		t.Fatalf("status %d", code2)
+	}
+	batchMix := results[0].(map[string]any)["mixture"].([]any)
+	singleMix := single["result"].(map[string]any)["mixture"].([]any)
+	for i := range batchMix {
+		if batchMix[i] != singleMix[i] {
+			t.Fatal("batch and single-document responses diverged for the same text")
+		}
+	}
+}
+
+// TestConcurrentInference is the acceptance criterion: concurrent POSTs
+// (exercising the micro-batcher and the shared worker pool) all succeed and
+// deterministic responses hold under contention. Run with -race.
+func TestConcurrentInference(t *testing.T) {
+	ts, _ := newTestServer(t, config{workers: 4, batchWindow: time.Millisecond})
+	texts := []string{
+		"pencil ruler notebook",
+		"baseball umpire inning glove",
+		"pencil baseball paper pitcher",
+		"eraser eraser notebook paper pencil",
+	}
+	const perText = 8
+	type reply struct {
+		text    string
+		mixture string
+		err     error
+	}
+	var wg sync.WaitGroup
+	replies := make(chan reply, len(texts)*perText)
+	for _, text := range texts {
+		for i := 0; i < perText; i++ {
+			wg.Add(1)
+			go func(text string) {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/infer", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"text":%q}`, text)))
+				if err != nil {
+					replies <- reply{err: err}
+					return
+				}
+				defer resp.Body.Close()
+				data, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					replies <- reply{err: fmt.Errorf("status %d: %s", resp.StatusCode, data)}
+					return
+				}
+				var out struct {
+					Result struct {
+						Mixture []float64 `json:"mixture"`
+					} `json:"result"`
+				}
+				if err := json.Unmarshal(data, &out); err != nil {
+					replies <- reply{err: err}
+					return
+				}
+				replies <- reply{text: text, mixture: fmt.Sprint(out.Result.Mixture)}
+			}(text)
+		}
+	}
+	wg.Wait()
+	close(replies)
+	seen := make(map[string]string)
+	for r := range replies {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if prev, ok := seen[r.text]; ok && prev != r.mixture {
+			t.Fatalf("nondeterministic mixture for %q under concurrency", r.text)
+		}
+		seen[r.text] = r.mixture
+	}
+	if len(seen) != len(texts) {
+		t.Fatalf("got %d distinct texts back, want %d", len(seen), len(texts))
+	}
+}
+
+func TestInferRejections(t *testing.T) {
+	ts, _ := newTestServer(t, config{maxDocs: 2})
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"malformed", `{"text": `, http.StatusBadRequest},
+		{"empty object", `{}`, http.StatusBadRequest},
+		{"both fields", `{"text":"a","documents":["b"]}`, http.StatusBadRequest},
+		{"empty text", `{"text":"   "}`, http.StatusBadRequest},
+		{"empty documents", `{"documents":[]}`, http.StatusBadRequest},
+		{"empty document entry", `{"documents":["pencil",""]}`, http.StatusBadRequest},
+		{"too many documents", `{"documents":["a","b","c"]}`, http.StatusBadRequest},
+		{"unknown field", `{"txet":"pencil"}`, http.StatusBadRequest},
+		{"trailing garbage", `{"text":"pencil"} extra`, http.StatusBadRequest},
+		{"unknown words only", `{"text":"zzz qqq xyzzy"}`, http.StatusUnprocessableEntity},
+		{"unknown words in batch", `{"documents":["pencil ruler","zzz qqq"]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := postInfer(t, ts.URL, tc.body)
+			if code != tc.wantStatus {
+				t.Fatalf("status %d, want %d (%v)", code, tc.wantStatus, out)
+			}
+			if _, ok := out["error"]; !ok {
+				t.Fatalf("no error message in %v", out)
+			}
+		})
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/v1/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/infer: status %d", resp.StatusCode)
+	}
+}
+
+func TestTopicsAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t, config{})
+	resp, err := http.Get(ts.URL + "/v1/topics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var topics struct {
+		Topics []struct {
+			Index    int      `json:"index"`
+			Label    string   `json:"label"`
+			Source   bool     `json:"source"`
+			TopWords []string `json:"top_words"`
+		} `json:"topics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&topics); err != nil {
+		t.Fatal(err)
+	}
+	if len(topics.Topics) != 2 {
+		t.Fatalf("%d topics", len(topics.Topics))
+	}
+	labels := map[string]bool{}
+	for i, tp := range topics.Topics {
+		if tp.Index != i {
+			t.Fatalf("topics not in model order: %v", topics.Topics)
+		}
+		if !tp.Source || len(tp.TopWords) == 0 {
+			t.Fatalf("topic %d malformed: %+v", i, tp)
+		}
+		labels[tp.Label] = true
+	}
+	if !labels["School Supplies"] || !labels["Baseball"] {
+		t.Fatalf("labels %v", labels)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" || health["topics"].(float64) != 2 {
+		t.Fatalf("health %v", health)
+	}
+}

@@ -1,0 +1,118 @@
+package sourcelda
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func fitFixtureModel(t *testing.T, opts Options) *Model {
+	t.Helper()
+	c, k := buildFixture(t)
+	m, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInferHeldOutText(t *testing.T) {
+	m := fitFixtureModel(t, Options{
+		Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 60, Seed: 7,
+	})
+	inf, err := m.Infer("pencil ruler notebook eraser pencil unseenword", InferOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.KnownTokens != 5 || inf.UnknownTokens != 1 {
+		t.Fatalf("known=%d unknown=%d", inf.KnownTokens, inf.UnknownTokens)
+	}
+	var sum float64
+	for _, p := range inf.Topics {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mixture sums to %v", sum)
+	}
+	top := m.TopTopics(inf, 1)
+	if len(top) != 1 || top[0].Label != "School Supplies" {
+		t.Fatalf("school text tagged %v", top)
+	}
+	if !top[0].IsSourceTopic {
+		t.Fatal("top topic should be labeled (source) topic")
+	}
+
+	// Same labeled topic set as training, in model order.
+	if len(inf.Topics) != len(m.Raw().Labels) {
+		t.Fatal("mixture not over the training topic set")
+	}
+
+	// Deterministic given the seed.
+	again, err := m.Infer("pencil ruler notebook eraser pencil unseenword", InferOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inf.Topics {
+		if inf.Topics[i] != again.Topics[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestInferNoKnownTokens(t *testing.T) {
+	m := fitFixtureModel(t, Options{
+		Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 20, Seed: 1,
+	})
+	if _, err := m.Infer("zzz qqq completely unseen", InferOptions{}); !errors.Is(err, ErrNoKnownTokens) {
+		t.Fatalf("err = %v, want ErrNoKnownTokens", err)
+	}
+	if _, err := m.Infer("", InferOptions{}); !errors.Is(err, ErrNoKnownTokens) {
+		t.Fatalf("empty text err = %v, want ErrNoKnownTokens", err)
+	}
+	// Batch: unknown-only entries come back nil, known entries still score.
+	out, err := m.InferBatch([]string{"pencil ruler", "zzz qqq"}, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == nil || out[1] != nil {
+		t.Fatalf("batch = [%v, %v], want [result, nil]", out[0], out[1])
+	}
+}
+
+// TestInferBatchMatchesSingle is the facade-level acceptance criterion:
+// InferBatch of N documents matches N independent Infer calls bit-for-bit,
+// at any worker count.
+func TestInferBatchMatchesSingle(t *testing.T) {
+	m := fitFixtureModel(t, Options{
+		Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 40, Seed: 7,
+	})
+	texts := []string{
+		"pencil ruler eraser",
+		"baseball umpire inning glove baseball",
+		"pencil baseball notebook pitcher",
+		"paper paper pencil",
+	}
+	opts := InferOptions{Seed: 11}
+	singles := make([]*DocumentInference, len(texts))
+	for i, text := range texts {
+		var err error
+		singles[i], err = m.Infer(text, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		opts.Workers = workers
+		batch, err := m.InferBatch(texts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range texts {
+			for topic := range singles[i].Topics {
+				if batch[i].Topics[topic] != singles[i].Topics[topic] {
+					t.Fatalf("workers=%d doc %d diverged from single Infer", workers, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frozen is an immutable sampling view over a fitted model, the input to
+// fold-in inference on unseen documents (internal/infer): the per-(word,
+// topic) conditionals P(w|t) implied by the locked topic-word counts,
+// flattened into one topic-fastest slab so the fold-in inner loop — "for
+// every topic t, given this token's word" — walks a contiguous row exactly
+// like the training sweep walks the count slabs.
+//
+// For free topics the conditional is the symmetric-β estimate
+// (n_wt + β)/(n_t + Vβ); for source topics it is the λ-quadrature estimate
+// of Eq. 4 evaluated from the CSR δ^e store. Both are constants once the
+// counts are frozen, so they are materialized at freeze time and the
+// serving hot path pays one multiply-add per topic with no quadrature, map
+// probe, or division.
+//
+// A Frozen is safe for concurrent use: every field is written once at
+// construction and only read afterwards.
+type Frozen struct {
+	// T and V are the topic and vocabulary counts.
+	T, V int
+	// Alpha is the symmetric document-topic prior used when folding in.
+	Alpha float64
+	// Labels[t] names each topic, as in Result.
+	Labels []string
+	// SourceIndices[t] is the knowledge-source article index, -1 for free
+	// topics.
+	SourceIndices []int
+
+	// cond[w*T+t] = P(w | t) under the frozen counts.
+	cond []float64
+}
+
+// Freeze snapshots the live chain's count slabs and δ-quadrature store into
+// a frozen inference view. The result is decoupled from the model: further
+// sweeps or Close do not affect it.
+func (m *Model) Freeze() *Frozen {
+	f, err := newFrozen(m.Phi(), m.Labels(), m.sourceIndices(), m.opts.Alpha)
+	if err != nil {
+		// Phi/Labels of a constructed model are consistent by construction.
+		panic(fmt.Sprintf("core: Freeze on inconsistent model: %v", err))
+	}
+	return f
+}
+
+func (m *Model) sourceIndices() []int {
+	out := make([]int, m.T)
+	for t := 0; t < m.T; t++ {
+		out[t] = m.SourceIndex(t)
+	}
+	return out
+}
+
+// NewFrozen builds a frozen inference view from a result snapshot (e.g. one
+// reloaded through persist), validating shape consistency. A zero
+// res.Alpha — snapshots written before the field existed — falls back to
+// the paper default 50/T.
+func NewFrozen(res *Result) (*Frozen, error) {
+	if res == nil || len(res.Phi) == 0 {
+		return nil, errors.New("core: frozen view needs a non-empty result")
+	}
+	alpha := res.Alpha
+	if alpha <= 0 {
+		alpha = 50.0 / float64(len(res.Phi))
+	}
+	return newFrozen(res.Phi, res.Labels, res.SourceIndices, alpha)
+}
+
+func newFrozen(phi [][]float64, labels []string, sourceIndices []int, alpha float64) (*Frozen, error) {
+	T := len(phi)
+	if T == 0 {
+		return nil, errors.New("core: frozen view needs at least one topic")
+	}
+	if len(labels) != T || len(sourceIndices) != T {
+		return nil, fmt.Errorf("core: frozen view shape mismatch: %d topics, %d labels, %d source indices",
+			T, len(labels), len(sourceIndices))
+	}
+	V := len(phi[0])
+	if V == 0 {
+		return nil, errors.New("core: frozen view needs a non-empty vocabulary")
+	}
+	f := &Frozen{
+		T:             T,
+		V:             V,
+		Alpha:         alpha,
+		Labels:        append([]string(nil), labels...),
+		SourceIndices: append([]int(nil), sourceIndices...),
+		cond:          make([]float64, V*T),
+	}
+	for t, row := range phi {
+		if len(row) != V {
+			return nil, fmt.Errorf("core: frozen view phi row %d has %d entries, want %d", t, len(row), V)
+		}
+		for w, p := range row {
+			f.cond[w*T+t] = p
+		}
+	}
+	return f, nil
+}
+
+// Cond returns word w's T-length conditional row P(w | t); do not mutate.
+func (f *Frozen) Cond(w int) []float64 {
+	return f.cond[w*f.T : (w+1)*f.T : (w+1)*f.T]
+}

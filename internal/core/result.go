@@ -21,6 +21,10 @@ type Result struct {
 	SourceIndices []int
 	// NumFreeTopics is K.
 	NumFreeTopics int
+	// Alpha is the symmetric document-topic prior the model was fitted
+	// with; fold-in inference on unseen documents reuses it. Zero in
+	// snapshots written before the field existed.
+	Alpha float64
 	// Assignments[d][i] is the final topic of token i of document d, in the
 	// model's topic indexing (free topics first).
 	Assignments [][]int
@@ -40,6 +44,7 @@ func (m *Model) Result() *Result {
 		Theta:         m.Theta(),
 		Labels:        m.Labels(),
 		NumFreeTopics: m.K,
+		Alpha:         m.opts.Alpha,
 		TokenCounts:   m.TokensPerTopic(),
 	}
 	r.SourceIndices = make([]int, m.T)

@@ -1,0 +1,106 @@
+package persist
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/textproc"
+)
+
+// Bundle is everything a serving process needs to score new documents
+// against a fitted model: the training vocabulary (to tokenize and encode
+// incoming text), the knowledge source (topic labels and provenance), and
+// the fitted result snapshot — one self-contained, one-file deployment
+// artifact.
+type Bundle struct {
+	Vocab  *textproc.Vocabulary
+	Source *knowledge.Source
+	Result *core.Result
+}
+
+type bundleJSON struct {
+	Version    int        `json:"version"`
+	Kind       string     `json:"kind"`
+	Vocabulary []string   `json:"vocabulary"`
+	Source     sourceJSON `json:"source"`
+	Result     resultJSON `json:"result"`
+}
+
+// SaveBundle writes a gzip-compressed versioned archive of the vocabulary,
+// knowledge source and result. Phi rows dominate the payload and compress
+// well (long runs of near-ε probabilities), so bundles ship much smaller
+// than the bare SaveResult JSON.
+func SaveBundle(w io.Writer, vocab []string, src *knowledge.Source, res *core.Result) error {
+	if src == nil || res == nil {
+		return fmt.Errorf("persist: nil source or result")
+	}
+	if err := ValidateResult(res, len(vocab), src.Len()); err != nil {
+		return fmt.Errorf("persist: refusing to save inconsistent bundle: %w", err)
+	}
+	zw := gzip.NewWriter(w)
+	out := bundleJSON{
+		Version:    FormatVersion,
+		Kind:       "bundle",
+		Vocabulary: vocab,
+		Source:     sourceToJSON(src),
+		Result:     resultToJSON(res),
+	}
+	if err := json.NewEncoder(zw).Encode(out); err != nil {
+		return fmt.Errorf("persist: encode bundle: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadBundle reads a bundle written by SaveBundle and validates every
+// cross-reference (vocabulary uniqueness, result shapes against the
+// vocabulary and source). Uncompressed bundle JSON is also accepted, so a
+// hand-edited or `gunzip`ed bundle still loads.
+func LoadBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("persist: open bundle gzip: %w", err)
+		}
+		defer zr.Close()
+		return loadBundleJSON(zr)
+	}
+	return loadBundleJSON(br)
+}
+
+func loadBundleJSON(r io.Reader) (*Bundle, error) {
+	var in bundleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decode bundle: %w", err)
+	}
+	if in.Kind != "bundle" {
+		return nil, fmt.Errorf("persist: expected kind \"bundle\", got %q", in.Kind)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported bundle version %d", in.Version)
+	}
+	vocab := textproc.NewVocabulary()
+	for _, w := range in.Vocabulary {
+		vocab.Add(w)
+	}
+	if vocab.Size() != len(in.Vocabulary) {
+		return nil, fmt.Errorf("persist: bundle vocabulary contains duplicates")
+	}
+	src, err := sourceFromJSON(&in.Source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := resultFromJSON(&in.Result)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateResult(res, vocab.Size(), src.Len()); err != nil {
+		return nil, err
+	}
+	return &Bundle{Vocab: vocab, Source: src, Result: res}, nil
+}

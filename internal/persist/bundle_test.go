@@ -1,0 +1,124 @@
+package persist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"sourcelda/internal/core"
+)
+
+func fittedResult(t *testing.T) (*core.Result, int, int) {
+	t.Helper()
+	c, src := fixture(t)
+	m, err := core.Fit(c, src, core.Options{
+		LambdaMode: core.LambdaFixed, Lambda: 1, Iterations: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	return m.Result(), c.VocabSize(), src.Len()
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	c, src := fixture(t)
+	m, err := core.Fit(c, src, core.Options{
+		LambdaMode: core.LambdaFixed, Lambda: 1, Iterations: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	res := m.Result()
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, c.Vocab.Words(), src, res); err != nil {
+		t.Fatal(err)
+	}
+	// The archive is gzip-compressed.
+	if b := buf.Bytes(); b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatal("bundle is not gzip-compressed")
+	}
+	back, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Vocab.Size() != c.VocabSize() {
+		t.Fatalf("vocab %d, want %d", back.Vocab.Size(), c.VocabSize())
+	}
+	for id := 0; id < c.VocabSize(); id++ {
+		if back.Vocab.Word(id) != c.Vocab.Word(id) {
+			t.Fatal("vocabulary order changed")
+		}
+	}
+	if back.Source.Len() != src.Len() || back.Source.Label(0) != src.Label(0) {
+		t.Fatal("source changed")
+	}
+	if back.Result.Alpha != res.Alpha {
+		t.Fatalf("alpha %v, want %v", back.Result.Alpha, res.Alpha)
+	}
+	for t2 := range res.Phi {
+		for w := range res.Phi[t2] {
+			if back.Result.Phi[t2][w] != res.Phi[t2][w] {
+				t.Fatal("phi changed in round trip")
+			}
+		}
+	}
+
+	// A gunzipped bundle still loads (plain JSON fallback).
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(bytes.NewReader(plain)); err != nil {
+		t.Fatalf("plain-JSON bundle rejected: %v", err)
+	}
+}
+
+func TestSaveBundleRejectsInconsistency(t *testing.T) {
+	res, vocabSize, _ := fittedResult(t)
+	_, src := fixture(t)
+	// Vocabulary shorter than the phi rows.
+	short := make([]string, vocabSize-1)
+	for i := range short {
+		short[i] = string(rune('a' + i))
+	}
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, short, src, res); err == nil {
+		t.Fatal("undersized vocabulary accepted")
+	}
+	if err := SaveBundle(&buf, nil, nil, res); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestValidateResult(t *testing.T) {
+	res, vocabSize, articles := fittedResult(t)
+	if err := ValidateResult(res, vocabSize, articles); err != nil {
+		t.Fatalf("consistent result rejected: %v", err)
+	}
+	check := func(name string, mutate func(*core.Result)) {
+		t.Helper()
+		res, vocabSize, articles := fittedResult(t)
+		mutate(res)
+		if err := ValidateResult(res, vocabSize, articles); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	check("wrong vocab width", func(r *core.Result) { r.Phi[0] = r.Phi[0][:1] })
+	check("wrong theta width", func(r *core.Result) { r.Theta[0] = r.Theta[0][:1] })
+	check("missing label", func(r *core.Result) { r.Labels = r.Labels[:1] })
+	check("missing source index", func(r *core.Result) { r.SourceIndices = r.SourceIndices[:1] })
+	check("source index out of range", func(r *core.Result) { r.SourceIndices[0] = 99 })
+	check("source index below -1", func(r *core.Result) { r.SourceIndices[0] = -2 })
+	check("missing token counts", func(r *core.Result) { r.TokenCounts = nil })
+	check("missing doc frequencies", func(r *core.Result) { r.DocFrequencies = nil })
+	check("negative free topics", func(r *core.Result) { r.NumFreeTopics = -1 })
+	check("no topics", func(r *core.Result) { r.Phi = nil })
+}

@@ -25,6 +25,29 @@ func FuzzLoadCorpus(f *testing.F) {
 	})
 }
 
+// FuzzLoadBundle asserts the bundle loader never panics and that anything
+// it accepts passes cross-validation (it cannot return a bundle whose
+// result shapes disagree with its vocabulary or source).
+func FuzzLoadBundle(f *testing.F) {
+	f.Add(`{"version":1,"kind":"bundle","vocabulary":["a","b"],` +
+		`"source":{"version":1,"kind":"source","articles":[{"label":"L","counts":{"0":2}}]},` +
+		`"result":{"version":1,"kind":"result","phi":[[0.5,0.5]],"theta":[[1]],"labels":["L"],` +
+		`"source_indices":[0],"num_free_topics":0,"token_counts":[3],"doc_frequencies":[1]}}`)
+	f.Add(`{"version":1,"kind":"bundle"}`)
+	f.Add(`{"version":1,"kind":"result"}`)
+	f.Add("\x1f\x8b\x00\x00")
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := LoadBundle(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := ValidateResult(b.Result, b.Vocab.Size(), b.Source.Len()); err != nil {
+			t.Fatalf("loader returned inconsistent bundle: %v", err)
+		}
+	})
+}
+
 // FuzzCorpusRoundTrip: any corpus the loader accepts must survive a second
 // save/load unchanged.
 func FuzzCorpusRoundTrip(f *testing.F) {

@@ -90,11 +90,7 @@ type articleJSON struct {
 // SaveSource writes a knowledge source to w as JSON. Word ids refer to the
 // companion corpus vocabulary.
 func SaveSource(w io.Writer, s *knowledge.Source) error {
-	out := sourceJSON{Version: FormatVersion, Kind: "source"}
-	for _, a := range s.Articles() {
-		out.Articles = append(out.Articles, articleJSON{Label: a.Label, Counts: a.Counts})
-	}
-	return json.NewEncoder(w).Encode(out)
+	return json.NewEncoder(w).Encode(sourceToJSON(s))
 }
 
 // LoadSource reads a knowledge source written by SaveSource.
@@ -103,6 +99,18 @@ func LoadSource(r io.Reader) (*knowledge.Source, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("persist: decode source: %w", err)
 	}
+	return sourceFromJSON(&in)
+}
+
+func sourceToJSON(s *knowledge.Source) sourceJSON {
+	out := sourceJSON{Version: FormatVersion, Kind: "source"}
+	for _, a := range s.Articles() {
+		out.Articles = append(out.Articles, articleJSON{Label: a.Label, Counts: a.Counts})
+	}
+	return out
+}
+
+func sourceFromJSON(in *sourceJSON) (*knowledge.Source, error) {
 	if in.Kind != "source" {
 		return nil, fmt.Errorf("persist: expected kind \"source\", got %q", in.Kind)
 	}
@@ -132,6 +140,7 @@ type resultJSON struct {
 	Labels        []string    `json:"labels"`
 	SourceIndices []int       `json:"source_indices"`
 	NumFreeTopics int         `json:"num_free_topics"`
+	Alpha         float64     `json:"alpha,omitempty"`
 	TokenCounts   []int       `json:"token_counts"`
 	DocFreq       []int       `json:"doc_frequencies"`
 }
@@ -140,18 +149,7 @@ type resultJSON struct {
 // summary statistics; per-token assignments and traces are omitted for
 // size).
 func SaveResult(w io.Writer, res *core.Result) error {
-	out := resultJSON{
-		Version:       FormatVersion,
-		Kind:          "result",
-		Phi:           res.Phi,
-		Theta:         res.Theta,
-		Labels:        res.Labels,
-		SourceIndices: res.SourceIndices,
-		NumFreeTopics: res.NumFreeTopics,
-		TokenCounts:   res.TokenCounts,
-		DocFreq:       res.DocFrequencies,
-	}
-	return json.NewEncoder(w).Encode(out)
+	return json.NewEncoder(w).Encode(resultToJSON(res))
 }
 
 // LoadResult reads a snapshot written by SaveResult.
@@ -160,6 +158,25 @@ func LoadResult(r io.Reader) (*core.Result, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("persist: decode result: %w", err)
 	}
+	return resultFromJSON(&in)
+}
+
+func resultToJSON(res *core.Result) resultJSON {
+	return resultJSON{
+		Version:       FormatVersion,
+		Kind:          "result",
+		Phi:           res.Phi,
+		Theta:         res.Theta,
+		Labels:        res.Labels,
+		SourceIndices: res.SourceIndices,
+		NumFreeTopics: res.NumFreeTopics,
+		Alpha:         res.Alpha,
+		TokenCounts:   res.TokenCounts,
+		DocFreq:       res.DocFrequencies,
+	}
+}
+
+func resultFromJSON(in *resultJSON) (*core.Result, error) {
 	if in.Kind != "result" {
 		return nil, fmt.Errorf("persist: expected kind \"result\", got %q", in.Kind)
 	}
@@ -175,7 +192,50 @@ func LoadResult(r io.Reader) (*core.Result, error) {
 		Labels:         in.Labels,
 		SourceIndices:  in.SourceIndices,
 		NumFreeTopics:  in.NumFreeTopics,
+		Alpha:          in.Alpha,
 		TokenCounts:    in.TokenCounts,
 		DocFrequencies: in.DocFreq,
 	}, nil
+}
+
+// ValidateResult cross-checks a loaded snapshot against the corpus
+// vocabulary size and knowledge-source article count it is being attached
+// to. LoadResult alone can only verify internal consistency; a snapshot
+// from a *different* corpus/source pair decodes fine and then panics deep
+// inside rendering or inference, so every attach path (LoadModel,
+// LoadBundle) funnels through this.
+func ValidateResult(res *core.Result, vocabSize, numArticles int) error {
+	T := len(res.Phi)
+	if T == 0 {
+		return fmt.Errorf("persist: snapshot has no topics")
+	}
+	for t, row := range res.Phi {
+		if len(row) != vocabSize {
+			return fmt.Errorf("persist: snapshot phi row %d has %d entries; corpus vocabulary has %d",
+				t, len(row), vocabSize)
+		}
+	}
+	for d, row := range res.Theta {
+		if len(row) != T {
+			return fmt.Errorf("persist: snapshot theta row %d has %d entries for %d topics", d, len(row), T)
+		}
+	}
+	if len(res.Labels) != T || len(res.SourceIndices) != T {
+		return fmt.Errorf("persist: snapshot has %d topics, %d labels, %d source indices",
+			T, len(res.Labels), len(res.SourceIndices))
+	}
+	if len(res.TokenCounts) != T || len(res.DocFrequencies) != T {
+		return fmt.Errorf("persist: snapshot has %d topics, %d token counts, %d doc frequencies",
+			T, len(res.TokenCounts), len(res.DocFrequencies))
+	}
+	if res.NumFreeTopics < 0 || res.NumFreeTopics > T {
+		return fmt.Errorf("persist: snapshot free-topic count %d outside [0, %d]", res.NumFreeTopics, T)
+	}
+	for t, s := range res.SourceIndices {
+		if s < -1 || s >= numArticles {
+			return fmt.Errorf("persist: snapshot topic %d references source article %d; source has %d",
+				t, s, numArticles)
+		}
+	}
+	return nil
 }

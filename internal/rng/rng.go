@@ -36,6 +36,22 @@ func NewStream(seed, stream int64) *RNG {
 	return New(int64(x &^ (1 << 63)))
 }
 
+// TokenStream hashes a token-id sequence into a substream id for NewStream.
+// Deriving a document's fold-in RNG stream from its content (rather than
+// its position in a batch) makes inference a pure function of (seed,
+// document): the same document produces bit-for-bit identical results
+// whether it is scored alone, inside any batch, or coalesced with other
+// callers' requests by a serving micro-batcher.
+func TokenStream(words []int) int64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h = mix64(h ^ uint64(int64(w)))
+	}
+	// Non-negative so the id reads cleanly in logs; NewStream accepts any
+	// int64 either way.
+	return int64(h &^ (1 << 63))
+}
+
 // mix64 is the SplitMix64 output finalizer (Steele, Lea & Flood 2014).
 func mix64(x uint64) uint64 {
 	x ^= x >> 30

@@ -398,6 +398,25 @@ func TestPermIsPermutation(t *testing.T) {
 	}
 }
 
+func TestTokenStream(t *testing.T) {
+	// Pure function of content.
+	if TokenStream([]int{1, 2, 3}) != TokenStream([]int{1, 2, 3}) {
+		t.Fatal("TokenStream is not deterministic")
+	}
+	// Sensitive to content and order, and non-negative.
+	ids := map[int64]bool{}
+	for _, words := range [][]int{{1, 2, 3}, {3, 2, 1}, {1, 2}, {}, {0}, {0, 0}} {
+		id := TokenStream(words)
+		if id < 0 {
+			t.Fatalf("negative stream id %d for %v", id, words)
+		}
+		if ids[id] {
+			t.Fatalf("stream collision for %v", words)
+		}
+		ids[id] = true
+	}
+}
+
 func TestNewStreamDeterministicAndDecorrelated(t *testing.T) {
 	// Same (seed, stream) → identical sequence.
 	a, b := NewStream(42, 3), NewStream(42, 3)

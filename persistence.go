@@ -2,6 +2,7 @@ package sourcelda
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"sourcelda/internal/core"
@@ -57,7 +58,10 @@ func SaveModel(w io.Writer, m *Model) error {
 
 // LoadModel reads a snapshot written by SaveModel, reattaching it to the
 // corpus and knowledge source it was trained with (needed to render words
-// and labels).
+// and labels). The snapshot is cross-validated against the pair — topic-word
+// row widths against the vocabulary, document-topic row widths and label
+// counts against the topic set, source indices against the article count —
+// so a mismatched snapshot fails here instead of panicking later.
 func LoadModel(r io.Reader, c *Corpus, k *KnowledgeSource) (*Model, error) {
 	if c == nil || k == nil {
 		return nil, errors.New("sourcelda: nil corpus or knowledge source")
@@ -66,12 +70,33 @@ func LoadModel(r io.Reader, c *Corpus, k *KnowledgeSource) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range res.Phi {
-		if len(row) != c.c.VocabSize() {
-			return nil, errors.New("sourcelda: snapshot vocabulary size does not match the corpus")
-		}
+	if err := persist.ValidateResult(res, c.c.VocabSize(), k.s.Len()); err != nil {
+		return nil, fmt.Errorf("sourcelda: snapshot does not match the corpus/knowledge source: %w", err)
 	}
 	return &Model{res: res, vocab: c.c.Vocab, source: k.s}, nil
+}
+
+// SaveBundle writes the model as a single self-contained serving artifact —
+// vocabulary, knowledge source and fitted snapshot in one gzip-compressed
+// versioned archive. A bundle is everything cmd/srcldad (or LoadBundle)
+// needs; no companion corpus or source files are required at load time.
+func SaveBundle(w io.Writer, m *Model) error {
+	if m == nil {
+		return errors.New("sourcelda: nil model")
+	}
+	return persist.SaveBundle(w, m.vocab.Words(), m.source, m.res)
+}
+
+// LoadBundle reads a bundle written by SaveBundle and returns a fully
+// self-contained model: Topics, Infer and InferBatch all work without the
+// training corpus. DocumentTopics still reports the training documents'
+// mixtures captured in the snapshot.
+func LoadBundle(r io.Reader) (*Model, error) {
+	b, err := persist.LoadBundle(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{res: b.Result, vocab: b.Vocab, source: b.Source}, nil
 }
 
 // TuningResult reports a (µ, σ) grid search (§III-C5a: select the prior by

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"sourcelda/internal/persist"
 )
 
 func TestSaveLoadCorpusAndSource(t *testing.T) {
@@ -112,6 +114,107 @@ func TestLoadModelRejectsMismatchedCorpus(t *testing.T) {
 	if _, err := LoadModel(&buf, oc, ok2); err == nil {
 		t.Fatal("mismatched corpus accepted")
 	}
+}
+
+// TestBundleRoundTrip covers the full deployment cycle through the public
+// facade — train (with document-sharded parallel sweeps), SaveBundle,
+// LoadBundle, Infer — and checks the reloaded model is interchangeable with
+// the original.
+func TestBundleRoundTrip(t *testing.T) {
+	c, k := buildFixture(t)
+	m, err := Fit(c, k, Options{
+		Lambda:     &LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 40,
+		Seed:       9,
+		Shards:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, loaded := m.Topics(), back.Topics()
+	if len(orig) != len(loaded) {
+		t.Fatal("topic count changed")
+	}
+	for i := range orig {
+		if orig[i].Label != loaded[i].Label {
+			t.Fatalf("topic %d label %q → %q", i, orig[i].Label, loaded[i].Label)
+		}
+		ow, lw := orig[i].TopWords(3), loaded[i].TopWords(3)
+		for j := range ow {
+			if ow[j] != lw[j] {
+				t.Fatal("top words changed through the bundle")
+			}
+		}
+	}
+	// Fold-in inference through the reloaded bundle matches the original
+	// model bit-for-bit (same frozen conditionals, same seed, same stream).
+	opts := InferOptions{Seed: 4}
+	a, err := m.Infer("pencil ruler notebook", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Infer("pencil ruler notebook", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Topics {
+		if a.Topics[i] != b.Topics[i] {
+			t.Fatal("bundle-loaded model infers differently")
+		}
+	}
+	if _, err := LoadBundle(bytes.NewReader([]byte("not a bundle"))); err == nil {
+		t.Fatal("garbage bundle accepted")
+	}
+	if err := SaveBundle(&buf, nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+// TestLoadModelRejectsTamperedSnapshot covers the validation satellite: a
+// snapshot whose theta widths, label count, or source indices disagree with
+// the corpus/knowledge source must fail at load, not panic later.
+func TestLoadModelRejectsTamperedSnapshot(t *testing.T) {
+	c, k := buildFixture(t)
+	m, err := Fit(c, k, Options{
+		Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(name string, mutate func(*Result)) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		res, err := persist.LoadResult(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(res)
+		buf.Reset()
+		if err := persist.SaveResult(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadModel(&buf, c, k); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	tamper("truncated theta row", func(r *Result) { r.Theta[0] = r.Theta[0][:1] })
+	tamper("dropped label", func(r *Result) {
+		r.Labels = r.Labels[:1]
+		r.SourceIndices = r.SourceIndices[:1]
+	})
+	tamper("out-of-range source index", func(r *Result) { r.SourceIndices[0] = k.NumArticles() + 5 })
+	tamper("missing token counts", func(r *Result) { r.TokenCounts = nil })
 }
 
 func TestNilArguments(t *testing.T) {

@@ -34,11 +34,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/corpus"
+	"sourcelda/internal/infer"
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/labeling"
+	"sourcelda/internal/parallel"
 	"sourcelda/internal/textproc"
 )
 
@@ -172,11 +175,17 @@ type Options struct {
 	TraceLikelihood bool
 }
 
-// Model is a fitted Source-LDA model.
+// Model is a fitted Source-LDA model. It is safe for concurrent use once
+// fitted or loaded: all state is read-only except the lazily-built frozen
+// inference view, which is guarded by a sync.Once.
 type Model struct {
 	res    *Result
 	vocab  *textproc.Vocabulary
 	source *knowledge.Source
+
+	frozenOnce sync.Once
+	frozen     *core.Frozen
+	frozenErr  error
 }
 
 // Result aliases the internal result snapshot.
@@ -325,6 +334,204 @@ func (m *Model) DocumentTopics(d int) ([]float64, error) {
 	out := make([]float64, len(m.res.Theta[d]))
 	copy(out, m.res.Theta[d])
 	return out, nil
+}
+
+// ErrNoKnownTokens reports that a document to be inferred contains no
+// in-vocabulary tokens, so there is nothing to condition the fold-in chain
+// on.
+var ErrNoKnownTokens = errors.New("sourcelda: document has no in-vocabulary tokens")
+
+// InferOptions configures fold-in inference on unseen documents. Zero
+// values take the documented defaults.
+type InferOptions struct {
+	// BurnIn is the number of discarded initial Gibbs sweeps per document
+	// (0 = default 20; a negative value requests no burn-in at all).
+	BurnIn int
+	// Samples is the number of post-burn-in sweeps averaged into the
+	// mixture (default 10).
+	Samples int
+	// Seed makes inference reproducible. Results are a pure function of
+	// (model, options, document content): every document draws from its own
+	// deterministic RNG stream keyed by seed and token content, so batching,
+	// batch order and worker count never change a document's mixture.
+	Seed int64
+	// Workers bounds the goroutines scoring an InferBatch concurrently
+	// (default 1, sequential).
+	Workers int
+}
+
+// DocumentInference is the outcome of folding one unseen document into a
+// fitted model.
+type DocumentInference struct {
+	// Topics is the inferred mixture over the model's topics, in model
+	// topic order (the same labeled topics Training produced; index into
+	// Model.Topics via Topic.Index, or Raw().Labels).
+	Topics []float64
+	// KnownTokens and UnknownTokens count the document's in- and
+	// out-of-vocabulary tokens. Unknown tokens carry no signal and are
+	// skipped.
+	KnownTokens, UnknownTokens int
+}
+
+// TopTopics returns the n heaviest topics of the mixture as Topic values
+// (descending weight, ties broken by lower index).
+func (m *Model) TopTopics(d *DocumentInference, n int) []Topic {
+	ids := textproc.TopWords(d.Topics, n) // same argsort, reused for topics
+	out := make([]Topic, len(ids))
+	for i, t := range ids {
+		out[i] = Topic{
+			Index:         t,
+			Label:         m.res.Labels[t],
+			IsSourceTopic: m.res.SourceIndices[t] >= 0,
+			Weight:        d.Topics[t],
+			phi:           m.res.Phi[t],
+			vocab:         m.vocab,
+		}
+	}
+	return out
+}
+
+// engine lazily builds the frozen inference view (one transpose of Phi; the
+// view is immutable and shared by every subsequent Infer/InferBatch call)
+// and wraps it with the requested sweep schedule.
+func (m *Model) engine(opts InferOptions) (*infer.Engine, error) {
+	m.frozenOnce.Do(func() {
+		m.frozen, m.frozenErr = core.NewFrozen(m.res)
+	})
+	if m.frozenErr != nil {
+		return nil, m.frozenErr
+	}
+	return infer.New(m.frozen, infer.Options{
+		BurnIn:  opts.BurnIn,
+		Samples: opts.Samples,
+		Seed:    opts.Seed,
+	})
+}
+
+// Infer scores one unseen raw-text document against the fitted model
+// without refitting: the text is tokenized and encoded against the training
+// vocabulary, then folded in by collapsed Gibbs with the topic-word
+// statistics locked. It returns ErrNoKnownTokens when no token survives
+// vocabulary encoding. Deterministic given InferOptions.Seed.
+func (m *Model) Infer(text string, opts InferOptions) (*DocumentInference, error) {
+	out, err := m.InferBatch([]string{text}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if out[0] == nil {
+		return nil, ErrNoKnownTokens
+	}
+	return out[0], nil
+}
+
+// InferBatch scores many documents concurrently over opts.Workers
+// goroutines. The returned slice is positionally aligned with texts;
+// entries are nil for documents with no in-vocabulary tokens. Each
+// document's result is bit-for-bit identical to a single Infer call on it.
+//
+// Every call with Workers > 1 spins up and tears down a worker pool; a
+// serving loop should hold a NewInferrer instead and reuse its pool.
+func (m *Model) InferBatch(texts []string, opts InferOptions) ([]*DocumentInference, error) {
+	inf, err := m.NewInferrer(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer inf.Close()
+	return inf.InferBatch(texts), nil
+}
+
+// CountKnownTokens reports how many of the text's tokens are in the model
+// vocabulary — a cheap pre-check (no sampling) for whether Infer would
+// return ErrNoKnownTokens.
+func (m *Model) CountKnownTokens(text string) int {
+	n := 0
+	for _, tok := range textproc.Tokenize(text) {
+		if _, ok := m.vocab.ID(tok); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Inferrer is a reusable inference session over a fitted model: the sweep
+// schedule is pinned at construction and the worker pool is long-lived, so
+// a serving loop pays the pool spawn once instead of per batch. Safe for
+// concurrent use until Close.
+type Inferrer struct {
+	m    *Model
+	e    *infer.Engine
+	pool *parallel.Pool
+}
+
+// NewInferrer builds a reusable inference session. Close it to release the
+// worker pool.
+func (m *Model) NewInferrer(opts InferOptions) (*Inferrer, error) {
+	e, err := m.engine(opts)
+	if err != nil {
+		return nil, err
+	}
+	inf := &Inferrer{m: m, e: e}
+	if opts.Workers > 1 {
+		inf.pool = parallel.NewPool(opts.Workers)
+	}
+	return inf, nil
+}
+
+// Close releases the worker pool. The Inferrer must not be used after
+// Close; it is safe to call more than once.
+func (inf *Inferrer) Close() {
+	if inf.pool != nil {
+		inf.pool.Close()
+	}
+}
+
+// Infer scores one document; see Model.Infer.
+func (inf *Inferrer) Infer(text string) (*DocumentInference, error) {
+	out := inf.InferBatch([]string{text})
+	if out[0] == nil {
+		return nil, ErrNoKnownTokens
+	}
+	return out[0], nil
+}
+
+// InferBatch scores many documents concurrently over the session pool; see
+// Model.InferBatch. It never fails: entries are nil for documents with no
+// in-vocabulary tokens.
+func (inf *Inferrer) InferBatch(texts []string) []*DocumentInference {
+	docs := make([][]int, len(texts))
+	for i, text := range texts {
+		docs[i] = encodeForInference(inf.m.vocab, text)
+	}
+	scored := inf.e.InferBatch(docs, inf.pool)
+	out := make([]*DocumentInference, len(texts))
+	for i, d := range scored {
+		if d.Theta == nil {
+			continue
+		}
+		out[i] = &DocumentInference{
+			Topics:        d.Theta,
+			KnownTokens:   d.Known,
+			UnknownTokens: d.Unknown,
+		}
+	}
+	return out
+}
+
+// encodeForInference tokenizes text against the training vocabulary,
+// mapping out-of-vocabulary tokens to -1 (rather than dropping them as
+// EncodeTokens does) so the inference engine can report how much of the
+// document it actually conditioned on.
+func encodeForInference(v *textproc.Vocabulary, text string) []int {
+	tokens := textproc.Tokenize(text)
+	out := make([]int, len(tokens))
+	for i, tok := range tokens {
+		if id, ok := v.ID(tok); ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
 }
 
 // LabelerKind selects a post-hoc labeling technique.
