@@ -11,6 +11,13 @@
 //	srclda -model lda -topics 20    # baseline LDA on the demo corpus
 //	srclda -corpus docs/ -source wiki/ -free 10 -iters 500
 //	srclda -save-bundle model.bundle   # emit a serving bundle for srcldad
+//
+// Long runs can checkpoint periodically and resume after a crash with the
+// exact same chain (pass the same data and chain flags; -iters is the
+// run's total target):
+//
+//	srclda -iters 1000 -checkpoint-dir ckpts/ -checkpoint-every 50
+//	srclda -iters 1000 -checkpoint-dir ckpts/ -resume ckpts/   # newest wins
 package main
 
 import (
@@ -35,23 +42,27 @@ import (
 
 func main() {
 	var (
-		corpusDir = flag.String("corpus", "", "directory of *.txt documents (empty: synthetic demo corpus)")
-		sourceDir = flag.String("source", "", "directory of *.txt knowledge articles (empty: synthetic demo source)")
-		model     = flag.String("model", "srclda", "model: srclda, lda, eda, ctm")
-		freeT     = flag.Int("free", 5, "number of unlabeled (free) topics for srclda/ctm")
-		topics    = flag.Int("topics", 20, "topic count for the lda baseline")
-		iters     = flag.Int("iters", 300, "Gibbs iterations")
-		seed      = flag.Int64("seed", 42, "random seed")
-		mu        = flag.Float64("mu", 0.7, "λ prior mean")
-		sigma     = flag.Float64("sigma", 0.3, "λ prior std dev")
-		lambda    = flag.Float64("lambda", -1, "fixed λ in [0,1]; -1 = integrate λ out")
-		threads   = flag.Int("threads", 1, "worker threads (>1 enables Algorithm 3 parallel sampling)")
-		sweep     = flag.String("sweepmode", "sequential", "sweep mode: sequential (exact) or sharded (document-sharded data-parallel)")
-		shards    = flag.Int("shards", 0, "document shards; > 0 implies -sweepmode=sharded (0 = one per thread)")
-		topN      = flag.Int("top", 10, "words to print per topic")
-		minDocs   = flag.Int("mindocs", 2, "superset reduction: min documents per discovered topic")
-		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file")
-		bundleTo  = flag.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file")
+		corpusDir = flag.String("corpus", "", "directory of *.txt documents, one file per document (default \"\": built-in synthetic demo corpus)")
+		sourceDir = flag.String("source", "", "directory of *.txt knowledge articles, file name = topic label (default \"\": built-in synthetic demo source)")
+		model     = flag.String("model", "srclda", "model to train: srclda, lda, eda, or ctm (default srclda)")
+		freeT     = flag.Int("free", 5, "unlabeled (free) topics learned alongside the knowledge source, for srclda/ctm (default 5)")
+		topics    = flag.Int("topics", 20, "topic count for the lda baseline only (default 20)")
+		iters     = flag.Int("iters", 300, "total Gibbs sweeps; with -resume, the run's overall target including already-completed sweeps (default 300)")
+		seed      = flag.Int64("seed", 42, "chain seed; identical inputs and seed reproduce a run bit for bit (default 42)")
+		mu        = flag.Float64("mu", 0.7, "mean of the N(µ,σ) prior over the λ divergence exponent (default 0.7)")
+		sigma     = flag.Float64("sigma", 0.3, "std dev of the λ prior, must be >= 0 (default 0.3)")
+		lambda    = flag.Float64("lambda", -1, "fixed λ exponent in [0,1]; -1 integrates λ out by quadrature (default -1)")
+		threads   = flag.Int("threads", 1, "worker threads; > 1 enables Algorithm 3 parallel sampling, and bounds shard workers in sharded mode (default 1)")
+		sweep     = flag.String("sweepmode", "sequential", "sweep traversal: sequential (exact collapsed Gibbs) or sharded (document-sharded data-parallel) (default sequential)")
+		shards    = flag.Int("shards", 0, "document shards for sharded sweeps; > 0 implies -sweepmode=sharded, 0 means one per thread (default 0)")
+		topN      = flag.Int("top", 10, "words printed per topic (default 10)")
+		minDocs   = flag.Int("mindocs", 2, "superset reduction: minimum documents a discovered topic must appear in to be printed (default 2)")
+		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file (default \"\": don't)")
+		bundleTo  = flag.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file (default \"\": don't)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic training checkpoints, created if missing (default \"\": checkpointing off)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "sweeps between checkpoints; each write is atomic (temp file + fsync + rename) (default 50)")
+		ckptKeep  = flag.Int("checkpoint-retain", 3, "newest checkpoints kept per directory; negative keeps all (default 3)")
+		resume    = flag.String("resume", "", "checkpoint file — or checkpoint directory, newest wins — to resume training from; requires the run's original data and chain flags (default \"\": fresh run)")
 	)
 	flag.Parse()
 
@@ -82,6 +93,14 @@ func main() {
 	}
 	if (*sweep == "sharded" || *shards > 0) && *model != "srclda" {
 		fmt.Fprintf(os.Stderr, "note: -sweepmode/-shards only apply to -model srclda; ignored for %q\n", *model)
+	}
+	if (*ckptDir != "" || *resume != "") && *model != "srclda" {
+		fmt.Fprintf(os.Stderr, "-checkpoint-dir and -resume only apply to -model srclda (got %q)\n", *model)
+		os.Exit(2)
+	}
+	if *ckptEvery < 1 {
+		fmt.Fprintf(os.Stderr, "-checkpoint-every is %d; it must be >= 1 sweep\n", *ckptEvery)
+		os.Exit(2)
 	}
 
 	c, src, err := loadData(*corpusDir, *sourceDir, *seed)
@@ -126,9 +145,39 @@ func main() {
 				opts.Threads = core.DefaultShardWorkers(*shards, c.NumDocs())
 			}
 		}
-		m, err := core.Fit(c, src, opts)
-		exitOn(err)
+		var m *core.Model
+		var err error
+		if *resume != "" {
+			var ck *core.Checkpoint
+			ck, err = persist.LoadCheckpointFile(*resume)
+			exitOn(err)
+			m, err = core.Restore(c, src, opts, ck)
+			exitOn(err)
+			fmt.Printf("resumed from %s at sweep %d of %d\n", *resume, m.Sweeps(), *iters)
+		} else {
+			m, err = core.NewModel(c, src, opts)
+			exitOn(err)
+		}
 		defer m.Close()
+		var hook core.SweepHook
+		if *ckptDir != "" {
+			cw, err := persist.NewCheckpointWriter(*ckptDir, *ckptKeep)
+			exitOn(err)
+			hook = func(sweepIdx int, cm *core.Model) error {
+				if sweepIdx%*ckptEvery != 0 {
+					return nil
+				}
+				path, err := cw.Write(cm.Checkpoint())
+				if err != nil {
+					return err
+				}
+				fmt.Printf("checkpoint: sweep %d/%d → %s\n", sweepIdx, *iters, path)
+				return nil
+			}
+		}
+		if remaining := *iters - m.Sweeps(); remaining > 0 {
+			exitOn(m.RunWithHook(remaining, hook))
+		}
 		res := m.Result()
 		fmt.Printf("discovered labeled topics (≥%d docs):\n", *minDocs)
 		printTopics(c, res.Phi, res.Labels, res.TokenCounts, res.DocFrequencies, *minDocs, *topN)

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// resultsEqualModuloTimes compares two Results for bit-for-bit equality of
+// everything deterministic. IterationTimes are wall-clock readings — the one
+// field that legitimately differs between an uninterrupted run and a
+// checkpoint/resume pair — so only their lengths are compared.
+func resultsEqualModuloTimes(t *testing.T, name string, got, want *Result) {
+	t.Helper()
+	if len(got.IterationTimes) != len(want.IterationTimes) {
+		t.Fatalf("%s: iteration-time trace length %d, want %d",
+			name, len(got.IterationTimes), len(want.IterationTimes))
+	}
+	g, w := *got, *want
+	g.IterationTimes, w.IterationTimes = nil, nil
+	if !reflect.DeepEqual(&g, &w) {
+		t.Fatalf("%s: resumed result differs from uninterrupted run", name)
+	}
+}
+
+// TestCheckpointResumeEqualsUninterrupted is the subsystem's core contract:
+// training T sweeps in one go and training t sweeps, checkpointing,
+// restoring, and training the remaining T−t must produce bit-for-bit
+// identical results — in the sequential mode and in the document-sharded
+// mode (both the exact single-shard and the approximate multi-shard chains),
+// with λ posterior reweighting, pruning and likelihood tracing all active.
+func TestCheckpointResumeEqualsUninterrupted(t *testing.T) {
+	data := sweepFixture(t)
+	base := Options{
+		NumFreeTopics: 3, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, UseSmoothing: true,
+		PruneDeadTopics: true, PruneAfter: 8, PruneEvery: 5,
+		Iterations: 24, Seed: 4242,
+		TraceLikelihood: true,
+	}
+	variants := []struct {
+		name string
+		set  func(*Options)
+	}{
+		{"sequential", func(o *Options) {}},
+		{"sharded-one-shard", func(o *Options) { o.SweepMode = SweepShardedDocs; o.Shards = 1 }},
+		{"sharded-multi", func(o *Options) { o.SweepMode = SweepShardedDocs; o.Shards = 4; o.Threads = 4 }},
+	}
+	// Split points include one before and one after the λ burn-in and prune
+	// thresholds, so resume crosses every schedule boundary at least once.
+	splits := []int{5, 12, 23}
+	for _, v := range variants {
+		opts := base
+		v.set(&opts)
+		full, err := Fit(data.Corpus, data.Source, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Result()
+		full.Close()
+
+		for _, split := range splits {
+			m, err := NewModel(data.Corpus, data.Source, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run(split)
+			ck := m.Checkpoint()
+			m.Close()
+			if ck.Sweep != split {
+				t.Fatalf("%s: checkpoint records sweep %d, want %d", v.name, ck.Sweep, split)
+			}
+
+			resumed, err := Restore(data.Corpus, data.Source, opts, ck)
+			if err != nil {
+				t.Fatalf("%s split %d: restore: %v", v.name, split, err)
+			}
+			if resumed.Sweeps() != split {
+				t.Fatalf("%s: restored model at sweep %d, want %d", v.name, resumed.Sweeps(), split)
+			}
+			resumed.Run(opts.Iterations - split)
+			resultsEqualModuloTimes(t, v.name, resumed.Result(), want)
+			resumed.Close()
+		}
+	}
+}
+
+// TestRunWithHookStops checks the early-stop contract: the hook sees global
+// 1-based sweep indices, ErrStopTraining halts the run immediately and is
+// returned verbatim, and the stopped chain checkpoints/resumes cleanly.
+func TestRunWithHookStops(t *testing.T) {
+	data := sweepFixture(t)
+	opts := Options{
+		NumFreeTopics: 2, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaFixed, Lambda: 0.8,
+		Iterations: 20, Seed: 7,
+	}
+	m, err := NewModel(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var seen []int
+	err = m.RunWithHook(20, func(sweep int, mm *Model) error {
+		seen = append(seen, sweep)
+		if sweep == 6 {
+			return ErrStopTraining
+		}
+		return nil
+	})
+	if err != ErrStopTraining {
+		t.Fatalf("RunWithHook returned %v, want ErrStopTraining", err)
+	}
+	if m.Sweeps() != 6 {
+		t.Fatalf("stopped chain at sweep %d, want 6", m.Sweeps())
+	}
+	for i, s := range seen {
+		if s != i+1 {
+			t.Fatalf("hook saw sweep %d at call %d, want %d", s, i, i+1)
+		}
+	}
+
+	// The stopped chain resumes into the same trajectory as a straight run.
+	full, err := Fit(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	resumed, err := Restore(data.Corpus, data.Source, opts, m.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	resumed.Run(20 - 6)
+	assignmentsEqual(t, "resume-after-stop", resumed.Assignments(), full.Assignments())
+}
+
+// TestCheckpointIsDeepCopy: a captured checkpoint must not alias live chain
+// state — further sweeps cannot mutate it.
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	data := sweepFixture(t)
+	opts := Options{
+		NumFreeTopics: 2, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, Seed: 3, Iterations: 10,
+	}
+	m, err := NewModel(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.Run(4)
+	ck := m.Checkpoint()
+	snap := m.Checkpoint()
+	m.Run(6)
+	if !reflect.DeepEqual(ck, snap) {
+		t.Fatal("checkpoint mutated by sweeps after capture")
+	}
+}
+
+// TestRestoreRejectsMismatches: every identity field a checkpoint carries
+// must be enforced on restore, each with a descriptive error.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	data := sweepFixture(t)
+	opts := Options{
+		NumFreeTopics: 2, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, Seed: 12, Iterations: 6,
+		SweepMode: SweepShardedDocs, Shards: 3,
+	}
+	m, err := NewModel(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(6)
+	good := m.Checkpoint()
+	m.Close()
+
+	if _, err := Restore(data.Corpus, data.Source, opts, good); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	if _, err := Restore(data.Corpus, data.Source, opts, nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(ck *Checkpoint, o *Options)
+	}{
+		{"different seed", func(ck *Checkpoint, o *Options) { o.Seed = 13 }},
+		{"different prior", func(ck *Checkpoint, o *Options) { o.Mu = 0.9 }},
+		{"different sweep mode", func(ck *Checkpoint, o *Options) { o.SweepMode = SweepSequential }},
+		{"different shard count", func(ck *Checkpoint, o *Options) { o.Shards = 2 }},
+		{"negative sweep", func(ck *Checkpoint, o *Options) { ck.Sweep = -1 }},
+		{"topic out of range", func(ck *Checkpoint, o *Options) { ck.Z[0] = int32(2 + data.Source.Len()) }},
+		{"negative topic", func(ck *Checkpoint, o *Options) { ck.Z[0] = -1 }},
+		{"truncated assignments", func(ck *Checkpoint, o *Options) { ck.Z = ck.Z[:len(ck.Z)-1] }},
+		{"document length drift", func(ck *Checkpoint, o *Options) { ck.DocLengths[0]++ }},
+		{"missing doc lengths", func(ck *Checkpoint, o *Options) { ck.DocLengths = ck.DocLengths[:1] }},
+		{"wrong λ weight count", func(ck *Checkpoint, o *Options) { ck.LambdaWeights = ck.LambdaWeights[:3] }},
+		{"wrong disabled count", func(ck *Checkpoint, o *Options) { ck.Disabled = ck.Disabled[:1] }},
+		{"wrong stream count", func(ck *Checkpoint, o *Options) { ck.StreamPos = ck.StreamPos[:1] }},
+		{"dimension drift", func(ck *Checkpoint, o *Options) { ck.VocabSize++ }},
+		{"doc count drift", func(ck *Checkpoint, o *Options) { ck.NumDocs++ }},
+		{"absurd stream position", func(ck *Checkpoint, o *Options) { ck.StreamPos[0] = math.MaxUint64 }},
+		{"absurd sweep count", func(ck *Checkpoint, o *Options) { ck.Sweep = 1 << 40 }},
+	}
+	for _, tc := range cases {
+		ck := *good
+		ck.Z = append([]int32(nil), good.Z...)
+		ck.DocLengths = append([]int32(nil), good.DocLengths...)
+		ck.LambdaWeights = append([]float64(nil), good.LambdaWeights...)
+		ck.Disabled = append([]bool(nil), good.Disabled...)
+		ck.StreamPos = append([]uint64(nil), good.StreamPos...)
+		o := opts
+		tc.mutate(&ck, &o)
+		if _, err := Restore(data.Corpus, data.Source, o, &ck); err == nil {
+			t.Errorf("%s: tampered checkpoint accepted", tc.name)
+		}
+	}
+}
+
+// TestCheckpointTracesRestored: likelihood and timing traces must carry over
+// so a resumed run's Result has full-length histories.
+func TestCheckpointTracesRestored(t *testing.T) {
+	data := sweepFixture(t)
+	opts := Options{
+		NumFreeTopics: 2, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaFixed, Lambda: 1,
+		Seed: 21, Iterations: 10, TraceLikelihood: true,
+	}
+	m, err := NewModel(data.Corpus, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(4)
+	ck := m.Checkpoint()
+	m.Close()
+	if len(ck.LikelihoodTrace) != 4 || len(ck.IterationTimes) != 4 {
+		t.Fatalf("checkpoint traces %d/%d, want 4/4", len(ck.LikelihoodTrace), len(ck.IterationTimes))
+	}
+	resumed, err := Restore(data.Corpus, data.Source, opts, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	resumed.Run(6)
+	if len(resumed.LikelihoodTrace) != 10 {
+		t.Fatalf("resumed likelihood trace has %d entries, want 10", len(resumed.LikelihoodTrace))
+	}
+	if len(resumed.IterationTimes) != 10 {
+		t.Fatalf("resumed timing trace has %d entries, want 10", len(resumed.IterationTimes))
+	}
+	var zero time.Duration
+	for i, d := range resumed.IterationTimes {
+		if d < zero {
+			t.Fatalf("iteration time %d negative: %v", i, d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"strconv"
 	"time"
@@ -68,6 +69,21 @@ func Fit(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) 
 // NewModel validates options, precomputes the per-topic quadrature state and
 // returns an initialized (randomly-assigned) chain that has not yet swept.
 func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
+	m, err := newUninitializedModel(c, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.initAssignments()
+	m.buildViews()
+	return m, nil
+}
+
+// newUninitializedModel validates options and allocates a chain whose count
+// slabs and assignments are still zero. Callers must populate assignments
+// (initAssignments for a fresh chain, the checkpoint restore path for a
+// resumed one) and then call buildViews, in that order: the views cache
+// per-topic denominators computed from the counts at construction time.
+func newUninitializedModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, error) {
 	opts.applyDefaults()
 	if err := opts.validate(c, src); err != nil {
 		return nil, err
@@ -90,7 +106,15 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 	for d := range m.z {
 		m.z[d] = make([]int, len(c.Docs[d].Words))
 	}
-	m.initAssignments()
+	return m, nil
+}
+
+// buildViews constructs the worker pool, sampling kernel, deterministic RNG
+// streams, and the sequential/sharded sampling views. It must run after the
+// count slabs hold the chain's current assignments — the views cache
+// reciprocal denominators derived from them.
+func (m *Model) buildViews() {
+	opts := &m.opts
 	m.pool = parallel.NewPool(opts.Threads)
 	switch opts.Sampler {
 	case SamplerSimpleParallel:
@@ -101,16 +125,7 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 		m.sampler = parallel.NewSerial()
 	}
 
-	nStreams := 1
-	if opts.SweepMode == SweepShardedDocs {
-		nStreams = opts.Shards
-		if nStreams > m.D {
-			nStreams = m.D
-		}
-		if nStreams < 1 {
-			nStreams = 1
-		}
-	}
+	nStreams := opts.numStreams(m.D)
 	m.streams = make([]*rng.RNG, nStreams)
 	for i := range m.streams {
 		m.streams[i] = rng.NewStream(opts.Seed, int64(i))
@@ -120,8 +135,8 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 		m.shards = make([]*shardView, nStreams)
 		for i := range m.shards {
 			// Balanced split: every shard owns at least one document (the
-			// shard count is capped at D above), so no shard pays the
-			// per-sweep slab copy without sampling anything.
+			// shard count is capped at D in numStreams), so no shard pays
+			// the per-sweep slab copy without sampling anything.
 			lo, hi := i*m.D/nStreams, (i+1)*m.D/nStreams
 			view := m.seq
 			if nStreams > 1 {
@@ -139,7 +154,6 @@ func NewModel(c *corpus.Corpus, src *knowledge.Source, opts Options) (*Model, er
 			}
 		}
 	}
-	return m, nil
 }
 
 // Close releases the worker pool of a parallel sampler. It is safe to call
@@ -217,6 +231,27 @@ func (m *Model) initAssignments() {
 // Run performs the given number of collapsed Gibbs sweeps (Algorithm 1's
 // outer loop); it can be called repeatedly to extend a chain.
 func (m *Model) Run(iterations int) {
+	_ = m.RunWithHook(iterations, nil)
+}
+
+// SweepHook observes a chain after each completed sweep. sweep is the global
+// 1-based sweep index (it keeps counting across Run calls and checkpoint
+// resumes). The hook may inspect the model — and capture a Checkpoint — but
+// must not mutate it. Returning a non-nil error stops the run before the
+// next sweep; return ErrStopTraining for a clean early stop.
+type SweepHook func(sweep int, m *Model) error
+
+// ErrStopTraining is the sentinel a SweepHook returns to stop a run early
+// without signaling failure: RunWithHook returns it verbatim, and callers
+// that support early stopping treat it as a successful (partial) fit.
+var ErrStopTraining = errors.New("core: training stopped by sweep hook")
+
+// RunWithHook performs up to iterations collapsed Gibbs sweeps, invoking
+// hook after each one. It returns nil after completing all sweeps, or the
+// hook's error as soon as one is non-nil. The chain remains valid and
+// resumable either way: a checkpoint captured by the hook, or taken from
+// the model after RunWithHook returns, restores to exactly this state.
+func (m *Model) RunWithHook(iterations int, hook SweepHook) error {
 	for iter := 0; iter < iterations; iter++ {
 		start := time.Now()
 		m.sweep()
@@ -227,8 +262,18 @@ func (m *Model) Run(iterations int) {
 		if m.opts.OnIteration != nil {
 			m.opts.OnIteration(iter, m)
 		}
+		if hook != nil {
+			if err := hook(m.sweepCount, m); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
+
+// Sweeps returns the number of sweeps the chain has completed, including
+// sweeps restored from a checkpoint.
+func (m *Model) Sweeps() int { return m.sweepCount }
 
 // updateLambdaPosteriors reweights each source topic's quadrature nodes by
 // the posterior of its latent λ_t given the current counts: for node p with

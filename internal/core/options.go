@@ -1,34 +1,9 @@
-// Package core implements Source-LDA, the paper's primary contribution: a
-// semi-supervised extension of Latent Dirichlet Allocation whose topic-word
-// Dirichlet priors are set from labeled knowledge-source articles
-// (Definitions 1–3), so that inferred topics stay consistent with prior
-// knowledge, carry labels, and may still deviate from — or be absent from —
-// the knowledge source.
-//
-// The package covers all three model stages of §III:
-//
-//   - Bijective mapping (§III-A): every topic is a knowledge-source topic,
-//     φ_k ~ Dir(δ_k) with δ the source hyperparameters (NumFreeTopics = 0,
-//     LambdaFixed).
-//   - Known mixture (§III-B): K free topics with symmetric β priors mixed
-//     with source topics (NumFreeTopics = K, LambdaFixed).
-//   - Full Source-LDA (§III-C): per-topic λ ~ N(µ, σ) governs divergence
-//     from the source distribution via δ^g(λ); λ is integrated out
-//     numerically inside the collapsed Gibbs sampler (LambdaIntegrated),
-//     with the g linearization of §III-C2 and superset topic reduction of
-//     §III-C3.
-//
-// Sampling can run with the serial collapsed Gibbs kernel (Algorithm 1) or
-// either of the paper's two exactness-preserving parallel kernels
-// (Algorithms 2 and 3) from internal/parallel — both within the exact
-// sequential sweep mode — or with the document-sharded data-parallel sweep
-// mode (SweepShardedDocs), which trades within-sweep count freshness for
-// corpus-scale throughput across cores.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 
 	"sourcelda/internal/corpus"
@@ -245,6 +220,50 @@ func (o *Options) lambdaBurnIn() int {
 	return 10
 }
 
+// numStreams returns the number of deterministic RNG streams a chain over D
+// documents draws from: one for the sequential mode, one per document shard
+// (capped at D) for SweepShardedDocs. Options must already have defaults
+// applied. Checkpoint capture and restore both size their stream-position
+// vectors with this, so the two can never disagree with NewModel.
+func (o *Options) numStreams(D int) int {
+	if o.SweepMode != SweepShardedDocs {
+		return 1
+	}
+	n := o.Shards
+	if n > D {
+		n = D
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// chainDigest hashes every option that influences the Gibbs chain's random
+// trajectory — priors, λ treatment, quadrature size, prune and burn-in
+// schedules, seed, kernel and sweep mode. Checkpoints embed the digest so a
+// resume under different chain options (which would silently produce a
+// chain neither run describes) fails loudly instead. Resource-only knobs
+// (Threads, Iterations) are deliberately excluded: they change scheduling
+// and duration, never the sampled sequence. Options must already have
+// defaults applied.
+func (o *Options) chainDigest() uint64 {
+	// Shards only shapes the chain in the sharded mode (it sets the stream
+	// count and document partition); in sequential mode its defaulted value
+	// tracks Threads, which must not perturb the digest.
+	shards := 0
+	if o.SweepMode == SweepShardedDocs {
+		shards = o.Shards
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "chain-v1|%d|%v|%v|%v|%d|%v|%v|%v|%d|%d|%v|%v|%+v|%v|%d|%d|%d|%d|%d|%d|%d|%d",
+		o.NumFreeTopics, o.Alpha, o.Beta, o.Epsilon, o.LambdaMode, o.Lambda, o.Mu, o.Sigma,
+		o.QuadraturePoints, o.lambdaBurnIn(), o.FreezeLambdaWeights, o.UseSmoothing, o.SmoothingConfig,
+		o.PruneDeadTopics, o.PruneAfter, o.PruneEvery, o.PruneMinDocs, o.PruneMinTokens,
+		o.Seed, o.Sampler, o.SweepMode, shards)
+	return h.Sum64()
+}
+
 func (o *Options) applyDefaults() {
 	if o.Alpha == 0 {
 		o.Alpha = 0.5
@@ -286,28 +305,31 @@ func (o *Options) applyDefaults() {
 
 func (o *Options) validate(c *corpus.Corpus, src *knowledge.Source) error {
 	if c == nil || c.NumDocs() == 0 {
-		return errors.New("core: empty corpus")
+		return errors.New("core: corpus is empty; it must contain at least one document")
 	}
 	if c.VocabSize() == 0 {
-		return errors.New("core: empty vocabulary")
+		return errors.New("core: corpus vocabulary is empty; documents must contain at least one token")
 	}
 	if src == nil || src.Len() == 0 {
-		return errors.New("core: empty knowledge source; use package lda for unsupervised modeling")
+		return errors.New("core: knowledge source is empty; it must contain at least one labeled article (use package lda for unsupervised modeling)")
 	}
 	if o.NumFreeTopics < 0 {
-		return errors.New("core: NumFreeTopics must be non-negative")
+		return fmt.Errorf("core: Options.NumFreeTopics is %d; it must be >= 0", o.NumFreeTopics)
 	}
-	if o.Alpha <= 0 || o.Beta <= 0 {
-		return errors.New("core: Alpha and Beta must be positive")
+	if o.Alpha <= 0 {
+		return fmt.Errorf("core: Options.Alpha is %v; the document-topic prior must be > 0", o.Alpha)
+	}
+	if o.Beta <= 0 {
+		return fmt.Errorf("core: Options.Beta is %v; the free-topic word prior must be > 0", o.Beta)
 	}
 	if o.Epsilon <= 0 {
-		return errors.New("core: Epsilon must be positive")
+		return fmt.Errorf("core: Options.Epsilon is %v; the Definition 3 smoothing mass must be > 0", o.Epsilon)
 	}
 	if o.LambdaMode == LambdaFixed && (o.Lambda < 0 || o.Lambda > 1) {
-		return fmt.Errorf("core: fixed Lambda %v outside [0,1]", o.Lambda)
+		return fmt.Errorf("core: Options.Lambda is %v; a fixed λ exponent must lie in [0, 1]", o.Lambda)
 	}
 	if o.LambdaMode == LambdaIntegrated && o.Sigma < 0 {
-		return errors.New("core: Sigma must be non-negative")
+		return fmt.Errorf("core: Options.Sigma is %v; the λ prior standard deviation must be >= 0", o.Sigma)
 	}
 	return nil
 }

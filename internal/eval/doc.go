@@ -1,0 +1,23 @@
+// Package eval implements the paper's evaluation metrics (PAPER.md §IV):
+//
+//   - Token classification accuracy against synthetic ground truth — the
+//     headline comparison of Figs. 2–4, where each generated token carries
+//     its true topic and a fitted model is scored on recovering it. Model
+//     topics are matched to ground-truth topics either greedily or with the
+//     optimal Hungarian assignment (hungarian.go).
+//   - Sorted Jensen–Shannon divergence totals over θ and φ (Figs. 5–6's
+//     distributional comparison), built on the stats package's divergence
+//     primitives.
+//   - PMI topic coherence over top-word pairs, the label-free quality
+//     signal used alongside accuracy.
+//   - Importance-sampling perplexity of held-out documents (estimators.go),
+//     the §IV-D generalization measure, with the harmonic-mean estimator
+//     retained for comparison.
+//
+// Invariants: evaluators are read-only over the fitted artifacts they
+// score (they consume core.Result snapshots, never live models), and every
+// stochastic estimator takes an explicit internal/rng generator so reported
+// numbers are reproducible bit for bit under a fixed seed — including
+// mid-training evaluation driven from a sweep hook, which must not perturb
+// the chain's own RNG streams.
+package eval

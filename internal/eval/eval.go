@@ -1,8 +1,3 @@
-// Package eval implements the paper's evaluation metrics (§IV): token
-// classification accuracy against synthetic ground truth, sorted
-// Jensen–Shannon divergence totals over θ, PMI topic coherence,
-// importance-sampling perplexity, and topic matching between model topics
-// and ground-truth topics.
 package eval
 
 import (

@@ -1,22 +1,3 @@
-// Package infer implements online (fold-in) inference for unseen documents
-// against a frozen fitted Source-LDA model: the topic-word statistics are
-// locked — exposed through core.Frozen as precomputed per-word conditional
-// rows derived from the training count slabs and the CSR δ^λ quadrature
-// store — and only the per-document topic counts n_{d,t} are Gibbs-sampled,
-//
-//	P(z_i = t | z_-i, w) ∝ P(w_i | t) · (n_{d,t}^{-i} + α),
-//
-// the standard fold-in estimator for scoring a stream of new documents with
-// a trained topic model (as Bio-LDA and the thesaurus-LDA line do with
-// their knowledge-primed models). Because Source-LDA topics arrive labeled,
-// the resulting mixtures are directly usable as document tags.
-//
-// Determinism: each document draws from rng.NewStream(seed,
-// rng.TokenStream(tokens)) — a stream keyed by the document's content, not
-// its batch position — so Infer and InferBatch are pure functions of
-// (model, options, document). A batch of N documents is bit-for-bit
-// identical to N independent single-document calls, no matter how a server
-// micro-batches concurrent requests or how many workers execute them.
 package infer
 
 import (

@@ -1,11 +1,3 @@
-// Package parallel implements the paper's two exactness-preserving parallel
-// sampling procedures (§III-C4): Algorithm 2, prefix-sum (Blelloch scan)
-// sampling, and Algorithm 3, simple chunked parallel sampling. Both compute
-// the unnormalized topic probabilities in parallel, form cumulative sums, and
-// select the sampled topic with a binary search over the cumulative vector —
-// so given the same uniform draw they return the same topic the serial
-// sampler would (up to floating-point summation order), without the
-// approximation error of asynchronous parallel LDA schemes.
 package parallel
 
 import (

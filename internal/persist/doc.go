@@ -1,0 +1,35 @@
+// Package persist serializes the library's data artifacts so trained state
+// survives the process that produced it. Three artifact families exist,
+// each versioned and validated on load:
+//
+//   - JSON snapshots (persist.go): corpora, knowledge sources and fitted
+//     results, human-inspectable and stable across releases. LoadResult
+//     only checks internal consistency; ValidateResult cross-checks a
+//     snapshot against the corpus vocabulary and source it is being
+//     attached to, and every attach path (model loading, bundles) funnels
+//     through it so a snapshot from a different corpus/source pair fails
+//     loudly instead of panicking deep inside rendering or inference.
+//
+//   - Serving bundles (bundle.go): one gzip-compressed file holding the
+//     vocabulary, knowledge source and result — everything a serving
+//     process (cmd/srcldad) needs to tokenize, score and label unseen
+//     documents with no companion files.
+//
+//   - Training checkpoints (checkpoint.go): the framed little-endian binary
+//     encoding of core.Checkpoint — mid-run sampler state dominated by one
+//     int32 per corpus token — with a magic string, format version,
+//     explicit payload length and CRC-32. The frame distinguishes the
+//     crash-time failure modes: truncated writes fail the length check,
+//     torn or bit-flipped writes fail the checksum, foreign files fail the
+//     magic, future formats fail the version. CheckpointWriter adds the
+//     durability protocol (temp file in the target directory, fsync,
+//     atomic rename) and bounded retention of the newest N checkpoints;
+//     LatestCheckpoint/LoadCheckpointFile are the crash-recovery readers.
+//     Structural validation against the corpus, source and options happens
+//     in core.Restore, which is the only consumer of a decoded checkpoint.
+//
+// Invariant across all three: a loader either returns a value whose shape
+// passed validation, or an error — never a partially-decoded artifact. The
+// decoders are fuzzed (fuzz_test.go) against panics and against accepting
+// inconsistent state.
+package persist

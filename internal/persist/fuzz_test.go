@@ -71,3 +71,41 @@ func FuzzCorpusRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadCheckpoint asserts the binary checkpoint decoder never panics on
+// arbitrary bytes, and that anything it accepts re-encodes to bytes the
+// decoder accepts again with the identical decoded value (a stable
+// fixed point, so resume-from-checkpoint never amplifies corruption).
+func FuzzLoadCheckpoint(f *testing.F) {
+	var seed bytes.Buffer
+	if err := SaveCheckpoint(&seed, checkpointFixture()); err != nil {
+		f.Fatal(err)
+	}
+	full := seed.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte(checkpointMagic))
+	f.Add([]byte(`{"version":1,"kind":"corpus"}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ck, err := LoadCheckpoint(bytes.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, ck); err != nil {
+			t.Fatalf("saving a loaded checkpoint failed: %v", err)
+		}
+		again, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reloading a saved checkpoint failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := SaveCheckpoint(&buf2, again); err != nil {
+			t.Fatalf("re-saving failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("checkpoint encoding is not a fixed point")
+		}
+	})
+}

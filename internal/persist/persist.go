@@ -1,7 +1,3 @@
-// Package persist serializes the library's data artifacts — corpora,
-// knowledge sources, and fitted model results — to a stable JSON format, so
-// trained models can be stored, shipped and reloaded without refitting.
-// Formats carry a version tag for forward compatibility.
 package persist
 
 import (

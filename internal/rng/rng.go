@@ -4,6 +4,15 @@
 // lengths, Zipf draws for synthetic vocabularies, and categorical draws for
 // Gibbs sampling. All generators are seeded explicitly so experiments are
 // reproducible bit-for-bit.
+//
+// The determinism contract has three layers. NewStream(seed, i) derives
+// decorrelated substreams that are pure functions of their inputs — shard i
+// of a sharded training sweep always replays the same sequence regardless
+// of worker count or scheduling. TokenStream keys a substream id off token
+// content, making document inference a pure function of (model, seed,
+// text). Pos and Skip expose a generator's position as a replayable step
+// count, which is how training checkpoints capture and restore mid-run RNG
+// state exactly (see internal/core's checkpoint subsystem).
 package rng
 
 import (
@@ -17,11 +26,59 @@ import (
 // need. It is not safe for concurrent use; create one per goroutine.
 type RNG struct {
 	src *rand.Rand
+	cs  *countingSource
+}
+
+// countingSource wraps the underlying rand source and counts how many times
+// its state has advanced. Every distribution sampler on RNG ultimately draws
+// through Int63/Uint64 here, and each call advances the source state by
+// exactly one step, so the counter is a complete description of the stream
+// position: recreating the source from its seed and stepping it Pos() times
+// reproduces the generator state bit for bit. This is what makes mid-run
+// checkpointing of a Gibbs chain exact — see RNG.Pos and RNG.Skip.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
 }
 
 // New returns a generator seeded with seed.
 func New(seed int64) *RNG {
-	return &RNG{src: rand.New(rand.NewSource(seed))}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{src: rand.New(cs), cs: cs}
+}
+
+// Pos returns the number of source steps the generator has consumed since
+// construction. Together with the (seed, stream) pair that created the
+// generator, Pos fully determines its state: New/NewStream with the same
+// inputs followed by Skip(Pos()) yields a generator that continues the
+// exact same random sequence.
+func (r *RNG) Pos() uint64 { return r.cs.n }
+
+// Skip advances the generator by n source steps without producing values —
+// the fast-forward half of the Pos/Skip checkpointing contract. Skipping
+// steps the raw source directly (no distribution machinery), at roughly a
+// nanosecond per step, so replaying even a long chain's position is cheap
+// relative to the sweeps that produced it.
+func (r *RNG) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		r.cs.src.Uint64()
+	}
+	r.cs.n += n
 }
 
 // NewStream returns the generator for substream `stream` of a root seed.

@@ -443,3 +443,42 @@ func TestNewStreamDeterministicAndDecorrelated(t *testing.T) {
 		}
 	}
 }
+
+// TestPosSkipResume is the checkpointing contract: a fresh generator
+// fast-forwarded with Skip(Pos()) continues the exact sequence of the
+// original, across every distribution sampler the Gibbs chain uses.
+func TestPosSkipResume(t *testing.T) {
+	for _, stream := range []int64{0, 1, 7} {
+		a := NewStream(99, stream)
+		// Consume a mixed workload so the position reflects samplers that
+		// draw a variable number of source steps (Normal's ziggurat, Gamma's
+		// rejection loop), not just one-step uniforms.
+		for i := 0; i < 1000; i++ {
+			a.Float64()
+			a.Intn(17)
+			a.Normal(0.5, 0.2)
+			a.Gamma(0.7, 1.3)
+			a.Categorical([]float64{1, 2, 3, 4})
+		}
+		pos := a.Pos()
+		if pos == 0 {
+			t.Fatal("Pos did not advance")
+		}
+		b := NewStream(99, stream)
+		b.Skip(pos)
+		if b.Pos() != pos {
+			t.Fatalf("Skip(%d) left Pos at %d", pos, b.Pos())
+		}
+		for i := 0; i < 1000; i++ {
+			if av, bv := a.Float64(), b.Float64(); av != bv {
+				t.Fatalf("stream %d diverged at draw %d after skip: %v != %v", stream, i, av, bv)
+			}
+			if av, bv := a.Normal(0, 1), b.Normal(0, 1); av != bv {
+				t.Fatalf("stream %d Normal diverged at draw %d: %v != %v", stream, i, av, bv)
+			}
+		}
+		if a.Pos() != b.Pos() {
+			t.Fatalf("positions diverged after identical draws: %d != %d", a.Pos(), b.Pos())
+		}
+	}
+}

@@ -33,6 +33,7 @@ package sourcelda
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -42,6 +43,7 @@ import (
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/labeling"
 	"sourcelda/internal/parallel"
+	"sourcelda/internal/persist"
 	"sourcelda/internal/textproc"
 )
 
@@ -173,7 +175,62 @@ type Options struct {
 	Shards int
 	// TraceLikelihood records a per-iteration log-likelihood trace.
 	TraceLikelihood bool
+	// Checkpoint, when non-nil, persists the full sampler state to
+	// Checkpoint.Dir every Checkpoint.EverySweeps sweeps with atomic writes
+	// and bounded retention. A run killed between checkpoints loses only the
+	// sweeps since the last one: Resume reconstructs the chain from a
+	// checkpoint and continues it bit-for-bit.
+	Checkpoint *Checkpointing
+	// Progress, when non-nil, runs after every sweep with the sweep index,
+	// the latest log-likelihood (when TraceLikelihood is set), the sweep's
+	// throughput, and the path of any checkpoint just written. Returning
+	// ErrStopTraining ends training early with the partial fit; any other
+	// error aborts it.
+	Progress ProgressFunc
 }
+
+// Checkpointing configures periodic training checkpoints. Zero values take
+// the documented defaults.
+type Checkpointing struct {
+	// Dir is the directory checkpoint files are written into (created if
+	// missing). Required.
+	Dir string
+	// EverySweeps is the checkpoint cadence (default 50). Each checkpoint
+	// costs a serialization of roughly 4 bytes per corpus token plus an
+	// fsync, so very small values tax training throughput.
+	EverySweeps int
+	// Retain bounds how many of the newest checkpoints are kept (default 3;
+	// negative keeps all).
+	Retain int
+}
+
+// Progress is the per-sweep training report passed to ProgressFunc.
+type Progress struct {
+	// Sweep is the 1-based index of the sweep that just completed; it keeps
+	// counting across Resume, so a resumed run reports sweeps t+1..T.
+	Sweep int
+	// TotalSweeps is the run's target sweep count (Options.Iterations).
+	TotalSweeps int
+	// LogLikelihood is the collapsed joint log-likelihood after this sweep,
+	// or NaN when Options.TraceLikelihood is off (computing it costs a full
+	// corpus scan, so it is never computed solely for progress reporting).
+	LogLikelihood float64
+	// TokensPerSec is the sweep's sampling throughput.
+	TokensPerSec float64
+	// CheckpointPath is the checkpoint file this sweep produced, or "" for
+	// sweeps that didn't checkpoint.
+	CheckpointPath string
+}
+
+// ProgressFunc observes training after each sweep — progress bars, eval
+// during training, checkpoint logging. Returning ErrStopTraining stops
+// training cleanly (Fit and Resume return the partial model); any other
+// error aborts the fit and is returned to the caller.
+type ProgressFunc func(p Progress) error
+
+// ErrStopTraining is the sentinel a ProgressFunc returns to end training
+// early without signaling failure.
+var ErrStopTraining = core.ErrStopTraining
 
 // Model is a fitted Source-LDA model. It is safe for concurrent use once
 // fitted or loaded: all state is read-only except the lazily-built frozen
@@ -227,11 +284,10 @@ func (t Topic) Probability(word string) float64 {
 	return t.phi[id]
 }
 
-// Fit trains Source-LDA on the corpus with the knowledge source.
-func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
-	if c == nil || k == nil {
-		return nil, errors.New("sourcelda: nil corpus or knowledge source")
-	}
+// coreOptions translates facade options into the internal chain options —
+// one mapping shared by Fit and Resume, so a resumed run can never rebuild
+// the chain under a different configuration than the one that started it.
+func coreOptions(c *Corpus, k *KnowledgeSource, opts Options) core.Options {
 	T := opts.FreeTopics + k.s.Len()
 	coreOpts := core.Options{
 		NumFreeTopics:   opts.FreeTopics,
@@ -246,6 +302,9 @@ func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
 	}
 	if coreOpts.Beta == 0 {
 		coreOpts.Beta = 200.0 / float64(c.c.VocabSize())
+	}
+	if coreOpts.Iterations <= 0 {
+		coreOpts.Iterations = 1000
 	}
 	if opts.Lambda == nil {
 		coreOpts.LambdaMode = core.LambdaIntegrated
@@ -274,12 +333,120 @@ func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
 			coreOpts.Threads = core.DefaultShardWorkers(opts.Shards, c.c.NumDocs())
 		}
 	}
-	m, err := core.Fit(c.c, k.s, coreOpts)
+	return coreOpts
+}
+
+// Fit trains Source-LDA on the corpus with the knowledge source.
+func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
+	if c == nil || k == nil {
+		return nil, errors.New("sourcelda: nil corpus or knowledge source")
+	}
+	coreOpts := coreOptions(c, k, opts)
+	m, err := core.NewModel(c.c, k.s, coreOpts)
 	if err != nil {
 		return nil, err
 	}
 	defer m.Close()
+	if err := runTraining(m, c, opts, coreOpts.Iterations); err != nil {
+		return nil, err
+	}
 	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s}, nil
+}
+
+// Resume reconstructs a mid-run chain from a checkpoint written during an
+// earlier Fit (or Resume) over the same corpus, knowledge source and
+// options, and trains the remaining sweeps. path may be a checkpoint file
+// or a checkpoint directory (the newest checkpoint is chosen) — pointing it
+// at a crashed run's Options.Checkpoint.Dir is the recovery path.
+//
+// Options.Iterations is the run's total sweep target, exactly as in Fit: a
+// 1000-sweep run checkpointed at sweep 600 resumes with the same options
+// and trains the remaining 400. The resumed chain continues the original
+// bit for bit, so the final model is identical to one from an uninterrupted
+// run (iteration wall-clock times excepted). Resuming with options that
+// change the chain (seed, priors, λ treatment, sweep mode, shard count)
+// fails with a descriptive error.
+func Resume(path string, c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
+	if c == nil || k == nil {
+		return nil, errors.New("sourcelda: nil corpus or knowledge source")
+	}
+	ck, err := persist.LoadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := coreOptions(c, k, opts)
+	m, err := core.Restore(c.c, k.s, coreOpts, ck)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	if err := runTraining(m, c, opts, coreOpts.Iterations); err != nil {
+		return nil, err
+	}
+	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s}, nil
+}
+
+// runTraining drives the chain from its current sweep to totalSweeps,
+// wiring the facade's checkpointing and progress reporting into the
+// per-sweep hook. ErrStopTraining from the progress hook is a clean early
+// stop, not an error.
+func runTraining(m *core.Model, c *Corpus, opts Options, totalSweeps int) error {
+	remaining := totalSweeps - m.Sweeps()
+	if remaining <= 0 {
+		return nil
+	}
+	var ckw *persist.CheckpointWriter
+	every := 0
+	if opts.Checkpoint != nil {
+		every = opts.Checkpoint.EverySweeps
+		if every <= 0 {
+			every = 50
+		}
+		var err error
+		ckw, err = persist.NewCheckpointWriter(opts.Checkpoint.Dir, opts.Checkpoint.Retain)
+		if err != nil {
+			return err
+		}
+	}
+	if ckw == nil && opts.Progress == nil {
+		m.Run(remaining)
+		return nil
+	}
+	totalTokens := c.c.TotalTokens()
+	err := m.RunWithHook(remaining, func(sweep int, cm *core.Model) error {
+		path := ""
+		if ckw != nil && sweep%every == 0 {
+			p, err := ckw.Write(cm.Checkpoint())
+			if err != nil {
+				return err
+			}
+			path = p
+		}
+		if opts.Progress == nil {
+			return nil
+		}
+		p := Progress{
+			Sweep:          sweep,
+			TotalSweeps:    totalSweeps,
+			LogLikelihood:  math.NaN(),
+			CheckpointPath: path,
+		}
+		if opts.TraceLikelihood {
+			if trace := cm.LikelihoodTrace; len(trace) > 0 {
+				p.LogLikelihood = trace[len(trace)-1]
+			}
+		}
+		if times := cm.IterationTimes; len(times) > 0 {
+			if secs := times[len(times)-1].Seconds(); secs > 0 {
+				p.TokensPerSec = float64(totalTokens) / secs
+			}
+		}
+		return opts.Progress(p)
+	})
+	if errors.Is(err, ErrStopTraining) {
+		return nil
+	}
+	return err
 }
 
 // Topics returns all fitted topics sorted by descending corpus weight.
