@@ -169,11 +169,31 @@ func BenchmarkSamplerKernels(b *testing.B) {
 
 // BenchmarkSweepModes compares Gibbs sweep throughput (tokens/sec) across
 // the corpus-traversal modes: the exact sequential sweep with each §III-C4
-// kernel, and the document-sharded data-parallel sweep at increasing shard
-// counts. Sharded sweeps with S shards use S worker threads, so the series
-// shows both the flat-state single-core gain and the multi-core scaling.
+// kernel plus the sparse bucket-decomposed kernel, and the document-sharded
+// data-parallel sweep at increasing shard counts. Sharded sweeps with S
+// shards use S worker threads, so the series shows both the flat-state
+// single-core gain and the multi-core scaling.
+//
+// The "skewed-T204" group is the sparse kernel's home turf — and its
+// acceptance gate (≥1.5× over serial): 204 topics of which only a dozen
+// generate the corpus, so after a few sweeps each token's mass concentrates
+// on a handful of document- and word-active topics while the dense kernels
+// keep paying K + S·P per token.
 func BenchmarkSweepModes(b *testing.B) {
-	data, err := benchCorpus(b)
+	small, err := benchCorpus(b)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skewed, err := synth.MedlineLike(synth.MedlineOptions{
+		NumTopics:  200,
+		LiveTopics: 12,
+		NumDocs:    60,
+		AvgDocLen:  60,
+		Alpha:      0.1,
+		Mu:         0.7,
+		Sigma:      0.3,
+		Seed:       7,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -184,15 +204,17 @@ func BenchmarkSweepModes(b *testing.B) {
 	}
 	type mode struct {
 		name string
+		data *synth.MedlineData
 		set  func(*core.Options)
 	}
 	modes := []mode{
-		{"sequential/serial", func(o *core.Options) {}},
-		{"sequential/prefix-sums", func(o *core.Options) {
+		{"sequential/serial", small, func(o *core.Options) {}},
+		{"sequential/sparse", small, func(o *core.Options) { o.Sampler = core.SamplerSparse }},
+		{"sequential/prefix-sums", small, func(o *core.Options) {
 			o.Sampler = core.SamplerPrefixSums
 			o.Threads = 4
 		}},
-		{"sequential/simple-parallel", func(o *core.Options) {
+		{"sequential/simple-parallel", small, func(o *core.Options) {
 			o.Sampler = core.SamplerSimpleParallel
 			o.Threads = 4
 		}},
@@ -201,6 +223,7 @@ func BenchmarkSweepModes(b *testing.B) {
 		shards := shards
 		modes = append(modes, mode{
 			fmt.Sprintf("sharded/shards=%d", shards),
+			small,
 			func(o *core.Options) {
 				o.SweepMode = core.SweepShardedDocs
 				o.Shards = shards
@@ -208,16 +231,31 @@ func BenchmarkSweepModes(b *testing.B) {
 			},
 		})
 	}
-	tokens := data.Corpus.TotalTokens()
+	modes = append(modes,
+		mode{"skewed-T204/serial", skewed, func(o *core.Options) {}},
+		mode{"skewed-T204/sparse", skewed, func(o *core.Options) { o.Sampler = core.SamplerSparse }},
+		mode{"skewed-T204/sharded-sparse-4", skewed, func(o *core.Options) {
+			o.Sampler = core.SamplerSparse
+			o.SweepMode = core.SweepShardedDocs
+			o.Shards = 4
+			o.Threads = 4
+		}},
+	)
 	for _, md := range modes {
 		b.Run(md.name, func(b *testing.B) {
 			opts := base
 			md.set(&opts)
-			m, err := core.NewModel(data.Corpus, data.Source, opts)
+			m, err := core.NewModel(md.data.Corpus, md.data.Source, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer m.Close()
+			// Warm-up sweeps concentrate each token's topic support the way
+			// a real mid-training sweep looks; without them the sparse
+			// kernel is benchmarked on its worst case (uniformly random
+			// initial assignments) and the dense kernels on their best.
+			m.Run(3)
+			tokens := md.data.Corpus.TotalTokens()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -53,6 +53,7 @@ func main() {
 		sigma     = flag.Float64("sigma", 0.3, "std dev of the λ prior, must be >= 0 (default 0.3)")
 		lambda    = flag.Float64("lambda", -1, "fixed λ exponent in [0,1]; -1 integrates λ out by quadrature (default -1)")
 		threads   = flag.Int("threads", 1, "worker threads; > 1 enables Algorithm 3 parallel sampling, and bounds shard workers in sharded mode (default 1)")
+		sampler   = flag.String("sampler", "auto", "per-token sampling kernel: auto, serial, sparse, prefix-sums, or simple-parallel; auto picks serial, or simple-parallel when -threads > 1 (default auto)")
 		sweep     = flag.String("sweepmode", "sequential", "sweep traversal: sequential (exact collapsed Gibbs) or sharded (document-sharded data-parallel) (default sequential)")
 		shards    = flag.Int("shards", 0, "document shards for sharded sweeps; > 0 implies -sweepmode=sharded, 0 means one per thread (default 0)")
 		topN      = flag.Int("top", 10, "words printed per topic (default 10)")
@@ -70,6 +71,16 @@ func main() {
 	// srclda (the only model the sweep flags apply to).
 	if *sweep != "sequential" && *sweep != "sharded" {
 		fmt.Fprintf(os.Stderr, "unknown sweep mode %q (want sequential or sharded)\n", *sweep)
+		os.Exit(2)
+	}
+	samplerKinds := map[string]core.SamplerKind{
+		"serial":          core.SamplerSerial,
+		"sparse":          core.SamplerSparse,
+		"prefix-sums":     core.SamplerPrefixSums,
+		"simple-parallel": core.SamplerSimpleParallel,
+	}
+	if _, ok := samplerKinds[*sampler]; !ok && *sampler != "auto" {
+		fmt.Fprintf(os.Stderr, "unknown sampler %q (want auto, serial, sparse, prefix-sums, or simple-parallel)\n", *sampler)
 		os.Exit(2)
 	}
 	sweepSet, threadsSet := false, false
@@ -144,6 +155,12 @@ func main() {
 			if !threadsSet {
 				opts.Threads = core.DefaultShardWorkers(*shards, c.NumDocs())
 			}
+		}
+		// An explicit -sampler overrides the -threads/-sweepmode-derived
+		// default. "auto" keeps it, so existing flag combinations keep the
+		// exact chains (and checkpoint digests) they produced before.
+		if kind, ok := samplerKinds[*sampler]; ok {
+			opts.Sampler = kind
 		}
 		var m *core.Model
 		var err error

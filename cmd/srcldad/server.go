@@ -293,7 +293,22 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
 	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		// Only the MaxBytesReader limit means the body was oversized; any
+		// other read failure (client disconnect mid-upload, transport
+		// error) must not claim 413.
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		case r.Context().Err() != nil:
+			// 499 "client closed request" (nginx convention): the client
+			// went away mid-read, so no standard 4xx applies and nobody is
+			// listening anyway — but access logs should not blame body size.
+			writeError(w, 499, "client closed request")
+		default:
+			writeError(w, http.StatusBadRequest, "failed to read request body")
+		}
 		return
 	}
 	texts, single, err := decodeInferRequest(body, s.cfg.maxDocs)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -251,6 +252,46 @@ func TestInferRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/infer: status %d", resp.StatusCode)
+	}
+}
+
+// brokenReader fails mid-body with a transport-style error — the "client
+// disconnected while uploading" shape, which is not an oversized body.
+type brokenReader struct{}
+
+func (brokenReader) Read([]byte) (int, error) { return 0, errors.New("connection reset") }
+
+// TestBodyReadErrorStatuses is the regression test for the blanket 413: the
+// handler used to map EVERY body-read failure to 413 Request Entity Too
+// Large. Only *http.MaxBytesError is that case; a mid-upload failure is a
+// 400 (or 499 when the client is already gone), never a claim about size.
+func TestBodyReadErrorStatuses(t *testing.T) {
+	ts, s := newTestServer(t, config{maxBody: 128})
+
+	// Genuinely oversized body → 413 over the real HTTP path.
+	big := fmt.Sprintf(`{"text":"%s"}`, strings.Repeat("pencil ", 200))
+	code, out := postInfer(t, ts.URL, big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%v)", code, out)
+	}
+
+	// A body that fails mid-read for transport reasons → 400, not 413.
+	req := httptest.NewRequest(http.MethodPost, "/v1/infer", brokenReader{})
+	rec := httptest.NewRecorder()
+	s.handleInfer(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("broken body: status %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+
+	// Same failure with the request context already canceled (the client
+	// hung up) → 499, the client-closed-request convention.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req = httptest.NewRequest(http.MethodPost, "/v1/infer", brokenReader{}).WithContext(ctx)
+	rec = httptest.NewRecorder()
+	s.handleInfer(rec, req)
+	if rec.Code != 499 {
+		t.Fatalf("canceled client: status %d, want 499 (%s)", rec.Code, rec.Body)
 	}
 }
 

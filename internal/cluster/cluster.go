@@ -142,7 +142,19 @@ func initPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
 		minDist[i] = stats.JSDivergence(p, centroids[0])
 	}
 	for len(centroids) < k {
-		idx := r.Categorical(minDist)
+		// All-zero distances (every point coincides with a chosen seed) are
+		// legitimate here; Categorical treats them as unsamplable, so fall
+		// back to a uniform pick explicitly.
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var idx int
+		if total > 0 {
+			idx = r.Categorical(minDist)
+		} else {
+			idx = r.Intn(n)
+		}
 		centroids = append(centroids, cloneVec(points[idx]))
 		last := centroids[len(centroids)-1]
 		for i, p := range points {

@@ -27,12 +27,16 @@
 // evaluated by gibbsView (sweep.go) with cached reciprocal denominators, so
 // the hot loop does direct slice indexing — no maps, closures, or division.
 //
-// Sampling can run with the serial collapsed Gibbs kernel (Algorithm 1) or
+// Sampling can run with the serial collapsed Gibbs kernel (Algorithm 1),
 // either of the paper's two exactness-preserving parallel kernels
-// (Algorithms 2 and 3, §III-C4) from internal/parallel — both within the
-// exact sequential sweep mode — or with the document-sharded data-parallel
-// sweep mode (SweepShardedDocs, AD-LDA style), which trades within-sweep
-// count freshness for corpus-scale throughput across cores.
+// (Algorithms 2 and 3, §III-C4) from internal/parallel, or the SparseLDA-
+// style bucket-decomposed kernel (SamplerSparse, sparse.go), whose per-token
+// cost is proportional to the token's topic sparsity instead of the topic
+// count — all within the exact sequential sweep mode — or with the
+// document-sharded data-parallel sweep mode (SweepShardedDocs, AD-LDA
+// style), which trades within-sweep count freshness for corpus-scale
+// throughput across cores. The sparse kernel composes with both sweep
+// modes.
 //
 // # Determinism contract
 //

@@ -115,12 +115,16 @@ func newUninitializedModel(c *corpus.Corpus, src *knowledge.Source, opts Options
 // reciprocal denominators derived from them.
 func (m *Model) buildViews() {
 	opts := &m.opts
+	useSparse := opts.Sampler == SamplerSparse
 	m.pool = parallel.NewPool(opts.Threads)
+	m.seq = newGibbsView(m, m.counts.wordTopic, m.counts.topicTotal, useSparse)
 	switch opts.Sampler {
 	case SamplerSimpleParallel:
 		m.sampler = parallel.NewSimpleParallel(m.pool)
 	case SamplerPrefixSums:
 		m.sampler = parallel.NewPrefixSums(m.pool)
+	case SamplerSparse:
+		m.sampler = parallel.NewSparseDirect(m.seq.sparse.draw)
 	default:
 		m.sampler = parallel.NewSerial()
 	}
@@ -130,7 +134,6 @@ func (m *Model) buildViews() {
 	for i := range m.streams {
 		m.streams[i] = rng.NewStream(opts.Seed, int64(i))
 	}
-	m.seq = newGibbsView(m, m.counts.wordTopic, m.counts.topicTotal)
 	if opts.SweepMode == SweepShardedDocs {
 		m.shards = make([]*shardView, nStreams)
 		for i := range m.shards {
@@ -140,14 +143,20 @@ func (m *Model) buildViews() {
 			lo, hi := i*m.D/nStreams, (i+1)*m.D/nStreams
 			view := m.seq
 			if nStreams > 1 {
-				view = newGibbsView(m, make([]int32, m.V*m.T), make([]int32, m.T))
+				view = newGibbsView(m, make([]int32, m.V*m.T), make([]int32, m.T), useSparse)
+			}
+			// Shards scan serially within themselves; the sparse kernel is
+			// the one per-token alternative, bound to the shard's own view.
+			var sampler parallel.TopicSampler = parallel.NewSerial()
+			if useSparse {
+				sampler = parallel.NewSparseDirect(view.sparse.draw)
 			}
 			// A single shard aliases the sequential view over the global
 			// slabs, so the "exact" sharded configuration runs at
 			// sequential speed with no per-sweep copy or reconciliation.
 			m.shards[i] = &shardView{
 				view:    view,
-				sampler: parallel.NewSerial(),
+				sampler: sampler,
 				r:       m.streams[i],
 				lo:      lo,
 				hi:      hi,
@@ -358,6 +367,13 @@ func (m *Model) LambdaPosteriorMeans() []float64 {
 func (m *Model) sweep() {
 	o := &m.opts
 	m.sweepCount++
+	if m.seq.sparse != nil {
+		// Pin the accumulated bucket totals to their canonical recomputation
+		// at every sweep boundary, so a chain restored from a checkpoint cut
+		// here (which rebuilds the totals fresh) continues bit-for-bit with
+		// the uninterrupted run. O(K + S) — free next to the sweep.
+		m.seq.sparse.resyncTotals()
+	}
 	if o.LambdaMode == LambdaIntegrated && !o.FreezeLambdaWeights && m.sweepCount > o.lambdaBurnIn() {
 		m.updateLambdaPosteriors()
 		// The λ weights feed the cached wInv denominators of the sequential
@@ -411,9 +427,15 @@ func (m *Model) pruneDeadTopics() {
 		m.seq.refreshTopic(t) // zero the cached denominators
 	}
 	v := m.seq
+	if v.sparse != nil && v.sparse.listsStale {
+		// Multi-shard sweeps leave this view's nonzero lists stale at the
+		// barrier; resampling draws through them, so refresh lazily here —
+		// the one consumer — instead of paying the O(V·T) rescan every sweep.
+		v.sparse.rebuildLists()
+	}
 	u := m.streams[0]
 	for d := range m.c.Docs {
-		v.docRow = m.counts.docRow(d)
+		v.setDoc(m.counts.docRow(d))
 		zd := m.z[d]
 		for i, w := range m.c.Docs[d].Words {
 			if !dead[zd[i]] {

@@ -46,6 +46,15 @@ const (
 	SamplerSimpleParallel
 	// SamplerPrefixSums is Algorithm 2 (Blelloch scan).
 	SamplerPrefixSums
+	// SamplerSparse is the SparseLDA-style bucket-decomposed kernel (Yao,
+	// Mimno & McCallum, KDD 2009, adapted to Source-LDA's quadrature
+	// topics): the per-token conditional is split into cached
+	// smoothing/default-δ totals plus sparse document and word buckets, so
+	// a draw costs O(token sparsity) instead of O(K + S·P). It samples the
+	// exact same conditional as the dense kernels — only the arithmetic
+	// path differs, so it draws a different (equally valid) chain for the
+	// same seed. Single-threaded per token; composes with both sweep modes.
+	SamplerSparse
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +66,8 @@ func (k SamplerKind) String() string {
 		return "simple-parallel"
 	case SamplerPrefixSums:
 		return "prefix-sums"
+	case SamplerSparse:
+		return "sparse"
 	default:
 		return fmt.Sprintf("SamplerKind(%d)", int(k))
 	}
@@ -171,8 +182,9 @@ type Options struct {
 	// Seed seeds the sampler chain.
 	Seed int64
 	// Sampler selects the per-token sampling kernel. Default SamplerSerial.
-	// SweepShardedDocs ignores it for the sweep itself (each shard scans
-	// serially) but still uses it for token resampling during pruning.
+	// SweepShardedDocs honors SamplerSparse per shard; the parallel scan
+	// kernels are ignored for the sweep itself (each shard scans serially)
+	// but still used for token resampling during pruning.
 	Sampler SamplerKind
 	// Threads is the worker count shared by the parallel kernels (the
 	// paper's P) and the sharded sweep mode. Default 1.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"sourcelda/internal/corpus"
@@ -18,6 +19,11 @@ import (
 // topics. After burnIn sweeps the remaining sweeps average the held-out θ̃;
 // perplexity is exp(−Σ log p(w̃)/Ñ) with p(w̃) = Σ_t θ̃_d,t φ_t,w and φ the
 // trained model's Eq. 4 estimate.
+//
+// iterations ≤ 0 defaults to 50 sweeps. burnIn must be non-negative and
+// strictly smaller than the (defaulted) iteration count — a schedule with no
+// post-burn-in sweeps has nothing to average and is rejected rather than
+// silently rewritten.
 func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, seed int64) (float64, error) {
 	if test == nil || test.NumDocs() == 0 {
 		return 0, errors.New("core: empty held-out corpus")
@@ -28,9 +34,13 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 	if iterations <= 0 {
 		iterations = 50
 	}
-	if burnIn < 0 || burnIn >= iterations {
-		burnIn = iterations / 2
+	if burnIn < 0 {
+		return 0, fmt.Errorf("core: held-out burn-in %d is negative", burnIn)
 	}
+	if burnIn >= iterations {
+		return 0, fmt.Errorf("core: held-out burn-in %d leaves no sampling sweeps out of %d iterations; burnIn must be < iterations", burnIn, iterations)
+	}
+	samples := iterations - burnIn
 	r := rng.New(seed)
 	o := &m.opts
 	alpha, beta := o.Alpha, o.Beta
@@ -71,7 +81,6 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 	for d := range thetaSum {
 		thetaSum[d] = make([]float64, m.T)
 	}
-	samples := 0
 
 	for iter := 0; iter < iterations; iter++ {
 		for d, doc := range test.Docs {
@@ -103,7 +112,6 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 			}
 		}
 		if iter >= burnIn {
-			samples++
 			tAlpha := float64(m.T) * alpha
 			for d := range test.Docs {
 				den := float64(ndsumTil[d]) + tAlpha
@@ -113,8 +121,14 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 			}
 		}
 	}
-	if samples == 0 {
-		samples = 1
+	// Normalize θ̃ once: burnIn < iterations guarantees samples ≥ 1, and the
+	// per-token scoring loop below then reads plain averages instead of
+	// dividing inside its inner loop.
+	inv := 1 / float64(samples)
+	for d := range thetaSum {
+		for t := range thetaSum[d] {
+			thetaSum[d][t] *= inv
+		}
 	}
 
 	phi := m.Phi()
@@ -124,7 +138,7 @@ func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, s
 		for _, w := range doc.Words {
 			var p float64
 			for t := 0; t < m.T; t++ {
-				p += thetaSum[d][t] / float64(samples) * phi[t][w]
+				p += thetaSum[d][t] * phi[t][w]
 			}
 			if p <= 0 {
 				p = math.SmallestNonzeroFloat64

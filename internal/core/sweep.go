@@ -41,13 +41,20 @@ type gibbsView struct {
 	supRow   []int32 // supporting source topics of the current word (CSR)
 	supBase  int     // deltaStore entry index of supRow[0]
 	docRow   []int32 // docTopic row of the current document
+	curWord  int     // word id of the current token
+
+	// sparse holds the bucket-decomposed totals and nonzero lists of the
+	// SparseLDA-style sampler (see sparse.go); nil unless Options.Sampler
+	// is SamplerSparse. When set, dec/inc/refreshTopic keep it current in
+	// O(1)/O(P) per count change.
+	sparse *sparseState
 
 	// fillFn is the method value bound once so sampling allocates no
 	// closure per token.
 	fillFn parallel.FillFunc
 }
 
-func newGibbsView(m *Model, wordTopic, topicTotal []int32) *gibbsView {
+func newGibbsView(m *Model, wordTopic, topicTotal []int32, useSparse bool) *gibbsView {
 	v := &gibbsView{
 		m: m, K: m.K, T: m.T, S: m.S, P: m.delta.P,
 		alpha: m.opts.Alpha, beta: m.opts.Beta,
@@ -58,7 +65,15 @@ func newGibbsView(m *Model, wordTopic, topicTotal []int32) *gibbsView {
 		wInv:       make([]float64, m.S*m.delta.P),
 	}
 	v.fillFn = v.fill
+	if useSparse {
+		v.sparse = newSparseState(v)
+	}
 	v.rebuildDenoms()
+	if useSparse {
+		// The slabs may already hold a restored chain's counts; derive the
+		// nonzero lists from them.
+		v.sparse.rebuildLists()
+	}
 	return v
 }
 
@@ -105,8 +120,18 @@ func (v *gibbsView) fill(lo, hi int, out []float64) {
 
 // setToken points the view at word w's count row and sparse-value window.
 func (v *gibbsView) setToken(w int) {
+	v.curWord = w
 	v.tokenRow = v.wordTopic[w*v.T : (w+1)*v.T : (w+1)*v.T]
 	v.supRow, v.supBase = v.m.delta.wordEntries(w)
+}
+
+// setDoc points the view at a document's count row and, for the sparse
+// sampler, rebuilds the document bucket's nonzero-topic list.
+func (v *gibbsView) setDoc(row []int32) {
+	v.docRow = row
+	if v.sparse != nil {
+		v.sparse.setDoc(row)
+	}
 }
 
 // resample redraws token i of zd — a token of word w in the document whose
@@ -126,6 +151,9 @@ func (v *gibbsView) dec(t int) {
 	v.tokenRow[t]--
 	v.docRow[t]--
 	v.topicTotal[t]--
+	if v.sparse != nil {
+		v.sparse.noteDec(v.curWord, t)
+	}
 	v.refreshTopic(t)
 }
 
@@ -133,18 +161,25 @@ func (v *gibbsView) inc(t int) {
 	v.tokenRow[t]++
 	v.docRow[t]++
 	v.topicTotal[t]++
+	if v.sparse != nil {
+		v.sparse.noteInc(v.curWord, t)
+	}
 	v.refreshTopic(t)
 }
 
 // refreshTopic recomputes topic t's cached denominators after its total
-// changed (or its disabled flag / quadrature weights did).
+// changed (or its disabled flag / quadrature weights did), keeping the
+// sparse bucket totals in step with the same change.
 func (v *gibbsView) refreshTopic(t int) {
 	if t < v.K {
-		if v.m.disabled[t] {
-			v.freeDen[t] = 0
-			return
+		den := 0.0
+		if !v.m.disabled[t] {
+			den = 1 / (float64(v.topicTotal[t]) + v.vBeta)
 		}
-		v.freeDen[t] = 1 / (float64(v.topicTotal[t]) + v.vBeta)
+		if v.sparse != nil {
+			v.sparse.freeSmooth += v.alpha * v.beta * (den - v.freeDen[t])
+		}
+		v.freeDen[t] = den
 		return
 	}
 	s := t - v.K
@@ -152,30 +187,41 @@ func (v *gibbsView) refreshTopic(t int) {
 	wi := v.wInv[base : base+v.P]
 	if v.m.disabled[t] {
 		clear(wi)
-		return
+	} else {
+		ds := v.m.delta
+		tot := float64(v.topicTotal[t])
+		for p := range wi {
+			wi[p] = ds.weights[base+p] / (tot + ds.totals[base+p])
+		}
 	}
-	ds := v.m.delta
-	tot := float64(v.topicTotal[t])
-	for p := range wi {
-		wi[p] = ds.weights[base+p] / (tot + ds.totals[base+p])
+	if v.sparse != nil {
+		v.sparse.refreshSource(s)
 	}
 }
 
 // rebuildDenoms refreshes every topic's cached denominators — needed after
 // bulk count changes (shard reconciliation), λ posterior reweighting, and
-// topic pruning.
+// topic pruning — and resyncs the sparse bucket totals to the fresh
+// per-topic values. It does NOT rescan the word-topic slab: the sparse
+// nonzero lists are maintained incrementally and only go stale where the
+// slab itself is bulk overwritten, which those sites handle explicitly
+// (rebuildLists / listsStale).
 func (v *gibbsView) rebuildDenoms() {
 	for t := 0; t < v.T; t++ {
 		v.refreshTopic(t)
 	}
+	if v.sparse != nil {
+		v.sparse.resyncTotals()
+	}
 }
 
 // shardView is one document shard of the sharded sweep mode: a gibbsView
-// over private copies of the word-topic slabs, a serial in-shard sampler,
-// and the shard's own deterministic RNG stream.
+// over private copies of the word-topic slabs, an in-shard sampler (serial,
+// or sparse when SamplerSparse is selected), and the shard's own
+// deterministic RNG stream.
 type shardView struct {
 	view    *gibbsView
-	sampler *parallel.Serial
+	sampler parallel.TopicSampler
 	r       *rng.RNG
 	lo, hi  int // document range [lo, hi)
 }
@@ -185,7 +231,7 @@ type shardView struct {
 // sequential sweep and every shard share.
 func (m *Model) sweepRange(v *gibbsView, lo, hi int, sampler parallel.TopicSampler, r *rng.RNG) {
 	for d := lo; d < hi; d++ {
-		v.docRow = m.counts.docRow(d)
+		v.setDoc(m.counts.docRow(d))
 		zd := m.z[d]
 		for i, w := range m.c.Docs[d].Words {
 			v.resample(zd, i, w, sampler, r)
@@ -233,6 +279,12 @@ func (m *Model) sweepSharded() {
 	// and touches each token once, deterministically.
 	m.counts.rebuildFromAssignments(m.c.Docs, m.z)
 	m.seq.rebuildDenoms()
+	if m.seq.sparse != nil {
+		// The global slab was just rewritten underneath the sequential
+		// view's nonzero lists. Their only consumer here is prune-time
+		// resampling, so defer the O(V·T) rescan until pruning asks.
+		m.seq.sparse.listsStale = true
+	}
 }
 
 func (m *Model) runShard(sh *shardView) {
@@ -241,6 +293,10 @@ func (m *Model) runShard(sh *shardView) {
 		copy(v.wordTopic, m.counts.wordTopic)
 		copy(v.topicTotal, m.counts.topicTotal)
 		v.rebuildDenoms()
+		if v.sparse != nil {
+			// The slab copy invalidated the shard's nonzero lists.
+			v.sparse.rebuildLists()
+		}
 	}
 	m.sweepRange(v, sh.lo, sh.hi, sh.sampler, sh.r)
 }

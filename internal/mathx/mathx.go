@@ -98,6 +98,40 @@ func SearchCumulative(cum []float64, target float64) int {
 	return lo
 }
 
+// SelectPositiveSupport maps u in [0, 1) to a uniform choice over the
+// indices in [0, n) whose weight is strictly positive — the shared
+// degenerate-mass fallback of every categorical sampler in the repository:
+// when a probability vector's total is zero or non-finite, the draw is
+// restricted to the entries that actually carry mass, never the whole index
+// range (which could select an entry whose probability is exactly zero,
+// e.g. a pruned topic). NaN weights compare as non-positive and are
+// excluded. ok is false when no weight is positive; callers treat that as
+// unsamplable and panic with their own context.
+func SelectPositiveSupport(n int, u float64, weight func(i int) float64) (idx int, ok bool) {
+	support := 0
+	for i := 0; i < n; i++ {
+		if weight(i) > 0 {
+			support++
+		}
+	}
+	if support == 0 {
+		return 0, false
+	}
+	k := int(u * float64(support))
+	if k >= support {
+		k = support - 1
+	}
+	for i := 0; i < n; i++ {
+		if weight(i) > 0 {
+			if k == 0 {
+				return i, true
+			}
+			k--
+		}
+	}
+	return n - 1, true // unreachable: support > 0 guarantees a hit above
+}
+
 // Lerp linearly interpolates between a and b with parameter t in [0, 1].
 func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
 

@@ -108,6 +108,32 @@ func TestSearchCumulative(t *testing.T) {
 	}
 }
 
+func TestSelectPositiveSupport(t *testing.T) {
+	weights := []float64{0, 2, 0, math.NaN(), 5}
+	at := func(i int) float64 { return weights[i] }
+	// Two positive entries (1 and 4); u below/above 0.5 splits them, and
+	// NaN/zero entries are never selected.
+	for _, c := range []struct {
+		u    float64
+		want int
+	}{
+		{0, 1}, {0.49, 1}, {0.5, 4}, {0.999, 4},
+	} {
+		idx, ok := SelectPositiveSupport(len(weights), c.u, at)
+		if !ok || idx != c.want {
+			t.Errorf("SelectPositiveSupport(u=%v) = (%d, %v), want (%d, true)", c.u, idx, ok, c.want)
+		}
+	}
+	// u at (or numerically past) 1 clamps onto the last positive entry.
+	if idx, ok := SelectPositiveSupport(len(weights), 1, at); !ok || idx != 4 {
+		t.Errorf("u=1 gave (%d, %v), want (4, true)", idx, ok)
+	}
+	// Empty support reports ok=false.
+	if _, ok := SelectPositiveSupport(3, 0.5, func(int) float64 { return 0 }); ok {
+		t.Error("all-zero support reported ok")
+	}
+}
+
 func TestSearchCumulativeProperty(t *testing.T) {
 	cum := []float64{0.5, 0.5, 2, 2.25, 9}
 	f := func(u float64) bool {

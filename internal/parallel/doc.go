@@ -8,6 +8,12 @@
 // would (up to floating-point summation order), without the approximation
 // error of asynchronous parallel LDA schemes.
 //
+// SparseDirect is the third kernel shape: it delegates the draw to a
+// DirectFunc bound to sparse bucket state owned by the caller (the engine's
+// SparseLDA-style decomposition in internal/core), touching only the
+// token's nonzero topics, and falls back to the dense serial scan on
+// degenerate mass so every kernel degrades identically.
+//
 // # Invariants
 //
 // TopicSampler implementations consume exactly one uniform variate per

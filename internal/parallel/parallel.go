@@ -253,20 +253,60 @@ func (s *PrefixSums) Sample(T int, fill FillFunc, u float64) int {
 	return searchTarget(scan[:T], u)
 }
 
+// DirectFunc draws a topic for the current token straight from sparse
+// bucket state, bypassing the dense probability vector entirely. ok=false
+// reports degenerate (zero or non-finite) total mass, asking the sampler to
+// fall back to the dense path so every kernel degrades identically.
+type DirectFunc func(u float64) (topic int, ok bool)
+
+// SparseDirect adapts a DirectFunc — the SparseLDA-style bucket-decomposed
+// draw maintained by the Gibbs view — to the TopicSampler interface. The
+// dense FillFunc is evaluated only on the degenerate-mass fallback, so the
+// per-token cost is proportional to the token's sparsity, not to T.
+type SparseDirect struct {
+	direct   DirectFunc
+	fallback *Serial
+}
+
+// NewSparseDirect returns a sampler that draws through direct and falls back
+// to a serial dense scan on degenerate mass.
+func NewSparseDirect(direct DirectFunc) *SparseDirect {
+	return &SparseDirect{direct: direct, fallback: NewSerial()}
+}
+
+// Name implements TopicSampler.
+func (s *SparseDirect) Name() string { return "sparse" }
+
+// Sample implements TopicSampler.
+func (s *SparseDirect) Sample(T int, fill FillFunc, u float64) int {
+	if t, ok := s.direct(u); ok {
+		return t
+	}
+	return s.fallback.Sample(T, fill, u)
+}
+
 // searchTarget maps u in [0, 1) onto the cumulative vector and
-// binary-searches for the selected index. A non-positive or non-finite total
-// falls back to the last bucket scaled by u, i.e. a uniform choice, matching
-// the serial samplers' degenerate behaviour.
+// binary-searches for the selected index. A non-positive or non-finite
+// total falls back to mathx.SelectPositiveSupport over the increments — the
+// same restricted-support contract rng.Categorical applies to raw weights —
+// and panics when no index has positive mass: with valid priors every
+// enabled topic's mass is strictly positive, so an all-zero vector means
+// corrupted sampler state, not a samplable distribution.
 func searchTarget(cum []float64, u float64) int {
 	total := cum[len(cum)-1]
-	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-		idx := int(u * float64(len(cum)))
-		if idx >= len(cum) {
-			idx = len(cum) - 1
-		}
-		return idx
+	if total > 0 && !math.IsNaN(total) && !math.IsInf(total, 0) {
+		return mathx.SearchCumulative(cum, u*total)
 	}
-	return mathx.SearchCumulative(cum, u*total)
+	idx, ok := mathx.SelectPositiveSupport(len(cum), u, func(i int) float64 {
+		if i == 0 {
+			return cum[0]
+		}
+		return cum[i] - cum[i-1]
+	})
+	if !ok {
+		panic("parallel: sampler received no positive probability mass")
+	}
+	return idx
 }
 
 func resize(buf []float64, n int) []float64 {

@@ -126,13 +126,56 @@ func TestSamplersSingleTopic(t *testing.T) {
 	}
 }
 
-func TestSamplersZeroMassFallback(t *testing.T) {
+func TestSamplersDegenerateMassFallback(t *testing.T) {
+	// A NaN-poisoned total must fall back to the positive-mass support
+	// only: index 2 is the sole positive entry and must always win, never
+	// a zero-probability index (the old uniform-over-everything fallback
+	// could resurrect pruned topics).
+	samplers, done := evaluators(2)
+	defer done()
+	probs := []float64{0, 0, 3, math.NaN()}
+	for _, s := range samplers {
+		for _, u := range []float64{0, 0.3, 0.6, 0.99} {
+			got := s.Sample(4, fillFrom(probs), u)
+			if got != 2 {
+				t.Fatalf("%s: degenerate fallback chose index %d, want 2", s.Name(), got)
+			}
+		}
+	}
+}
+
+func TestSamplersPanicOnNoPositiveMass(t *testing.T) {
 	samplers, done := evaluators(2)
 	defer done()
 	for _, s := range samplers {
-		got := s.Sample(4, fillFrom(make([]float64, 4)), 0.6)
-		if got < 0 || got >= 4 {
-			t.Fatalf("%s: zero-mass fallback out of range: %d", s.Name(), got)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: all-zero mass must panic, not invent a topic", s.Name())
+				}
+			}()
+			s.Sample(4, fillFrom(make([]float64, 4)), 0.6)
+		}()
+	}
+}
+
+func TestSparseDirectSampler(t *testing.T) {
+	// The direct path wins when it reports ok.
+	s := NewSparseDirect(func(u float64) (int, bool) { return 3, true })
+	if s.Name() != "sparse" {
+		t.Fatalf("name %q", s.Name())
+	}
+	if got := s.Sample(8, fillFrom(make([]float64, 8)), 0.5); got != 3 {
+		t.Fatalf("direct draw ignored: got %d", got)
+	}
+	// On degenerate mass (ok=false) it falls back to the dense serial scan
+	// with the same u, agreeing with a plain Serial sampler exactly.
+	probs := []float64{0.5, 0, 2, 1}
+	s = NewSparseDirect(func(u float64) (int, bool) { return 0, false })
+	serial := NewSerial()
+	for _, u := range []float64{0, 0.2, 0.5, 0.9, 0.999} {
+		if a, b := s.Sample(4, fillFrom(probs), u), serial.Sample(4, fillFrom(probs), u); a != b {
+			t.Fatalf("u=%v: fallback drew %d, serial drew %d", u, a, b)
 		}
 	}
 }

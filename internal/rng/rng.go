@@ -298,14 +298,18 @@ func (r *RNG) poissonKnuth(lambda float64) int {
 }
 
 // Categorical returns an index drawn proportionally to the non-negative
-// weights. The weights need not be normalized. A zero total draws uniformly.
+// weights. The weights need not be normalized. A degenerate (zero or
+// non-finite) total falls back to a uniform draw restricted to the
+// positive-weight support — never the whole index range, which could select
+// a category whose weight is exactly zero (e.g. a pruned topic). It panics
+// when no weight is positive: that is not a samplable distribution.
 func (r *RNG) Categorical(weights []float64) int {
 	var total float64
 	for _, w := range weights {
 		total += w
 	}
 	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-		return r.Intn(len(weights))
+		return r.uniformOverSupport(len(weights), func(i int) float64 { return weights[i] })
 	}
 	target := r.src.Float64() * total
 	var run float64
@@ -320,19 +324,40 @@ func (r *RNG) Categorical(weights []float64) int {
 
 // CategoricalCumulative draws an index given inclusive prefix sums cum, whose
 // last entry is the total mass. It uses binary search, matching the parallel
-// samplers in the paper (Algorithms 2 and 3).
+// samplers in the paper (Algorithms 2 and 3). Degenerate totals fall back to
+// a uniform draw over the indices with a positive increment, exactly as
+// Categorical does over positive weights; it panics when there are none.
 func (r *RNG) CategoricalCumulative(cum []float64) int {
 	total := cum[len(cum)-1]
 	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-		return r.Intn(len(cum))
+		return r.uniformOverSupport(len(cum), func(i int) float64 {
+			if i == 0 {
+				return cum[0]
+			}
+			return cum[i] - cum[i-1]
+		})
 	}
 	target := r.src.Float64() * total
 	return mathx.SearchCumulative(cum, target)
 }
 
+// uniformOverSupport draws uniformly among the indices in [0, n) whose
+// weight (as reported by weight) is strictly positive — the degenerate-mass
+// fallback of Categorical and CategoricalCumulative, sharing
+// mathx.SelectPositiveSupport with the parallel sampling kernels so every
+// sampler degrades identically. It consumes exactly one source step (like
+// the normal path) and panics when the support is empty.
+func (r *RNG) uniformOverSupport(n int, weight func(i int) float64) int {
+	idx, ok := mathx.SelectPositiveSupport(n, r.src.Float64(), weight)
+	if !ok {
+		panic("rng: categorical draw over weights with no positive mass")
+	}
+	return idx
+}
+
 // Multinomial distributes n trials over the categories of probs (which must
-// be normalized or at least non-negative) and returns the per-category
-// counts.
+// be non-negative with at least one positive entry — see Categorical) and
+// returns the per-category counts.
 func (r *RNG) Multinomial(n int, probs []float64) []int {
 	counts := make([]int, len(probs))
 	for i := 0; i < n; i++ {

@@ -265,12 +265,38 @@ func TestCategoricalDistribution(t *testing.T) {
 
 func TestCategoricalDegenerateWeights(t *testing.T) {
 	r := New(37)
-	// All-zero weights fall back to uniform; just require a valid index.
+	// A NaN-poisoned total falls back to a uniform draw over the positive
+	// weights only: index 1 has weight zero and must never be drawn, even
+	// though the total mass is degenerate.
 	for i := 0; i < 100; i++ {
-		k := r.Categorical([]float64{0, 0, 0})
-		if k < 0 || k > 2 {
-			t.Fatalf("index %d out of range", k)
+		k := r.Categorical([]float64{1, 0, math.NaN()})
+		if k != 0 {
+			t.Fatalf("degenerate fallback drew index %d, want 0 (the only positive weight)", k)
 		}
+	}
+	// Same contract for the cumulative form: the degenerate total (NaN last
+	// entry) restricts the draw to indices with a positive increment.
+	for i := 0; i < 100; i++ {
+		k := r.CategoricalCumulative([]float64{0, 2, math.NaN()})
+		if k != 1 {
+			t.Fatalf("cumulative degenerate fallback drew index %d, want 1", k)
+		}
+	}
+}
+
+func TestCategoricalNoPositiveMassPanics(t *testing.T) {
+	for name, draw := range map[string]func(r *RNG){
+		"categorical": func(r *RNG) { r.Categorical([]float64{0, 0, 0}) },
+		"cumulative":  func(r *RNG) { r.CategoricalCumulative([]float64{0, 0, 0}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("draw over weights with no positive mass must panic, not invent a category")
+				}
+			}()
+			draw(New(37))
+		})
 	}
 }
 

@@ -136,6 +136,27 @@ func (b *CorpusBuilder) Build() (*Corpus, *KnowledgeSource, error) {
 	return &Corpus{c: b.c}, &KnowledgeSource{s: src}, nil
 }
 
+// Sampler selects the per-token sampling kernel used during training.
+type Sampler int
+
+const (
+	// SamplerAuto picks the historical default: the serial scan, or the
+	// chunked-scan parallel kernel (Algorithm 3) when Threads > 1.
+	SamplerAuto Sampler = iota
+	// SamplerSerial forces Algorithm 1's sequential scan over all topics.
+	SamplerSerial
+	// SamplerSparse selects the SparseLDA-style bucket-decomposed kernel:
+	// per-token cost proportional to the token's topic sparsity instead of
+	// the total topic count. The biggest win on corpora with many topics
+	// (T ≳ 100) once the chain has concentrated; see docs/OPERATIONS.md.
+	SamplerSparse
+	// SamplerSimpleParallel is the paper's Algorithm 3 (chunked scan over
+	// one token's topic vector, parallelized across Threads workers).
+	SamplerSimpleParallel
+	// SamplerPrefixSums is the paper's Algorithm 2 (Blelloch scan).
+	SamplerPrefixSums
+)
+
 // LambdaPrior configures the divergence-from-source behaviour.
 type LambdaPrior struct {
 	// Fixed, when true, uses Lambda as a single fixed exponent; otherwise λ
@@ -163,8 +184,14 @@ type Options struct {
 	Seed int64
 	// Threads > 1 selects the parallel chunked-scan sampler with that many
 	// workers (the paper's Algorithm 3), unless Shards also requests the
-	// document-sharded sweep mode.
+	// document-sharded sweep mode or Sampler names a kernel explicitly.
 	Threads int
+	// Sampler selects the per-token sampling kernel. The default
+	// (SamplerAuto) preserves the historical behaviour driven by Threads
+	// and Shards; an explicit kernel overrides it. The sampler shapes the
+	// chain's random trajectory, so resuming a checkpointed run requires
+	// the same choice the run was started with.
+	Sampler Sampler
 	// Shards > 0 switches sweeps to the document-sharded data-parallel mode:
 	// the corpus is split into that many document shards swept concurrently
 	// against shard-local count copies reconciled every sweep. An explicit
@@ -332,6 +359,19 @@ func coreOptions(c *Corpus, k *KnowledgeSource, opts Options) core.Options {
 		} else {
 			coreOpts.Threads = core.DefaultShardWorkers(opts.Shards, c.c.NumDocs())
 		}
+	}
+	// An explicit kernel choice overrides the Threads/Shards-derived
+	// default; SamplerAuto keeps it (so existing configurations — and their
+	// checkpoint chain digests — are untouched).
+	switch opts.Sampler {
+	case SamplerSerial:
+		coreOpts.Sampler = core.SamplerSerial
+	case SamplerSparse:
+		coreOpts.Sampler = core.SamplerSparse
+	case SamplerSimpleParallel:
+		coreOpts.Sampler = core.SamplerSimpleParallel
+	case SamplerPrefixSums:
+		coreOpts.Sampler = core.SamplerPrefixSums
 	}
 	return coreOpts
 }

@@ -264,6 +264,71 @@ func TestShardedFitMatchesSerialWithOneShard(t *testing.T) {
 	}
 }
 
+func TestSparseSamplerFit(t *testing.T) {
+	c, k := buildFixture(t)
+	opts := Options{
+		Lambda:     &LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 30,
+		Seed:       9,
+		Sampler:    SamplerSparse,
+	}
+	m1, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sparse chain is deterministic given the seed.
+	m2, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m1.Raw().Assignments, m2.Raw().Assignments
+	for d := range a {
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatal("sparse fit is not deterministic with a fixed seed")
+			}
+		}
+	}
+	// It still recovers the planted topics on the trivially-separable
+	// fixture, and keeps every token assigned.
+	var tokens int
+	for _, n := range m1.Raw().TokenCounts {
+		tokens += n
+	}
+	if tokens != c.TotalTokens() {
+		t.Fatalf("sparse fit lost tokens: %d of %d", tokens, c.TotalTokens())
+	}
+	for _, topic := range m1.Topics() {
+		if topic.Weight == 0 {
+			continue
+		}
+		words := topic.TopWords(3)
+		if len(words) == 0 {
+			t.Fatalf("topic %q has no top words", topic.Label)
+		}
+	}
+	// An explicit SamplerSerial must reproduce the SamplerAuto chain at
+	// Threads <= 1: auto is documented as the historical serial default.
+	base := Options{Lambda: &LambdaPrior{Fixed: true, Lambda: 1}, Iterations: 10, Seed: 4}
+	auto, err := Fit(c, k, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Sampler = SamplerSerial
+	explicit, err := Fit(c, k, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b = auto.Raw().Assignments, explicit.Raw().Assignments
+	for d := range a {
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatal("explicit SamplerSerial diverged from SamplerAuto")
+			}
+		}
+	}
+}
+
 func TestLabelers(t *testing.T) {
 	c, k := buildFixture(t)
 	for _, kind := range []LabelerKind{LabelJSDivergence, LabelTFIDFCosine, LabelCounting, LabelPMI} {
