@@ -1,0 +1,111 @@
+package sourcelda
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func bundleFixture(t *testing.T) (*Corpus, *KnowledgeSource) {
+	t.Helper()
+	b := NewCorpusBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddDocument("school", "pencil ruler eraser pencil notebook paper")
+		b.AddDocument("ball", "baseball umpire pitcher baseball inning glove")
+	}
+	b.AddKnowledgeArticle("School Supplies", strings.Repeat("pencil ruler eraser notebook paper ", 10))
+	b.AddKnowledgeArticle("Baseball", strings.Repeat("baseball umpire pitcher inning glove ", 10))
+	c, k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, k
+}
+
+// TestBundleInfoProvenance: Fit stamps chain digest + training time; a
+// named bundle carries name/version through a round trip; the digest is a
+// pure function of the chain options (same options → same digest, changed
+// chain-shaping option → different digest).
+func TestBundleInfoProvenance(t *testing.T) {
+	c, k := bundleFixture(t)
+	opts := Options{Iterations: 20, Seed: 3}
+	m, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := m.BundleInfo()
+	if len(info.ChainDigest) != 16 {
+		t.Fatalf("chain digest %q, want 16 hex digits", info.ChainDigest)
+	}
+	if info.TrainedAt.IsZero() {
+		t.Fatal("TrainedAt not stamped")
+	}
+	if info.Name != "" || info.Version != "" {
+		t.Fatalf("unnamed model carries identity %+v", info)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveBundleNamed(&buf, m, "newswire", "2026-07-28.1"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.BundleInfo()
+	if got.Name != "newswire" || got.Version != "2026-07-28.1" {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if got.ChainDigest != info.ChainDigest {
+		t.Fatalf("digest changed in round trip: %q vs %q", got.ChainDigest, info.ChainDigest)
+	}
+	if !got.TrainedAt.Equal(info.TrainedAt) {
+		t.Fatalf("trained-at changed in round trip: %v vs %v", got.TrainedAt, info.TrainedAt)
+	}
+
+	// Same chain options → same digest; a chain-shaping change → different.
+	m2, err := Fit(c, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.BundleInfo().ChainDigest != info.ChainDigest {
+		t.Fatal("identical chain options produced different digests")
+	}
+	m3, err := Fit(c, k, Options{Iterations: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.BundleInfo().ChainDigest == info.ChainDigest {
+		t.Fatal("different seed produced the same chain digest")
+	}
+}
+
+// TestSaveBundlePreservesLoadedInfo: re-saving a loaded named bundle with
+// plain SaveBundle keeps its identity (SaveBundle writes the model's own
+// provenance).
+func TestSaveBundlePreservesLoadedInfo(t *testing.T) {
+	c, k := bundleFixture(t)
+	m, err := Fit(c, k, Options{Iterations: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBundleNamed(&buf, m, "a", "v9"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := SaveBundle(&again, loaded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(&again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.BundleInfo(); got.Name != "a" || got.Version != "v9" {
+		t.Fatalf("re-save dropped identity: %+v", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/corpus"
@@ -40,31 +41,62 @@ import (
 	"sourcelda/internal/textproc"
 )
 
+// cliFlags holds every srclda flag. They are defined through defineFlags on
+// an explicit FlagSet so the docs-drift test can enumerate them against the
+// flag table in docs/OPERATIONS.md.
+type cliFlags struct {
+	corpusDir, sourceDir      *string
+	model                     *string
+	freeT, topics, iters      *int
+	seed                      *int64
+	mu, sigma, lambda         *float64
+	threads, shards           *int
+	sampler, sweep            *string
+	topN, minDocs             *int
+	saveTo, bundleTo          *string
+	bundleName, bundleVersion *string
+	ckptDir                   *string
+	ckptEvery, ckptKeep       *int
+	resume                    *string
+}
+
+func defineFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		corpusDir:     fs.String("corpus", "", "directory of *.txt documents, one file per document (default \"\": built-in synthetic demo corpus)"),
+		sourceDir:     fs.String("source", "", "directory of *.txt knowledge articles, file name = topic label (default \"\": built-in synthetic demo source)"),
+		model:         fs.String("model", "srclda", "model to train: srclda, lda, eda, or ctm (default srclda)"),
+		freeT:         fs.Int("free", 5, "unlabeled (free) topics learned alongside the knowledge source, for srclda/ctm (default 5)"),
+		topics:        fs.Int("topics", 20, "topic count for the lda baseline only (default 20)"),
+		iters:         fs.Int("iters", 300, "total Gibbs sweeps; with -resume, the run's overall target including already-completed sweeps (default 300)"),
+		seed:          fs.Int64("seed", 42, "chain seed; identical inputs and seed reproduce a run bit for bit (default 42)"),
+		mu:            fs.Float64("mu", 0.7, "mean of the N(µ,σ) prior over the λ divergence exponent (default 0.7)"),
+		sigma:         fs.Float64("sigma", 0.3, "std dev of the λ prior, must be >= 0 (default 0.3)"),
+		lambda:        fs.Float64("lambda", -1, "fixed λ exponent in [0,1]; -1 integrates λ out by quadrature (default -1)"),
+		threads:       fs.Int("threads", 1, "worker threads; > 1 enables Algorithm 3 parallel sampling, and bounds shard workers in sharded mode (default 1)"),
+		sampler:       fs.String("sampler", "auto", "per-token sampling kernel: auto, serial, sparse, prefix-sums, or simple-parallel; auto picks serial, or simple-parallel when -threads > 1 (default auto)"),
+		sweep:         fs.String("sweepmode", "sequential", "sweep traversal: sequential (exact collapsed Gibbs) or sharded (document-sharded data-parallel) (default sequential)"),
+		shards:        fs.Int("shards", 0, "document shards for sharded sweeps; > 0 implies -sweepmode=sharded, 0 means one per thread (default 0)"),
+		topN:          fs.Int("top", 10, "words printed per topic (default 10)"),
+		minDocs:       fs.Int("mindocs", 2, "superset reduction: minimum documents a discovered topic must appear in to be printed (default 2)"),
+		saveTo:        fs.String("save", "", "write the fitted srclda snapshot to this JSON file (default \"\": don't)"),
+		bundleTo:      fs.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file (default \"\": don't)"),
+		bundleName:    fs.String("bundle-name", "", "logical model name embedded in the bundle written by -save-bundle; the srcldad models-dir watcher and admin API key rollouts on it (default \"\": unnamed)"),
+		bundleVersion: fs.String("bundle-version", "", "version string embedded in the bundle written by -save-bundle, distinguishing successive builds of the same model (default \"\": unversioned)"),
+		ckptDir:       fs.String("checkpoint-dir", "", "directory for periodic training checkpoints, created if missing (default \"\": checkpointing off)"),
+		ckptEvery:     fs.Int("checkpoint-every", 50, "sweeps between checkpoints; each write is atomic (temp file + fsync + rename) (default 50)"),
+		ckptKeep:      fs.Int("checkpoint-retain", 3, "newest checkpoints kept per directory; negative keeps all (default 3)"),
+		resume:        fs.String("resume", "", "checkpoint file — or checkpoint directory, newest wins — to resume training from; requires the run's original data and chain flags (default \"\": fresh run)"),
+	}
+}
+
 func main() {
-	var (
-		corpusDir = flag.String("corpus", "", "directory of *.txt documents, one file per document (default \"\": built-in synthetic demo corpus)")
-		sourceDir = flag.String("source", "", "directory of *.txt knowledge articles, file name = topic label (default \"\": built-in synthetic demo source)")
-		model     = flag.String("model", "srclda", "model to train: srclda, lda, eda, or ctm (default srclda)")
-		freeT     = flag.Int("free", 5, "unlabeled (free) topics learned alongside the knowledge source, for srclda/ctm (default 5)")
-		topics    = flag.Int("topics", 20, "topic count for the lda baseline only (default 20)")
-		iters     = flag.Int("iters", 300, "total Gibbs sweeps; with -resume, the run's overall target including already-completed sweeps (default 300)")
-		seed      = flag.Int64("seed", 42, "chain seed; identical inputs and seed reproduce a run bit for bit (default 42)")
-		mu        = flag.Float64("mu", 0.7, "mean of the N(µ,σ) prior over the λ divergence exponent (default 0.7)")
-		sigma     = flag.Float64("sigma", 0.3, "std dev of the λ prior, must be >= 0 (default 0.3)")
-		lambda    = flag.Float64("lambda", -1, "fixed λ exponent in [0,1]; -1 integrates λ out by quadrature (default -1)")
-		threads   = flag.Int("threads", 1, "worker threads; > 1 enables Algorithm 3 parallel sampling, and bounds shard workers in sharded mode (default 1)")
-		sampler   = flag.String("sampler", "auto", "per-token sampling kernel: auto, serial, sparse, prefix-sums, or simple-parallel; auto picks serial, or simple-parallel when -threads > 1 (default auto)")
-		sweep     = flag.String("sweepmode", "sequential", "sweep traversal: sequential (exact collapsed Gibbs) or sharded (document-sharded data-parallel) (default sequential)")
-		shards    = flag.Int("shards", 0, "document shards for sharded sweeps; > 0 implies -sweepmode=sharded, 0 means one per thread (default 0)")
-		topN      = flag.Int("top", 10, "words printed per topic (default 10)")
-		minDocs   = flag.Int("mindocs", 2, "superset reduction: minimum documents a discovered topic must appear in to be printed (default 2)")
-		saveTo    = flag.String("save", "", "write the fitted srclda snapshot to this JSON file (default \"\": don't)")
-		bundleTo  = flag.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file (default \"\": don't)")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for periodic training checkpoints, created if missing (default \"\": checkpointing off)")
-		ckptEvery = flag.Int("checkpoint-every", 50, "sweeps between checkpoints; each write is atomic (temp file + fsync + rename) (default 50)")
-		ckptKeep  = flag.Int("checkpoint-retain", 3, "newest checkpoints kept per directory; negative keeps all (default 3)")
-		resume    = flag.String("resume", "", "checkpoint file — or checkpoint directory, newest wins — to resume training from; requires the run's original data and chain flags (default \"\": fresh run)")
-	)
+	f := defineFlags(flag.CommandLine)
+	corpusDir, sourceDir, model := f.corpusDir, f.sourceDir, f.model
+	freeT, topics, iters, seed := f.freeT, f.topics, f.iters, f.seed
+	mu, sigma, lambda := f.mu, f.sigma, f.lambda
+	threads, sampler, sweep, shards := f.threads, f.sampler, f.sweep, f.shards
+	topN, minDocs, saveTo, bundleTo := f.topN, f.minDocs, f.saveTo, f.bundleTo
+	ckptDir, ckptEvery, ckptKeep, resume := f.ckptDir, f.ckptEvery, f.ckptKeep, f.resume
 	flag.Parse()
 
 	// Validate up front so a typo'd mode fails for every -model, not just
@@ -206,10 +238,16 @@ func main() {
 			fmt.Printf("\nsnapshot written to %s\n", *saveTo)
 		}
 		if *bundleTo != "" {
-			f, err := os.Create(*bundleTo)
+			out, err := os.Create(*bundleTo)
 			exitOn(err)
-			exitOn(persist.SaveBundle(f, c.Vocab.Words(), src, res))
-			exitOn(f.Close())
+			meta := &persist.BundleMeta{
+				Name:        *f.bundleName,
+				Version:     *f.bundleVersion,
+				ChainDigest: fmt.Sprintf("%016x", opts.ChainDigest()),
+				TrainedAt:   time.Now().UTC().Truncate(time.Second),
+			}
+			exitOn(persist.SaveBundleMeta(out, c.Vocab.Words(), src, res, meta))
+			exitOn(out.Close())
 			fmt.Printf("\nserving bundle written to %s (serve it: srcldad -bundle %s)\n", *bundleTo, *bundleTo)
 		}
 	case "lda":

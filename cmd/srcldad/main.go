@@ -1,21 +1,37 @@
-// Command srcldad serves a fitted Source-LDA model over HTTP as a
-// document-tagging daemon. It loads a self-contained bundle (written by
-// `srclda -save-bundle` or sourcelda.SaveBundle) and answers:
+// Command srcldad serves fitted Source-LDA models over HTTP as a
+// document-tagging daemon. One process serves many named, versioned model
+// bundles (written by `srclda -save-bundle` or sourcelda.SaveBundle)
+// concurrently, with zero-downtime hot swaps:
 //
-//	POST /v1/infer   {"text": "..."} or {"documents": ["...", ...]}
-//	                 → labeled topic mixtures and top topics per document
-//	GET  /v1/topics  → the model's labeled topics with top words
-//	GET  /healthz    → liveness and queue depth
+//	POST /v1/models/{name}/infer  → labeled topic mixtures per document
+//	POST /v1/infer                → same, against the default model
+//	GET  /v1/models/{name}/topics → the model's labeled topics with top words
+//	GET  /v1/models               → list loaded models
+//	PUT  /v1/models/{name}        → load or hot-swap a model (body = bundle)
+//	DELETE /v1/models/{name}      → unload a model
+//	GET  /metrics                 → per-model serving metrics (Prometheus text)
+//	GET  /healthz                 → liveness and queue depth
 //
-// Incoming text is tokenized server-side against the training vocabulary;
-// unseen documents are scored by fold-in collapsed Gibbs with the trained
-// topic-word statistics locked. Concurrent requests are micro-batched onto
-// a bounded worker pool; because each document draws from a deterministic
-// RNG stream keyed by (seed, content), batching never changes a response.
+// Models come from -bundle (preloaded as the default model), the admin API,
+// or -models-dir (a watched directory: dropping name.bundle in auto-loads
+// it as "name"; replacing the file hot-swaps; removing it unloads).
+// Hot swaps are atomic and drain the old model behind in-flight requests —
+// no request is ever dropped or fails because of a swap.
+//
+// Incoming text is tokenized server-side against each model's training
+// vocabulary; unseen documents are scored by fold-in collapsed Gibbs with
+// the trained topic-word statistics locked. Concurrent requests are
+// micro-batched onto per-model bounded worker pools; because each document
+// draws from a deterministic RNG stream keyed by (seed, content), batching
+// and swapping never change a response.
 //
 //	srclda -save-bundle model.bundle
 //	srcldad -bundle model.bundle -addr :8080 &
 //	curl -s localhost:8080/v1/infer -d '{"text":"pencil ruler notebook"}'
+//	curl -sT new.bundle localhost:8080/v1/models/default   # hot swap
+//
+// See docs/API.md for the endpoint reference and docs/OPERATIONS.md for
+// rollout runbooks.
 package main
 
 import (
@@ -30,85 +46,128 @@ import (
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/registry"
 )
 
+// cliFlags holds every srcldad flag. They are defined through defineFlags
+// on an explicit FlagSet so the docs-drift test can enumerate them against
+// the flag table in docs/OPERATIONS.md.
+type cliFlags struct {
+	bundle        *string
+	modelsDir     *string
+	watchInterval *time.Duration
+	defaultModel  *string
+	addr          *string
+	workers       *int
+	burnIn        *int
+	samples       *int
+	seed          *int64
+	topN          *int
+	maxDocs       *int
+	maxBody       *int64
+	adminMaxBody  *int64
+	queueSize     *int
+	batchWindow   *time.Duration
+	maxBatch      *int
+}
+
+func defineFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		bundle:        fs.String("bundle", "", "serving bundle preloaded as the default model at startup (default \"\": none; load via -models-dir or the admin API)"),
+		modelsDir:     fs.String("models-dir", "", "directory watched for *.bundle files: name.bundle auto-loads as model \"name\", changed files hot-swap, removed files unload (default \"\": no watcher)"),
+		watchInterval: fs.Duration("watch-interval", 2*time.Second, "poll interval of the -models-dir watcher (default 2s)"),
+		defaultModel:  fs.String("default-model", "default", "model name the unnamed routes /v1/infer and /v1/topics alias (default \"default\")"),
+		addr:          fs.String("addr", ":8080", "listen address"),
+		workers:       fs.Int("workers", 0, "worker goroutines per model's inference batch (0 = GOMAXPROCS)"),
+		burnIn:        fs.Int("burnin", 20, "fold-in Gibbs burn-in sweeps per document"),
+		samples:       fs.Int("samples", 10, "post-burn-in sweeps averaged into each mixture"),
+		seed:          fs.Int64("seed", 42, "inference seed (responses are deterministic given model, seed and text)"),
+		topN:          fs.Int("top", 5, "top topics returned per document"),
+		maxDocs:       fs.Int("max-docs", 64, "maximum documents per request"),
+		maxBody:       fs.Int64("max-body", 1<<20, "maximum inference request body bytes"),
+		adminMaxBody:  fs.Int64("admin-max-body", 256<<20, "maximum uploaded bundle bytes on PUT /v1/models/{name}"),
+		queueSize:     fs.Int("queue", 256, "per-model pending-document queue bound (full queue sheds load with 503)"),
+		batchWindow:   fs.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch"),
+		maxBatch:      fs.Int("max-batch", 32, "maximum coalesced batch size"),
+	}
+}
+
 func main() {
-	var (
-		bundlePath  = flag.String("bundle", "", "serving bundle written by srclda -save-bundle (required)")
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "worker goroutines per inference batch (0 = GOMAXPROCS)")
-		burnIn      = flag.Int("burnin", 20, "fold-in Gibbs burn-in sweeps per document")
-		samples     = flag.Int("samples", 10, "post-burn-in sweeps averaged into each mixture")
-		seed        = flag.Int64("seed", 42, "inference seed (responses are deterministic given seed and text)")
-		topN        = flag.Int("top", 5, "top topics returned per document")
-		maxDocs     = flag.Int("max-docs", 64, "maximum documents per request")
-		maxBody     = flag.Int64("max-body", 1<<20, "maximum request body bytes")
-		queueSize   = flag.Int("queue", 256, "pending-document queue bound (full queue sheds load with 503)")
-		batchWindow = flag.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch")
-		maxBatch    = flag.Int("max-batch", 32, "maximum coalesced batch size")
-	)
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
-	if *bundlePath == "" {
-		fmt.Fprintln(os.Stderr, "srcldad: -bundle is required (train one with: srclda -save-bundle model.bundle)")
+	if *f.bundle == "" && *f.modelsDir == "" {
+		fmt.Fprintln(os.Stderr, "srcldad: provide -bundle and/or -models-dir (train one with: srclda -save-bundle model.bundle)")
 		os.Exit(2)
 	}
-	if *workers <= 0 {
-		*workers = runtime.GOMAXPROCS(0)
+	if *f.workers <= 0 {
+		*f.workers = runtime.GOMAXPROCS(0)
 	}
-	if *samples < 1 {
+	if *f.samples < 1 {
 		fmt.Fprintln(os.Stderr, "srcldad: -samples must be at least 1")
 		os.Exit(2)
 	}
-	if *burnIn < 0 {
+	if *f.burnIn < 0 {
 		fmt.Fprintln(os.Stderr, "srcldad: -burnin must be non-negative")
 		os.Exit(2)
 	}
-	if *burnIn == 0 {
+	if *f.burnIn == 0 {
 		// Zero is the facade's "default" sentinel; a negative value is how
 		// an explicit zero-burn-in schedule is requested.
-		*burnIn = -1
+		*f.burnIn = -1
 	}
 
-	f, err := os.Open(*bundlePath)
-	exitOn(err)
-	model, err := sourcelda.LoadBundle(f)
-	f.Close()
-	exitOn(err)
-
-	s, err := newServer(model, config{
-		burnIn:      *burnIn,
-		samples:     *samples,
-		seed:        *seed,
-		workers:     *workers,
-		topN:        *topN,
-		maxDocs:     *maxDocs,
-		maxBody:     *maxBody,
-		queueSize:   *queueSize,
-		batchWindow: *batchWindow,
-		maxBatch:    *maxBatch,
+	reg := registry.New(registry.Config{
+		Infer: sourcelda.InferOptions{
+			BurnIn:  *f.burnIn,
+			Samples: *f.samples,
+			Seed:    *f.seed,
+			Workers: *f.workers,
+		},
+		TopN:         *f.topN,
+		MaxDocs:      *f.maxDocs,
+		MaxBody:      *f.maxBody,
+		AdminMaxBody: *f.adminMaxBody,
+		QueueSize:    *f.queueSize,
+		BatchWindow:  *f.batchWindow,
+		MaxBatch:     *f.maxBatch,
+		DefaultModel: *f.defaultModel,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("srcldad: "+format+"\n", args...)
+		},
 	})
-	exitOn(err)
 
-	// The dispatcher outlives the listener: it is canceled only after
-	// Shutdown has drained every in-flight handler, so no request waits on
-	// a reply that will never come.
-	dispatchCtx, stopDispatch := context.WithCancel(context.Background())
-	defer stopDispatch()
-	dispatchDone := make(chan struct{})
-	go func() {
-		s.run(dispatchCtx)
-		close(dispatchDone)
-	}()
+	if *f.bundle != "" {
+		fh, err := os.Open(*f.bundle)
+		exitOn(err)
+		model, err := sourcelda.LoadBundle(fh)
+		fh.Close()
+		exitOn(err)
+		res, err := reg.Load(*f.defaultModel, "", model)
+		exitOn(err)
+		fmt.Printf("srcldad: preloaded %q version %s from %s\n", res.Name, res.Version, *f.bundle)
+	}
+
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if *f.modelsDir != "" {
+		w := registry.NewWatcher(reg, *f.modelsDir, *f.watchInterval)
+		// One synchronous scan before the listener starts, so bundles
+		// already in the directory serve from the first request.
+		if err := w.Scan(); err != nil {
+			exitOn(err)
+		}
+		go w.Run(watchCtx)
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           s,
+		Addr:              *f.addr,
+		Handler:           registry.NewServer(reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("srcldad: serving %d labeled topics on %s (bundle %s)\n",
-		len(s.byIndex), *addr, *bundlePath)
+	fmt.Printf("srcldad: serving %d model(s) on %s (default model %q)\n",
+		len(reg.Names()), *f.addr, *f.defaultModel)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -123,9 +182,10 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "srcldad: shutdown:", err)
 	}
-	stopDispatch()
-	<-dispatchDone
-	s.close()
+	// The registry is closed only after Shutdown has drained in-flight
+	// handlers, so no request waits on a dispatcher that has stopped.
+	stopWatch()
+	reg.Close()
 }
 
 func exitOn(err error) {

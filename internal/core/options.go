@@ -251,6 +251,17 @@ func (o *Options) numStreams(D int) int {
 	return n
 }
 
+// ChainDigest returns the chain-shaping options fingerprint after applying
+// defaults to a copy — the same digest checkpoints embed as
+// Checkpoint.OptionsDigest. Serving bundles record it so a deployed model
+// can always be traced back to the exact chain configuration that trained
+// it (and so two bundles can be compared for chain compatibility without
+// re-reading the training command).
+func (o Options) ChainDigest() uint64 {
+	o.applyDefaults()
+	return o.chainDigest()
+}
+
 // chainDigest hashes every option that influences the Gibbs chain's random
 // trajectory — priors, λ treatment, quadrature size, prune and burn-in
 // schedules, seed, kernel and sweep mode. Checkpoints embed the digest so a

@@ -1,7 +1,3 @@
-// Package corpus defines the document and corpus representations shared by
-// all the topic models: token streams encoded against a vocabulary, bags of
-// words, ground-truth topic assignments for synthetic corpora, and train /
-// held-out splitting for perplexity evaluation.
 package corpus
 
 import (

@@ -1,0 +1,27 @@
+// Package corpus defines the document and corpus representations shared by
+// every topic model in the repository (Source-LDA in internal/core and the
+// LDA/EDA/CTM baselines): token streams encoded against an interned
+// vocabulary, bags of words, per-token ground-truth topic assignments for
+// synthetic corpora, and train/held-out splitting for perplexity
+// evaluation.
+//
+// In the paper's terms (PAPER.md §II), a corpus is the observed word
+// collection w over D documents and a V-word vocabulary; Document.Topics,
+// when present, is the latent z the synthetic generators (internal/synth)
+// drew from, which the evaluation metrics (internal/eval) score inferred
+// assignments against.
+//
+// Conventions every consumer relies on:
+//
+//   - Words are small dense ints assigned by textproc.Vocabulary interning
+//     order; the corpus never stores strings.
+//   - Documents preserve token order (the Gibbs samplers sweep positions,
+//     not bags); bag-of-words views are derived on demand.
+//   - Held-out splits (Split) are drawn with a seeded internal/rng stream,
+//     so an evaluation split is reproducible from its seed — the same
+//     determinism-by-construction contract the samplers follow.
+//
+// The public façade wraps a corpus behind sourcelda.Corpus and builds one
+// from raw text via sourcelda.CorpusBuilder; this package is the in-memory
+// representation those layers and internal/persist serialize.
+package corpus

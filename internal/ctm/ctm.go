@@ -1,13 +1,3 @@
-// Package ctm implements the Concept-Topic Model (Chemudugunta et al.,
-// "Text modeling using unsupervised topic models and concept hierarchies"),
-// the paper's "too lenient" comparison baseline (§I, §IV): known concepts
-// contribute word *sets* (bags of words without frequencies), mixed with
-// ordinary learned topics. A token can be assigned to a concept only when
-// the word belongs to the concept's word set; within the set the
-// distribution is learned with a symmetric prior, so — unlike Source-LDA —
-// the model ignores the knowledge source's word frequencies, the limitation
-// the paper's case study illustrates ("it is much more probable to see the
-// word 'pencil' than the word 'compass'").
 package ctm
 
 import (

@@ -1,0 +1,19 @@
+// Package ctm implements the Concept-Topic Model (Chemudugunta et al.,
+// "Text modeling using unsupervised topic models and concept hierarchies"),
+// the paper's "too lenient" comparison baseline (PAPER.md §I, §IV, Table 1).
+//
+// CTM mixes known concepts with ordinary learned topics, but a concept
+// contributes only a word *set* — a bag of words without frequencies. A
+// token can be assigned to a concept only when its word belongs to the
+// concept's set; within the set the distribution is learned from scratch
+// under a symmetric prior. Unlike Source-LDA's δ priors (Definition 3),
+// the model therefore ignores the knowledge source's word frequencies —
+// the limitation the paper's §I case study illustrates ("it is much more
+// probable to see the word 'pencil' than the word 'compass'") and that
+// Table 1 quantifies (CTM discovers 6 labeled topics to Source-LDA's 15
+// on the paper's corpus).
+//
+// The experiment harness (internal/experiments) fits this model wherever
+// the paper reports a CTM column; sourcelda exposes it through the srclda
+// CLI's -model ctm.
+package ctm

@@ -1,0 +1,18 @@
+// Package eda implements Explicit Dirichlet Allocation (Hansen et al.,
+// GSCL 2013), the paper's "too strict" comparison baseline (PAPER.md §I,
+// §IV).
+//
+// In EDA the topics *are* the knowledge-source word distributions
+// (Definition 2) and never deviate from them: only the token-topic
+// assignments and document mixtures are inferred, φ stays frozen at the
+// source. EDA therefore can neither adapt a known topic to how the corpus
+// actually uses its words nor discover unknown topics — the two failure
+// modes Source-LDA's λ mechanism (§III-C) and free topics (§III-B) exist
+// to fix. Together with CTM ("too lenient", internal/ctm) it brackets the
+// design space the paper positions Source-LDA inside.
+//
+// The sampler is a collapsed Gibbs over assignments with the frozen-φ
+// conditional P(z_i = t | ·) ∝ φ_t,wi · (n^di_t + α) — structurally the
+// same fold-in iteration internal/infer runs against a trained Source-LDA
+// model, which is why their implementations mirror each other.
+package eda

@@ -1,9 +1,3 @@
-// Package eda implements Explicit Dirichlet Allocation (Hansen et al.,
-// GSCL 2013), the paper's "too strict" comparison baseline (§I, §IV): topics
-// are the knowledge-source word distributions themselves and never deviate
-// from them. Only the token-topic assignments and document mixtures are
-// inferred; φ is frozen, so EDA can neither adapt a known topic to the
-// corpus nor discover unknown topics.
 package eda
 
 import (

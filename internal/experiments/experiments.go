@@ -1,13 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation section (§IV) on the synthetic substitutes documented in
-// DESIGN.md. Each experiment returns a Report containing the same rows or
-// series the paper presents, the paper's expected shape, and a pass/fail
-// shape check (who wins, by roughly what factor) — absolute numbers are not
-// expected to match the authors' testbed.
-//
-// Experiments run at two scales: the default scale is sized for a laptop
-// CPU (parameters recorded in each report and in EXPERIMENTS.md), and Quick
-// mode shrinks everything further for use inside the test suite.
 package experiments
 
 import (

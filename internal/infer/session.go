@@ -1,0 +1,102 @@
+package infer
+
+import (
+	"sync"
+
+	"sourcelda/internal/parallel"
+)
+
+// Session pairs an Engine with a long-lived worker pool and reference-counted
+// lifetime — the handle a serving layer hot-swaps behind in-flight requests.
+//
+// The session starts with one reference held by its owner; Close releases it.
+// Concurrent users pin the session with Acquire/Release around each use, so
+// Close never yanks the pool out from under an in-flight batch: the pool is
+// released only when the owner has closed AND every acquired reference has
+// been released (the session has "drained"). After that point Acquire fails,
+// which lets a swap loop retry against the replacement session instead.
+type Session struct {
+	e    *Engine
+	pool *parallel.Pool
+
+	mu     sync.Mutex
+	refs   int  // outstanding references; the owner's counts as one
+	closed bool // owner reference released (Close called)
+}
+
+// NewSession wraps the engine with a pool of the given size (workers <= 1
+// scores sequentially with no pool). The caller owns one reference; release
+// it with Close.
+func NewSession(e *Engine, workers int) *Session {
+	s := &Session{e: e, refs: 1}
+	if workers > 1 {
+		s.pool = parallel.NewPool(workers)
+	}
+	return s
+}
+
+// Engine returns the wrapped engine (immutable, always safe to read).
+func (s *Session) Engine() *Engine { return s.e }
+
+// Acquire pins the session for use, returning false when the session has
+// already fully drained and released its resources. Every successful Acquire
+// must be paired with exactly one Release.
+func (s *Session) Acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refs == 0 {
+		return false
+	}
+	s.refs++
+	return true
+}
+
+// Release unpins one Acquire. The last release after Close frees the pool.
+func (s *Session) Release() {
+	s.mu.Lock()
+	if s.refs <= 0 {
+		s.mu.Unlock()
+		panic("infer: Session.Release without matching Acquire")
+	}
+	s.refs--
+	drained := s.refs == 0
+	s.mu.Unlock()
+	if drained {
+		if s.pool != nil {
+			s.pool.Close()
+		}
+	}
+}
+
+// Close releases the owner's reference. It is idempotent; resources are
+// freed once every concurrent user has also released (see Acquire).
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.Release()
+}
+
+// Closed reports whether the session has fully drained: the owner closed it
+// and no acquired references remain, so the worker pool has been released.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs == 0
+}
+
+// InferBatch scores the documents over the session pool (see
+// Engine.InferBatch). It pins the session for the duration of the batch, so
+// a concurrent Close defers resource release until the batch completes.
+// Using a fully drained session is a caller bug and panics.
+func (s *Session) InferBatch(docs [][]int) []*Document {
+	if !s.Acquire() {
+		panic("infer: Session used after close")
+	}
+	defer s.Release()
+	return s.e.InferBatch(docs, s.pool)
+}

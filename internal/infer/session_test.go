@@ -1,0 +1,123 @@
+package infer
+
+import (
+	"sync"
+	"testing"
+)
+
+// sessionEngine builds a tiny frozen engine for session-lifetime tests.
+func sessionEngine(t *testing.T) *Engine {
+	t.Helper()
+	m, _ := fixture(t)
+	e, err := New(m.Freeze(), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSessionMatchesEngine(t *testing.T) {
+	e := sessionEngine(t)
+	docs := [][]int{{0, 1, 2, 0}, {2, 2, 1}, {-1, 5000}, {0}}
+	s := NewSession(e, 3)
+	defer s.Close()
+	got := s.InferBatch(docs)
+	want := e.InferBatch(docs, nil)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if (got[i].Theta == nil) != (want[i].Theta == nil) {
+			t.Fatalf("doc %d: nil mismatch", i)
+		}
+		for k := range got[i].Theta {
+			if got[i].Theta[k] != want[i].Theta[k] {
+				t.Fatalf("doc %d topic %d: %v != %v (pooled batch diverged from sequential)", i, k, got[i].Theta[k], want[i].Theta[k])
+			}
+		}
+	}
+}
+
+// TestSessionDrainSemantics pins the hot-swap contract: Close with an
+// outstanding Acquire defers resource release until the matching Release,
+// and Acquire on a fully drained session fails.
+func TestSessionDrainSemantics(t *testing.T) {
+	e := sessionEngine(t)
+	s := NewSession(e, 2)
+	if s.Closed() {
+		t.Fatal("fresh session reports closed")
+	}
+	if !s.Acquire() {
+		t.Fatal("Acquire on live session failed")
+	}
+	s.Close()
+	if s.Closed() {
+		t.Fatal("session drained while a reference was outstanding")
+	}
+	// The outstanding reference still scores batches.
+	if got := s.InferBatch([][]int{{0, 1}}); got[0].Theta == nil {
+		t.Fatal("pinned session failed to score")
+	}
+	s.Release()
+	if !s.Closed() {
+		t.Fatal("session not drained after last release")
+	}
+	if s.Acquire() {
+		t.Fatal("Acquire succeeded on a drained session")
+	}
+	// Close stays idempotent after drain.
+	s.Close()
+}
+
+func TestSessionCloseIdempotent(t *testing.T) {
+	s := NewSession(sessionEngine(t), 0)
+	s.Close()
+	s.Close()
+	if !s.Closed() {
+		t.Fatal("not closed")
+	}
+}
+
+func TestSessionUseAfterClosePanics(t *testing.T) {
+	s := NewSession(sessionEngine(t), 0)
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InferBatch on a drained session did not panic")
+		}
+	}()
+	s.InferBatch([][]int{{0}})
+}
+
+// TestSessionConcurrentDrain hammers Acquire/Release from many goroutines
+// while the owner closes, asserting the session ends drained exactly once
+// and no batch observes a torn-down pool. Run with -race.
+func TestSessionConcurrentDrain(t *testing.T) {
+	e := sessionEngine(t)
+	s := NewSession(e, 4)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				if !s.Acquire() {
+					return // drained; later iterations must also fail
+				}
+				res := s.InferBatch([][]int{{0, 1, 2}})
+				if res[0].Theta == nil {
+					t.Error("known-token doc scored nil")
+				}
+				s.Release()
+			}
+		}()
+	}
+	close(start)
+	s.Close()
+	wg.Wait()
+	if !s.Closed() {
+		t.Fatal("session not drained after all users released")
+	}
+}

@@ -1,0 +1,29 @@
+// Package knowledge implements the paper's knowledge-source machinery
+// (PAPER.md §II–III): labeled articles describing potential topics
+// (Definition 1), their source word distributions over the corpus
+// vocabulary (Definition 2), and the source hyperparameter vectors
+// δ = (X_1 … X_V) with X_i = n_wi + ε (Definition 3), including the
+// λ-exponentiated form δ^g(λ) the full Source-LDA model uses to let a
+// topic deviate from its source in a controlled way (§III-C).
+//
+// This is the package that makes Source-LDA "source"-LDA: instead of the
+// symmetric Dirichlet priors of plain LDA, each known topic's prior is
+// built from a real article's word counts, so inferred topics arrive
+// labeled and consistent with prior knowledge. Wikipedia-style article
+// sets are the intended input; sourcelda.CorpusBuilder.AddKnowledgeArticle
+// is the public path in, and internal/synth generates encyclopedia-shaped
+// sources for the experiments.
+//
+// Hyperparameter vectors are held sparsely: an article mentions a small
+// subset of the corpus vocabulary, and every absent word contributes only
+// the smoothing mass ε. The Gibbs samplers therefore look up per-word
+// values through a map with a shared default, and the powered sums
+// Σ_a (δ_a)^g(λ) close over the analytic form
+// Σ_present (n+ε)^g(λ) + (V − present)·ε^g(λ) — the identity
+// internal/core/deltastore.go flattens into CSR arrays for the hot path.
+//
+// Because knowledge sources evolve (articles get edited, topic sets
+// grow), a trained model embeds everything it needs from its source into
+// the serving bundle (internal/persist); the serving registry
+// (internal/registry) then hot-swaps retrained bundles without downtime.
+package knowledge

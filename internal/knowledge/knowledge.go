@@ -1,15 +1,3 @@
-// Package knowledge implements the paper's knowledge-source machinery:
-// labeled articles describing potential topics (Definition 1), their source
-// distributions over the corpus vocabulary (Definition 2), and the source
-// hyperparameter vectors δ = (X_1 … X_V) with X_i = n_wi + ε (Definition 3),
-// including the λ-exponentiated form δ^g(λ) the full Source-LDA model uses.
-//
-// Hyperparameter vectors are held sparsely: a knowledge-source article
-// mentions a small subset of the corpus vocabulary, every absent word
-// contributing only the smoothing mass ε. The Gibbs samplers therefore look
-// up per-word values through a map with a shared default, and the powered
-// sums Σ_a (δ_a)^g(λ) close over the analytic form
-// Σ_present (n+ε)^g(λ) + (V − present)·ε^g(λ).
 package knowledge
 
 import (

@@ -1,12 +1,3 @@
-// Package labeling implements the post-hoc topic-labeling techniques the
-// paper compares against in its introduction and Reuters experiment: the
-// four mapping techniques of the §I case study (Jensen–Shannon divergence,
-// TF-IDF/cosine similarity, word-overlap counting, and pointwise mutual
-// information), and the IR-LDA labeler of §IV-C built from TF-IDF vectors of
-// knowledge-source articles queried with each topic's top-10 words.
-//
-// Every labeler maps a fitted topic-word distribution φ_t to the index of
-// the best-matching knowledge-source article; labels are the article labels.
 package labeling
 
 import (

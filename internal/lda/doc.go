@@ -1,0 +1,22 @@
+// Package lda implements the baseline Latent Dirichlet Allocation model
+// with the collapsed Gibbs sampler of Griffiths & Steyvers — the reference
+// point for every comparison in the paper (PAPER.md §II-B, §IV), and the
+// base model of the IR-LDA contrast (§IV-C: plain LDA topics labeled
+// post-hoc by the TF-IDF/cosine retriever in internal/labeling).
+//
+// The count-matrix layout and estimation equations are shared conventions
+// with the Source-LDA sampler in internal/core:
+//
+//	P(z_i = j | z_-i, w) ∝ (n^wi_-i,j + β)/(n^·_-i,j + Vβ) · (n^di_-i,j + α)/(n^di_-i + Kα)
+//	φ_w,t = (n_w,t + β)/(n_t + Vβ)      θ_t,d = (n_d,t + α)/(n_d + Kα)
+//
+// Source-LDA's Eq. 2 degenerates to this conditional when every topic is
+// free — the property several core tests exploit.
+//
+// The package also implements AD-LDA (Newman et al.): the
+// approximate-distributed variant that sweeps document shards against
+// stale count copies and reconciles at a barrier. It is both the paper's
+// §III-C4 contrast class (Source-LDA parallelizes *within* a token's topic
+// scan and stays exact; AD-LDA parallelizes *across* documents and does
+// not) and the template for internal/core's sharded sweep mode.
+package lda

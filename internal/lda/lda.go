@@ -1,11 +1,3 @@
-// Package lda implements the baseline Latent Dirichlet Allocation model with
-// the collapsed Gibbs sampler of Griffiths & Steyvers, the reference point
-// for every comparison in the paper (§II-B, §IV). The count-matrix layout and
-// estimation equations are shared conventions with the Source-LDA sampler in
-// internal/core:
-//
-//	P(z_i = j | z_-i, w) ∝ (n^wi_-i,j + β)/(n^·_-i,j + Vβ) · (n^di_-i,j + α)/(n^di_-i + Kα)
-//	φ_w,t = (n_w,t + β)/(n_t + Vβ)      θ_t,d = (n_d,t + α)/(n_d + Kα)
 package lda
 
 import (

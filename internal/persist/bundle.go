@@ -6,29 +6,52 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/textproc"
 )
 
+// BundleMeta is optional deployment provenance embedded in a bundle: which
+// model this is, which build of it, the fingerprint of the chain options
+// that trained it, and when. A model registry keys rollouts and hot-swaps
+// on Name/Version; ChainDigest ties the artifact back to the exact training
+// configuration (core.Options.ChainDigest, the same digest checkpoints
+// embed). All fields are optional — bundles written before metadata existed
+// load with a nil Meta.
+type BundleMeta struct {
+	// Name is the logical model name a registry serves this bundle under.
+	Name string `json:"name,omitempty"`
+	// Version distinguishes successive builds of the same named model.
+	Version string `json:"version,omitempty"`
+	// ChainDigest is the chain-shaping options fingerprint, as 16 lowercase
+	// hex digits.
+	ChainDigest string `json:"chain_digest,omitempty"`
+	// TrainedAt records when training finished (UTC).
+	TrainedAt time.Time `json:"trained_at,omitzero"`
+}
+
 // Bundle is everything a serving process needs to score new documents
 // against a fitted model: the training vocabulary (to tokenize and encode
 // incoming text), the knowledge source (topic labels and provenance), and
 // the fitted result snapshot — one self-contained, one-file deployment
-// artifact.
+// artifact. Meta is optional provenance (nil for bundles written without
+// it).
 type Bundle struct {
 	Vocab  *textproc.Vocabulary
 	Source *knowledge.Source
 	Result *core.Result
+	Meta   *BundleMeta
 }
 
 type bundleJSON struct {
-	Version    int        `json:"version"`
-	Kind       string     `json:"kind"`
-	Vocabulary []string   `json:"vocabulary"`
-	Source     sourceJSON `json:"source"`
-	Result     resultJSON `json:"result"`
+	Version    int         `json:"version"`
+	Kind       string      `json:"kind"`
+	Meta       *BundleMeta `json:"meta,omitempty"`
+	Vocabulary []string    `json:"vocabulary"`
+	Source     sourceJSON  `json:"source"`
+	Result     resultJSON  `json:"result"`
 }
 
 // SaveBundle writes a gzip-compressed versioned archive of the vocabulary,
@@ -36,16 +59,27 @@ type bundleJSON struct {
 // well (long runs of near-ε probabilities), so bundles ship much smaller
 // than the bare SaveResult JSON.
 func SaveBundle(w io.Writer, vocab []string, src *knowledge.Source, res *core.Result) error {
+	return SaveBundleMeta(w, vocab, src, res, nil)
+}
+
+// SaveBundleMeta is SaveBundle with deployment metadata embedded. meta may
+// be nil (identical to SaveBundle); an all-zero meta is normalized to nil so
+// an empty struct does not change the written bytes.
+func SaveBundleMeta(w io.Writer, vocab []string, src *knowledge.Source, res *core.Result, meta *BundleMeta) error {
 	if src == nil || res == nil {
 		return fmt.Errorf("persist: nil source or result")
 	}
 	if err := ValidateResult(res, len(vocab), src.Len()); err != nil {
 		return fmt.Errorf("persist: refusing to save inconsistent bundle: %w", err)
 	}
+	if meta != nil && *meta == (BundleMeta{}) {
+		meta = nil
+	}
 	zw := gzip.NewWriter(w)
 	out := bundleJSON{
 		Version:    FormatVersion,
 		Kind:       "bundle",
+		Meta:       meta,
 		Vocabulary: vocab,
 		Source:     sourceToJSON(src),
 		Result:     resultToJSON(res),
@@ -102,5 +136,5 @@ func loadBundleJSON(r io.Reader) (*Bundle, error) {
 	if err := ValidateResult(res, vocab.Size(), src.Len()); err != nil {
 		return nil, err
 	}
-	return &Bundle{Vocab: vocab, Source: src, Result: res}, nil
+	return &Bundle{Vocab: vocab, Source: src, Result: res, Meta: in.Meta}, nil
 }

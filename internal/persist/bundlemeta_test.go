@@ -1,0 +1,59 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestBundleMetaRoundTrip(t *testing.T) {
+	c, src := fixture(t)
+	res, _, _ := fittedResult(t)
+	trained := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	meta := &BundleMeta{
+		Name:        "reuters",
+		Version:     "2026-07-28.1",
+		ChainDigest: "00deadbeef00cafe",
+		TrainedAt:   trained,
+	}
+	var buf bytes.Buffer
+	if err := SaveBundleMeta(&buf, c.Vocab.Words(), src, res, meta); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta == nil {
+		t.Fatal("metadata lost in round trip")
+	}
+	if *back.Meta != *meta {
+		t.Fatalf("meta %+v, want %+v", *back.Meta, *meta)
+	}
+}
+
+// TestBundleWithoutMetaStillLoads is the backward-compatibility guarantee:
+// bundles written before metadata existed (or by plain SaveBundle) load
+// with a nil Meta, and an all-zero meta does not change the bytes written.
+func TestBundleWithoutMetaStillLoads(t *testing.T) {
+	c, src := fixture(t)
+	res, _, _ := fittedResult(t)
+
+	var plain, zeroMeta bytes.Buffer
+	if err := SaveBundle(&plain, c.Vocab.Words(), src, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBundleMeta(&zeroMeta, c.Vocab.Words(), src, res, &BundleMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta != nil {
+		t.Fatalf("meta-less bundle loaded with meta %+v", *back.Meta)
+	}
+	if !bytes.Equal(plain.Bytes(), zeroMeta.Bytes()) {
+		t.Fatal("an all-zero meta changed the written bundle bytes")
+	}
+}

@@ -1,0 +1,203 @@
+package registry
+
+import (
+	"context"
+	"time"
+
+	"sourcelda"
+)
+
+// job is one document awaiting inference; reply is buffered so the
+// dispatcher never blocks on a caller that gave up. ctx is the submitting
+// request's context: the dispatcher drops jobs whose context is already
+// done (caller disconnected, or its request was shed mid-submit) instead of
+// paying full inference for a reply nobody will read.
+type job struct {
+	text  string
+	reply chan reply
+	ctx   context.Context
+}
+
+// reply carries one scored document back to its caller, together with the
+// model version that actually scored it. Around a hot swap, the version a
+// handler read before queueing and the version the dispatcher scored with
+// can differ; responses must be rendered against the scoring version, never
+// the stale one (labels and mixture widths may not match otherwise).
+type reply struct {
+	doc *sourcelda.DocumentInference
+	by  *version
+	err error
+}
+
+// Scored is one document's inference result plus the model build that
+// produced it.
+type Scored struct {
+	// Doc is nil when the document had no in-vocabulary tokens.
+	Doc *sourcelda.DocumentInference
+	// Model and ModelVersion identify the build that scored the document —
+	// around a hot swap, documents of one request may legitimately differ.
+	Model        *sourcelda.Model
+	ModelVersion string
+}
+
+// Infer scores the documents against the named model ("" = default): it
+// submits them to the model's dispatcher and waits for every reply (or the
+// request context). Errors: ErrModelNotFound, ErrOverloaded (queue full),
+// ErrUnloaded (model removed while queued), or the context's error.
+func (r *Registry) Infer(ctx context.Context, name string, texts []string) ([]Scored, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.enqueue(ctx, texts)
+}
+
+// enqueue submits the documents to the entry's dispatcher and collects the
+// replies. On any early return the derived context is canceled, which tells
+// the dispatcher to drop this request's already-queued jobs unscored.
+func (e *entry) enqueue(reqCtx context.Context, texts []string) ([]Scored, error) {
+	ctx, cancel := context.WithCancel(reqCtx)
+	defer cancel()
+	replies := make([]chan reply, len(texts))
+	for i, t := range texts {
+		ch := make(chan reply, 1)
+		replies[i] = ch
+		if err := e.submit(job{text: t, reply: ch, ctx: ctx}); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Scored, len(texts))
+	for i, ch := range replies {
+		select {
+		case rep := <-ch:
+			if rep.err != nil {
+				return nil, rep.err
+			}
+			out[i] = Scored{Doc: rep.doc, Model: rep.by.model, ModelVersion: rep.by.version}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// submit enqueues one job unless the entry is stopped (unloaded) or the
+// queue is full. Holding qmu.RLock across the send is what makes stop()'s
+// final drain complete: once stop() has the write lock, no job can slip
+// into the channel afterwards.
+func (e *entry) submit(j job) error {
+	e.qmu.RLock()
+	defer e.qmu.RUnlock()
+	if e.stopped {
+		return ErrUnloaded
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// run is the entry's dispatcher loop: it pulls the first pending document,
+// waits up to BatchWindow for more (from any caller), scores the coalesced
+// batch against the currently active version, and scatters results. On
+// shutdown it fails whatever is still queued with ErrUnloaded so no caller
+// hangs, then signals drained.
+func (e *entry) run(ctx context.Context) {
+	defer close(e.drained)
+	for {
+		var first job
+		select {
+		case <-ctx.Done():
+			e.failPending()
+			return
+		case first = <-e.jobs:
+		}
+		batch := append(make([]job, 0, e.cfg.MaxBatch), first)
+		if e.cfg.BatchWindow > 0 {
+			timer := time.NewTimer(e.cfg.BatchWindow)
+		collect:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case j := <-e.jobs:
+					batch = append(batch, j)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case j := <-e.jobs:
+					batch = append(batch, j)
+				default:
+					break drain
+				}
+			}
+		}
+		// Drop jobs whose request is already gone — a shed or disconnected
+		// caller must not cost a full Gibbs run whose reply nobody reads.
+		live := batch[:0]
+		for _, j := range batch {
+			if j.ctx.Err() == nil {
+				live = append(live, j)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		texts := make([]string, len(live))
+		for i, j := range live {
+			texts[i] = j.text
+		}
+		results, by := e.score(texts)
+		if results == nil {
+			for _, j := range live {
+				j.reply <- reply{err: ErrUnloaded}
+			}
+			continue
+		}
+		e.metrics.recordBatch(len(live))
+		for i, j := range live {
+			j.reply <- reply{doc: results[i], by: by}
+		}
+	}
+}
+
+// score runs one batch against the entry's active version, pinning the
+// session so a concurrent hot swap drains behind it instead of tearing it
+// down mid-batch. If the version it read was swapped out AND fully drained
+// between the load and the pin — possible only when another version is
+// already active — it retries against the replacement. Returns nil only
+// when no version is active (the entry is being unloaded).
+func (e *entry) score(texts []string) ([]*sourcelda.DocumentInference, *version) {
+	for {
+		v := e.current.Load()
+		if v == nil {
+			return nil, nil
+		}
+		if !v.inferrer.Acquire() {
+			continue
+		}
+		results := v.inferrer.InferBatch(texts)
+		v.inferrer.Release()
+		return results, v
+	}
+}
+
+// failPending replies ErrUnloaded to every job still queued at shutdown.
+// stop() sets stopped before canceling the context, so by the time this
+// runs the channel can no longer grow and a simple drain is complete.
+func (e *entry) failPending() {
+	for {
+		select {
+		case j := <-e.jobs:
+			j.reply <- reply{err: ErrUnloaded}
+		default:
+			return
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package registry
 
 import (
 	"net/http"
@@ -63,7 +63,8 @@ func FuzzDecodeInferRequest(f *testing.F) {
 // shared by every iteration (training per-iteration would dominate the
 // fuzz budget).
 func FuzzInferEndpoint(f *testing.F) {
-	_, srv := newTestServer(f, config{})
+	_, reg := newTestServer(f, Config{})
+	srv := NewServer(reg)
 	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
@@ -79,6 +80,29 @@ func FuzzInferEndpoint(f *testing.F) {
 			if code := rec.Code; code < 400 || code >= 500 {
 				t.Fatalf("non-4xx rejection %d for body %q", code, body)
 			}
+		}
+	})
+}
+
+// FuzzPutModel drives the bundle-upload admin endpoint with arbitrary
+// bodies: never a panic, never a 5xx, and garbage never loads a model.
+func FuzzPutModel(f *testing.F) {
+	reg := New(Config{})
+	f.Cleanup(reg.Close)
+	srv := NewServer(reg)
+	f.Add([]byte("not a bundle"))
+	f.Add([]byte(`{"version":1,"kind":"bundle"}`))
+	f.Add([]byte{0x1f, 0x8b, 0x08, 0x00}) // truncated gzip header
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPut, "/v1/models/fuzzed", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) for bundle %q", rec.Code, body)
+		}
+		if rec.Code >= 200 && rec.Code < 300 {
+			t.Fatalf("fuzzed bytes loaded as a model (%d): %q", rec.Code, body)
 		}
 	})
 }

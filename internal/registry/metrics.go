@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the p50/p99 quantiles
+// are computed over. A sliding window (rather than cumulative quantiles)
+// keeps the numbers responsive to the current load shape; 1024 samples
+// bound both memory and scrape-time sort cost.
+const latencyWindow = 1024
+
+// modelMetrics accumulates one model's serving counters. All methods are
+// safe for concurrent use; counters survive hot swaps (they belong to the
+// name, not the version).
+type modelMetrics struct {
+	mu        sync.Mutex
+	byCode    map[int]uint64
+	requests  uint64
+	shed      uint64
+	batches   uint64
+	batchDocs uint64
+	swaps     uint64
+	latSum    float64
+	lat       [latencyWindow]float64
+	latLen    int
+	latIdx    int
+}
+
+func newModelMetrics() *modelMetrics {
+	return &modelMetrics{byCode: make(map[int]uint64)}
+}
+
+// recordRequest counts one inference request's terminal status and latency.
+func (m *modelMetrics) recordRequest(code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	m.byCode[code]++
+	m.latSum += secs
+	m.lat[m.latIdx] = secs
+	m.latIdx = (m.latIdx + 1) % latencyWindow
+	if m.latLen < latencyWindow {
+		m.latLen++
+	}
+}
+
+// recordShed counts one queue-full rejection. Deliberately separate from
+// the 503 status count: an unload also answers 503, but only a full queue
+// is "shed" — capacity alerting keys on this counter and must not fire on
+// routine model retirements.
+func (m *modelMetrics) recordShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed++
+}
+
+// recordBatch counts one scored batch of n documents.
+func (m *modelMetrics) recordBatch(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.batchDocs += uint64(n)
+}
+
+// recordSwap counts one hot swap.
+func (m *modelMetrics) recordSwap() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.swaps++
+}
+
+// MetricsSnapshot is a point-in-time copy of one model's counters.
+type MetricsSnapshot struct {
+	// Requests counts inference requests by any terminal status; ByCode
+	// breaks it down by HTTP status code.
+	Requests uint64
+	ByCode   map[int]uint64
+	// Shed counts requests rejected with 503 because the queue was full.
+	Shed uint64
+	// Batches and BatchDocs count dispatched micro-batches and the
+	// documents they carried (BatchDocs/Batches is the mean batch size).
+	Batches   uint64
+	BatchDocs uint64
+	// Swaps counts hot swaps of the model's active version.
+	Swaps uint64
+	// LatencyP50 and LatencyP99 are request-latency quantiles in seconds
+	// over the last latencyWindow requests; LatencySum/LatencyCount are
+	// cumulative (Prometheus summary semantics).
+	LatencyP50   float64
+	LatencyP99   float64
+	LatencySum   float64
+	LatencyCount uint64
+}
+
+func (m *modelMetrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Requests:     m.requests,
+		ByCode:       make(map[int]uint64, len(m.byCode)),
+		Shed:         m.shed,
+		Batches:      m.batches,
+		BatchDocs:    m.batchDocs,
+		Swaps:        m.swaps,
+		LatencySum:   m.latSum,
+		LatencyCount: m.requests,
+	}
+	for code, n := range m.byCode {
+		s.ByCode[code] = n
+	}
+	if m.latLen > 0 {
+		window := make([]float64, m.latLen)
+		copy(window, m.lat[:m.latLen])
+		sort.Float64s(window)
+		s.LatencyP50 = quantile(window, 0.50)
+		s.LatencyP99 = quantile(window, 0.99)
+	}
+	return s
+}
+
+// quantile reads the p-quantile from an ascending-sorted window using the
+// nearest-rank method.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WritePrometheus renders every model's serving metrics, plus process-level
+// gauges, in the Prometheus text exposition format — the body of the
+// daemon's GET /metrics. Metric fields are documented in docs/API.md.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	infos := r.ListInfo()
+
+	fmt.Fprintf(w, "# HELP srcldad_models_loaded Number of models currently loaded.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_models_loaded gauge\n")
+	fmt.Fprintf(w, "srcldad_models_loaded %d\n", len(infos))
+	fmt.Fprintf(w, "# HELP srcldad_uptime_seconds Seconds since the registry started.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "srcldad_uptime_seconds %g\n", time.Since(r.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP srcldad_requests_total Inference requests by model and terminal HTTP status.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_requests_total counter\n")
+	for _, mi := range infos {
+		codes := make([]int, 0, len(mi.Stats.ByCode))
+		for code := range mi.Stats.ByCode {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			fmt.Fprintf(w, "srcldad_requests_total{model=%q,code=\"%d\"} %d\n", mi.Name, code, mi.Stats.ByCode[code])
+		}
+	}
+	fmt.Fprintf(w, "# HELP srcldad_requests_shed_total Inference requests rejected with 503 because the model queue was full.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_requests_shed_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_requests_shed_total{model=%q} %d\n", mi.Name, mi.Stats.Shed)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_batches_total Micro-batches dispatched to the model's worker pool.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_batches_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_batches_total{model=%q} %d\n", mi.Name, mi.Stats.Batches)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_batched_documents_total Documents carried by dispatched micro-batches (divide by srcldad_batches_total for mean batch size).\n")
+	fmt.Fprintf(w, "# TYPE srcldad_batched_documents_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_batched_documents_total{model=%q} %d\n", mi.Name, mi.Stats.BatchDocs)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_queue_depth Documents waiting in the model's queue.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_queue_depth gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_queue_depth{model=%q} %d\n", mi.Name, mi.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_queue_capacity Bound of the model's pending-document queue.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_queue_capacity gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_queue_capacity{model=%q} %d\n", mi.Name, mi.QueueCapacity)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_open_sessions Inference sessions not yet fully drained (1 in steady state, 2+ during a hot swap).\n")
+	fmt.Fprintf(w, "# TYPE srcldad_open_sessions gauge\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_open_sessions{model=%q} %d\n", mi.Name, mi.OpenSessions)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_model_swaps_total Hot swaps of the model's active version.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_model_swaps_total counter\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_model_swaps_total{model=%q} %d\n", mi.Name, mi.Stats.Swaps)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_request_latency_seconds Inference request latency (quantiles over the last %d requests; sum/count cumulative).\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE srcldad_request_latency_seconds summary\n")
+	for _, mi := range infos {
+		fmt.Fprintf(w, "srcldad_request_latency_seconds{model=%q,quantile=\"0.5\"} %g\n", mi.Name, mi.Stats.LatencyP50)
+		fmt.Fprintf(w, "srcldad_request_latency_seconds{model=%q,quantile=\"0.99\"} %g\n", mi.Name, mi.Stats.LatencyP99)
+		fmt.Fprintf(w, "srcldad_request_latency_seconds_sum{model=%q} %g\n", mi.Name, mi.Stats.LatencySum)
+		fmt.Fprintf(w, "srcldad_request_latency_seconds_count{model=%q} %d\n", mi.Name, mi.Stats.LatencyCount)
+	}
+}

@@ -1,0 +1,198 @@
+package registry
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sourcelda"
+)
+
+// scrapeMetrics fetches /metrics and parses the exposition text into
+// metric{labels} → value.
+func scrapeMetrics(t testing.TB, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[key] = f
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsMatchLoad is the acceptance criterion's metrics half: the
+// per-model request counters reported by /metrics equal what the load
+// generator actually sent, per model and per status class.
+func TestMetricsMatchLoad(t *testing.T) {
+	ts, reg := newTestServer(t, Config{})
+	if _, err := reg.Load("beta", "b1", trainModel(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+
+	const okDefault, okBeta, badBeta = 7, 5, 3
+	for i := 0; i < okDefault; i++ {
+		if code, _ := postInfer(t, ts.URL+"/v1/infer", `{"text":"pencil ruler"}`); code != 200 {
+			t.Fatalf("default infer %d", code)
+		}
+	}
+	for i := 0; i < okBeta; i++ {
+		if code, _ := postInfer(t, ts.URL+"/v1/models/beta/infer", `{"documents":["baseball glove","pencil"]}`); code != 200 {
+			t.Fatalf("beta infer %d", code)
+		}
+	}
+	for i := 0; i < badBeta; i++ {
+		if code, _ := postInfer(t, ts.URL+"/v1/models/beta/infer", `{"bad":`); code != 400 {
+			t.Fatalf("beta bad infer %d", code)
+		}
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	checks := map[string]float64{
+		`srcldad_requests_total{model="default",code="200"}`:     okDefault,
+		`srcldad_requests_total{model="beta",code="200"}`:        okBeta,
+		`srcldad_requests_total{model="beta",code="400"}`:        badBeta,
+		`srcldad_requests_shed_total{model="beta"}`:              0,
+		`srcldad_queue_capacity{model="beta"}`:                   256,
+		`srcldad_open_sessions{model="beta"}`:                    1,
+		`srcldad_model_swaps_total{model="beta"}`:                0,
+		`srcldad_models_loaded`:                                  2,
+		`srcldad_request_latency_seconds_count{model="default"}`: okDefault,
+	}
+	for key, want := range checks {
+		if got, ok := m[key]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", key, got, ok, want)
+		}
+	}
+	// Batches carried exactly the scored documents: ok requests only, beta
+	// requests carry 2 docs each.
+	if got := m[`srcldad_batched_documents_total{model="beta"}`]; got != okBeta*2 {
+		t.Errorf("beta batched docs = %v, want %d", got, okBeta*2)
+	}
+	if got := m[`srcldad_batches_total{model="default"}`]; got < 1 || got > okDefault {
+		t.Errorf("default batches = %v, want within [1,%d]", got, okDefault)
+	}
+	// Latency quantiles exist, are ordered, and are positive for models
+	// that served successful traffic.
+	p50 := m[`srcldad_request_latency_seconds{model="default",quantile="0.5"}`]
+	p99 := m[`srcldad_request_latency_seconds{model="default",quantile="0.99"}`]
+	if p50 <= 0 || p99 < p50 {
+		t.Errorf("latency quantiles p50=%v p99=%v", p50, p99)
+	}
+	if sum := m[`srcldad_request_latency_seconds_sum{model="default"}`]; sum < p50 {
+		t.Errorf("latency sum %v below p50 %v", sum, p50)
+	}
+}
+
+// TestMetricsShedCounting fills a tiny queue and asserts the 503s land in
+// both the by-code counter and the dedicated shed counter.
+func TestMetricsShedCounting(t *testing.T) {
+	// A 1-deep queue, no batching window, one document per batch, and a
+	// deliberately slow fold-in schedule: 32 simultaneous requests cannot
+	// all fit, so some must shed.
+	ts, reg := newTestServer(t, Config{
+		QueueSize: 1, MaxBatch: 1, BatchWindow: 0,
+		// BurnIn is sized so one batch far exceeds the scheduler preemption
+		// quantum: even on one CPU the other requests get to submit (and
+		// shed) while the first is being scored.
+		Infer: sourcelda.InferOptions{BurnIn: 1000000, Samples: 1},
+	})
+	done := make(chan int, 32)
+	for i := 0; i < 32; i++ {
+		go func() {
+			code, _ := postInfer(t, ts.URL+"/v1/infer", `{"text":"pencil ruler eraser notebook"}`)
+			done <- code
+		}()
+	}
+	var shed, ok float64
+	for i := 0; i < 32; i++ {
+		switch <-done {
+		case 200:
+			ok++
+		case 503:
+			shed++
+		default:
+			t.Fatal("unexpected status under overload")
+		}
+	}
+	if shed == 0 {
+		t.Skip("queue never overflowed on this machine; nothing to assert")
+	}
+	info, err := reg.Info("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(info.Stats.Shed) != shed {
+		t.Fatalf("shed counter %d, want %v", info.Stats.Shed, shed)
+	}
+	if float64(info.Stats.ByCode[503]) != shed || float64(info.Stats.ByCode[200]) != ok {
+		t.Fatalf("by-code %v, want 200:%v 503:%v", info.Stats.ByCode, ok, shed)
+	}
+}
+
+// TestQuantile pins the nearest-rank arithmetic the summary uses.
+func TestQuantile(t *testing.T) {
+	win := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(win, 0.5); q != 5 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := quantile(win, 0.99); q != 10 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := quantile([]float64{3}, 0.99); q != 3 {
+		t.Fatalf("single-sample p99 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty p50 = %v", q)
+	}
+}
+
+// TestLatencyWindowSlides: the quantile window holds only the most recent
+// latencyWindow samples, while sum/count stay cumulative.
+func TestLatencyWindowSlides(t *testing.T) {
+	m := newModelMetrics()
+	for i := 0; i < latencyWindow; i++ {
+		m.recordRequest(200, time.Hour) // ancient, slow epoch
+	}
+	for i := 0; i < latencyWindow; i++ {
+		m.recordRequest(200, time.Millisecond) // current, fast epoch
+	}
+	s := m.snapshot()
+	if s.LatencyP99 > 0.002 {
+		t.Fatalf("p99 %v still dominated by evicted samples", s.LatencyP99)
+	}
+	if s.LatencyCount != 2*latencyWindow {
+		t.Fatalf("count %d", s.LatencyCount)
+	}
+	if s.LatencySum < 3600*float64(latencyWindow) {
+		t.Fatalf("sum %v lost the early epoch", s.LatencySum)
+	}
+}

@@ -1,0 +1,440 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sourcelda"
+)
+
+// Errors the registry reports on the request and admin paths. The HTTP
+// layer maps them to status codes (docs/API.md): ErrModelNotFound → 404,
+// ErrOverloaded → 503, ErrUnloaded → 503.
+var (
+	// ErrModelNotFound means no model is loaded under the requested name.
+	ErrModelNotFound = errors.New("registry: model not found")
+	// ErrOverloaded means the model's pending-job queue is full and the
+	// request was shed instead of queued.
+	ErrOverloaded = errors.New("registry: inference queue is full")
+	// ErrUnloaded means the model was unloaded while the request was queued.
+	ErrUnloaded = errors.New("registry: model unloaded")
+	// ErrClosed means the registry has shut down.
+	ErrClosed = errors.New("registry: closed")
+)
+
+// Config tunes the registry. Zero values take the documented defaults;
+// every loaded model shares one configuration (per-model tuning would
+// multiply the operational surface for little gain — run two daemons if two
+// models truly need different schedules).
+type Config struct {
+	// Infer is the fold-in sweep schedule, seed and worker count every
+	// model's inference session is built with (see sourcelda.InferOptions).
+	Infer sourcelda.InferOptions
+	// TopN is the number of top topics reported per document (default 5).
+	TopN int
+	// MaxDocs caps the documents of one inference request (default 64).
+	MaxDocs int
+	// MaxBody caps an inference request body in bytes (default 1 MiB).
+	MaxBody int64
+	// AdminMaxBody caps an uploaded bundle (PUT /v1/models/{name}) in bytes
+	// (default 256 MiB) — bundles are far larger than inference requests.
+	AdminMaxBody int64
+	// QueueSize bounds each model's pending-document queue; a full queue
+	// sheds load with ErrOverloaded/503 instead of letting latency grow
+	// without bound (default 256).
+	QueueSize int
+	// BatchWindow is how long a model's dispatcher waits to coalesce more
+	// documents after the first arrives; MaxBatch caps one coalesced batch
+	// (default 32). Micro-batching never changes results: a document's
+	// mixture is a pure function of (model, seed, content).
+	BatchWindow time.Duration
+	MaxBatch    int
+	// DefaultModel is the name the unnamed routes (/v1/infer, /v1/topics)
+	// alias (default "default").
+	DefaultModel string
+	// Logf, when non-nil, receives operational log lines (loads, swaps,
+	// unloads, watcher errors).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.TopN < 1 {
+		c.TopN = 5
+	}
+	if c.MaxDocs < 1 {
+		c.MaxDocs = 64
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.AdminMaxBody <= 0 {
+		c.AdminMaxBody = 256 << 20
+	}
+	if c.QueueSize < 1 {
+		c.QueueSize = 256
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 32
+	}
+	if c.DefaultModel == "" {
+		c.DefaultModel = "default"
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// validName matches acceptable model names: they appear in URL paths,
+// metric labels and watched file names, so keep them to a conservative
+// token alphabet.
+var validName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Registry serves many named, versioned models concurrently. Safe for
+// concurrent use; see the package documentation for the swap semantics.
+type Registry struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+	closed  bool
+
+	loadSeq atomic.Uint64
+}
+
+// New returns an empty registry. Close it to stop every model's dispatcher
+// and release their inference sessions.
+func New(cfg Config) *Registry {
+	cfg.applyDefaults()
+	return &Registry{
+		cfg:     cfg,
+		start:   time.Now(),
+		entries: make(map[string]*entry),
+	}
+}
+
+// Config returns the registry's effective (defaulted) configuration.
+func (r *Registry) Config() Config { return r.cfg }
+
+// DefaultModel returns the name the unnamed routes alias.
+func (r *Registry) DefaultModel() string { return r.cfg.DefaultModel }
+
+// version is one immutable loaded build of a model: the fitted model, its
+// reference-counted inference session, and identity for listings.
+type version struct {
+	model    *sourcelda.Model
+	inferrer *sourcelda.Inferrer
+	version  string
+	loadedAt time.Time
+	// byIndex holds the model's topics in model-topic order — the order
+	// every mixture array is aligned with.
+	byIndex []sourcelda.Topic
+}
+
+// entry is the long-lived per-name serving state: the job queue and
+// dispatcher survive hot swaps, only the version pointer changes.
+type entry struct {
+	name    string
+	cfg     *Config
+	jobs    chan job
+	current atomic.Pointer[version]
+	metrics *modelMetrics
+
+	// qmu guards sends on jobs against stop(): once stopped is set under
+	// the write lock, no submit can enqueue, so the dispatcher's final
+	// drain observes the channel's complete contents.
+	qmu     sync.RWMutex
+	stopped bool
+
+	cancel  context.CancelFunc
+	drained chan struct{}
+
+	// hmu guards sessions, every inference session this entry has ever
+	// activated that has not yet fully drained — the open-sessions gauge,
+	// and the hot-swap test's drain oracle.
+	hmu      sync.Mutex
+	sessions []*sourcelda.Inferrer
+}
+
+// LoadResult reports what a Load did.
+type LoadResult struct {
+	// Name and Version identify the now-active build.
+	Name, Version string
+	// Swapped is true when the load replaced a live version (a hot swap)
+	// rather than introducing a new name.
+	Swapped bool
+	// PreviousVersion is the replaced build's version string ("" when
+	// Swapped is false).
+	PreviousVersion string
+}
+
+// Load makes m the active version of the named model, hot-swapping any
+// previous version behind in-flight requests: queued and future batches
+// score against m, while batches already running finish on the old session,
+// which is drained and released via its reference count. The request path
+// is never blocked and no request fails because of a swap.
+//
+// ver names the build; when empty it falls back to the bundle's embedded
+// version, then to a process-unique "load-N". The model must be able to
+// build its inference session (a degenerate snapshot fails here, leaving
+// any previous version serving).
+func (r *Registry) Load(name, ver string, m *sourcelda.Model) (LoadResult, error) {
+	if !validName.MatchString(name) {
+		return LoadResult{}, fmt.Errorf("registry: invalid model name %q (want %s)", name, validName)
+	}
+	if m == nil {
+		return LoadResult{}, errors.New("registry: nil model")
+	}
+	inferrer, err := m.NewInferrer(r.cfg.Infer)
+	if err != nil {
+		return LoadResult{}, fmt.Errorf("registry: model %q cannot serve inference: %w", name, err)
+	}
+	seq := r.loadSeq.Add(1)
+	if ver == "" {
+		ver = m.BundleInfo().Version
+	}
+	if ver == "" {
+		ver = fmt.Sprintf("load-%d", seq)
+	}
+	tops := m.Topics()
+	v := &version{
+		model:    m,
+		inferrer: inferrer,
+		version:  ver,
+		loadedAt: time.Now(),
+		byIndex:  make([]sourcelda.Topic, len(tops)),
+	}
+	for _, tp := range tops {
+		v.byIndex[tp.Index] = tp
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		inferrer.Close()
+		return LoadResult{}, ErrClosed
+	}
+	e := r.entries[name]
+	if e == nil {
+		e = r.newEntry(name)
+		r.entries[name] = e
+	}
+	e.trackSession(inferrer)
+	old := e.current.Swap(v)
+	r.mu.Unlock()
+
+	res := LoadResult{Name: name, Version: ver}
+	if old != nil {
+		res.Swapped = true
+		res.PreviousVersion = old.version
+		e.metrics.recordSwap()
+		// Drop the owner reference; the old session frees its pool once the
+		// last in-flight batch releases its pin.
+		old.inferrer.Close()
+		r.cfg.logf("registry: model %q hot-swapped %s -> %s", name, old.version, ver)
+	} else {
+		r.cfg.logf("registry: model %q loaded (version %s, %d topics)", name, ver, len(v.byIndex))
+	}
+	return res, nil
+}
+
+// newEntry creates the per-name queue, metrics and dispatcher. Caller holds
+// r.mu.
+func (r *Registry) newEntry(name string) *entry {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &entry{
+		name:    name,
+		cfg:     &r.cfg,
+		jobs:    make(chan job, r.cfg.QueueSize),
+		metrics: newModelMetrics(),
+		cancel:  cancel,
+		drained: make(chan struct{}),
+	}
+	go e.run(ctx)
+	return e
+}
+
+// Unload removes the named model: new requests get ErrModelNotFound, jobs
+// still queued are failed with ErrUnloaded, and the active session drains
+// and releases behind any batch still running.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	e := r.entries[name]
+	if e == nil {
+		r.mu.Unlock()
+		return ErrModelNotFound
+	}
+	delete(r.entries, name)
+	r.mu.Unlock()
+	e.stop()
+	r.cfg.logf("registry: model %q unloaded", name)
+	return nil
+}
+
+// Close unloads every model and marks the registry closed. Call only after
+// the HTTP layer has drained in-flight handlers, or queued requests are
+// failed with ErrUnloaded.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	es := make([]*entry, 0, len(r.entries))
+	for name, e := range r.entries {
+		es = append(es, e)
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	for _, e := range es {
+		e.stop()
+	}
+}
+
+// stop shuts an entry down: refuse new submits, cancel the dispatcher,
+// wait for it to fail whatever was still queued, then release the active
+// session.
+func (e *entry) stop() {
+	e.qmu.Lock()
+	e.stopped = true
+	e.qmu.Unlock()
+	e.cancel()
+	<-e.drained
+	if v := e.current.Swap(nil); v != nil {
+		v.inferrer.Close()
+	}
+}
+
+// lookup resolves a model name ("" means the default model).
+func (r *Registry) lookup(name string) (*entry, error) {
+	if name == "" {
+		name = r.cfg.DefaultModel
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	e := r.entries[name]
+	if e == nil {
+		return nil, ErrModelNotFound
+	}
+	return e, nil
+}
+
+// Model returns the named model's currently active build ("" = default) —
+// the snapshot request validation and topic rendering read. A concurrent
+// swap may activate a newer build before the caller uses it; both are valid
+// serving models, so the race is benign.
+func (r *Registry) Model(name string) (*sourcelda.Model, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	v := e.current.Load()
+	if v == nil {
+		return nil, ErrModelNotFound
+	}
+	return v.model, nil
+}
+
+// Names lists loaded model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModelInfo is one model's listing entry: identity, provenance, and a
+// point-in-time serving snapshot.
+type ModelInfo struct {
+	Name          string
+	Version       string
+	LoadedAt      time.Time
+	Bundle        sourcelda.BundleInfo
+	Topics        int
+	QueueDepth    int
+	QueueCapacity int
+	// OpenSessions counts inference sessions not yet fully drained: 1 in
+	// steady state, 2+ momentarily during a hot swap.
+	OpenSessions int
+	Stats        MetricsSnapshot
+}
+
+// Info reports the named model ("" = default).
+func (r *Registry) Info(name string) (ModelInfo, error) {
+	e, err := r.lookup(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return e.info(), nil
+}
+
+// ListInfo reports every loaded model, sorted by name.
+func (r *Registry) ListInfo() []ModelInfo {
+	r.mu.RLock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	out := make([]ModelInfo, len(es))
+	for i, e := range es {
+		out[i] = e.info()
+	}
+	return out
+}
+
+func (e *entry) info() ModelInfo {
+	mi := ModelInfo{
+		Name:          e.name,
+		QueueDepth:    len(e.jobs),
+		QueueCapacity: cap(e.jobs),
+		OpenSessions:  e.openSessions(),
+		Stats:         e.metrics.snapshot(),
+	}
+	if v := e.current.Load(); v != nil {
+		mi.Version = v.version
+		mi.LoadedAt = v.loadedAt
+		mi.Bundle = v.model.BundleInfo()
+		mi.Topics = len(v.byIndex)
+	}
+	return mi
+}
+
+// trackSession registers a session for the open-sessions gauge.
+func (e *entry) trackSession(inf *sourcelda.Inferrer) {
+	e.hmu.Lock()
+	e.sessions = append(e.sessions, inf)
+	e.hmu.Unlock()
+}
+
+// openSessions counts sessions that have not fully drained, pruning the
+// drained ones as it goes.
+func (e *entry) openSessions() int {
+	e.hmu.Lock()
+	defer e.hmu.Unlock()
+	live := e.sessions[:0]
+	for _, s := range e.sessions {
+		if !s.Closed() {
+			live = append(live, s)
+		}
+	}
+	for i := len(live); i < len(e.sessions); i++ {
+		e.sessions[i] = nil
+	}
+	e.sessions = live
+	return len(live)
+}

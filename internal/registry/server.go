@@ -1,0 +1,420 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sourcelda"
+)
+
+// Server is the registry's HTTP surface: inference and topic routes (both
+// the default-model aliases and the per-model forms), the model admin API,
+// Prometheus metrics and health. See docs/API.md for the full reference.
+type Server struct {
+	reg   *Registry
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wraps the registry with the HTTP API.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v1/topics", s.handleTopics)
+	s.mux.HandleFunc("GET /v1/models/{name}/topics", s.handleTopics)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
+	s.mux.HandleFunc("PUT /v1/models/{name}", s.handlePutModel)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// inferRequest is the POST /v1/infer body: exactly one of Text or
+// Documents.
+type inferRequest struct {
+	Text      *string  `json:"text,omitempty"`
+	Documents []string `json:"documents,omitempty"`
+}
+
+// decodeInferRequest parses and validates an inference body, returning the
+// documents to score and whether the caller used the single-text form.
+// Every rejection is a client error (4xx); it must never panic on malformed
+// input (fuzzed).
+func decodeInferRequest(body []byte, maxDocs int) (texts []string, single bool, err error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req inferRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, false, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	// Trailing garbage after the JSON value is a malformed request.
+	if dec.More() {
+		return nil, false, errors.New("invalid JSON body: trailing data")
+	}
+	switch {
+	case req.Text != nil && req.Documents != nil:
+		return nil, false, errors.New(`provide exactly one of "text" or "documents"`)
+	case req.Text != nil:
+		if strings.TrimSpace(*req.Text) == "" {
+			return nil, false, errors.New(`"text" must be non-empty`)
+		}
+		return []string{*req.Text}, true, nil
+	case req.Documents != nil:
+		if len(req.Documents) == 0 {
+			return nil, false, errors.New(`"documents" must be non-empty`)
+		}
+		if len(req.Documents) > maxDocs {
+			return nil, false, fmt.Errorf(`"documents" has %d entries; limit is %d`, len(req.Documents), maxDocs)
+		}
+		for i, d := range req.Documents {
+			if strings.TrimSpace(d) == "" {
+				return nil, false, fmt.Errorf("document %d is empty", i)
+			}
+		}
+		return req.Documents, false, nil
+	default:
+		return nil, false, errors.New(`provide "text" or "documents"`)
+	}
+}
+
+// topicJSON is one labeled topic weight in a response.
+type topicJSON struct {
+	Index  int     `json:"index"`
+	Label  string  `json:"label"`
+	Source bool    `json:"source"`
+	Weight float64 `json:"weight"`
+}
+
+// inferredDocJSON is one document's scored mixture.
+type inferredDocJSON struct {
+	// TopTopics are the heaviest topics, descending.
+	TopTopics []topicJSON `json:"top_topics"`
+	// Mixture is the full distribution in model-topic order (aligned with
+	// the model's /topics endpoint).
+	Mixture       []float64 `json:"mixture"`
+	KnownTokens   int       `json:"known_tokens"`
+	UnknownTokens int       `json:"unknown_tokens"`
+}
+
+// modelName extracts the request's model name: the {name} path segment, or
+// "" for the default-model alias routes.
+func modelName(r *http.Request) string { return r.PathValue("name") }
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	e, err := s.reg.lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		return
+	}
+	// Everything below reports its terminal status into the model's
+	// metrics, including the request latency.
+	startReq := time.Now()
+	code := s.serveInfer(w, r, e)
+	e.metrics.recordRequest(code, time.Since(startReq))
+}
+
+// serveInfer handles one inference request against a resolved model entry
+// and returns the HTTP status it wrote.
+func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry) int {
+	cfg := s.reg.cfg
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.MaxBody))
+	if err != nil {
+		// Only the MaxBytesReader limit means the body was oversized; any
+		// other read failure (client disconnect mid-upload, transport
+		// error) must not claim 413.
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			return writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		case r.Context().Err() != nil:
+			// 499 "client closed request" (nginx convention): the client
+			// went away mid-read, so no standard 4xx applies and nobody is
+			// listening anyway — but access logs should not blame body size.
+			return writeError(w, 499, "client closed request")
+		default:
+			return writeError(w, http.StatusBadRequest, "failed to read request body")
+		}
+	}
+	texts, single, err := decodeInferRequest(body, cfg.MaxDocs)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	v := e.current.Load()
+	if v == nil {
+		return writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+	}
+	// Reject unknown-word-only documents before queueing: the check is one
+	// tokenization pass, so the 422 costs no sampling and no queue slots.
+	for i, text := range texts {
+		if v.model.CountKnownTokens(text) == 0 {
+			return writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
+		}
+	}
+	results, err := e.enqueue(r.Context(), texts)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		e.metrics.recordShed()
+		return writeError(w, http.StatusServiceUnavailable, ErrOverloaded.Error())
+	case errors.Is(err, ErrUnloaded):
+		return writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+	case err != nil && r.Context().Err() != nil:
+		// The caller disconnected while its documents were queued — the
+		// same client-gone condition as the body-read path, and the same
+		// 499: it must not count as a server error.
+		return writeError(w, 499, "client closed request")
+	case err != nil:
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	docs := make([]inferredDocJSON, len(results))
+	for i, res := range results {
+		if res.Doc == nil {
+			// Defense in depth: the pre-check above already filtered these
+			// (barring a vocabulary-shrinking swap racing the pre-check).
+			return writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
+		}
+		// Render with the build that scored the document, NOT the pre-queue
+		// snapshot v: a hot swap between the vocabulary check and scoring
+		// means labels and mixture widths belong to the new build.
+		docs[i] = renderDoc(res.Model, res.Doc, cfg.TopN)
+	}
+	if single {
+		return writeJSON(w, http.StatusOK, map[string]any{"result": docs[0]})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"results": docs})
+}
+
+func renderDoc(m *sourcelda.Model, res *sourcelda.DocumentInference, topN int) inferredDocJSON {
+	top := m.TopTopics(res, topN)
+	out := inferredDocJSON{
+		TopTopics:     make([]topicJSON, len(top)),
+		Mixture:       res.Topics,
+		KnownTokens:   res.KnownTokens,
+		UnknownTokens: res.UnknownTokens,
+	}
+	for i, tp := range top {
+		out.TopTopics[i] = topicJSON{
+			Index: tp.Index, Label: tp.Label, Source: tp.IsSourceTopic, Weight: tp.Weight,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	e, err := s.reg.lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		return
+	}
+	v := e.current.Load()
+	if v == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+		return
+	}
+	type topicInfo struct {
+		Index    int      `json:"index"`
+		Label    string   `json:"label"`
+		Source   bool     `json:"source"`
+		Weight   float64  `json:"weight"`
+		TopWords []string `json:"top_words"`
+	}
+	topics := make([]topicInfo, len(v.byIndex))
+	for i, tp := range v.byIndex {
+		topics[i] = topicInfo{
+			Index:    tp.Index,
+			Label:    tp.Label,
+			Source:   tp.IsSourceTopic,
+			Weight:   tp.Weight,
+			TopWords: tp.TopWords(10),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":   e.name,
+		"version": v.version,
+		"topics":  topics,
+	})
+}
+
+// modelInfoJSON is one model's listing entry on the admin API.
+type modelInfoJSON struct {
+	Name          string  `json:"name"`
+	Version       string  `json:"version"`
+	LoadedAt      string  `json:"loaded_at,omitempty"`
+	Topics        int     `json:"topics"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	OpenSessions  int     `json:"open_sessions"`
+	Requests      uint64  `json:"requests"`
+	Shed          uint64  `json:"shed"`
+	Swaps         uint64  `json:"swaps"`
+	LatencyP50    float64 `json:"latency_p50_seconds"`
+	LatencyP99    float64 `json:"latency_p99_seconds"`
+	ChainDigest   string  `json:"chain_digest,omitempty"`
+	TrainedAt     string  `json:"trained_at,omitempty"`
+	BundleName    string  `json:"bundle_name,omitempty"`
+	BundleVersion string  `json:"bundle_version,omitempty"`
+}
+
+func infoToJSON(mi ModelInfo) modelInfoJSON {
+	out := modelInfoJSON{
+		Name:          mi.Name,
+		Version:       mi.Version,
+		Topics:        mi.Topics,
+		QueueDepth:    mi.QueueDepth,
+		QueueCapacity: mi.QueueCapacity,
+		OpenSessions:  mi.OpenSessions,
+		Requests:      mi.Stats.Requests,
+		Shed:          mi.Stats.Shed,
+		Swaps:         mi.Stats.Swaps,
+		LatencyP50:    mi.Stats.LatencyP50,
+		LatencyP99:    mi.Stats.LatencyP99,
+		ChainDigest:   mi.Bundle.ChainDigest,
+		BundleName:    mi.Bundle.Name,
+		BundleVersion: mi.Bundle.Version,
+	}
+	if !mi.LoadedAt.IsZero() {
+		out.LoadedAt = mi.LoadedAt.UTC().Format(time.RFC3339)
+	}
+	if !mi.Bundle.TrainedAt.IsZero() {
+		out.TrainedAt = mi.Bundle.TrainedAt.UTC().Format(time.RFC3339)
+	}
+	return out
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	infos := s.reg.ListInfo()
+	models := make([]modelInfoJSON, len(infos))
+	for i, mi := range infos {
+		models[i] = infoToJSON(mi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default_model": s.reg.DefaultModel(),
+		"models":        models,
+	})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	mi, err := s.reg.Info(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		return
+	}
+	writeJSON(w, http.StatusOK, infoToJSON(mi))
+}
+
+// handlePutModel loads (or hot-swaps) a model: the request body IS the
+// bundle, exactly as written by srclda -save-bundle / sourcelda.SaveBundle
+// (gzip or plain JSON — the loader sniffs). `?version=` overrides the
+// version recorded for the build; otherwise the bundle's embedded version,
+// then a process-unique fallback, is used.
+func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	// Validate the name before consuming the body: an invalid name must not
+	// cost a potentially hundreds-of-MB upload.
+	if !validName.MatchString(name) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid model name %q (want %s)", name, validName))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.reg.cfg.AdminMaxBody)
+	m, err := sourcelda.LoadBundle(body)
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("bundle exceeds %d bytes", maxErr.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid bundle: %v", err))
+		return
+	}
+	res, err := s.reg.Load(name, r.URL.Query().Get("version"), m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if res.Swapped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{
+		"model":            res.Name,
+		"version":          res.Version,
+		"swapped":          res.Swapped,
+		"previous_version": res.PreviousVersion,
+	})
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	if err := s.reg.Unload(name); err != nil {
+		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"unloaded": name})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	out := map[string]any{
+		"status":         "ok",
+		"models":         len(names),
+		"default_model":  s.reg.DefaultModel(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	// Backward-compatible single-model fields describing the default model,
+	// when one is loaded (the pre-registry daemon reported exactly these).
+	if mi, err := s.reg.Info(""); err == nil {
+		out["topics"] = mi.Topics
+		out["queue_depth"] = mi.QueueDepth
+		out["queue_capacity"] = mi.QueueCapacity
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// modelNotFoundMsg names the missing model and lists what is loaded, so a
+// 404 is self-diagnosing.
+func modelNotFoundMsg(name string, reg *Registry) string {
+	if name == "" {
+		name = reg.DefaultModel()
+	}
+	loaded := reg.Names()
+	if len(loaded) == 0 {
+		return fmt.Sprintf("model %q is not loaded (no models loaded)", name)
+	}
+	return fmt.Sprintf("model %q is not loaded (loaded: %s)", name, strings.Join(loaded, ", "))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,4 +1,4 @@
-package main
+package registry
 
 import (
 	"bytes"
@@ -17,10 +17,17 @@ import (
 	"sourcelda"
 )
 
-// newTestServer trains a tiny model, round-trips it through a bundle (the
-// full deployment path: train → SaveBundle → LoadBundle → serve), and
-// returns a running httptest server.
-func newTestServer(t testing.TB, cfg config) (*httptest.Server, *server) {
+// trainModel fits a tiny cleanly-separable model and round-trips it through
+// a bundle (the full deployment path: train → SaveBundle → LoadBundle).
+func trainModel(t testing.TB, seed int64) *sourcelda.Model {
+	return trainModelFree(t, seed, 0)
+}
+
+// trainModelFree is trainModel with free topics: a nonzero count yields a
+// model with a different topic set (and mixture width) over the same
+// vocabulary — structurally distinguishable from trainModel's output, which
+// hot-swap tests need.
+func trainModelFree(t testing.TB, seed int64, freeTopics int) *sourcelda.Model {
 	t.Helper()
 	b := sourcelda.NewCorpusBuilder()
 	for i := 0; i < 10; i++ {
@@ -36,9 +43,10 @@ func newTestServer(t testing.TB, cfg config) (*httptest.Server, *server) {
 		t.Fatal(err)
 	}
 	m, err := sourcelda.Fit(c, k, sourcelda.Options{
+		FreeTopics: freeTopics,
 		Lambda:     &sourcelda.LambdaPrior{Fixed: true, Lambda: 1},
 		Iterations: 60,
-		Seed:       7,
+		Seed:       seed,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,29 +59,44 @@ func newTestServer(t testing.TB, cfg config) (*httptest.Server, *server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := newServer(loaded, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() {
-		s.run(ctx)
-		close(done)
-	}()
-	ts := httptest.NewServer(s)
-	t.Cleanup(func() {
-		ts.Close() // waits for in-flight handlers before the dispatcher stops
-		cancel()
-		<-done
-		s.close()
-	})
-	return ts, s
+	return loaded
 }
 
-func postInfer(t *testing.T, url, body string) (int, map[string]any) {
+// bundleBytes serializes a model for admin-API uploads.
+func bundleBytes(t testing.TB, m *sourcelda.Model, name, version string) []byte {
 	t.Helper()
-	resp, err := http.Post(url+"/v1/infer", "application/json", strings.NewReader(body))
+	var buf bytes.Buffer
+	if err := sourcelda.SaveBundleNamed(&buf, m, name, version); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTestServer stands up a registry with the default model preloaded
+// (train → bundle → load → serve) and returns the running httptest server
+// plus the registry for direct assertions.
+func newTestServer(t testing.TB, cfg Config) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := newTestRegistry(t, cfg)
+	if _, err := reg.Load(reg.DefaultModel(), "v1", trainModel(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(ts.Close) // before reg.Close: handlers drain first
+	return ts, reg
+}
+
+// newTestRegistry builds an empty registry whose Close runs at cleanup.
+func newTestRegistry(t testing.TB, cfg Config) *Registry {
+	t.Helper()
+	reg := New(cfg)
+	t.Cleanup(reg.Close)
+	return reg
+}
+
+func postInfer(t testing.TB, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +113,8 @@ func postInfer(t *testing.T, url, body string) (int, map[string]any) {
 }
 
 func TestEndToEndInfer(t *testing.T) {
-	ts, _ := newTestServer(t, config{})
-	code, out := postInfer(t, ts.URL, `{"text":"pencil ruler notebook eraser pencil"}`)
+	ts, _ := newTestServer(t, Config{})
+	code, out := postInfer(t, ts.URL+"/v1/infer", `{"text":"pencil ruler notebook eraser pencil"}`)
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %v", code, out)
 	}
@@ -123,10 +146,26 @@ func TestEndToEndInfer(t *testing.T) {
 	}
 }
 
+// TestNamedRouteAliasesDefault pins the backward-compatibility contract:
+// /v1/infer and /v1/models/{default}/infer are the same model and return
+// identical bytes for the same text.
+func TestNamedRouteAliasesDefault(t *testing.T) {
+	ts, reg := newTestServer(t, Config{})
+	body := `{"text":"pencil ruler notebook"}`
+	code1, unnamed := postInfer(t, ts.URL+"/v1/infer", body)
+	code2, named := postInfer(t, ts.URL+"/v1/models/"+reg.DefaultModel()+"/infer", body)
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("statuses %d/%d", code1, code2)
+	}
+	if fmt.Sprint(unnamed) != fmt.Sprint(named) {
+		t.Fatalf("default alias diverged from named route:\n%v\n%v", unnamed, named)
+	}
+}
+
 func TestBatchEndpointAndDeterminism(t *testing.T) {
-	ts, _ := newTestServer(t, config{})
+	ts, _ := newTestServer(t, Config{})
 	body := `{"documents":["baseball umpire glove","pencil paper ruler"]}`
-	code, out := postInfer(t, ts.URL, body)
+	code, out := postInfer(t, ts.URL+"/v1/infer", body)
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %v", code, out)
 	}
@@ -136,7 +175,7 @@ func TestBatchEndpointAndDeterminism(t *testing.T) {
 	}
 	// The same document must yield the same mixture on every request — and
 	// the same mixture whether sent alone or inside a batch.
-	code2, single := postInfer(t, ts.URL, `{"text":"baseball umpire glove"}`)
+	code2, single := postInfer(t, ts.URL+"/v1/infer", `{"text":"baseball umpire glove"}`)
 	if code2 != http.StatusOK {
 		t.Fatalf("status %d", code2)
 	}
@@ -149,11 +188,14 @@ func TestBatchEndpointAndDeterminism(t *testing.T) {
 	}
 }
 
-// TestConcurrentInference is the acceptance criterion: concurrent POSTs
-// (exercising the micro-batcher and the shared worker pool) all succeed and
-// deterministic responses hold under contention. Run with -race.
+// TestConcurrentInference: concurrent POSTs (exercising the micro-batcher
+// and the shared worker pool) all succeed and deterministic responses hold
+// under contention. Run with -race.
 func TestConcurrentInference(t *testing.T) {
-	ts, _ := newTestServer(t, config{workers: 4, batchWindow: time.Millisecond})
+	ts, _ := newTestServer(t, Config{
+		Infer:       sourcelda.InferOptions{Workers: 4},
+		BatchWindow: time.Millisecond,
+	})
 	texts := []string{
 		"pencil ruler notebook",
 		"baseball umpire inning glove",
@@ -216,7 +258,7 @@ func TestConcurrentInference(t *testing.T) {
 }
 
 func TestInferRejections(t *testing.T) {
-	ts, _ := newTestServer(t, config{maxDocs: 2})
+	ts, _ := newTestServer(t, Config{MaxDocs: 2})
 	cases := []struct {
 		name, body string
 		wantStatus int
@@ -235,7 +277,7 @@ func TestInferRejections(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			code, out := postInfer(t, ts.URL, tc.body)
+			code, out := postInfer(t, ts.URL+"/v1/infer", tc.body)
 			if code != tc.wantStatus {
 				t.Fatalf("status %d, want %d (%v)", code, tc.wantStatus, out)
 			}
@@ -244,7 +286,7 @@ func TestInferRejections(t *testing.T) {
 			}
 		})
 	}
-	// Wrong method.
+	// Wrong method (the pattern mux answers 405 with an Allow header).
 	resp, err := http.Get(ts.URL + "/v1/infer")
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +294,14 @@ func TestInferRejections(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/infer: status %d", resp.StatusCode)
+	}
+	// Unknown model → 404 naming what is loaded.
+	code, out := postInfer(t, ts.URL+"/v1/models/nope/infer", `{"text":"pencil"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d (%v)", code, out)
+	}
+	if msg := out["error"].(string); !strings.Contains(msg, `"nope"`) || !strings.Contains(msg, "default") {
+		t.Fatalf("unhelpful 404 message %q", msg)
 	}
 }
 
@@ -266,11 +316,12 @@ func (brokenReader) Read([]byte) (int, error) { return 0, errors.New("connection
 // Large. Only *http.MaxBytesError is that case; a mid-upload failure is a
 // 400 (or 499 when the client is already gone), never a claim about size.
 func TestBodyReadErrorStatuses(t *testing.T) {
-	ts, s := newTestServer(t, config{maxBody: 128})
+	ts, reg := newTestServer(t, Config{MaxBody: 128})
+	srv := NewServer(reg)
 
 	// Genuinely oversized body → 413 over the real HTTP path.
 	big := fmt.Sprintf(`{"text":"%s"}`, strings.Repeat("pencil ", 200))
-	code, out := postInfer(t, ts.URL, big)
+	code, out := postInfer(t, ts.URL+"/v1/infer", big)
 	if code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized body: status %d, want 413 (%v)", code, out)
 	}
@@ -278,7 +329,7 @@ func TestBodyReadErrorStatuses(t *testing.T) {
 	// A body that fails mid-read for transport reasons → 400, not 413.
 	req := httptest.NewRequest(http.MethodPost, "/v1/infer", brokenReader{})
 	rec := httptest.NewRecorder()
-	s.handleInfer(rec, req)
+	srv.ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("broken body: status %d, want 400 (%s)", rec.Code, rec.Body)
 	}
@@ -289,21 +340,23 @@ func TestBodyReadErrorStatuses(t *testing.T) {
 	cancel()
 	req = httptest.NewRequest(http.MethodPost, "/v1/infer", brokenReader{}).WithContext(ctx)
 	rec = httptest.NewRecorder()
-	s.handleInfer(rec, req)
+	srv.ServeHTTP(rec, req)
 	if rec.Code != 499 {
 		t.Fatalf("canceled client: status %d, want 499 (%s)", rec.Code, rec.Body)
 	}
 }
 
 func TestTopicsAndHealth(t *testing.T) {
-	ts, _ := newTestServer(t, config{})
+	ts, _ := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/topics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	var topics struct {
-		Topics []struct {
+		Model   string `json:"model"`
+		Version string `json:"version"`
+		Topics  []struct {
 			Index    int      `json:"index"`
 			Label    string   `json:"label"`
 			Source   bool     `json:"source"`
@@ -312,6 +365,9 @@ func TestTopicsAndHealth(t *testing.T) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&topics); err != nil {
 		t.Fatal(err)
+	}
+	if topics.Model != "default" || topics.Version != "v1" {
+		t.Fatalf("identity %q/%q", topics.Model, topics.Version)
 	}
 	if len(topics.Topics) != 2 {
 		t.Fatalf("%d topics", len(topics.Topics))
@@ -340,6 +396,9 @@ func TestTopicsAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	if health["status"] != "ok" || health["topics"].(float64) != 2 {
+		t.Fatalf("health %v", health)
+	}
+	if health["models"].(float64) != 1 || health["default_model"] != "default" {
 		t.Fatalf("health %v", health)
 	}
 }

@@ -1,0 +1,160 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sourcelda"
+)
+
+// BundleExt is the file extension the watcher treats as a model bundle; the
+// model name is the file name with the extension stripped (models/foo.bundle
+// serves as "foo").
+const BundleExt = ".bundle"
+
+// fileState is what the watcher remembers about one bundle file between
+// scans: enough to detect change without hashing (size+mtime), plus whether
+// the last load attempt failed — a bad file is not retried every tick, only
+// when it changes again, while a good unchanged file is re-checked against
+// the registry (see Scan) so an out-of-band unload gets reloaded.
+type fileState struct {
+	size    int64
+	modTime time.Time
+	failed  bool
+}
+
+// Watcher auto-loads model bundles dropped into a directory: new or changed
+// *.bundle files are loaded (a change hot-swaps the model), and removing a
+// file unloads the model it had loaded. Detection is polling-based (stat
+// size+mtime), so it works on any filesystem with no platform notifier
+// dependencies; writers should create bundles under a temp name and rename
+// into place, which makes the appearance atomic.
+type Watcher struct {
+	reg      *Registry
+	dir      string
+	interval time.Duration
+	seen     map[string]fileState
+	// owned tracks model names this watcher loaded, so it only unloads what
+	// it put in — never a model pushed over the admin API.
+	owned map[string]bool
+}
+
+// NewWatcher watches dir, polling at the given interval (minimum 100ms,
+// default 2s). Call Scan for a synchronous pass (e.g. before the listener
+// starts, so boot-time bundles are serving from the first request) and Run
+// for the polling loop.
+func NewWatcher(reg *Registry, dir string, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	return &Watcher{
+		reg:      reg,
+		dir:      dir,
+		interval: interval,
+		seen:     make(map[string]fileState),
+		owned:    make(map[string]bool),
+	}
+}
+
+// Run polls until ctx is done. Scan errors are logged (Config.Logf), never
+// fatal: a transient filesystem error on one tick must not kill serving.
+func (w *Watcher) Run(ctx context.Context) {
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if err := w.Scan(); err != nil {
+				w.reg.cfg.logf("registry: watcher: %v", err)
+			}
+		}
+	}
+}
+
+// Scan performs one synchronous pass: load new/changed bundles, unload
+// removed ones. Per-file load failures are logged and remembered (the file
+// is retried only after it changes again); the returned error covers only a
+// failure to read the directory itself.
+func (w *Watcher) Scan() error {
+	dirEntries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("read models dir: %w", err)
+	}
+	present := make(map[string]bool)
+	for _, de := range dirEntries {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), BundleExt) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), BundleExt)
+		if !validName.MatchString(name) {
+			w.reg.cfg.logf("registry: watcher: skipping %s: invalid model name %q", de.Name(), name)
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue // deleted between ReadDir and stat; next tick settles it
+		}
+		present[name] = true
+		st := fileState{size: fi.Size(), modTime: fi.ModTime()}
+		if prev, ok := w.seen[name]; ok && prev.size == st.size && prev.modTime.Equal(st.modTime) {
+			// Unchanged file. Skip it when it is known-bad (retry only once
+			// it changes) or its model is still serving. But a present file
+			// whose model is gone — e.g. an admin DELETE of a
+			// watcher-loaded model — is reloaded: the directory states the
+			// desired set, and skipping here would orphan the name until
+			// the file is touched.
+			if prev.failed {
+				continue
+			}
+			if _, err := w.reg.Info(name); err == nil {
+				continue
+			}
+		}
+		path := filepath.Join(w.dir, de.Name())
+		if err := w.loadFile(name, path); err != nil {
+			st.failed = true
+			w.reg.cfg.logf("registry: watcher: %s: %v", path, err)
+		}
+		w.seen[name] = st
+	}
+	// A removed file unloads its model, but only if this watcher loaded it.
+	for name := range w.seen {
+		if present[name] {
+			continue
+		}
+		delete(w.seen, name)
+		if w.owned[name] {
+			delete(w.owned, name)
+			if err := w.reg.Unload(name); err == nil {
+				w.reg.cfg.logf("registry: watcher: %s%s removed, model %q unloaded", name, BundleExt, name)
+			}
+		}
+	}
+	return nil
+}
+
+func (w *Watcher) loadFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := sourcelda.LoadBundle(f)
+	if err != nil {
+		return err
+	}
+	if _, err := w.reg.Load(name, "", m); err != nil {
+		return err
+	}
+	w.owned[name] = true
+	return nil
+}

@@ -1,0 +1,197 @@
+package registry
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeBundleFile writes a bundle atomically (temp + rename), the pattern
+// the watcher documentation prescribes, with a distinct mtime so a rewrite
+// is always detected even on coarse-grained filesystems.
+func writeBundleFile(t *testing.T, dir, name string, data []byte, stamp time.Time) string {
+	t.Helper()
+	tmp := filepath.Join(dir, ".tmp-"+name)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(tmp, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+BundleExt)
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestWatcherLifecycle drives Scan synchronously (no polling flake):
+// appear → load, change → hot swap, disappear → unload.
+func TestWatcherLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, Config{})
+	w := NewWatcher(reg, dir, time.Second)
+
+	// Empty directory: nothing loaded.
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(reg.Names()); n != 0 {
+		t.Fatalf("%d models after empty scan", n)
+	}
+
+	// Drop a bundle → it serves under the file's base name.
+	m := trainModel(t, 7)
+	base := time.Now().Add(-time.Hour)
+	writeBundleFile(t, dir, "alpha", bundleBytes(t, m, "alpha", "w1"), base)
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := reg.Info("alpha")
+	if err != nil || info.Version != "w1" {
+		t.Fatalf("after drop: %v %v", info, err)
+	}
+	if _, err := reg.Infer(t.Context(), "alpha", []string{"pencil ruler"}); err != nil {
+		t.Fatalf("inference against watched model: %v", err)
+	}
+
+	// Unchanged file: no reload (version unchanged, no swap counted).
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := reg.Info("alpha"); info.Stats.Swaps != 0 {
+		t.Fatalf("unchanged file caused %d swaps", info.Stats.Swaps)
+	}
+
+	// Rewrite with a newer mtime → hot swap to the new version.
+	writeBundleFile(t, dir, "alpha", bundleBytes(t, m, "alpha", "w2"), base.Add(time.Minute))
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = reg.Info("alpha")
+	if info.Version != "w2" || info.Stats.Swaps != 1 {
+		t.Fatalf("after rewrite: version %q swaps %d", info.Version, info.Stats.Swaps)
+	}
+
+	// Remove the file → the watcher unloads the model it loaded.
+	if err := os.Remove(filepath.Join(dir, "alpha"+BundleExt)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Info("alpha"); err == nil {
+		t.Fatal("model still loaded after its file was removed")
+	}
+}
+
+// TestWatcherReloadsAfterAdminDelete: the watched directory states the
+// desired model set. An admin-API DELETE of a watcher-loaded model whose
+// file is still present (and unchanged) is reloaded on the next scan —
+// without this, the name would 404 forever until someone touched the file.
+func TestWatcherReloadsAfterAdminDelete(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, Config{})
+	w := NewWatcher(reg, dir, time.Second)
+	writeBundleFile(t, dir, "alpha", bundleBytes(t, trainModel(t, 7), "alpha", "w1"), time.Now().Add(-time.Hour))
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Unload("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := reg.Info("alpha"); err != nil || info.Version != "w1" {
+		t.Fatalf("unchanged present file not reloaded after admin delete: %v %v", info, err)
+	}
+}
+
+// TestWatcherDoesNotUnloadAdminModels: removing a file only unloads models
+// the watcher itself loaded — an admin-API model with a colliding name is
+// left alone.
+func TestWatcherDoesNotUnloadAdminModels(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, Config{})
+	if _, err := reg.Load("manual", "m1", trainModel(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWatcher(reg, dir, time.Second)
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Info("manual"); err != nil {
+		t.Fatal("admin-loaded model unloaded by a scan of an unrelated dir")
+	}
+}
+
+// TestWatcherBadFile: a corrupt bundle is logged and skipped without
+// disturbing serving, and is not retried until the file changes.
+func TestWatcherBadFile(t *testing.T) {
+	dir := t.TempDir()
+	var logs int
+	reg := newTestRegistry(t, Config{Logf: func(string, ...any) { logs++ }})
+	w := NewWatcher(reg, dir, time.Second)
+
+	base := time.Now().Add(-time.Hour)
+	writeBundleFile(t, dir, "broken", []byte("not a bundle"), base)
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(reg.Names()); n != 0 {
+		t.Fatalf("%d models loaded from a corrupt file", n)
+	}
+	failures := logs
+	if failures == 0 {
+		t.Fatal("corrupt bundle was not logged")
+	}
+	// Unchanged bad file: not retried.
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if logs != failures {
+		t.Fatal("unchanged corrupt bundle retried every scan")
+	}
+	// Fixed file: picked up.
+	writeBundleFile(t, dir, "broken", bundleBytes(t, trainModel(t, 7), "", "fixed"), base.Add(time.Minute))
+	if err := w.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := reg.Info("broken"); err != nil || info.Version != "fixed" {
+		t.Fatalf("repaired bundle not loaded: %v %v", info, err)
+	}
+}
+
+// TestWatcherPolling exercises the actual Run loop once, end to end over
+// HTTP: drop a file, wait for the poller to serve it.
+func TestWatcherPolling(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, Config{})
+	url := newHTTPServer(t, reg)
+	w := NewWatcher(reg, dir, 100*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+
+	writeBundleFile(t, dir, "polled", bundleBytes(t, trainModel(t, 7), "", "p1"), time.Now())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/models/polled")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poller never loaded the dropped bundle")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

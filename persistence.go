@@ -80,23 +80,53 @@ func LoadModel(r io.Reader, c *Corpus, k *KnowledgeSource) (*Model, error) {
 // vocabulary, knowledge source and fitted snapshot in one gzip-compressed
 // versioned archive. A bundle is everything cmd/srcldad (or LoadBundle)
 // needs; no companion corpus or source files are required at load time.
+// The model's provenance (BundleInfo) is embedded as written; use
+// SaveBundleNamed to assign a registry name and version at save time.
 func SaveBundle(w io.Writer, m *Model) error {
 	if m == nil {
 		return errors.New("sourcelda: nil model")
 	}
-	return persist.SaveBundle(w, m.vocab.Words(), m.source, m.res)
+	return SaveBundleNamed(w, m, m.info.Name, m.info.Version)
+}
+
+// SaveBundleNamed is SaveBundle with the bundle's registry identity
+// assigned: name is the logical model name a multi-model daemon serves it
+// under and version distinguishes this build from earlier ones (both may be
+// empty). The model's chain digest and training time ride along, so the
+// deployed artifact stays traceable to the run that produced it.
+func SaveBundleNamed(w io.Writer, m *Model, name, version string) error {
+	if m == nil {
+		return errors.New("sourcelda: nil model")
+	}
+	meta := &persist.BundleMeta{
+		Name:        name,
+		Version:     version,
+		ChainDigest: m.info.ChainDigest,
+		TrainedAt:   m.info.TrainedAt,
+	}
+	return persist.SaveBundleMeta(w, m.vocab.Words(), m.source, m.res, meta)
 }
 
 // LoadBundle reads a bundle written by SaveBundle and returns a fully
 // self-contained model: Topics, Infer and InferBatch all work without the
 // training corpus. DocumentTopics still reports the training documents'
-// mixtures captured in the snapshot.
+// mixtures captured in the snapshot. Embedded provenance is available via
+// Model.BundleInfo (zero for bundles written before metadata existed).
 func LoadBundle(r io.Reader) (*Model, error) {
 	b, err := persist.LoadBundle(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{res: b.Result, vocab: b.Vocab, source: b.Source}, nil
+	m := &Model{res: b.Result, vocab: b.Vocab, source: b.Source}
+	if b.Meta != nil {
+		m.info = BundleInfo{
+			Name:        b.Meta.Name,
+			Version:     b.Meta.Version,
+			ChainDigest: b.Meta.ChainDigest,
+			TrainedAt:   b.Meta.TrainedAt,
+		}
+	}
+	return m, nil
 }
 
 // TuningResult reports a (µ, σ) grid search (§III-C5a: select the prior by

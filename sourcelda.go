@@ -36,13 +36,13 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/corpus"
 	"sourcelda/internal/infer"
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/labeling"
-	"sourcelda/internal/parallel"
 	"sourcelda/internal/persist"
 	"sourcelda/internal/textproc"
 )
@@ -266,11 +266,35 @@ type Model struct {
 	res    *Result
 	vocab  *textproc.Vocabulary
 	source *knowledge.Source
+	info   BundleInfo
 
 	frozenOnce sync.Once
 	frozen     *core.Frozen
 	frozenErr  error
 }
+
+// BundleInfo is deployment provenance for a model: the logical name and
+// version a serving registry knows it by, the chain-options fingerprint of
+// the run that trained it, and when training finished. Fit and Resume stamp
+// ChainDigest and TrainedAt; Name and Version are assigned when the model
+// is saved as a named bundle (SaveBundleNamed) or loaded from one.
+type BundleInfo struct {
+	// Name is the logical model name ("" when never assigned).
+	Name string
+	// Version distinguishes successive builds of the same named model.
+	Version string
+	// ChainDigest fingerprints the chain-shaping training options as 16
+	// lowercase hex digits — the same digest training checkpoints embed, so
+	// a served bundle is traceable to its exact training configuration.
+	ChainDigest string
+	// TrainedAt is when training finished (UTC), zero when unknown.
+	TrainedAt time.Time
+}
+
+// BundleInfo returns the model's provenance. Fields are zero when unknown
+// (e.g. a model loaded from a snapshot or a bundle written before metadata
+// existed).
+func (m *Model) BundleInfo() BundleInfo { return m.info }
 
 // Result aliases the internal result snapshot.
 type Result = core.Result
@@ -390,7 +414,17 @@ func Fit(c *Corpus, k *KnowledgeSource, opts Options) (*Model, error) {
 	if err := runTraining(m, c, opts, coreOpts.Iterations); err != nil {
 		return nil, err
 	}
-	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s}, nil
+	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s, info: trainedInfo(coreOpts)}, nil
+}
+
+// trainedInfo stamps a freshly trained model's provenance: the chain-options
+// digest (identical to the one its checkpoints embed) and the completion
+// time.
+func trainedInfo(coreOpts core.Options) BundleInfo {
+	return BundleInfo{
+		ChainDigest: fmt.Sprintf("%016x", coreOpts.ChainDigest()),
+		TrainedAt:   time.Now().UTC().Truncate(time.Second),
+	}
 }
 
 // Resume reconstructs a mid-run chain from a checkpoint written during an
@@ -423,7 +457,7 @@ func Resume(path string, c *Corpus, k *KnowledgeSource, opts Options) (*Model, e
 	if err := runTraining(m, c, opts, coreOpts.Iterations); err != nil {
 		return nil, err
 	}
-	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s}, nil
+	return &Model{res: m.Result(), vocab: c.c.Vocab, source: k.s, info: trainedInfo(coreOpts)}, nil
 }
 
 // runTraining drives the chain from its current sweep to totalSweeps,
@@ -664,10 +698,16 @@ func (m *Model) CountKnownTokens(text string) int {
 // schedule is pinned at construction and the worker pool is long-lived, so
 // a serving loop pays the pool spawn once instead of per batch. Safe for
 // concurrent use until Close.
+//
+// The session is reference-counted for hot-swap serving: Acquire/Release
+// pin it across a unit of work, and Close (the owner's release) frees the
+// worker pool only once every outstanding pin has been released. A registry
+// can therefore swap a model's active Inferrer atomically and let the old
+// handle drain behind in-flight requests instead of blocking or failing
+// them.
 type Inferrer struct {
-	m    *Model
-	e    *infer.Engine
-	pool *parallel.Pool
+	m *Model
+	s *infer.Session
 }
 
 // NewInferrer builds a reusable inference session. Close it to release the
@@ -677,20 +717,29 @@ func (m *Model) NewInferrer(opts InferOptions) (*Inferrer, error) {
 	if err != nil {
 		return nil, err
 	}
-	inf := &Inferrer{m: m, e: e}
-	if opts.Workers > 1 {
-		inf.pool = parallel.NewPool(opts.Workers)
-	}
-	return inf, nil
+	return &Inferrer{m: m, s: infer.NewSession(e, opts.Workers)}, nil
 }
 
-// Close releases the worker pool. The Inferrer must not be used after
-// Close; it is safe to call more than once.
-func (inf *Inferrer) Close() {
-	if inf.pool != nil {
-		inf.pool.Close()
-	}
-}
+// Model returns the fitted model this session scores against.
+func (inf *Inferrer) Model() *Model { return inf.m }
+
+// Acquire pins the session for a unit of work, returning false when it has
+// already fully drained (Close called and every pin released). Pair every
+// successful Acquire with exactly one Release.
+func (inf *Inferrer) Acquire() bool { return inf.s.Acquire() }
+
+// Release unpins one Acquire; the last release after Close frees the pool.
+func (inf *Inferrer) Release() { inf.s.Release() }
+
+// Close releases the owner's reference to the session. The worker pool is
+// freed once no Acquire pins remain; until then in-flight batches finish
+// normally. The Inferrer must not be used after Close except through still
+// outstanding Acquire pins; Close is safe to call more than once.
+func (inf *Inferrer) Close() { inf.s.Close() }
+
+// Closed reports whether the session has fully drained and released its
+// resources.
+func (inf *Inferrer) Closed() bool { return inf.s.Closed() }
 
 // Infer scores one document; see Model.Infer.
 func (inf *Inferrer) Infer(text string) (*DocumentInference, error) {
@@ -709,7 +758,7 @@ func (inf *Inferrer) InferBatch(texts []string) []*DocumentInference {
 	for i, text := range texts {
 		docs[i] = encodeForInference(inf.m.vocab, text)
 	}
-	scored := inf.e.InferBatch(docs, inf.pool)
+	scored := inf.s.InferBatch(docs)
 	out := make([]*DocumentInference, len(texts))
 	for i, d := range scored {
 		if d.Theta == nil {
