@@ -11,6 +11,8 @@
 //	srclda -model lda -topics 20    # baseline LDA on the demo corpus
 //	srclda -corpus docs/ -source wiki/ -free 10 -iters 500
 //	srclda -save-bundle model.bundle   # emit a serving bundle for srcldad
+//	srclda -save-bundle model.bundle -bundle-format flat   # mmap-able flat bundle
+//	srclda -convert-bundle old.bundle -save-bundle new.bundle -bundle-format flat
 //
 // Long runs can checkpoint periodically and resume after a crash with the
 // exact same chain (pass the same data and chain flags; -iters is the
@@ -23,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -55,6 +58,8 @@ type cliFlags struct {
 	topN, minDocs             *int
 	saveTo, bundleTo          *string
 	bundleName, bundleVersion *string
+	bundleFormat              *string
+	convertBundle             *string
 	ckptDir                   *string
 	ckptEvery, ckptKeep       *int
 	resume                    *string
@@ -82,6 +87,8 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 		bundleTo:      fs.String("save-bundle", "", "write a self-contained serving bundle (vocabulary + source + snapshot) for cmd/srcldad to this file (default \"\": don't)"),
 		bundleName:    fs.String("bundle-name", "", "logical model name embedded in the bundle written by -save-bundle; the srcldad models-dir watcher and admin API key rollouts on it (default \"\": unnamed)"),
 		bundleVersion: fs.String("bundle-version", "", "version string embedded in the bundle written by -save-bundle, distinguishing successive builds of the same model (default \"\": unversioned)"),
+		bundleFormat:  fs.String("bundle-format", "json", "format -save-bundle and -convert-bundle write: json (gzip JSON, retrainable archive) or flat (mmap-able zero-copy binary srcldad loads in O(1)) (default json)"),
+		convertBundle: fs.String("convert-bundle", "", "convert this existing gzip-JSON bundle to -bundle-format, write it to -save-bundle, and exit without training (default \"\": train normally)"),
 		ckptDir:       fs.String("checkpoint-dir", "", "directory for periodic training checkpoints, created if missing (default \"\": checkpointing off)"),
 		ckptEvery:     fs.Int("checkpoint-every", 50, "sweeps between checkpoints; each write is atomic (temp file + fsync + rename) (default 50)"),
 		ckptKeep:      fs.Int("checkpoint-retain", 3, "newest checkpoints kept per directory; negative keeps all (default 3)"),
@@ -98,6 +105,22 @@ func main() {
 	topN, minDocs, saveTo, bundleTo := f.topN, f.minDocs, f.saveTo, f.bundleTo
 	ckptDir, ckptEvery, ckptKeep, resume := f.ckptDir, f.ckptEvery, f.ckptKeep, f.resume
 	flag.Parse()
+
+	if *f.bundleFormat != "json" && *f.bundleFormat != "flat" {
+		fmt.Fprintf(os.Stderr, "unknown bundle format %q (want json or flat)\n", *f.bundleFormat)
+		os.Exit(2)
+	}
+	// Conversion mode: no training, no corpus — just re-encode an existing
+	// bundle and exit.
+	if *f.convertBundle != "" {
+		if *bundleTo == "" {
+			fmt.Fprintln(os.Stderr, "-convert-bundle needs -save-bundle OUT for the converted file")
+			os.Exit(2)
+		}
+		exitOn(convertBundle(*f.convertBundle, *bundleTo, *f.bundleFormat))
+		fmt.Printf("converted %s -> %s (%s format)\n", *f.convertBundle, *bundleTo, *f.bundleFormat)
+		return
+	}
 
 	// Validate up front so a typo'd mode fails for every -model, not just
 	// srclda (the only model the sweep flags apply to).
@@ -246,7 +269,11 @@ func main() {
 				ChainDigest: fmt.Sprintf("%016x", opts.ChainDigest()),
 				TrainedAt:   time.Now().UTC().Truncate(time.Second),
 			}
-			exitOn(persist.SaveBundleMeta(out, c.Vocab.Words(), src, res, meta))
+			if *f.bundleFormat == "flat" {
+				exitOn(persist.SaveBundleFlat(out, c.Vocab.Words(), src, res, meta))
+			} else {
+				exitOn(persist.SaveBundleMeta(out, c.Vocab.Words(), src, res, meta))
+			}
 			exitOn(out.Close())
 			fmt.Printf("\nserving bundle written to %s (serve it: srcldad -bundle %s)\n", *bundleTo, *bundleTo)
 		}
@@ -306,6 +333,44 @@ func exitOn(err error) {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// convertBundle re-encodes an existing gzip-JSON bundle into the requested
+// format. Flat input is rejected: the flat format is a one-way serving
+// artifact (no knowledge source, no training mixtures), so there is nothing
+// to convert it back from — keep the JSON original.
+func convertBundle(in, out, format string) error {
+	src, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	var magic [8]byte
+	if n, _ := src.Read(magic[:]); persist.IsFlatBundle(magic[:n]) {
+		return fmt.Errorf("%s is already a flat bundle; conversion reads gzip-JSON bundles (flat bundles cannot be converted back — keep the JSON original)", in)
+	}
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "flat":
+		err = persist.ConvertBundleToFlat(src, dst)
+	default: // json: decode + re-encode, normalizing a hand-edited bundle
+		var b *persist.Bundle
+		if b, err = persist.LoadBundle(src); err == nil {
+			err = persist.SaveBundleMeta(dst, b.Vocab.Words(), b.Source, b.Result, b.Meta)
+		}
+	}
+	if err != nil {
+		dst.Close()
+		os.Remove(out)
+		return err
+	}
+	return dst.Close()
 }
 
 // loadData reads the corpus and knowledge source from directories, or

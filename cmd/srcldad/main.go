@@ -73,8 +73,8 @@ type cliFlags struct {
 
 func defineFlags(fs *flag.FlagSet) *cliFlags {
 	return &cliFlags{
-		bundle:        fs.String("bundle", "", "serving bundle preloaded as the default model at startup (default \"\": none; load via -models-dir or the admin API)"),
-		modelsDir:     fs.String("models-dir", "", "directory watched for *.bundle files: name.bundle auto-loads as model \"name\", changed files hot-swap, removed files unload (default \"\": no watcher)"),
+		bundle:        fs.String("bundle", "", "serving bundle preloaded as the default model at startup, gzip-JSON or flat (flat is memory-mapped) (default \"\": none; load via -models-dir or the admin API)"),
+		modelsDir:     fs.String("models-dir", "", "directory watched for *.bundle files (either format, sniffed by magic): name.bundle auto-loads as model \"name\", changed files hot-swap, removed files unload (default \"\": no watcher)"),
 		watchInterval: fs.Duration("watch-interval", 2*time.Second, "poll interval of the -models-dir watcher (default 2s)"),
 		defaultModel:  fs.String("default-model", "default", "model name the unnamed routes /v1/infer and /v1/topics alias (default \"default\")"),
 		addr:          fs.String("addr", ":8080", "listen address"),
@@ -137,13 +137,15 @@ func main() {
 	})
 
 	if *f.bundle != "" {
-		fh, err := os.Open(*f.bundle)
-		exitOn(err)
-		model, err := sourcelda.LoadBundle(fh)
-		fh.Close()
+		// LoadBundleFile sniffs the format: flat bundles are memory-mapped
+		// and serve zero-copy, JSON bundles decode as before.
+		model, err := sourcelda.LoadBundleFile(*f.bundle)
 		exitOn(err)
 		res, err := reg.Load(*f.defaultModel, "", model)
-		exitOn(err)
+		if err != nil {
+			model.Close()
+			exitOn(err)
+		}
 		fmt.Printf("srcldad: preloaded %q version %s from %s\n", res.Name, res.Version, *f.bundle)
 	}
 

@@ -1,0 +1,237 @@
+// Command benchbundle measures model-load cost across the two bundle
+// formats and writes the numbers as machine-readable JSON, so CI can keep a
+// BENCH_bundle.json artifact per commit and loading-performance regressions
+// are visible in history rather than anecdotes:
+//
+//	go run ./examples/benchbundle -out BENCH_bundle.json
+//
+// It builds one synthetic model (default 64 topics × 8000 words; -t/-v to
+// resize), writes it as a gzip-JSON bundle and as a flat bundle, then times
+//
+//   - the JSON decode plus the frozen-view transpose (what serving a JSON
+//     bundle actually costs),
+//   - the eager flat decode, and
+//   - the memory-mapped flat load (O(1) in the conditional slab);
+//
+// and finally loads -models mapped copies side by side to report the resident
+// heap cost per loaded-but-idle model — the multi-tenant number the flat
+// format exists for.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/persist"
+	"sourcelda/internal/textproc"
+)
+
+type report struct {
+	Topics            int     `json:"topics"`
+	VocabWords        int     `json:"vocab_words"`
+	JSONFileBytes     int     `json:"json_file_bytes"`
+	FlatFileBytes     int     `json:"flat_file_bytes"`
+	JSONLoadNs        int64   `json:"json_load_ns"`
+	FlatLoadNs        int64   `json:"flat_load_ns"`
+	MappedLoadNs      int64   `json:"mapped_load_ns"`
+	MappedVsJSON      float64 `json:"speedup_mapped_vs_json"`
+	Models            int     `json:"models"`
+	HeapBytesPerModel int64   `json:"heap_bytes_per_model"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_bundle.json", "file the JSON report is written to")
+	T := flag.Int("t", 64, "synthetic model topic count")
+	V := flag.Int("v", 8000, "synthetic model vocabulary size")
+	models := flag.Int("models", 50, "mapped models loaded side by side for the memory measurement")
+	flag.Parse()
+	if err := run(*out, *T, *V, *models); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbundle FAILED:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, T, V, models int) error {
+	words, src, res := synthModel(T, V)
+
+	dir, err := os.MkdirTemp("", "benchbundle-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var jsonBuf, flatBuf bytes.Buffer
+	if err := persist.SaveBundleMeta(&jsonBuf, words, src, res, nil); err != nil {
+		return err
+	}
+	if err := persist.SaveBundleFlat(&flatBuf, words, src, res, nil); err != nil {
+		return err
+	}
+	flatPath := filepath.Join(dir, "model.bundle")
+	if err := os.WriteFile(flatPath, flatBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+
+	r := report{
+		Topics:        T,
+		VocabWords:    V,
+		JSONFileBytes: jsonBuf.Len(),
+		FlatFileBytes: flatBuf.Len(),
+		Models:        models,
+	}
+	r.JSONLoadNs, err = medianNs(3, func() error {
+		b, err := persist.LoadBundle(bytes.NewReader(jsonBuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		// The JSON path still has to build the serving view.
+		_, err = core.NewFrozen(b.Result)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("json load: %w", err)
+	}
+	r.FlatLoadNs, err = medianNs(5, func() error {
+		fb, err := persist.LoadBundleFlat(bytes.NewReader(flatBuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		return fb.Close()
+	})
+	if err != nil {
+		return fmt.Errorf("flat load: %w", err)
+	}
+	r.MappedLoadNs, err = medianNs(9, func() error {
+		fb, err := persist.LoadBundleMapped(flatPath)
+		if err != nil {
+			return err
+		}
+		return fb.Close()
+	})
+	if err != nil {
+		return fmt.Errorf("mapped load: %w", err)
+	}
+	if r.MappedLoadNs > 0 {
+		r.MappedVsJSON = float64(r.JSONLoadNs) / float64(r.MappedLoadNs)
+	}
+
+	heap, err := heapPerModel(flatPath, models)
+	if err != nil {
+		return fmt.Errorf("memory measurement: %w", err)
+	}
+	r.HeapBytesPerModel = heap
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchbundle: T=%d V=%d  json %.2fms  flat %.2fms  mapped %.3fms (%.0fx vs json)  heap/model %.1f KiB  -> %s\n",
+		T, V,
+		float64(r.JSONLoadNs)/1e6, float64(r.FlatLoadNs)/1e6, float64(r.MappedLoadNs)/1e6,
+		r.MappedVsJSON, float64(r.HeapBytesPerModel)/1024, out)
+	return nil
+}
+
+// medianNs runs fn n times and returns the median wall time — one slow run
+// (page-cache warmup, GC pause) must not skew a number CI archives.
+func medianNs(n int, fn func() error) (int64, error) {
+	times := make([]int64, n)
+	for i := range times {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times[i] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[n/2], nil
+}
+
+// heapPerModel loads n mapped models side by side and reports the per-model
+// heap growth. The conditional slabs stay in the shared page cache, so this
+// should track only the decoded metadata (vocabulary, labels, counts).
+func heapPerModel(path string, n int) (int64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	bundles := make([]*persist.FlatBundle, n)
+	for i := range bundles {
+		fb, err := persist.LoadBundleMapped(path)
+		if err != nil {
+			return 0, err
+		}
+		bundles[i] = fb
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	heap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	for _, fb := range bundles {
+		fb.Close()
+	}
+	runtime.KeepAlive(bundles)
+	if heap < 0 {
+		heap = 0
+	}
+	return heap / int64(n), nil
+}
+
+// synthModel builds a deterministic synthetic model of the given shape: big
+// enough to exercise real load costs without paying for training. The topic
+// rows come from a fixed linear congruential stream, so every run (and every
+// CI machine) measures identical bytes.
+func synthModel(T, V int) ([]string, *knowledge.Source, *core.Result) {
+	words := make([]string, V)
+	vocab := textproc.NewVocabulary()
+	for i := range words {
+		words[i] = fmt.Sprintf("w%06d", i)
+		vocab.Add(words[i])
+	}
+	a := knowledge.NewArticleFromText("S1", words[0]+" "+words[1], vocab, nil, true)
+	b := knowledge.NewArticleFromText("S2", words[2]+" "+words[3], vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{a, b})
+
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/float64(1<<53) + 1e-12
+	}
+	res := &core.Result{
+		Phi:            make([][]float64, T),
+		Labels:         make([]string, T),
+		SourceIndices:  make([]int, T),
+		TokenCounts:    make([]int, T),
+		DocFrequencies: make([]int, T),
+		NumFreeTopics:  T,
+		Alpha:          0.5,
+	}
+	for t := 0; t < T; t++ {
+		row := make([]float64, V)
+		sum := 0.0
+		for w := range row {
+			row[w] = next()
+			sum += row[w]
+		}
+		for w := range row {
+			row[w] /= sum
+		}
+		res.Phi[t] = row
+		res.Labels[t] = fmt.Sprintf("topic-%d", t)
+		res.SourceIndices[t] = -1
+		res.TokenCounts[t] = t + 1
+		res.DocFrequencies[t] = 1
+	}
+	return words, src, res
+}

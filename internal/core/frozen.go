@@ -103,7 +103,51 @@ func newFrozen(phi [][]float64, labels []string, sourceIndices []int, alpha floa
 	return f, nil
 }
 
+// FrozenFromCond builds a frozen inference view directly over an externally
+// owned cond slab laid out topic-fastest (cond[w*T+t] = P(w|t)) — the layout
+// NewFrozen materializes and the flat bundle format stores verbatim, so a
+// memory-mapped slab can serve with zero copies. The slab is adopted, not
+// copied: the caller owns its lifetime and must keep it readable (not
+// unmapped) until every user of the view is done. Labels and source indices
+// are copied, so only cond carries the external lifetime. A non-positive
+// alpha falls back to the paper default 50/T, matching NewFrozen.
+func FrozenFromCond(cond []float64, T, V int, labels []string, sourceIndices []int, alpha float64) (*Frozen, error) {
+	if T < 1 || V < 1 {
+		return nil, fmt.Errorf("core: frozen view needs positive dimensions, got T=%d V=%d", T, V)
+	}
+	if len(cond) != T*V {
+		return nil, fmt.Errorf("core: cond slab has %d entries, want T*V = %d*%d", len(cond), T, V)
+	}
+	if len(labels) != T || len(sourceIndices) != T {
+		return nil, fmt.Errorf("core: frozen view shape mismatch: %d topics, %d labels, %d source indices",
+			T, len(labels), len(sourceIndices))
+	}
+	if alpha <= 0 {
+		alpha = 50.0 / float64(T)
+	}
+	return &Frozen{
+		T:             T,
+		V:             V,
+		Alpha:         alpha,
+		Labels:        append([]string(nil), labels...),
+		SourceIndices: append([]int(nil), sourceIndices...),
+		cond:          cond,
+	}, nil
+}
+
 // Cond returns word w's T-length conditional row P(w | t); do not mutate.
 func (f *Frozen) Cond(w int) []float64 {
 	return f.cond[w*f.T : (w+1)*f.T : (w+1)*f.T]
+}
+
+// TopicRow materializes topic t's word distribution φ_t as a fresh heap
+// slice (out[w] = P(w|t)). It is the transpose of one cond column — O(V) —
+// used to rebuild per-topic rows lazily from a view whose slab lives in a
+// memory-mapped bundle.
+func (f *Frozen) TopicRow(t int) []float64 {
+	out := make([]float64, f.V)
+	for w := 0; w < f.V; w++ {
+		out[w] = f.cond[w*f.T+t]
+	}
+	return out
 }

@@ -19,9 +19,10 @@ type Session struct {
 	e    *Engine
 	pool *parallel.Pool
 
-	mu     sync.Mutex
-	refs   int  // outstanding references; the owner's counts as one
-	closed bool // owner reference released (Close called)
+	mu        sync.Mutex
+	refs      int  // outstanding references; the owner's counts as one
+	closed    bool // owner reference released (Close called)
+	onDrained func()
 }
 
 // NewSession wraps the engine with a pool of the given size (workers <= 1
@@ -51,6 +52,21 @@ func (s *Session) Acquire() bool {
 	return true
 }
 
+// SetOnDrained registers fn to run exactly once, when the session drains
+// (owner closed and every acquired reference released) — the moment the pool
+// is freed and no goroutine can be inside the engine anymore. It is how a
+// model backed by a memory-mapped bundle defers its unmap past the last
+// in-flight batch. Must be called before the session can drain (i.e. before
+// handing it to concurrent users); a second call replaces the first.
+func (s *Session) SetOnDrained(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refs == 0 {
+		panic("infer: SetOnDrained on a drained session")
+	}
+	s.onDrained = fn
+}
+
 // Release unpins one Acquire. The last release after Close frees the pool.
 func (s *Session) Release() {
 	s.mu.Lock()
@@ -60,10 +76,18 @@ func (s *Session) Release() {
 	}
 	s.refs--
 	drained := s.refs == 0
+	var onDrained func()
+	if drained {
+		onDrained = s.onDrained
+		s.onDrained = nil
+	}
 	s.mu.Unlock()
 	if drained {
 		if s.pool != nil {
 			s.pool.Close()
+		}
+		if onDrained != nil {
+			onDrained()
 		}
 	}
 }

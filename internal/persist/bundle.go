@@ -109,8 +109,16 @@ func LoadBundle(r io.Reader) (*Bundle, error) {
 
 func loadBundleJSON(r io.Reader) (*Bundle, error) {
 	var in bundleJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("persist: decode bundle: %w", err)
+	}
+	// json.Decoder stops at the end of the first value; anything but
+	// whitespace after it means the file is not the single JSON document a
+	// bundle is — most likely a truncated rewrite or concatenation accident —
+	// so reject it rather than silently loading a prefix.
+	if dec.More() {
+		return nil, fmt.Errorf("persist: bundle has trailing data after the JSON document")
 	}
 	if in.Kind != "bundle" {
 		return nil, fmt.Errorf("persist: expected kind \"bundle\", got %q", in.Kind)

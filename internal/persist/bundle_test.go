@@ -81,6 +81,42 @@ func TestBundleRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadBundleRejectsTrailingGarbage: an uncompressed-JSON bundle followed
+// by anything that is not whitespace is rejected — a concatenation or a
+// partially overwritten file must not silently load as its first document.
+func TestLoadBundleRejectsTrailingGarbage(t *testing.T) {
+	c, src := fixture(t)
+	m, err := core.Fit(c, src, core.Options{
+		LambdaMode: core.LambdaFixed, Lambda: 1, Iterations: 20, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, c.Vocab.Words(), src, m.Result()); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tail := range []string{"x", "{}", "null", `{"version":1}`} {
+		if _, err := LoadBundle(bytes.NewReader(append(append([]byte(nil), plain...), tail...))); err == nil {
+			t.Fatalf("bundle with trailing %q accepted", tail)
+		}
+	}
+	// Trailing whitespace is not garbage.
+	padded := append(append([]byte(nil), plain...), " \n\t\n"...)
+	if _, err := LoadBundle(bytes.NewReader(padded)); err != nil {
+		t.Fatalf("bundle with trailing whitespace rejected: %v", err)
+	}
+}
+
 func TestSaveBundleRejectsInconsistency(t *testing.T) {
 	res, vocabSize, _ := fittedResult(t)
 	_, src := fixture(t)

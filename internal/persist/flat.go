@@ -1,0 +1,580 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+	"unsafe"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/textproc"
+)
+
+// Flat bundles are the zero-copy serving counterpart of the gzip-JSON bundle:
+// instead of a compressed document that must be decoded into heap slabs and
+// then transposed into the inference view, the file *is* the inference view.
+// The topic-fastest cond[w*T+t] conditional slab that core.Frozen serves from
+// is written at save time as raw little-endian float64s at a 64-byte-aligned
+// offset, so a loader can mmap the file, validate the header, and hand the
+// slab to core.FrozenFromCond without reading — let alone copying — the model
+// body. Load time becomes independent of model size, a cold model costs no
+// resident memory beyond its small metadata sections, and the kernel shares
+// the mapped pages across every process serving the same file.
+//
+// Layout (all integers little-endian; offsets from the start of the file):
+//
+//	[0,8)     magic "SLDAFB1\n"
+//	[8,256)   header: format version, header length, header CRC-32,
+//	          total file size, cond-section CRC-32, small-sections CRC-32,
+//	          T, V, S (source-article count), free-topic count, alpha bits,
+//	          and a 7-entry section table of {id, offset, length}
+//	[256,...) sections, each at a 64-byte-aligned offset, ascending, with
+//	          zero padding between them:
+//	            1 cond            V*T float64 — cond[w*T+t] = P(w|t)
+//	            2 labels          string table, T entries
+//	            3 source-indices  T int32 (-1 for free topics)
+//	            4 token-counts    T int64
+//	            5 doc-frequencies T int64
+//	            6 vocabulary      string table, V entries
+//	            7 meta            BundleMeta JSON (may be empty)
+//
+// A string table is a uint32 entry count, that many uint32 byte lengths, then
+// the concatenated UTF-8 bytes.
+//
+// Integrity is split so validation cost matches what a loader touches: the
+// header CRC and the explicit file size make any truncation, extension or
+// header flip an O(1) rejection; the small-sections CRC covers everything a
+// loader must decode anyway (labels, indices, counts, vocabulary, meta); and
+// the cond CRC covers the slab. LoadBundleFlat verifies all three.
+// LoadBundleMapped verifies the header and small-section CRCs but leaves the
+// cond slab unread — touching it would fault in the whole model and defeat
+// the O(1) load — so a bit flip inside the mapped slab is only caught by
+// (*FlatBundle).Verify, the tool-facing full check.
+const (
+	// FlatBundleMagic is the 8-byte prefix of every flat bundle; format
+	// sniffing (admin API, models-dir watcher, CLI) keys on it.
+	FlatBundleMagic = "SLDAFB1\n"
+	// FlatBundleVersion is the flat-format version this build reads/writes.
+	FlatBundleVersion = 1
+
+	flatAlign     = 64
+	flatNumSecs   = 7
+	flatHeaderLen = 8 + 4 + 4 + 4 + 4 + 8 + 4 + 4 + 5*8 + 4 + 4 + flatNumSecs*24 // = 256
+
+	secCond    = 1
+	secLabels  = 2
+	secSrcIdx  = 3
+	secTokCnt  = 4
+	secDocFreq = 5
+	secVocab   = 6
+	secMeta    = 7
+
+	// maxFlatDim bounds T and V against corrupt headers whose product would
+	// overflow or provoke absurd allocations (2^31 topics or words is far
+	// beyond any real model).
+	maxFlatDim = 1 << 31
+)
+
+// hostLittleEndian reports whether float64/int slabs can be reinterpreted
+// from little-endian file bytes without byte swapping. On the (rare)
+// big-endian host every slab is decoded element-wise instead — correct, just
+// not zero-copy.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// IsFlatBundle reports whether prefix starts with the flat-bundle magic.
+// Eight bytes are enough to sniff; shorter prefixes report false.
+func IsFlatBundle(prefix []byte) bool {
+	return len(prefix) >= len(FlatBundleMagic) && string(prefix[:len(FlatBundleMagic)]) == FlatBundleMagic
+}
+
+// FlatBundle is a loaded flat bundle: everything a serving process needs,
+// with the cond slab possibly backed directly by mapped file pages (Mapped
+// reports which). Close releases the mapping; the owner must keep the bundle
+// (and anything aliasing Cond) away from readers after Close — the facade's
+// reference-counted model lifetime does exactly that.
+type FlatBundle struct {
+	// T, V are the topic and vocabulary counts; NumSourceArticles is the
+	// knowledge-source article count source indices were validated against.
+	T, V              int
+	NumSourceArticles int
+	// NumFreeTopics and Alpha mirror the result snapshot fields.
+	NumFreeTopics int
+	Alpha         float64
+	// Cond is the topic-fastest conditional slab, cond[w*T+t] = P(w|t) —
+	// bit-identical to the slab core.NewFrozen builds from the JSON bundle's
+	// Phi. Do not mutate; when Mapped it aliases read-only file pages.
+	Cond []float64
+	// Labels, SourceIndices, TokenCounts and DocFrequencies are the per-topic
+	// metadata, decoded onto the heap (safe to use after Close).
+	Labels         []string
+	SourceIndices  []int
+	TokenCounts    []int
+	DocFrequencies []int
+	// Vocab is the training vocabulary rebuilt on the heap.
+	Vocab *textproc.Vocabulary
+	// Meta is the embedded provenance, nil when the bundle has none.
+	Meta *BundleMeta
+	// Mapped reports whether Cond aliases mmap'ed file pages (true only on
+	// the LoadBundleMapped fast path); when false Cond is heap memory and
+	// Close is a no-op.
+	Mapped bool
+
+	mu     sync.Mutex
+	unmap  func() error
+	closed bool
+	// raw is the full file image while it is available (mapped pages, or the
+	// heap buffer of an eager load); Verify re-checksums it.
+	raw []byte
+}
+
+// Close releases the memory mapping (if any). It is idempotent. The caller
+// must guarantee no goroutine can still read Cond: the facade ties Close to
+// the inference session's drained refcount so a hot swap unmaps only after
+// the last in-flight batch releases its pin.
+func (b *FlatBundle) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	b.raw = nil
+	if b.unmap != nil {
+		err := b.unmap()
+		b.unmap = nil
+		return err
+	}
+	return nil
+}
+
+// Closed reports whether Close has run.
+func (b *FlatBundle) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Verify re-checksums the whole file image, including the cond slab the
+// mapped fast path deliberately leaves unread. It faults in every page, so
+// it is a tool/test operation, not a serving one. After Close it fails.
+func (b *FlatBundle) Verify() error {
+	b.mu.Lock()
+	raw := b.raw
+	b.mu.Unlock()
+	if raw == nil {
+		return fmt.Errorf("persist: flat bundle closed or loaded without its file image")
+	}
+	_, err := decodeFlat(raw, true)
+	return err
+}
+
+// SaveBundleFlat writes the flat, mmap-able serving bundle for the same
+// (vocabulary, source, result, meta) tuple SaveBundleMeta archives as gzip
+// JSON. The knowledge source itself is not serialized — the flat format is a
+// serving artifact and records only the article count for source-index
+// validation — so a flat bundle cannot be converted back to a JSON bundle.
+// The encoding is deterministic: identical inputs produce identical bytes.
+func SaveBundleFlat(w io.Writer, vocab []string, src *knowledge.Source, res *core.Result, meta *BundleMeta) error {
+	if src == nil || res == nil {
+		return fmt.Errorf("persist: nil source or result")
+	}
+	if err := ValidateResult(res, len(vocab), src.Len()); err != nil {
+		return fmt.Errorf("persist: refusing to save inconsistent bundle: %w", err)
+	}
+	if meta != nil && *meta == (BundleMeta{}) {
+		meta = nil
+	}
+	T, V := len(res.Phi), len(vocab)
+
+	// Section payloads. The cond slab is the exact transpose core.NewFrozen
+	// performs at load time, done once here instead of on every load.
+	cond := make([]byte, 8*T*V)
+	for t, row := range res.Phi {
+		for wd, p := range row {
+			binary.LittleEndian.PutUint64(cond[8*(wd*T+t):], math.Float64bits(p))
+		}
+	}
+	labels, err := encodeStringTable(res.Labels)
+	if err != nil {
+		return fmt.Errorf("persist: encode labels: %w", err)
+	}
+	srcIdx := make([]byte, 4*T)
+	for t, s := range res.SourceIndices {
+		binary.LittleEndian.PutUint32(srcIdx[4*t:], uint32(int32(s)))
+	}
+	tokCnt := make([]byte, 8*T)
+	for t, n := range res.TokenCounts {
+		binary.LittleEndian.PutUint64(tokCnt[8*t:], uint64(int64(n)))
+	}
+	docFreq := make([]byte, 8*T)
+	for t, n := range res.DocFrequencies {
+		binary.LittleEndian.PutUint64(docFreq[8*t:], uint64(int64(n)))
+	}
+	vocabSec, err := encodeStringTable(vocab)
+	if err != nil {
+		return fmt.Errorf("persist: encode vocabulary: %w", err)
+	}
+	var metaSec []byte
+	if meta != nil {
+		metaSec, err = json.Marshal(meta)
+		if err != nil {
+			return fmt.Errorf("persist: encode bundle meta: %w", err)
+		}
+	}
+
+	payloads := [flatNumSecs][]byte{cond, labels, srcIdx, tokCnt, docFreq, vocabSec, metaSec}
+	type sec struct{ off, n uint64 }
+	var secs [flatNumSecs]sec
+	off := uint64(flatHeaderLen)
+	for i, p := range payloads {
+		off = alignUp(off, flatAlign)
+		secs[i] = sec{off: off, n: uint64(len(p))}
+		off += uint64(len(p))
+	}
+	fileSize := off
+
+	smallH := crc32.NewIEEE()
+	for _, p := range payloads[1:] {
+		smallH.Write(p)
+	}
+
+	// Header: fixed fields then the section table; CRC computed with its own
+	// field zeroed.
+	hdr := make([]byte, flatHeaderLen)
+	copy(hdr, FlatBundleMagic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[8:], FlatBundleVersion)
+	le.PutUint32(hdr[12:], flatHeaderLen)
+	// hdr[16:20] = header CRC, filled last
+	// hdr[20:24] = reserved (zero)
+	le.PutUint64(hdr[24:], fileSize)
+	le.PutUint32(hdr[32:], crc32.ChecksumIEEE(cond))
+	le.PutUint32(hdr[36:], smallH.Sum32())
+	le.PutUint64(hdr[40:], uint64(T))
+	le.PutUint64(hdr[48:], uint64(V))
+	le.PutUint64(hdr[56:], uint64(src.Len()))
+	le.PutUint64(hdr[64:], uint64(res.NumFreeTopics))
+	le.PutUint64(hdr[72:], math.Float64bits(res.Alpha))
+	le.PutUint32(hdr[80:], flatNumSecs)
+	// hdr[84:88] = reserved (zero)
+	for i, s := range secs {
+		base := 88 + 24*i
+		le.PutUint32(hdr[base:], uint32(i+1)) // section ids are 1-based, in order
+		le.PutUint64(hdr[base+8:], s.off)
+		le.PutUint64(hdr[base+16:], s.n)
+	}
+	le.PutUint32(hdr[16:], headerCRC(hdr))
+
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("persist: write flat bundle header: %w", err)
+	}
+	var pad [flatAlign]byte
+	pos := uint64(flatHeaderLen)
+	for i, p := range payloads {
+		if gap := secs[i].off - pos; gap > 0 {
+			if _, err := w.Write(pad[:gap]); err != nil {
+				return fmt.Errorf("persist: write flat bundle padding: %w", err)
+			}
+			pos += gap
+		}
+		if _, err := w.Write(p); err != nil {
+			return fmt.Errorf("persist: write flat bundle section %d: %w", i+1, err)
+		}
+		pos += uint64(len(p))
+	}
+	return nil
+}
+
+// headerCRC computes the header checksum with the CRC field itself zeroed.
+func headerCRC(hdr []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(hdr[:16])
+	h.Write([]byte{0, 0, 0, 0})
+	h.Write(hdr[20:])
+	return h.Sum32()
+}
+
+func alignUp(n, align uint64) uint64 { return (n + align - 1) &^ (align - 1) }
+
+func encodeStringTable(ss []string) ([]byte, error) {
+	n := 4 + 4*len(ss)
+	for _, s := range ss {
+		if len(s) > math.MaxUint32 {
+			return nil, fmt.Errorf("string of %d bytes exceeds table limit", len(s))
+		}
+		n += len(s)
+	}
+	out := make([]byte, 4, n)
+	binary.LittleEndian.PutUint32(out, uint32(len(ss)))
+	for _, s := range ss {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+	}
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+func decodeStringTable(b []byte, wantCount int, what string) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("persist: flat bundle %s table truncated", what)
+	}
+	count := int(binary.LittleEndian.Uint32(b))
+	if count != wantCount {
+		return nil, fmt.Errorf("persist: flat bundle %s table has %d entries, want %d", what, count, wantCount)
+	}
+	if len(b) < 4+4*count {
+		return nil, fmt.Errorf("persist: flat bundle %s table truncated", what)
+	}
+	lens := b[4 : 4+4*count]
+	data := b[4+4*count:]
+	out := make([]string, count)
+	pos := 0
+	for i := 0; i < count; i++ {
+		n := int(binary.LittleEndian.Uint32(lens[4*i:]))
+		if n > len(data)-pos {
+			return nil, fmt.Errorf("persist: flat bundle %s table overruns its section", what)
+		}
+		out[i] = string(data[pos : pos+n])
+		pos += n
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("persist: flat bundle %s table has %d trailing bytes", what, len(data)-pos)
+	}
+	return out, nil
+}
+
+// LoadBundleFlat reads and fully verifies a flat bundle from r: header CRC,
+// file size, section geometry, zero padding, small-section CRC and the cond
+// slab CRC. Every truncation and every bit flip of a valid file is rejected.
+// The cond slab aliases the read buffer when the host allows it (no second
+// copy), otherwise it is decoded element-wise; either way the result owns
+// heap memory only — no Close obligation, Mapped is false.
+func LoadBundleFlat(r io.Reader) (*FlatBundle, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: read flat bundle: %w", err)
+	}
+	return decodeFlat(data, true)
+}
+
+// decodeFlat validates and decodes a full file image. verifyCond controls
+// whether the cond slab is checksummed: the eager loader always does; the
+// mapped loader must not, because reading the slab would fault in the entire
+// model and make load O(model) again.
+func decodeFlat(data []byte, verifyCond bool) (*FlatBundle, error) {
+	le := binary.LittleEndian
+	if len(data) < flatHeaderLen {
+		return nil, fmt.Errorf("persist: flat bundle truncated: %d bytes, header needs %d", len(data), flatHeaderLen)
+	}
+	if !IsFlatBundle(data) {
+		return nil, fmt.Errorf("persist: not a flat bundle (bad magic)")
+	}
+	if v := le.Uint32(data[8:]); v != FlatBundleVersion {
+		return nil, fmt.Errorf("persist: unsupported flat bundle version %d (this build reads version %d)", v, FlatBundleVersion)
+	}
+	if hl := le.Uint32(data[12:]); hl != flatHeaderLen {
+		return nil, fmt.Errorf("persist: flat bundle header length %d, want %d", hl, flatHeaderLen)
+	}
+	if got, want := le.Uint32(data[16:]), headerCRC(data[:flatHeaderLen]); got != want {
+		return nil, fmt.Errorf("persist: flat bundle header checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	if le.Uint32(data[20:]) != 0 || le.Uint32(data[84:]) != 0 {
+		return nil, fmt.Errorf("persist: flat bundle reserved header bytes are not zero")
+	}
+	if fs := le.Uint64(data[24:]); fs != uint64(len(data)) {
+		return nil, fmt.Errorf("persist: flat bundle is %d bytes but header says %d (truncated or extended)", len(data), fs)
+	}
+	condCRC := le.Uint32(data[32:])
+	smallCRC := le.Uint32(data[36:])
+	T64, V64, S64 := le.Uint64(data[40:]), le.Uint64(data[48:]), le.Uint64(data[56:])
+	numFree64 := le.Uint64(data[64:])
+	alpha := math.Float64frombits(le.Uint64(data[72:]))
+	if T64 == 0 || V64 == 0 || T64 > maxFlatDim || V64 > maxFlatDim {
+		return nil, fmt.Errorf("persist: flat bundle dimensions T=%d V=%d out of range", T64, V64)
+	}
+	if S64 > maxFlatDim {
+		return nil, fmt.Errorf("persist: flat bundle source-article count %d out of range", S64)
+	}
+	T, V, S := int(T64), int(V64), int(S64)
+	if numFree64 > T64 {
+		return nil, fmt.Errorf("persist: flat bundle free-topic count %d outside [0, %d]", numFree64, T)
+	}
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha < 0 {
+		return nil, fmt.Errorf("persist: flat bundle alpha %v is not a finite non-negative prior", alpha)
+	}
+	if n := le.Uint32(data[80:]); n != flatNumSecs {
+		return nil, fmt.Errorf("persist: flat bundle has %d sections, want %d", n, flatNumSecs)
+	}
+
+	// Section table: ids 1..7 in order, 64-byte-aligned ascending offsets,
+	// in bounds, non-overlapping, with zero padding in every gap (so no byte
+	// of the file escapes validation or checksumming).
+	var secs [flatNumSecs][]byte
+	pos := uint64(flatHeaderLen)
+	for i := 0; i < flatNumSecs; i++ {
+		base := 88 + 24*i
+		if id := le.Uint32(data[base:]); id != uint32(i+1) {
+			return nil, fmt.Errorf("persist: flat bundle section %d has id %d", i+1, id)
+		}
+		if le.Uint32(data[base+4:]) != 0 {
+			return nil, fmt.Errorf("persist: flat bundle reserved section bytes are not zero")
+		}
+		off, n := le.Uint64(data[base+8:]), le.Uint64(data[base+16:])
+		if off%flatAlign != 0 {
+			return nil, fmt.Errorf("persist: flat bundle section %d offset %d is not %d-byte aligned", i+1, off, flatAlign)
+		}
+		if off < pos || off > uint64(len(data)) || n > uint64(len(data))-off {
+			return nil, fmt.Errorf("persist: flat bundle section %d [%d,%d) out of bounds or overlapping", i+1, off, off+n)
+		}
+		for _, b := range data[pos:off] {
+			if b != 0 {
+				return nil, fmt.Errorf("persist: flat bundle padding before section %d is not zero", i+1)
+			}
+		}
+		secs[i] = data[off : off+n]
+		pos = off + n
+	}
+	if pos != uint64(len(data)) {
+		return nil, fmt.Errorf("persist: flat bundle has %d bytes after the last section", uint64(len(data))-pos)
+	}
+
+	smallH := crc32.NewIEEE()
+	for _, s := range secs[1:] {
+		smallH.Write(s)
+	}
+	if got := smallH.Sum32(); got != smallCRC {
+		return nil, fmt.Errorf("persist: flat bundle metadata checksum mismatch (file %08x, computed %08x)", smallCRC, got)
+	}
+	if verifyCond {
+		if got := crc32.ChecksumIEEE(secs[0]); got != condCRC {
+			return nil, fmt.Errorf("persist: flat bundle cond-slab checksum mismatch (file %08x, computed %08x)", condCRC, got)
+		}
+	}
+
+	// Geometry of the cond slab against the header dimensions, without
+	// overflowing: n float64s, n/T must equal V exactly.
+	condBytes := secs[0]
+	if len(condBytes)%8 != 0 {
+		return nil, fmt.Errorf("persist: flat bundle cond section length %d is not a multiple of 8", len(condBytes))
+	}
+	n := len(condBytes) / 8
+	if n/T != V || n%T != 0 {
+		return nil, fmt.Errorf("persist: flat bundle cond section holds %d values, want T*V = %d*%d", n, T, V)
+	}
+
+	labels, err := decodeStringTable(secs[1], T, "label")
+	if err != nil {
+		return nil, err
+	}
+	srcIdxB := secs[2]
+	if len(srcIdxB) != 4*T {
+		return nil, fmt.Errorf("persist: flat bundle source-index section is %d bytes, want %d", len(srcIdxB), 4*T)
+	}
+	srcIdx := make([]int, T)
+	for t := range srcIdx {
+		s := int(int32(le.Uint32(srcIdxB[4*t:])))
+		if s < -1 || s >= S {
+			return nil, fmt.Errorf("persist: flat bundle topic %d references source article %d; source has %d", t, s, S)
+		}
+		srcIdx[t] = s
+	}
+	tokCnt, err := decodeInt64Section(secs[3], T, "token-count")
+	if err != nil {
+		return nil, err
+	}
+	docFreq, err := decodeInt64Section(secs[4], T, "doc-frequency")
+	if err != nil {
+		return nil, err
+	}
+	words, err := decodeStringTable(secs[5], V, "vocabulary")
+	if err != nil {
+		return nil, err
+	}
+	vocab := textproc.NewVocabulary()
+	for _, w := range words {
+		vocab.Add(w)
+	}
+	if vocab.Size() != V {
+		return nil, fmt.Errorf("persist: flat bundle vocabulary contains duplicates")
+	}
+	var meta *BundleMeta
+	if len(secs[6]) > 0 {
+		meta = &BundleMeta{}
+		if err := json.Unmarshal(secs[6], meta); err != nil {
+			return nil, fmt.Errorf("persist: flat bundle meta: %w", err)
+		}
+	}
+
+	cond, _ := bytesToFloat64s(condBytes)
+	return &FlatBundle{
+		T:                 T,
+		V:                 V,
+		NumSourceArticles: S,
+		NumFreeTopics:     int(numFree64),
+		Alpha:             alpha,
+		Cond:              cond,
+		Labels:            labels,
+		SourceIndices:     srcIdx,
+		TokenCounts:       tokCnt,
+		DocFrequencies:    docFreq,
+		Vocab:             vocab,
+		Meta:              meta,
+		raw:               data,
+	}, nil
+}
+
+func decodeInt64Section(b []byte, T int, what string) ([]int, error) {
+	if len(b) != 8*T {
+		return nil, fmt.Errorf("persist: flat bundle %s section is %d bytes, want %d", what, len(b), 8*T)
+	}
+	out := make([]int, T)
+	for t := range out {
+		v := int64(binary.LittleEndian.Uint64(b[8*t:]))
+		if v < 0 {
+			return nil, fmt.Errorf("persist: flat bundle %s for topic %d is negative", what, t)
+		}
+		out[t] = int(v)
+	}
+	return out, nil
+}
+
+// bytesToFloat64s reinterprets little-endian float64 bytes as a []float64
+// without copying when the host byte order and alignment allow it, reporting
+// whether the result aliases b. The fallback decodes element-wise onto the
+// heap (big-endian hosts, or a buffer that landed misaligned).
+func bytesToFloat64s(b []byte) ([]float64, bool) {
+	n := len(b) / 8
+	if n == 0 {
+		return nil, false
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), true
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, false
+}
+
+// ConvertBundleToFlat reads a gzip-JSON (or plain-JSON) bundle from r and
+// writes it to w in the flat format — the migration path for existing
+// artifacts (`srclda -convert-bundle`). Flat input is rejected: the flat
+// format does not carry the knowledge source or training mixtures, so the
+// reverse conversion cannot exist.
+func ConvertBundleToFlat(r io.Reader, w io.Writer) error {
+	b, err := LoadBundle(r)
+	if err != nil {
+		return err
+	}
+	return SaveBundleFlat(w, b.Vocab.Words(), b.Source, b.Result, b.Meta)
+}

@@ -1,0 +1,170 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/textproc"
+)
+
+// synthBundle builds a deterministic synthetic model of the given shape —
+// big enough to exercise real load costs without paying for training.
+func synthBundle(T, V int) ([]string, *knowledge.Source, *core.Result) {
+	words := make([]string, V)
+	vocab := textproc.NewVocabulary()
+	for i := range words {
+		words[i] = fmt.Sprintf("w%06d", i)
+		vocab.Add(words[i])
+	}
+	a := knowledge.NewArticleFromText("S1", words[0]+" "+words[1], vocab, nil, true)
+	b := knowledge.NewArticleFromText("S2", words[2]+" "+words[3], vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{a, b})
+
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/float64(1<<53) + 1e-12
+	}
+	res := &core.Result{
+		Phi:            make([][]float64, T),
+		Labels:         make([]string, T),
+		SourceIndices:  make([]int, T),
+		TokenCounts:    make([]int, T),
+		DocFrequencies: make([]int, T),
+		NumFreeTopics:  T,
+		Alpha:          0.5,
+	}
+	for t := 0; t < T; t++ {
+		row := make([]float64, V)
+		sum := 0.0
+		for w := range row {
+			row[w] = next()
+			sum += row[w]
+		}
+		for w := range row {
+			row[w] /= sum
+		}
+		res.Phi[t] = row
+		res.Labels[t] = fmt.Sprintf("topic-%d", t)
+		res.SourceIndices[t] = -1
+		res.TokenCounts[t] = t + 1
+		res.DocFrequencies[t] = 1
+	}
+	return words, src, res
+}
+
+var benchShapes = []struct {
+	name string
+	T, V int
+}{
+	{"small_T16_V1000", 16, 1000},
+	{"medium_T64_V8000", 64, 8000},
+	{"large_T256_V30000", 256, 30000},
+}
+
+// BenchmarkBundleLoad compares model-load latency across the three paths at
+// three model sizes: gzip-JSON decode (O(model) with a transpose), eager flat
+// decode (O(model), no transpose), and the mapped flat load (O(1) — only the
+// header and small metadata sections are read, so its time is independent of
+// T*V). This is the headline number behind the flat format: the mapped load
+// of the large shape should beat the JSON decode by well over two orders of
+// magnitude.
+func BenchmarkBundleLoad(b *testing.B) {
+	for _, shape := range benchShapes {
+		words, src, res := synthBundle(shape.T, shape.V)
+		var jsonBuf, flatBuf bytes.Buffer
+		if err := SaveBundleMeta(&jsonBuf, words, src, res, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := SaveBundleFlat(&flatBuf, words, src, res, nil); err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), shape.name+".bundle")
+		if err := os.WriteFile(path, flatBuf.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		jsonBytes, flatBytes := jsonBuf.Bytes(), flatBuf.Bytes()
+
+		b.Run("json/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(jsonBytes)))
+			for i := 0; i < b.N; i++ {
+				bundle, err := LoadBundle(bytes.NewReader(jsonBytes))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The JSON path still has to build the serving view.
+				if _, err := core.NewFrozen(bundle.Result); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("flat/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(flatBytes)))
+			for i := 0; i < b.N; i++ {
+				fb, err := LoadBundleFlat(bytes.NewReader(flatBytes))
+				if err != nil {
+					b.Fatal(err)
+				}
+				fb.Close()
+			}
+		})
+		b.Run("mapped/"+shape.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fb, err := LoadBundleMapped(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fb.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkBundleMemoryPerModel measures the resident heap cost of keeping
+// many loaded-but-idle models open — the multi-tenant case the mapped path
+// exists for. Fifty mapped models of the medium shape should each cost only
+// their decoded metadata (labels, vocabulary, counts), never the cond slab,
+// which stays in shared page cache until something touches it.
+func BenchmarkBundleMemoryPerModel(b *testing.B) {
+	const numModels = 50
+	words, src, res := synthBundle(64, 8000)
+	var flatBuf bytes.Buffer
+	if err := SaveBundleFlat(&flatBuf, words, src, res, nil); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "medium.bundle")
+	if err := os.WriteFile(path, flatBuf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		bundles := make([]*FlatBundle, numModels)
+		for j := range bundles {
+			fb, err := LoadBundleMapped(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bundles[j] = fb
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if heap := int64(after.HeapAlloc) - int64(before.HeapAlloc); heap > 0 {
+			b.ReportMetric(float64(heap)/numModels, "heapB/model")
+		}
+		for _, fb := range bundles {
+			fb.Close()
+		}
+		runtime.KeepAlive(bundles)
+	}
+}

@@ -1,0 +1,79 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+)
+
+const maxInt = math.MaxInt
+
+// LoadBundleMapped opens a flat bundle with the zero-copy path: the file is
+// memory-mapped read-only, the header and every small section are validated
+// and checksummed (so truncations and metadata corruption are rejected up
+// front), and the cond slab is handed out as a []float64 view of the mapped
+// pages without ever being read. Load time and resident cost are therefore
+// independent of model size — a cold model occupies only its metadata — and
+// the kernel shares the slab's pages across every process mapping the same
+// file.
+//
+// The returned bundle has Mapped == true and MUST be Closed exactly once,
+// after the last reader of Cond is gone; the facade ties this to the
+// inference session's drain. On platforms without mmap, on big-endian hosts,
+// or if the mapping fails, LoadBundleMapped falls back to the eager
+// fully-verified LoadBundleFlat (Mapped == false, Close is a no-op), so
+// callers get the same bundle either way.
+//
+// The trade for O(1) load is that the cond slab's checksum is not verified
+// here — use Verify (or LoadBundleFlat) when integrity of the slab itself
+// must be proven, e.g. after an unclean copy.
+func LoadBundleMapped(path string) (*FlatBundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !mmapSupported || !hostLittleEndian {
+		return LoadBundleFlat(f)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mmapFile(f, fi.Size())
+	if err != nil {
+		// Mapping can fail on exotic filesystems; the eager path still works.
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			return nil, fmt.Errorf("persist: mmap failed (%v) and rewind failed: %w", err, serr)
+		}
+		return LoadBundleFlat(f)
+	}
+	fb, err := decodeFlat(data, false)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	if len(fb.Cond) > 0 && !sameMemory(data, fb.Cond) {
+		// The cast fell back to a heap copy (misaligned mapping — should not
+		// happen for page-aligned maps, but be safe): the mapping is no
+		// longer needed.
+		unmap()
+		return fb, nil
+	}
+	fb.Mapped = true
+	fb.unmap = unmap
+	return fb, nil
+}
+
+// sameMemory reports whether the float64 slice aliases the byte buffer.
+func sameMemory(data []byte, cond []float64) bool {
+	if len(data) == 0 || len(cond) == 0 {
+		return false
+	}
+	start := uintptr(unsafe.Pointer(&data[0]))
+	end := start + uintptr(len(data))
+	p := uintptr(unsafe.Pointer(&cond[0]))
+	return p >= start && p < end
+}

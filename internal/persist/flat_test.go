@@ -1,0 +1,340 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+)
+
+// flatSeedBytes builds the same tiny fitted fixture the bundle tests use and
+// returns its flat encoding plus the inputs it was saved from. It takes no
+// *testing.T so the fuzz harness can call it too.
+func flatSeedBytes() ([]byte, []string, *knowledge.Source, *core.Result, error) {
+	c := corpus.New()
+	c.AddText("d1", "pencil pencil umpire", nil)
+	c.AddText("d2", "ruler ruler baseball", nil)
+	school := knowledge.NewArticleFromText("School",
+		strings.Repeat("pencil ruler ", 10), c.Vocab, nil, true)
+	ball := knowledge.NewArticleFromText("Baseball",
+		strings.Repeat("umpire baseball ", 10), c.Vocab, nil, true)
+	src := knowledge.MustNewSource([]*knowledge.Article{school, ball})
+	m, err := core.Fit(c, src, core.Options{
+		LambdaMode: core.LambdaFixed, Lambda: 1, Iterations: 20, Seed: 1,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	defer m.Close()
+	res := m.Result()
+	var buf bytes.Buffer
+	err = SaveBundleFlat(&buf, c.Vocab.Words(), src, res, flatTestMeta())
+	return buf.Bytes(), c.Vocab.Words(), src, res, err
+}
+
+func flatTestMeta() *BundleMeta {
+	return &BundleMeta{
+		Name:        "school",
+		Version:     "v7",
+		ChainDigest: "00ff00ff00ff00ff",
+		TrainedAt:   time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func mustFlatSeed(t *testing.T) ([]byte, []string, *knowledge.Source, *core.Result) {
+	t.Helper()
+	data, words, src, res, err := flatSeedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, words, src, res
+}
+
+// checkFlatAgainst asserts a loaded flat bundle reproduces the saved inputs
+// exactly, down to the cond-slab bits core.NewFrozen would have built from
+// the JSON path.
+func checkFlatAgainst(t *testing.T, fb *FlatBundle, words []string, src *knowledge.Source, res *core.Result) {
+	t.Helper()
+	T, V := len(res.Phi), len(words)
+	if fb.T != T || fb.V != V || fb.NumSourceArticles != src.Len() {
+		t.Fatalf("dims T=%d V=%d S=%d, want %d %d %d", fb.T, fb.V, fb.NumSourceArticles, T, V, src.Len())
+	}
+	if fb.NumFreeTopics != res.NumFreeTopics || fb.Alpha != res.Alpha {
+		t.Fatalf("free=%d alpha=%v, want %d %v", fb.NumFreeTopics, fb.Alpha, res.NumFreeTopics, res.Alpha)
+	}
+	for tt := range res.Labels {
+		if fb.Labels[tt] != res.Labels[tt] || fb.SourceIndices[tt] != res.SourceIndices[tt] ||
+			fb.TokenCounts[tt] != res.TokenCounts[tt] || fb.DocFrequencies[tt] != res.DocFrequencies[tt] {
+			t.Fatalf("topic %d metadata changed in round trip", tt)
+		}
+	}
+	if fb.Vocab.Size() != V {
+		t.Fatalf("vocab size %d, want %d", fb.Vocab.Size(), V)
+	}
+	for id, w := range words {
+		if fb.Vocab.Word(id) != w {
+			t.Fatal("vocabulary order changed")
+		}
+	}
+	frozen, err := core.NewFrozen(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < V; w++ {
+		want := frozen.Cond(w)
+		got := fb.Cond[w*T : (w+1)*T]
+		for tt := range want {
+			if math.Float64bits(got[tt]) != math.Float64bits(want[tt]) {
+				t.Fatalf("cond[%d,%d] not bit-identical to the NewFrozen slab", w, tt)
+			}
+		}
+	}
+}
+
+func TestFlatBundleRoundTrip(t *testing.T) {
+	data, words, src, res := mustFlatSeed(t)
+	if !IsFlatBundle(data) {
+		t.Fatal("saved flat bundle does not start with the magic")
+	}
+	fb, err := LoadBundleFlat(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlatAgainst(t, fb, words, src, res)
+	want := flatTestMeta()
+	if fb.Meta == nil {
+		t.Fatal("meta lost in round trip")
+	}
+	if fb.Meta.Name != want.Name || fb.Meta.Version != want.Version ||
+		fb.Meta.ChainDigest != want.ChainDigest || !fb.Meta.TrainedAt.Equal(want.TrainedAt) {
+		t.Fatalf("meta changed in round trip: %+v", fb.Meta)
+	}
+	if fb.Mapped {
+		t.Fatal("eager load reported Mapped")
+	}
+	if err := fb.Verify(); err != nil {
+		t.Fatalf("Verify on a pristine bundle: %v", err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal("Close is not idempotent:", err)
+	}
+	if err := fb.Verify(); err == nil {
+		t.Fatal("Verify succeeded after Close")
+	}
+}
+
+func TestSaveBundleFlatDeterministic(t *testing.T) {
+	a, _, _, _ := mustFlatSeed(t)
+	b, _, _, _ := mustFlatSeed(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two saves of the same model produced different bytes")
+	}
+	// An all-zero meta is normalized to "no meta", so both spellings encode
+	// identically.
+	_, words, src, res, err := flatSeedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withNil, withZero bytes.Buffer
+	if err := SaveBundleFlat(&withNil, words, src, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBundleFlat(&withZero, words, src, res, &BundleMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withNil.Bytes(), withZero.Bytes()) {
+		t.Fatal("nil meta and zero meta encode differently")
+	}
+	fb, err := LoadBundleFlat(bytes.NewReader(withNil.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Meta != nil {
+		t.Fatal("meta materialized from a bundle saved without one")
+	}
+}
+
+func TestSaveBundleFlatRejectsInconsistency(t *testing.T) {
+	_, words, src, res, err := flatSeedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBundleFlat(&buf, words[:len(words)-1], src, res, nil); err == nil {
+		t.Fatal("undersized vocabulary accepted")
+	}
+	if err := SaveBundleFlat(&buf, words, nil, res, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if err := SaveBundleFlat(&buf, words, src, nil, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}
+
+// condRange reads the cond section's [offset, offset+length) out of a valid
+// flat bundle's own section table.
+func condRange(data []byte) (uint64, uint64) {
+	le := binary.LittleEndian
+	return le.Uint64(data[88+8:]), le.Uint64(data[88+16:])
+}
+
+// TestFlatBundleRejectsCorruption exhaustively flips every byte of a valid
+// bundle (two patterns: one bit and all bits) and tries every truncation and
+// a one-byte extension. The strict loader must reject all of them; the
+// mapped-path decoder must reject everything outside the cond slab it
+// deliberately leaves unread, and Verify must catch the rest.
+func TestFlatBundleRejectsCorruption(t *testing.T) {
+	data, _, _, _ := mustFlatSeed(t)
+	condOff, condLen := condRange(data)
+	mut := make([]byte, len(data))
+	for _, pattern := range []byte{0x01, 0xFF} {
+		for i := range data {
+			copy(mut, data)
+			mut[i] ^= pattern
+			if _, err := LoadBundleFlat(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("strict loader accepted flip %#02x at byte %d", pattern, i)
+			}
+			fb, err := decodeFlat(append([]byte(nil), mut...), false)
+			if inCond := uint64(i) >= condOff && uint64(i) < condOff+condLen; inCond {
+				if err != nil {
+					t.Fatalf("mapped decode rejected a cond-only flip at byte %d: %v", i, err)
+				}
+				if err := fb.Verify(); err == nil {
+					t.Fatalf("Verify missed the cond flip at byte %d", i)
+				}
+			} else if err == nil {
+				t.Fatalf("mapped decode accepted flip %#02x at byte %d outside the cond slab", pattern, i)
+			}
+		}
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := LoadBundleFlat(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("strict loader accepted truncation to %d bytes", n)
+		}
+		if _, err := decodeFlat(data[:n], false); err == nil {
+			t.Fatalf("mapped decode accepted truncation to %d bytes", n)
+		}
+	}
+	extended := append(append([]byte(nil), data...), 0)
+	if _, err := LoadBundleFlat(bytes.NewReader(extended)); err == nil {
+		t.Fatal("strict loader accepted a one-byte extension")
+	}
+	if _, err := decodeFlat(extended, false); err == nil {
+		t.Fatal("mapped decode accepted a one-byte extension")
+	}
+}
+
+func TestLoadBundleMapped(t *testing.T) {
+	data, words, src, res := mustFlatSeed(t)
+	path := filepath.Join(t.TempDir(), "school.bundle")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := LoadBundleMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFlatAgainst(t, fb, words, src, res)
+	if mmapSupported && hostLittleEndian && !fb.Mapped {
+		t.Fatal("mapped load fell back to the heap on a platform that supports mmap")
+	}
+	if err := fb.Verify(); err != nil {
+		t.Fatalf("Verify on a pristine mapped bundle: %v", err)
+	}
+	if fb.Closed() {
+		t.Fatal("Closed before Close")
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Closed() {
+		t.Fatal("Closed not reported after Close")
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal("Close is not idempotent:", err)
+	}
+}
+
+func TestLoadBundleMappedCorruption(t *testing.T) {
+	data, _, _, _ := mustFlatSeed(t)
+	condOff, _ := condRange(data)
+	dir := t.TempDir()
+
+	// A flip in the metadata (vocabulary table, after cond) must fail the
+	// mapped load outright.
+	metaFlipped := append([]byte(nil), data...)
+	metaFlipped[len(metaFlipped)-1] ^= 0xFF
+	badPath := filepath.Join(dir, "meta.bundle")
+	if err := os.WriteFile(badPath, metaFlipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundleMapped(badPath); err == nil {
+		t.Fatal("mapped load accepted a metadata flip")
+	}
+
+	// A flip inside the cond slab is invisible to the O(1) load by design,
+	// but the full Verify pass must catch it.
+	condFlipped := append([]byte(nil), data...)
+	condFlipped[condOff] ^= 0xFF
+	condPath := filepath.Join(dir, "cond.bundle")
+	if err := os.WriteFile(condPath, condFlipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := LoadBundleMapped(condPath)
+	if err != nil {
+		t.Fatalf("mapped load rejected a cond-only flip: %v", err)
+	}
+	defer fb.Close()
+	if err := fb.Verify(); err == nil {
+		t.Fatal("Verify missed a cond flip in a mapped bundle")
+	}
+
+	// A truncated file must fail before any section is trusted.
+	truncPath := filepath.Join(dir, "trunc.bundle")
+	if err := os.WriteFile(truncPath, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundleMapped(truncPath); err == nil {
+		t.Fatal("mapped load accepted a truncated file")
+	}
+	if _, err := LoadBundleMapped(filepath.Join(dir, "missing.bundle")); err == nil {
+		t.Fatal("mapped load accepted a missing file")
+	}
+}
+
+func TestConvertBundleToFlat(t *testing.T) {
+	_, words, src, res, err := flatSeedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf bytes.Buffer
+	if err := SaveBundleMeta(&jsonBuf, words, src, res, flatTestMeta()); err != nil {
+		t.Fatal(err)
+	}
+	var converted bytes.Buffer
+	if err := ConvertBundleToFlat(bytes.NewReader(jsonBuf.Bytes()), &converted); err != nil {
+		t.Fatal(err)
+	}
+	// JSON float64 encoding round-trips bit-exactly, so converting the JSON
+	// bundle must reproduce the directly saved flat bytes.
+	direct, _, _, _ := mustFlatSeed(t)
+	if !bytes.Equal(converted.Bytes(), direct) {
+		t.Fatal("converted bundle differs from a direct flat save")
+	}
+	// Flat input has no knowledge source to convert from.
+	if err := ConvertBundleToFlat(bytes.NewReader(direct), io.Discard); err == nil {
+		t.Fatal("flat input accepted for conversion")
+	}
+}

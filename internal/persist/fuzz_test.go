@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"sourcelda/internal/core"
 )
 
 // FuzzLoadCorpus asserts the loader never panics and never returns an
@@ -68,6 +70,56 @@ func FuzzCorpusRoundTrip(f *testing.F) {
 		if again.NumDocs() != c.NumDocs() || again.VocabSize() != c.VocabSize() ||
 			again.TotalTokens() != c.TotalTokens() {
 			t.Fatal("round trip changed the corpus")
+		}
+	})
+}
+
+// FuzzLoadBundleFlat asserts the flat-bundle decoder never panics on
+// arbitrary bytes, and that anything it accepts is internally consistent:
+// the dimensions, per-topic metadata and cond slab all agree, and the
+// inference engine (core.FrozenFromCond) accepts the loaded view. The seed
+// corpus includes a fully valid bundle so the fuzzer mutates from real
+// structure, not just random prefixes.
+func FuzzLoadBundleFlat(f *testing.F) {
+	full, _, _, _, err := flatSeedBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte(FlatBundleMagic))
+	f.Add([]byte{})
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		fb, err := LoadBundleFlat(bytes.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if len(fb.Cond) != fb.T*fb.V {
+			t.Fatalf("cond has %d values for T=%d V=%d", len(fb.Cond), fb.T, fb.V)
+		}
+		if len(fb.Labels) != fb.T || len(fb.SourceIndices) != fb.T ||
+			len(fb.TokenCounts) != fb.T || len(fb.DocFrequencies) != fb.T {
+			t.Fatal("per-topic metadata length disagrees with T")
+		}
+		if fb.Vocab.Size() != fb.V {
+			t.Fatalf("vocabulary has %d words for V=%d", fb.Vocab.Size(), fb.V)
+		}
+		if fb.NumFreeTopics < 0 || fb.NumFreeTopics > fb.T {
+			t.Fatalf("free-topic count %d outside [0, %d]", fb.NumFreeTopics, fb.T)
+		}
+		for tt, s := range fb.SourceIndices {
+			if s < -1 || s >= fb.NumSourceArticles {
+				t.Fatalf("topic %d references source article %d of %d", tt, s, fb.NumSourceArticles)
+			}
+		}
+		if _, err := core.FrozenFromCond(fb.Cond, fb.T, fb.V, fb.Labels, fb.SourceIndices, fb.Alpha); err != nil {
+			t.Fatalf("engine rejected a loaded flat bundle: %v", err)
+		}
+		if err := fb.Verify(); err != nil {
+			t.Fatalf("Verify failed on freshly accepted bytes: %v", err)
 		}
 	})
 }

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("persist: mmap not supported on this platform")
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path; on non-unix builds
+// LoadBundleMapped silently degrades to the eager loader.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and private. The returned release
+// function unmaps; the file descriptor itself can be closed immediately after
+// mapping (the mapping keeps the pages alive).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size > int64(maxInt) {
+		return nil, nil, fmt.Errorf("persist: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

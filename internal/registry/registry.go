@@ -136,8 +136,13 @@ type version struct {
 	version  string
 	loadedAt time.Time
 	// byIndex holds the model's topics in model-topic order — the order
-	// every mixture array is aligned with.
-	byIndex []sourcelda.Topic
+	// every mixture array is aligned with. It is built lazily on the first
+	// topics request (topicsOnce), not at load time: rendering topics for a
+	// memory-mapped model materializes every φ row, and paying that O(T·V)
+	// at load would forfeit the flat format's O(1) load and near-zero
+	// resident cost for the many models that only ever serve inference.
+	topicsOnce sync.Once
+	byIndex    []sourcelda.Topic
 }
 
 // entry is the long-lived per-name serving state: the job queue and
@@ -205,16 +210,11 @@ func (r *Registry) Load(name, ver string, m *sourcelda.Model) (LoadResult, error
 	if ver == "" {
 		ver = fmt.Sprintf("load-%d", seq)
 	}
-	tops := m.Topics()
 	v := &version{
 		model:    m,
 		inferrer: inferrer,
 		version:  ver,
 		loadedAt: time.Now(),
-		byIndex:  make([]sourcelda.Topic, len(tops)),
-	}
-	for _, tp := range tops {
-		v.byIndex[tp.Index] = tp
 	}
 
 	r.mu.Lock()
@@ -238,11 +238,16 @@ func (r *Registry) Load(name, ver string, m *sourcelda.Model) (LoadResult, error
 		res.PreviousVersion = old.version
 		e.metrics.recordSwap()
 		// Drop the owner reference; the old session frees its pool once the
-		// last in-flight batch releases its pin.
+		// last in-flight batch releases its pin. Closing the old model drops
+		// its reference to any memory-mapped bundle — the unmap itself still
+		// waits for that same session drain, so in-flight batches are safe.
 		old.inferrer.Close()
+		if old.model != v.model {
+			old.model.Close()
+		}
 		r.cfg.logf("registry: model %q hot-swapped %s -> %s", name, old.version, ver)
 	} else {
-		r.cfg.logf("registry: model %q loaded (version %s, %d topics)", name, ver, len(v.byIndex))
+		r.cfg.logf("registry: model %q loaded (version %s, %d topics)", name, ver, m.NumTopics())
 	}
 	return res, nil
 }
@@ -308,6 +313,7 @@ func (e *entry) stop() {
 	<-e.drained
 	if v := e.current.Swap(nil); v != nil {
 		v.inferrer.Close()
+		v.model.Close()
 	}
 }
 
@@ -359,11 +365,14 @@ func (r *Registry) Names() []string {
 // ModelInfo is one model's listing entry: identity, provenance, and a
 // point-in-time serving snapshot.
 type ModelInfo struct {
-	Name          string
-	Version       string
-	LoadedAt      time.Time
-	Bundle        sourcelda.BundleInfo
-	Topics        int
+	Name     string
+	Version  string
+	LoadedAt time.Time
+	Bundle   sourcelda.BundleInfo
+	Topics   int
+	// Mapped reports whether the build serves from a memory-mapped flat
+	// bundle (zero-copy load, page-cache-shared conditionals).
+	Mapped        bool
 	QueueDepth    int
 	QueueCapacity int
 	// OpenSessions counts inference sessions not yet fully drained: 1 in
@@ -409,9 +418,37 @@ func (e *entry) info() ModelInfo {
 		mi.Version = v.version
 		mi.LoadedAt = v.loadedAt
 		mi.Bundle = v.model.BundleInfo()
-		mi.Topics = len(v.byIndex)
+		mi.Topics = v.model.NumTopics()
+		mi.Mapped = v.model.Mapped()
 	}
 	return mi
+}
+
+// topics returns the active build and its topics in model-topic order,
+// rendering them on first use. The build is pinned via its inference session
+// while rendering, so a concurrent swap-and-close cannot unmap a mapped
+// model's pages mid-materialization; a build that drains before it can be
+// pinned is retried against its replacement, mirroring entry.score. ok is
+// false when no build is active.
+func (e *entry) topics() (v *version, tops []sourcelda.Topic, ok bool) {
+	for {
+		v := e.current.Load()
+		if v == nil {
+			return nil, nil, false
+		}
+		if !v.inferrer.Acquire() {
+			continue
+		}
+		v.topicsOnce.Do(func() {
+			rendered := v.model.Topics()
+			v.byIndex = make([]sourcelda.Topic, len(rendered))
+			for _, tp := range rendered {
+				v.byIndex[tp.Index] = tp
+			}
+		})
+		v.inferrer.Release()
+		return v, v.byIndex, true
+	}
 }
 
 // trackSession registers a session for the open-sessions gauge.

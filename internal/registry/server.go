@@ -1,16 +1,19 @@
 package registry
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/persist"
 )
 
 // Server is the registry's HTTP surface: inference and topic routes (both
@@ -222,8 +225,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
 		return
 	}
-	v := e.current.Load()
-	if v == nil {
+	v, byIndex, ok := e.topics()
+	if !ok {
 		writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
 		return
 	}
@@ -234,8 +237,8 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 		Weight   float64  `json:"weight"`
 		TopWords []string `json:"top_words"`
 	}
-	topics := make([]topicInfo, len(v.byIndex))
-	for i, tp := range v.byIndex {
+	topics := make([]topicInfo, len(byIndex))
+	for i, tp := range byIndex {
 		topics[i] = topicInfo{
 			Index:    tp.Index,
 			Label:    tp.Label,
@@ -257,6 +260,7 @@ type modelInfoJSON struct {
 	Version       string  `json:"version"`
 	LoadedAt      string  `json:"loaded_at,omitempty"`
 	Topics        int     `json:"topics"`
+	Mapped        bool    `json:"mapped"`
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`
 	OpenSessions  int     `json:"open_sessions"`
@@ -276,6 +280,7 @@ func infoToJSON(mi ModelInfo) modelInfoJSON {
 		Name:          mi.Name,
 		Version:       mi.Version,
 		Topics:        mi.Topics,
+		Mapped:        mi.Mapped,
 		QueueDepth:    mi.QueueDepth,
 		QueueCapacity: mi.QueueCapacity,
 		OpenSessions:  mi.OpenSessions,
@@ -321,9 +326,11 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 
 // handlePutModel loads (or hot-swaps) a model: the request body IS the
 // bundle, exactly as written by srclda -save-bundle / sourcelda.SaveBundle
-// (gzip or plain JSON — the loader sniffs). `?version=` overrides the
-// version recorded for the build; otherwise the bundle's embedded version,
-// then a process-unique fallback, is used.
+// (gzip JSON, plain JSON, or the flat format — the loader sniffs by magic).
+// A flat upload is spooled to a temporary file and served memory-mapped, so
+// a pushed flat model keeps the format's zero-copy properties. `?version=`
+// overrides the version recorded for the build; otherwise the bundle's
+// embedded version, then a process-unique fallback, is used.
 func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	name := modelName(r)
 	// Validate the name before consuming the body: an invalid name must not
@@ -333,8 +340,14 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("invalid model name %q (want %s)", name, validName))
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.reg.cfg.AdminMaxBody)
-	m, err := sourcelda.LoadBundle(body)
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.reg.cfg.AdminMaxBody))
+	var m *sourcelda.Model
+	var err error
+	if magic, perr := body.Peek(len(persist.FlatBundleMagic)); perr == nil && persist.IsFlatBundle(magic) {
+		m, err = spoolFlatBundle(body)
+	} else {
+		m, err = sourcelda.LoadBundle(body)
+	}
 	if err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
@@ -347,6 +360,7 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.reg.Load(name, r.URL.Query().Get("version"), m)
 	if err != nil {
+		m.Close()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -360,6 +374,29 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 		"swapped":          res.Swapped,
 		"previous_version": res.PreviousVersion,
 	})
+}
+
+// spoolFlatBundle lands an uploaded flat bundle in a temporary file and
+// memory-maps it from there: the spool is one sequential write, after which
+// the model serves zero-copy from the page cache exactly as a bundle loaded
+// from -models-dir would. The file is unlinked immediately after mapping —
+// on unix the mapping keeps the pages alive, so the model outlives the
+// directory entry and nothing is left behind on shutdown.
+func spoolFlatBundle(body io.Reader) (*sourcelda.Model, error) {
+	tmp, err := os.CreateTemp("", "srcldad-flat-*.bundle")
+	if err != nil {
+		return nil, fmt.Errorf("spool flat bundle: %w", err)
+	}
+	path := tmp.Name()
+	defer os.Remove(path)
+	if _, err := io.Copy(tmp, body); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("spool flat bundle: %w", err)
+	}
+	return sourcelda.LoadBundleFile(path)
 }
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {

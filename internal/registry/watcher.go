@@ -3,6 +3,8 @@ package registry
 import (
 	"context"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,11 +23,29 @@ const BundleExt = ".bundle"
 // the last load attempt failed — a bad file is not retried every tick, only
 // when it changes again, while a good unchanged file is re-checked against
 // the registry (see Scan) so an out-of-band unload gets reloaded.
+//
+// Size+mtime alone has a blind spot: a rewrite within the mtime granularity
+// that happens to produce the same byte count looks unchanged. So a file
+// whose mtime was recent when recorded is marked racy and carries a content
+// fingerprint (CRC-32 of its head and tail); while racy, an "unchanged"
+// verdict is confirmed against the fingerprint before being trusted. Head
+// and tail are where both bundle formats concentrate change — the gzip
+// footer CRC and the flat header's checksums differ for any content change —
+// so the confirmation reads at most 128 KiB however large the model is. Once
+// the mtime ages past the racy window the flag is dropped and the steady
+// state is back to two stat fields.
 type fileState struct {
-	size    int64
-	modTime time.Time
-	failed  bool
+	size        int64
+	modTime     time.Time
+	failed      bool
+	racy        bool
+	fingerprint uint32
 }
+
+// racyWindow is how fresh a file's mtime must be for a same-size same-mtime
+// rewrite to still be plausible (filesystem timestamp granularity plus
+// scheduling slack).
+const racyWindow = 2 * time.Second
 
 // Watcher auto-loads model bundles dropped into a directory: new or changed
 // *.bundle files are loaded (a change hot-swaps the model), and removing a
@@ -104,14 +124,32 @@ func (w *Watcher) Scan() error {
 			continue // deleted between ReadDir and stat; next tick settles it
 		}
 		present[name] = true
+		path := filepath.Join(w.dir, de.Name())
 		st := fileState{size: fi.Size(), modTime: fi.ModTime()}
-		if prev, ok := w.seen[name]; ok && prev.size == st.size && prev.modTime.Equal(st.modTime) {
+		st.racy = time.Since(st.modTime) < racyWindow
+		prev, known := w.seen[name]
+		unchanged := known && prev.size == st.size && prev.modTime.Equal(st.modTime)
+		if unchanged && prev.racy {
+			// Size and mtime match but the recorded state was taken inside
+			// the timestamp-granularity window — confirm against the content
+			// fingerprint before trusting "unchanged".
+			if fp, err := quickFingerprint(path); err == nil && fp != prev.fingerprint {
+				unchanged = false
+			}
+		}
+		if unchanged {
 			// Unchanged file. Skip it when it is known-bad (retry only once
 			// it changes) or its model is still serving. But a present file
 			// whose model is gone — e.g. an admin DELETE of a
 			// watcher-loaded model — is reloaded: the directory states the
 			// desired set, and skipping here would orphan the name until
 			// the file is touched.
+			if !st.racy && prev.racy {
+				// The mtime has aged out of the window; settle to plain
+				// size+mtime checks.
+				prev.racy = false
+				w.seen[name] = prev
+			}
 			if prev.failed {
 				continue
 			}
@@ -119,7 +157,16 @@ func (w *Watcher) Scan() error {
 				continue
 			}
 		}
-		path := filepath.Join(w.dir, de.Name())
+		if st.racy {
+			if fp, err := quickFingerprint(path); err == nil {
+				st.fingerprint = fp
+			} else {
+				// Unreadable head/tail: leave the zero fingerprint; the next
+				// racy confirmation will force a reload, which is the safe
+				// direction.
+				st.fingerprint = 0
+			}
+		}
 		if err := w.loadFile(name, path); err != nil {
 			st.failed = true
 			w.reg.cfg.logf("registry: watcher: %s: %v", path, err)
@@ -142,19 +189,50 @@ func (w *Watcher) Scan() error {
 	return nil
 }
 
+// loadFile loads one bundle file into the registry. LoadBundleFile sniffs
+// the format: flat bundles are memory-mapped (O(1) load, page-cache-shared
+// conditionals — drop fifty flat bundles in the directory and the daemon's
+// resident cost stays near its metadata), JSON bundles decode as always.
 func (w *Watcher) loadFile(name, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	m, err := sourcelda.LoadBundle(f)
+	m, err := sourcelda.LoadBundleFile(path)
 	if err != nil {
 		return err
 	}
 	if _, err := w.reg.Load(name, "", m); err != nil {
+		m.Close()
 		return err
 	}
 	w.owned[name] = true
 	return nil
+}
+
+// quickFingerprint checksums a file's first and last 64 KiB (plus its size).
+// Both bundle formats concentrate change there — gzip ends in a CRC and
+// length footer, flat bundles lead with header checksums — so this catches
+// any rewrite without reading a multi-gigabyte model body.
+func quickFingerprint(path string) (uint32, error) {
+	const chunk = 64 << 10
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	h := crc32.NewIEEE()
+	fmt.Fprintf(h, "%d:", fi.Size())
+	if _, err := io.CopyN(h, f, chunk); err != nil && err != io.EOF {
+		return 0, err
+	}
+	if fi.Size() > 2*chunk {
+		if _, err := f.Seek(-chunk, io.SeekEnd); err != nil {
+			return 0, err
+		}
+		if _, err := io.CopyN(h, f, chunk); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	return h.Sum32(), nil
 }

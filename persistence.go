@@ -1,9 +1,11 @@
 package sourcelda
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
 	"sourcelda/internal/core"
 	"sourcelda/internal/persist"
@@ -53,6 +55,9 @@ func SaveModel(w io.Writer, m *Model) error {
 	if m == nil {
 		return errors.New("sourcelda: nil model")
 	}
+	if m.res.Phi == nil {
+		return errors.New("sourcelda: model was loaded from a flat bundle and carries no training snapshot to save")
+	}
 	return persist.SaveResult(w, m.res)
 }
 
@@ -98,6 +103,9 @@ func SaveBundleNamed(w io.Writer, m *Model, name, version string) error {
 	if m == nil {
 		return errors.New("sourcelda: nil model")
 	}
+	if m.source == nil || m.res.Phi == nil {
+		return errors.New("sourcelda: model was loaded from a flat bundle, which does not carry the knowledge source or training mixtures; keep the original JSON bundle (or the flat file itself) instead")
+	}
 	meta := &persist.BundleMeta{
 		Name:        name,
 		Version:     version,
@@ -107,26 +115,136 @@ func SaveBundleNamed(w io.Writer, m *Model, name, version string) error {
 	return persist.SaveBundleMeta(w, m.vocab.Words(), m.source, m.res, meta)
 }
 
-// LoadBundle reads a bundle written by SaveBundle and returns a fully
-// self-contained model: Topics, Infer and InferBatch all work without the
-// training corpus. DocumentTopics still reports the training documents'
-// mixtures captured in the snapshot. Embedded provenance is available via
-// Model.BundleInfo (zero for bundles written before metadata existed).
+// SaveBundleFlat writes the model in the flat, memory-mappable serving
+// format: a binary layout whose topic-word conditional slab is stored
+// exactly as the inference engine reads it, so LoadBundleFile can mmap the
+// file and serve with O(1) load time and near-zero resident cost per cold
+// model. Flat bundles are a serving artifact — they do not embed the
+// knowledge source or training mixtures, so keep the JSON bundle (or
+// snapshot) for retraining and analysis. A flat and a JSON bundle of the
+// same model produce bit-identical inference results.
+func SaveBundleFlat(w io.Writer, m *Model) error {
+	if m == nil {
+		return errors.New("sourcelda: nil model")
+	}
+	return SaveBundleFlatNamed(w, m, m.info.Name, m.info.Version)
+}
+
+// SaveBundleFlatNamed is SaveBundleFlat with the registry identity assigned,
+// exactly as SaveBundleNamed does for the JSON format.
+func SaveBundleFlatNamed(w io.Writer, m *Model, name, version string) error {
+	if m == nil {
+		return errors.New("sourcelda: nil model")
+	}
+	if m.source == nil || m.res.Phi == nil {
+		return errors.New("sourcelda: model was loaded from a flat bundle; it is already in the flat format")
+	}
+	meta := &persist.BundleMeta{
+		Name:        name,
+		Version:     version,
+		ChainDigest: m.info.ChainDigest,
+		TrainedAt:   m.info.TrainedAt,
+	}
+	return persist.SaveBundleFlat(w, m.vocab.Words(), m.source, m.res, meta)
+}
+
+// LoadBundle reads a bundle written by SaveBundle (gzip JSON, plain JSON, or
+// the flat format — sniffed by magic) and returns a fully self-contained
+// model: Topics, Infer and InferBatch all work without the training corpus.
+// For JSON bundles DocumentTopics still reports the training documents'
+// mixtures captured in the snapshot; flat bundles are serving artifacts and
+// carry none. Flat input is read eagerly and fully verified here — use
+// LoadBundleFile for the zero-copy mmap path. Embedded provenance is
+// available via Model.BundleInfo (zero for bundles written before metadata
+// existed).
 func LoadBundle(r io.Reader) (*Model, error) {
-	b, err := persist.LoadBundle(r)
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(persist.FlatBundleMagic)); err == nil && persist.IsFlatBundle(magic) {
+		fb, err := persist.LoadBundleFlat(br)
+		if err != nil {
+			return nil, err
+		}
+		return modelFromFlat(fb)
+	}
+	b, err := persist.LoadBundle(br)
 	if err != nil {
 		return nil, err
 	}
 	m := &Model{res: b.Result, vocab: b.Vocab, source: b.Source}
 	if b.Meta != nil {
-		m.info = BundleInfo{
-			Name:        b.Meta.Name,
-			Version:     b.Meta.Version,
-			ChainDigest: b.Meta.ChainDigest,
-			TrainedAt:   b.Meta.TrainedAt,
-		}
+		m.info = bundleInfoFromMeta(b.Meta)
 	}
 	return m, nil
+}
+
+// LoadBundleFile loads a bundle from disk, preferring the cheapest path its
+// format allows: a flat bundle is memory-mapped (O(1) load, conditionals
+// served straight from the page cache, pages shared across processes), while
+// a gzip/plain-JSON bundle is decoded as LoadBundle does. The caller should
+// Close the returned model when done serving it; Close is a no-op for
+// non-mapped models, and for mapped ones the unmap waits for every Inferrer
+// to drain, so closing behind a hot swap is always safe.
+func LoadBundleFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if persist.IsFlatBundle(magic[:n]) {
+		f.Close()
+		fb, err := persist.LoadBundleMapped(path)
+		if err != nil {
+			return nil, err
+		}
+		return modelFromFlat(fb)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer f.Close()
+	return LoadBundle(f)
+}
+
+// modelFromFlat wraps a loaded flat bundle as a serving model. The frozen
+// inference view adopts the bundle's cond slab directly (no copy); when the
+// slab lives in mapped pages the model carries the reference-counted unmap
+// obligation described on Model.Close.
+func modelFromFlat(fb *persist.FlatBundle) (*Model, error) {
+	frozen, err := core.FrozenFromCond(fb.Cond, fb.T, fb.V, fb.Labels, fb.SourceIndices, fb.Alpha)
+	if err != nil {
+		fb.Close()
+		return nil, err
+	}
+	res := &core.Result{
+		Labels:         fb.Labels,
+		SourceIndices:  fb.SourceIndices,
+		NumFreeTopics:  fb.NumFreeTopics,
+		Alpha:          fb.Alpha,
+		TokenCounts:    fb.TokenCounts,
+		DocFrequencies: fb.DocFrequencies,
+	}
+	m := &Model{res: res, vocab: fb.Vocab}
+	if fb.Meta != nil {
+		m.info = bundleInfoFromMeta(fb.Meta)
+	}
+	// Pre-seed the frozen view: engine() must never rebuild it from res
+	// (res.Phi is nil) and every Inferrer must share the adopted slab.
+	m.frozenOnce.Do(func() { m.frozen = frozen })
+	if fb.Mapped {
+		m.backing = &mappedBacking{refs: 1, fb: fb}
+	}
+	return m, nil
+}
+
+func bundleInfoFromMeta(meta *persist.BundleMeta) BundleInfo {
+	return BundleInfo{
+		Name:        meta.Name,
+		Version:     meta.Version,
+		ChainDigest: meta.ChainDigest,
+		TrainedAt:   meta.TrainedAt,
+	}
 }
 
 // TuningResult reports a (µ, σ) grid search (§III-C5a: select the prior by

@@ -261,7 +261,16 @@ var ErrStopTraining = core.ErrStopTraining
 
 // Model is a fitted Source-LDA model. It is safe for concurrent use once
 // fitted or loaded: all state is read-only except the lazily-built frozen
-// inference view, which is guarded by a sync.Once.
+// inference view (guarded by a sync.Once) and, for models loaded from a
+// flat bundle, the lazily materialized per-topic rows (guarded by a mutex).
+//
+// A model loaded from a memory-mapped flat bundle (LoadBundleFile) serves
+// its topic-word conditionals directly from the mapped file pages. Such a
+// model carries a Close obligation: Close releases the owner's reference to
+// the mapping, and the file is unmapped once every Inferrer created from the
+// model has also fully drained — so a registry can hot-swap and Close the
+// old model while in-flight batches are still scoring against it. For every
+// other model Close is a no-op, so callers may close unconditionally.
 type Model struct {
 	res    *Result
 	vocab  *textproc.Vocabulary
@@ -271,7 +280,85 @@ type Model struct {
 	frozenOnce sync.Once
 	frozen     *core.Frozen
 	frozenErr  error
+
+	// backing, when non-nil, owns the mapped flat-bundle memory the frozen
+	// view's cond slab aliases.
+	backing *mappedBacking
+
+	// lazyPhi caches per-topic φ rows materialized on demand from the cond
+	// slab when the model was loaded without explicit Phi (flat bundles).
+	phiMu   sync.Mutex
+	lazyPhi [][]float64
 }
+
+// mappedBacking reference-counts the mapped file pages behind a flat-bundle
+// model: one reference for the owner (released by Model.Close) plus one per
+// live Inferrer (released when its session drains). The file is unmapped
+// exactly when the count reaches zero, which is what lets a hot swap close
+// the old model immediately while its last in-flight batch finishes.
+type mappedBacking struct {
+	mu     sync.Mutex
+	refs   int
+	closed bool // owner reference released
+	fb     *persist.FlatBundle
+}
+
+// retain takes a reference, failing once the mapping has been released.
+func (b *mappedBacking) retain() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.refs == 0 {
+		return false
+	}
+	b.refs++
+	return true
+}
+
+func (b *mappedBacking) release() {
+	b.mu.Lock()
+	if b.refs <= 0 {
+		b.mu.Unlock()
+		panic("sourcelda: mapped bundle released more times than retained")
+	}
+	b.refs--
+	unmap := b.refs == 0
+	b.mu.Unlock()
+	if unmap {
+		b.fb.Close()
+	}
+}
+
+// closeOwner releases the owner's reference (idempotently).
+func (b *mappedBacking) closeOwner() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.release()
+}
+
+// Close releases the model's reference to its memory-mapped bundle, if any.
+// The mapping is unmapped once every Inferrer created from this model has
+// also drained; materialized data (topic rows already rendered, labels,
+// vocabulary) stays valid, but new Inferrers and un-materialized topic rows
+// fail or come back empty after the unmap. Close is idempotent and a no-op
+// for models that do not serve from a mapping.
+func (m *Model) Close() error {
+	if m.backing != nil {
+		m.backing.closeOwner()
+	}
+	return nil
+}
+
+// Mapped reports whether the model serves its topic-word conditionals from a
+// memory-mapped flat bundle (and therefore carries a Close obligation).
+func (m *Model) Mapped() bool { return m.backing != nil }
+
+// NumTopics returns the number of topics without materializing anything.
+func (m *Model) NumTopics() int { return len(m.res.Labels) }
 
 // BundleInfo is deployment provenance for a model: the logical name and
 // version a serving registry knows it by, the chain-options fingerprint of
@@ -529,7 +616,7 @@ func (m *Model) Topics() []Topic {
 	for _, n := range m.res.TokenCounts {
 		totalTokens += n
 	}
-	out := make([]Topic, len(m.res.Phi))
+	out := make([]Topic, m.NumTopics())
 	for t := range out {
 		w := 0.0
 		if totalTokens > 0 {
@@ -540,12 +627,42 @@ func (m *Model) Topics() []Topic {
 			Label:         m.res.Labels[t],
 			IsSourceTopic: m.res.SourceIndices[t] >= 0,
 			Weight:        w,
-			phi:           m.res.Phi[t],
+			phi:           m.topicPhi(t),
 			vocab:         m.vocab,
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
 	return out
+}
+
+// topicPhi returns topic t's word distribution. Models loaded from a flat
+// bundle carry no Phi rows — the bundle stores only the transposed cond
+// slab — so rows are materialized lazily (one O(V) column gather each) and
+// cached, keeping a cold model's resident cost at its metadata until someone
+// actually renders topics. Materialization pins the mapped pages for its
+// duration; once the mapping is fully released a not-yet-materialized row
+// comes back nil (rendering as an empty word list) rather than faulting.
+func (m *Model) topicPhi(t int) []float64 {
+	if m.res.Phi != nil {
+		return m.res.Phi[t]
+	}
+	m.phiMu.Lock()
+	defer m.phiMu.Unlock()
+	if m.lazyPhi == nil {
+		m.lazyPhi = make([][]float64, m.NumTopics())
+	}
+	if row := m.lazyPhi[t]; row != nil {
+		return row
+	}
+	if m.backing != nil {
+		if !m.backing.retain() {
+			return nil
+		}
+		defer m.backing.release()
+	}
+	row := m.frozen.TopicRow(t)
+	m.lazyPhi[t] = row
+	return row
 }
 
 // DiscoveredTopics returns source topics present in at least minDocs
@@ -564,7 +681,10 @@ func (m *Model) DiscoveredTopics(minDocs int) []Topic {
 }
 
 // Raw returns the internal result snapshot for advanced use (experiment
-// harness, evaluation).
+// harness, evaluation). For models loaded from a flat bundle the snapshot
+// has nil Phi and Theta — the flat format stores the transposed serving slab
+// and no training mixtures; use Topics/TopTopics (which materialize rows on
+// demand) or keep the JSON bundle for analysis workloads.
 func (m *Model) Raw() *Result { return m.res }
 
 // DocumentTopics returns document d's topic mixture.
@@ -625,7 +745,7 @@ func (m *Model) TopTopics(d *DocumentInference, n int) []Topic {
 			Label:         m.res.Labels[t],
 			IsSourceTopic: m.res.SourceIndices[t] >= 0,
 			Weight:        d.Topics[t],
-			phi:           m.res.Phi[t],
+			phi:           m.topicPhi(t),
 			vocab:         m.vocab,
 		}
 	}
@@ -711,13 +831,26 @@ type Inferrer struct {
 }
 
 // NewInferrer builds a reusable inference session. Close it to release the
-// worker pool.
+// worker pool. A session over a memory-mapped model holds its own reference
+// to the mapping, released only when the session fully drains — so the
+// model may be Closed while batches are still in flight, and the file is
+// unmapped strictly after the last of them finishes.
 func (m *Model) NewInferrer(opts InferOptions) (*Inferrer, error) {
+	if m.backing != nil && !m.backing.retain() {
+		return nil, errors.New("sourcelda: model is closed (its mapped bundle has been released)")
+	}
 	e, err := m.engine(opts)
 	if err != nil {
+		if m.backing != nil {
+			m.backing.release()
+		}
 		return nil, err
 	}
-	return &Inferrer{m: m, s: infer.NewSession(e, opts.Workers)}, nil
+	s := infer.NewSession(e, opts.Workers)
+	if m.backing != nil {
+		s.SetOnDrained(m.backing.release)
+	}
+	return &Inferrer{m: m, s: s}, nil
 }
 
 // Model returns the fitted model this session scores against.
