@@ -20,12 +20,21 @@
 //
 //	srclda -iters 1000 -checkpoint-dir ckpts/ -checkpoint-every 50
 //	srclda -iters 1000 -checkpoint-dir ckpts/ -resume ckpts/   # newest wins
+//
+// Training is observable in flight: -telemetry-log appends one JSON event
+// per completed sweep (log-likelihood, tokens/sec, sweep and checkpoint
+// latency), -metrics-addr serves the same state as live Prometheus gauges,
+// and -debug-addr exposes net/http/pprof for profiling a running chain:
+//
+//	srclda -iters 2000 -telemetry-log train.jsonl -metrics-addr :9090
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +48,7 @@ import (
 	"sourcelda/internal/knowledge"
 	"sourcelda/internal/labeling"
 	"sourcelda/internal/lda"
+	"sourcelda/internal/obs"
 	"sourcelda/internal/persist"
 	"sourcelda/internal/synth"
 	"sourcelda/internal/textproc"
@@ -63,6 +73,9 @@ type cliFlags struct {
 	ckptDir                   *string
 	ckptEvery, ckptKeep       *int
 	resume                    *string
+	logFormat, logLevel       *string
+	telemetryLog              *string
+	metricsAddr, debugAddr    *string
 }
 
 func defineFlags(fs *flag.FlagSet) *cliFlags {
@@ -93,6 +106,11 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 		ckptEvery:     fs.Int("checkpoint-every", 50, "sweeps between checkpoints; each write is atomic (temp file + fsync + rename) (default 50)"),
 		ckptKeep:      fs.Int("checkpoint-retain", 3, "newest checkpoints kept per directory; negative keeps all (default 3)"),
 		resume:        fs.String("resume", "", "checkpoint file — or checkpoint directory, newest wins — to resume training from; requires the run's original data and chain flags (default \"\": fresh run)"),
+		logFormat:     fs.String("log-format", "text", "log output format: \"text\" (key=value lines) or \"json\" (one object per line, for log shippers)"),
+		logLevel:      fs.String("log-level", "info", "minimum log level: debug, info, warn or error (checkpoint and resume events are info)"),
+		telemetryLog:  fs.String("telemetry-log", "", "append one JSON object per completed sweep (log-likelihood, tokens/sec, sweep and checkpoint latency) to this file; enables per-sweep likelihood tracing (default \"\": off)"),
+		metricsAddr:   fs.String("metrics-addr", "", "optional listen address serving live training gauges (sweep progress, likelihood, throughput) as Prometheus text (default \"\": off)"),
+		debugAddr:     fs.String("debug-addr", "", "optional listen address for net/http/pprof and /debug/runtime gauges (default \"\": disabled; never expose publicly)"),
 	}
 }
 
@@ -109,6 +127,27 @@ func main() {
 	if *f.bundleFormat != "json" && *f.bundleFormat != "flat" {
 		fmt.Fprintf(os.Stderr, "unknown bundle format %q (want json or flat)\n", *f.bundleFormat)
 		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *f.logFormat, *f.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srclda:", err)
+		os.Exit(2)
+	}
+	// The opt-in debug listener profiles a running chain without touching
+	// its output; it serves pprof plus process runtime gauges.
+	if *f.debugAddr != "" {
+		dbgSrv := &http.Server{
+			Addr:              *f.debugAddr,
+			Handler:           obs.NewDebugMux(func(w io.Writer) { obs.WriteRuntimeMetrics(w, "srclda", -1) }),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener", "addr", *f.debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *f.debugAddr, "error", err)
+			}
+		}()
+		defer dbgSrv.Close()
 	}
 	// Conversion mode: no training, no corpus — just re-encode an existing
 	// bundle and exit.
@@ -164,6 +203,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-checkpoint-dir and -resume only apply to -model srclda (got %q)\n", *model)
 		os.Exit(2)
 	}
+	if (*f.telemetryLog != "" || *f.metricsAddr != "") && *model != "srclda" {
+		fmt.Fprintf(os.Stderr, "-telemetry-log and -metrics-addr only apply to -model srclda (got %q)\n", *model)
+		os.Exit(2)
+	}
 	if *ckptEvery < 1 {
 		fmt.Fprintf(os.Stderr, "-checkpoint-every is %d; it must be >= 1 sweep\n", *ckptEvery)
 		os.Exit(2)
@@ -217,6 +260,37 @@ func main() {
 		if kind, ok := samplerKinds[*sampler]; ok {
 			opts.Sampler = kind
 		}
+		// Telemetry: one JSONL event per sweep and/or live Prometheus gauges.
+		// It implies likelihood tracing; Options.ChainDigest excludes the
+		// tracing knob, so a telemetry run resumes a non-telemetry chain (and
+		// vice versa) without a digest mismatch.
+		var recorder *obs.TrainingRecorder
+		if *f.telemetryLog != "" || *f.metricsAddr != "" {
+			var sink io.Writer
+			if *f.telemetryLog != "" {
+				tf, err := os.Create(*f.telemetryLog)
+				exitOn(err)
+				defer tf.Close()
+				sink = tf
+			}
+			recorder = obs.NewTrainingRecorder(sink)
+			opts.TraceLikelihood = true
+		}
+		if *f.metricsAddr != "" {
+			// Bind before training starts: a bad address should stop the run
+			// immediately, and the log carries the resolved port (so ":0"
+			// works for tests and for avoiding collisions).
+			mln, err := net.Listen("tcp", *f.metricsAddr)
+			exitOn(err)
+			logger.Info("metrics listener", "addr", mln.Addr().String())
+			msrv := &http.Server{Handler: recorder.MetricsHandler(), ReadHeaderTimeout: 5 * time.Second}
+			go func() {
+				if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+					logger.Error("metrics listener failed", "addr", mln.Addr().String(), "error", err)
+				}
+			}()
+			defer msrv.Close()
+		}
 		var m *core.Model
 		var err error
 		if *resume != "" {
@@ -225,31 +299,66 @@ func main() {
 			exitOn(err)
 			m, err = core.Restore(c, src, opts, ck)
 			exitOn(err)
-			fmt.Printf("resumed from %s at sweep %d of %d\n", *resume, m.Sweeps(), *iters)
+			logger.Info("resumed from checkpoint", "path", *resume, "sweep", m.Sweeps(), "total_sweeps", *iters)
 		} else {
 			m, err = core.NewModel(c, src, opts)
 			exitOn(err)
 		}
 		defer m.Close()
-		var hook core.SweepHook
+		var cw *persist.CheckpointWriter
 		if *ckptDir != "" {
-			cw, err := persist.NewCheckpointWriter(*ckptDir, *ckptKeep)
+			cw, err = persist.NewCheckpointWriter(*ckptDir, *ckptKeep)
 			exitOn(err)
+		}
+		var hook core.SweepHook
+		if cw != nil || recorder != nil {
+			kernel := opts.Sampler.String()
+			totalTokens := c.TotalTokens()
 			hook = func(sweepIdx int, cm *core.Model) error {
-				if sweepIdx%*ckptEvery != 0 {
+				var ckSecs *float64
+				ckPath := ""
+				if cw != nil && sweepIdx%*ckptEvery == 0 {
+					start := time.Now()
+					path, err := cw.Write(cm.Checkpoint())
+					if err != nil {
+						return err
+					}
+					secs := time.Since(start).Seconds()
+					ckSecs, ckPath = &secs, path
+					logger.Info("checkpoint written",
+						"sweep", sweepIdx, "total_sweeps", *iters,
+						"path", path, "write_seconds", secs)
+				}
+				if recorder == nil {
 					return nil
 				}
-				path, err := cw.Write(cm.Checkpoint())
-				if err != nil {
-					return err
+				ev := obs.SweepEvent{
+					Time:              time.Now(),
+					Sweep:             sweepIdx,
+					TotalSweeps:       *iters,
+					Kernel:            kernel,
+					CheckpointSeconds: ckSecs,
+					CheckpointPath:    ckPath,
 				}
-				fmt.Printf("checkpoint: sweep %d/%d → %s\n", sweepIdx, *iters, path)
+				if n := len(cm.IterationTimes); n > 0 {
+					ev.SweepSeconds = cm.IterationTimes[n-1].Seconds()
+					if ev.SweepSeconds > 0 {
+						ev.TokensPerSec = float64(totalTokens) / ev.SweepSeconds
+					}
+				}
+				if n := len(cm.LikelihoodTrace); n > 0 {
+					ll := cm.LikelihoodTrace[n-1]
+					ev.LogLikelihood = &ll
+				}
+				recorder.Record(ev)
 				return nil
 			}
 		}
 		if remaining := *iters - m.Sweeps(); remaining > 0 {
 			exitOn(m.RunWithHook(remaining, hook))
 		}
+		// Telemetry write failures never abort training; report them here.
+		exitOn(recorder.Err())
 		res := m.Result()
 		fmt.Printf("discovered labeled topics (≥%d docs):\n", *minDocs)
 		printTopics(c, res.Phi, res.Labels, res.TokenCounts, res.DocFrequencies, *minDocs, *topN)

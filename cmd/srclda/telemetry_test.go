@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the test binary as the srclda binary: with
+// SRCLDA_RUN_MAIN=1 it runs main() against os.Args, so the telemetry tests
+// exercise the real CLI end to end without a separate go build.
+func TestMain(m *testing.M) {
+	if os.Getenv("SRCLDA_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// writeTinyData writes a corpus and knowledge source small enough that a
+// sweep costs microseconds, so a 200-sweep chain finishes instantly.
+func writeTinyData(t *testing.T) (corpusDir, sourceDir string) {
+	t.Helper()
+	corpusDir, sourceDir = t.TempDir(), t.TempDir()
+	docs := []string{
+		"pencil ruler eraser pencil notebook paper",
+		"baseball umpire pitcher baseball inning glove",
+		"pencil paper notebook ruler ruler eraser",
+		"glove inning baseball umpire pitcher glove",
+	}
+	for i, text := range docs {
+		path := filepath.Join(corpusDir, "doc"+string(rune('a'+i))+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	articles := map[string]string{
+		"School Supplies": strings.Repeat("pencil ruler eraser notebook paper ", 10),
+		"Baseball":        strings.Repeat("baseball umpire pitcher inning glove ", 10),
+	}
+	for label, text := range articles {
+		if err := os.WriteFile(filepath.Join(sourceDir, label+".txt"), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return corpusDir, sourceDir
+}
+
+// runSrclda starts the re-exec'd CLI with stderr captured to a file.
+func runSrclda(t *testing.T, stderrPath string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SRCLDA_RUN_MAIN=1")
+	stderr, err := os.Create(stderrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stderr.Close() })
+	cmd.Stderr = stderr
+	return cmd
+}
+
+// TestTelemetryLogOnePerSweep is the trainer half of the acceptance
+// criterion: a 200-sweep chain with -telemetry-log emits exactly one JSONL
+// event per sweep, each carrying the log-likelihood (tracing is implied),
+// throughput, wall time, and — on checkpoint sweeps — the write latency.
+func TestTelemetryLogOnePerSweep(t *testing.T) {
+	corpusDir, sourceDir := writeTinyData(t)
+	workDir := t.TempDir()
+	telemetry := filepath.Join(workDir, "train.jsonl")
+	ckptDir := filepath.Join(workDir, "ckpts")
+
+	cmd := runSrclda(t, filepath.Join(workDir, "stderr.log"),
+		"-corpus", corpusDir, "-source", sourceDir,
+		"-iters", "200", "-free", "1", "-seed", "7",
+		"-telemetry-log", telemetry,
+		"-checkpoint-dir", ckptDir, "-checkpoint-every", "50",
+	)
+	cmd.Stdout = nil // topic printout is irrelevant here
+	if err := cmd.Run(); err != nil {
+		data, _ := os.ReadFile(filepath.Join(workDir, "stderr.log"))
+		t.Fatalf("srclda run failed: %v\nstderr:\n%s", err, data)
+	}
+
+	f, err := os.Open(telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	type event struct {
+		Sweep             int      `json:"sweep"`
+		TotalSweeps       int      `json:"total_sweeps"`
+		LogLikelihood     *float64 `json:"log_likelihood"`
+		TokensPerSec      float64  `json:"tokens_per_sec"`
+		SweepSeconds      float64  `json:"sweep_seconds"`
+		CheckpointSeconds *float64 `json:"checkpoint_seconds"`
+		CheckpointPath    string   `json:"checkpoint_path"`
+		Kernel            string   `json:"kernel"`
+	}
+	var events []event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v (%q)", len(events)+1, err, sc.Text())
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 200 {
+		t.Fatalf("%d telemetry events for a 200-sweep chain, want exactly 200", len(events))
+	}
+	for i, ev := range events {
+		if ev.Sweep != i+1 || ev.TotalSweeps != 200 {
+			t.Fatalf("event %d: sweep %d/%d, want %d/200", i, ev.Sweep, ev.TotalSweeps, i+1)
+		}
+		if ev.LogLikelihood == nil {
+			t.Fatalf("event %d missing log_likelihood (telemetry implies tracing)", i)
+		}
+		if math.IsNaN(*ev.LogLikelihood) || math.IsInf(*ev.LogLikelihood, 0) {
+			t.Fatalf("event %d log-likelihood %v is not finite", i, *ev.LogLikelihood)
+		}
+		if ev.SweepSeconds < 0 || ev.TokensPerSec < 0 {
+			t.Fatalf("event %d has negative timings: %+v", i, ev)
+		}
+		if ev.Kernel != "serial" {
+			t.Fatalf("event %d kernel %q, want serial (single-threaded default)", i, ev.Kernel)
+		}
+		wantCkpt := ev.Sweep%50 == 0
+		if gotCkpt := ev.CheckpointPath != ""; gotCkpt != wantCkpt {
+			t.Fatalf("event %d (sweep %d): checkpoint path %q, want checkpoint=%v",
+				i, ev.Sweep, ev.CheckpointPath, wantCkpt)
+		}
+		if wantCkpt && (ev.CheckpointSeconds == nil || *ev.CheckpointSeconds < 0) {
+			t.Fatalf("checkpoint sweep %d missing write latency", ev.Sweep)
+		}
+	}
+}
+
+// TestMetricsAddrLiveGauges is the other trainer half: while a long chain
+// is running, -metrics-addr serves live Prometheus gauges. The chain is
+// given far more sweeps than it will complete; the test scrapes mid-run and
+// then kills it.
+func TestMetricsAddrLiveGauges(t *testing.T) {
+	corpusDir, sourceDir := writeTinyData(t)
+	workDir := t.TempDir()
+	stderrPath := filepath.Join(workDir, "stderr.log")
+
+	cmd := runSrclda(t, stderrPath,
+		"-corpus", corpusDir, "-source", sourceDir,
+		"-iters", "50000000", "-free", "1", "-seed", "7",
+		"-metrics-addr", "127.0.0.1:0", "-log-format", "json",
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The "metrics listener" log line carries the resolved port.
+	addrRe := regexp.MustCompile(`"msg":"metrics listener".*"addr":"([^"]+)"`)
+	var addr string
+	deadline := time.Now().Add(15 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			data, _ := os.ReadFile(stderrPath)
+			t.Fatalf("metrics listener never announced itself; stderr:\n%s", data)
+		}
+		data, _ := os.ReadFile(stderrPath)
+		if m := addrRe.FindSubmatch(data); m != nil {
+			addr = string(m[1])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Scrape until the first sweep has landed in the gauges.
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("gauges never reported a completed sweep")
+		}
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteString("\n")
+		}
+		resp.Body.Close()
+		body := sb.String()
+		for _, want := range []string{
+			"srclda_sweep ", "srclda_total_sweeps 50000000",
+			"srclda_tokens_per_sec ", "srclda_sweeps_total ", "srclda_goroutines ",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("metrics body missing %q:\n%s", want, body)
+			}
+		}
+		if strings.Contains(body, "srclda_sweep 0\n") {
+			time.Sleep(10 * time.Millisecond)
+			continue // no sweep recorded yet; scrape again
+		}
+		if !strings.Contains(body, "srclda_log_likelihood ") {
+			t.Fatalf("live gauges missing log-likelihood after a sweep:\n%s", body)
+		}
+		return
+	}
+}

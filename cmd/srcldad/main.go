@@ -11,6 +11,7 @@
 //	DELETE /v1/models/{name}      → unload a model
 //	GET  /metrics                 → per-model serving metrics (Prometheus text)
 //	GET  /healthz                 → liveness and queue depth
+//	GET  /readyz                  → readiness (503 until a model is loaded)
 //
 // Models come from -bundle (preloaded as the default model), the admin API,
 // or -models-dir (a watched directory: dropping name.bundle in auto-loads
@@ -38,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/obs"
 	"sourcelda/internal/registry"
 )
 
@@ -69,6 +72,10 @@ type cliFlags struct {
 	queueSize     *int
 	batchWindow   *time.Duration
 	maxBatch      *int
+	logFormat     *string
+	logLevel      *string
+	slowRequest   *time.Duration
+	debugAddr     *string
 }
 
 func defineFlags(fs *flag.FlagSet) *cliFlags {
@@ -89,6 +96,10 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 		queueSize:     fs.Int("queue", 256, "per-model pending-document queue bound (full queue sheds load with 503)"),
 		batchWindow:   fs.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch"),
 		maxBatch:      fs.Int("max-batch", 32, "maximum coalesced batch size"),
+		logFormat:     fs.String("log-format", "text", "log output format: \"text\" (key=value lines) or \"json\" (one object per line, for log shippers)"),
+		logLevel:      fs.String("log-level", "info", "minimum log level: debug, info, warn or error (per-request access logs are info)"),
+		slowRequest:   fs.Duration("slow-request", time.Second, "log a warning with the per-stage latency breakdown for requests slower than this (negative disables)"),
+		debugAddr:     fs.String("debug-addr", "", "optional listen address for net/http/pprof and /debug/runtime gauges (default \"\": disabled; never expose publicly)"),
 	}
 }
 
@@ -115,6 +126,11 @@ func main() {
 		// an explicit zero-burn-in schedule is requested.
 		*f.burnIn = -1
 	}
+	logger, err := obs.NewLogger(os.Stderr, *f.logFormat, *f.logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srcldad:", err)
+		os.Exit(2)
+	}
 
 	reg := registry.New(registry.Config{
 		Infer: sourcelda.InferOptions{
@@ -131,9 +147,8 @@ func main() {
 		BatchWindow:  *f.batchWindow,
 		MaxBatch:     *f.maxBatch,
 		DefaultModel: *f.defaultModel,
-		Logf: func(format string, args ...any) {
-			fmt.Printf("srcldad: "+format+"\n", args...)
-		},
+		Logger:       logger,
+		SlowRequest:  *f.slowRequest,
 	})
 
 	if *f.bundle != "" {
@@ -146,7 +161,7 @@ func main() {
 			model.Close()
 			exitOn(err)
 		}
-		fmt.Printf("srcldad: preloaded %q version %s from %s\n", res.Name, res.Version, *f.bundle)
+		logger.Info("preloaded bundle", "model", res.Name, "version", res.Version, "path", *f.bundle)
 	}
 
 	watchCtx, stopWatch := context.WithCancel(context.Background())
@@ -168,8 +183,28 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("srcldad: serving %d model(s) on %s (default model %q)\n",
-		len(reg.Names()), *f.addr, *f.defaultModel)
+	logger.Info("serving", "addr", *f.addr, "models", len(reg.Names()), "default_model", *f.defaultModel)
+
+	// The opt-in debug listener exposes pprof and process runtime gauges
+	// (including the mapped-bundle footprint) on a separate address, so the
+	// profiling surface never shares a port with production traffic.
+	if *f.debugAddr != "" {
+		debugMux := obs.NewDebugMux(func(w io.Writer) {
+			var mapped int64
+			for _, mi := range reg.ListInfo() {
+				mapped += mi.MappedBytes
+			}
+			obs.WriteRuntimeMetrics(w, "srcldad", mapped)
+		})
+		debugSrv := &http.Server{Addr: *f.debugAddr, Handler: debugMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Info("debug listener", "addr", *f.debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *f.debugAddr, "error", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -178,11 +213,11 @@ func main() {
 		exitOn(err)
 	case <-sigCtx.Done():
 	}
-	fmt.Println("srcldad: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "srcldad: shutdown:", err)
+		logger.Error("shutdown failed", "error", err)
 	}
 	// The registry is closed only after Shutdown has drained in-flight
 	// handlers, so no request waits on a dispatcher that has stopped.

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -80,9 +81,7 @@ func run() error {
 		Infer:        sourcelda.InferOptions{Seed: 42},
 		DefaultModel: "tagger",
 		BatchWindow:  time.Millisecond,
-		Logf: func(format string, args ...any) {
-			fmt.Printf("  daemon: "+format+"\n", args...)
-		},
+		Logger:       slog.New(slog.NewTextHandler(os.Stdout, nil)),
 	})
 	defer reg.Close()
 	watcher := registry.NewWatcher(reg, modelsDir, 100*time.Millisecond)
@@ -205,8 +204,13 @@ func run() error {
 	}
 	fmt.Printf("  requests_total{tagger,200} = %.0f (matches the %0.f sent)\n", got, want)
 	fmt.Printf("  model_swaps_total{tagger}  = 1, models_loaded = 2\n")
-	p99 := metrics[`srcldad_request_latency_seconds{model="tagger",quantile="0.99"}`]
-	fmt.Printf("  p99 latency                = %.1fms\n", p99*1000)
+	// Latency is exposed as a fixed-bucket histogram; mean = sum/count.
+	sum := metrics[`srcldad_request_latency_seconds_sum{model="tagger"}`]
+	count := metrics[`srcldad_request_latency_seconds_count{model="tagger"}`]
+	if count != want {
+		return fmt.Errorf("latency histogram count = %v, want %v", count, want)
+	}
+	fmt.Printf("  mean latency               = %.1fms over %.0f requests\n", sum/count*1000, count)
 	return nil
 }
 

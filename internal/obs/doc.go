@@ -1,0 +1,28 @@
+// Package obs is the repository's shared observability layer: structured
+// logging, request identity and span tracing, fixed-bucket Prometheus
+// histograms, training telemetry, and runtime/pprof debug surfaces. It is
+// dependency-free (standard library only) so every layer — the training
+// CLI, the serving registry, the daemons — can use one vocabulary for
+// events and metrics without pulling a metrics SDK into the module.
+//
+// The pieces:
+//
+//   - NewLogger builds a log/slog logger from the shared -log-format /
+//     -log-level flag convention (text or JSON handler, leveled). Every
+//     binary logs keyed events through it; there are no printf log lines
+//     left in the serving path.
+//   - NewRequestID / ValidRequestID and Trace implement request tracing:
+//     an X-Request-Id is generated (or accepted from the client), carried
+//     through the request lifecycle in the context, and accumulates
+//     per-stage durations (queue wait → batch assembly → inference →
+//     render) that the access log and the per-stage histograms report.
+//   - Histogram is a lock-free fixed-bucket histogram rendered in the
+//     Prometheus exposition format — the replacement for sampled quantile
+//     windows, which silently degrade under sustained load.
+//   - TrainingRecorder emits one structured JSONL event per Gibbs sweep
+//     (log-likelihood, tokens/sec, sweep wall time, checkpoint latency)
+//     and doubles as a live Prometheus endpoint for long training chains.
+//   - NewDebugMux and WriteRuntimeMetrics expose net/http/pprof and
+//     runtime gauges (goroutines, heap, mapped-bundle bytes) on an opt-in
+//     debug listener.
+package obs

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log format names accepted by NewLogger — the shared -log-format flag
+// vocabulary of every binary in this module.
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds a leveled slog logger writing to w, following the shared
+// CLI convention: format is "text" (human-readable key=value lines) or
+// "json" (one JSON object per line, for log shippers), level is one of
+// "debug", "info", "warn", "error". Unknown values are an error, not a
+// silent default — a typo'd ops flag must fail the process at startup, not
+// quietly change verbosity.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+	}
+}
+
+// Discard returns a logger that drops everything — the default for
+// libraries whose caller did not configure logging, so "no logger" never
+// means "nil pointer" at a call site.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SweepEvent is one line of the training telemetry log: everything known
+// about a single Gibbs sweep at the moment it finished. Fields with no
+// value for a given sweep are omitted from the JSON rather than emitted as
+// zeros (a likelihood of 0 is a real — if implausible — likelihood).
+type SweepEvent struct {
+	// Time is when the sweep finished (RFC 3339, wall clock).
+	Time time.Time `json:"time"`
+	// Sweep is the 1-based sweep index within the chain.
+	Sweep int `json:"sweep"`
+	// TotalSweeps is the configured chain length.
+	TotalSweeps int `json:"total_sweeps"`
+	// LogLikelihood is the model log-likelihood after this sweep, when
+	// likelihood tracing is enabled.
+	LogLikelihood *float64 `json:"log_likelihood,omitempty"`
+	// TokensPerSec is the sweep's sampling throughput.
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
+	// SweepSeconds is the sweep's wall time.
+	SweepSeconds float64 `json:"sweep_seconds"`
+	// CheckpointSeconds is the checkpoint write latency, when this sweep
+	// wrote one.
+	CheckpointSeconds *float64 `json:"checkpoint_seconds,omitempty"`
+	// CheckpointPath is where that checkpoint landed.
+	CheckpointPath string `json:"checkpoint_path,omitempty"`
+	// Kernel is the sampler kernel name (e.g. "auto", "sparse", "dense").
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// TrainingRecorder turns per-sweep training progress into two surfaces: a
+// JSONL event log (one SweepEvent per line) and a live Prometheus endpoint
+// (MetricsHandler) exposing the latest sweep's gauges, so a multi-hour
+// chain is monitorable in flight without parsing its log. A nil recorder
+// is valid and records nothing.
+type TrainingRecorder struct {
+	mu     sync.Mutex
+	out    io.Writer // JSONL sink; may be nil (metrics only)
+	last   SweepEvent
+	sweeps uint64
+	ckpts  uint64
+	err    error // first write error, reported once by Err
+}
+
+// NewTrainingRecorder builds a recorder writing JSONL events to out. out
+// may be nil when only the Prometheus surface is wanted.
+func NewTrainingRecorder(out io.Writer) *TrainingRecorder {
+	return &TrainingRecorder{out: out}
+}
+
+// Record appends one sweep event to the JSONL log and updates the gauges
+// served by MetricsHandler. Safe for concurrent use; nil-safe.
+func (r *TrainingRecorder) Record(ev SweepEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.last = ev
+	r.sweeps++
+	if ev.CheckpointSeconds != nil {
+		r.ckpts++
+	}
+	if r.out == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err == nil {
+		b = append(b, '\n')
+		_, err = r.out.Write(b)
+	}
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the first JSONL write error, if any — telemetry must never
+// abort training, so failures are deferred here for the caller to report
+// at exit.
+func (r *TrainingRecorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// WritePrometheus renders the latest sweep's state as srclda_* gauges plus
+// process runtime gauges.
+func (r *TrainingRecorder) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	last, sweeps, ckpts := r.last, r.sweeps, r.ckpts
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP srclda_sweep Last completed sweep index (1-based).\n")
+	fmt.Fprintf(w, "# TYPE srclda_sweep gauge\n")
+	fmt.Fprintf(w, "srclda_sweep %d\n", last.Sweep)
+	fmt.Fprintf(w, "# HELP srclda_total_sweeps Configured chain length.\n")
+	fmt.Fprintf(w, "# TYPE srclda_total_sweeps gauge\n")
+	fmt.Fprintf(w, "srclda_total_sweeps %d\n", last.TotalSweeps)
+	fmt.Fprintf(w, "# HELP srclda_sweeps_total Sweeps completed by this process.\n")
+	fmt.Fprintf(w, "# TYPE srclda_sweeps_total counter\n")
+	fmt.Fprintf(w, "srclda_sweeps_total %d\n", sweeps)
+	if last.LogLikelihood != nil {
+		fmt.Fprintf(w, "# HELP srclda_log_likelihood Model log-likelihood after the last sweep.\n")
+		fmt.Fprintf(w, "# TYPE srclda_log_likelihood gauge\n")
+		fmt.Fprintf(w, "srclda_log_likelihood %g\n", *last.LogLikelihood)
+	}
+	fmt.Fprintf(w, "# HELP srclda_tokens_per_sec Sampling throughput of the last sweep.\n")
+	fmt.Fprintf(w, "# TYPE srclda_tokens_per_sec gauge\n")
+	fmt.Fprintf(w, "srclda_tokens_per_sec %g\n", last.TokensPerSec)
+	fmt.Fprintf(w, "# HELP srclda_sweep_seconds Wall time of the last sweep.\n")
+	fmt.Fprintf(w, "# TYPE srclda_sweep_seconds gauge\n")
+	fmt.Fprintf(w, "srclda_sweep_seconds %g\n", last.SweepSeconds)
+	fmt.Fprintf(w, "# HELP srclda_checkpoints_total Checkpoints written by this process.\n")
+	fmt.Fprintf(w, "# TYPE srclda_checkpoints_total counter\n")
+	fmt.Fprintf(w, "srclda_checkpoints_total %d\n", ckpts)
+	if last.CheckpointSeconds != nil {
+		fmt.Fprintf(w, "# HELP srclda_checkpoint_seconds Write latency of the last checkpoint.\n")
+		fmt.Fprintf(w, "# TYPE srclda_checkpoint_seconds gauge\n")
+		fmt.Fprintf(w, "srclda_checkpoint_seconds %g\n", *last.CheckpointSeconds)
+	}
+	WriteRuntimeMetrics(w, "srclda", -1)
+}
+
+// MetricsHandler serves WritePrometheus over HTTP — the body behind the
+// trainer's -metrics-addr listener.
+func (r *TrainingRecorder) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -162,6 +162,18 @@ func (b *FlatBundle) Closed() bool {
 	return b.closed
 }
 
+// MappedBytes returns the size of the memory-mapped file image backing the
+// bundle, or 0 when the bundle is heap-backed or the mapping was released —
+// the number a process-level mapped-memory gauge sums over loaded models.
+func (b *FlatBundle) MappedBytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.Mapped || b.closed {
+		return 0
+	}
+	return int64(len(b.raw))
+}
+
 // Verify re-checksums the whole file image, including the cond slab the
 // mapped fast path deliberately leaves unread. It faults in every page, so
 // it is a tool/test operation, not a serving one. After Close it fails.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/obs"
 )
 
 // job is one document awaiting inference; reply is buffered so the
@@ -12,10 +13,19 @@ import (
 // request's context: the dispatcher drops jobs whose context is already
 // done (caller disconnected, or its request was shed mid-submit) instead of
 // paying full inference for a reply nobody will read.
+//
+// enqueued/dequeued bracket the document's time in the queue; trace is the
+// submitting request's span context (nil when the request is untraced), so
+// the dispatcher can attribute queue-wait, batch-assembly and inference
+// time back to the request that paid it.
 type job struct {
 	text  string
 	reply chan reply
 	ctx   context.Context
+
+	enqueued time.Time
+	dequeued time.Time
+	trace    *obs.Trace
 }
 
 // reply carries one scored document back to its caller, together with the
@@ -42,27 +52,32 @@ type Scored struct {
 
 // Infer scores the documents against the named model ("" = default): it
 // submits them to the model's dispatcher and waits for every reply (or the
-// request context). Errors: ErrModelNotFound, ErrOverloaded (queue full),
-// ErrUnloaded (model removed while queued), or the context's error.
+// request context). A trace attached to ctx with obs.WithTrace accumulates
+// the documents' per-stage durations. Errors: ErrModelNotFound,
+// ErrOverloaded (queue full), ErrUnloaded (model removed while queued), or
+// the context's error.
 func (r *Registry) Infer(ctx context.Context, name string, texts []string) ([]Scored, error) {
 	e, err := r.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return e.enqueue(ctx, texts)
+	return e.enqueue(ctx, obs.TraceFrom(ctx), texts)
 }
 
 // enqueue submits the documents to the entry's dispatcher and collects the
-// replies. On any early return the derived context is canceled, which tells
-// the dispatcher to drop this request's already-queued jobs unscored.
-func (e *entry) enqueue(reqCtx context.Context, texts []string) ([]Scored, error) {
+// replies. tr is the submitting request's span (nil when untraced); the
+// HTTP path hands it over directly so the hot path never pays a context
+// injection. On any early return the derived context is canceled, which
+// tells the dispatcher to drop this request's already-queued jobs unscored.
+func (e *entry) enqueue(reqCtx context.Context, tr *obs.Trace, texts []string) ([]Scored, error) {
 	ctx, cancel := context.WithCancel(reqCtx)
 	defer cancel()
 	replies := make([]chan reply, len(texts))
 	for i, t := range texts {
 		ch := make(chan reply, 1)
 		replies[i] = ch
-		if err := e.submit(job{text: t, reply: ch, ctx: ctx}); err != nil {
+		j := job{text: t, reply: ch, ctx: ctx, enqueued: time.Now(), trace: tr}
+		if err := e.submit(j); err != nil {
 			return nil, err
 		}
 	}
@@ -113,6 +128,7 @@ func (e *entry) run(ctx context.Context) {
 			e.failPending()
 			return
 		case first = <-e.jobs:
+			first.dequeued = time.Now()
 		}
 		batch := append(make([]job, 0, e.cfg.MaxBatch), first)
 		if e.cfg.BatchWindow > 0 {
@@ -121,6 +137,7 @@ func (e *entry) run(ctx context.Context) {
 			for len(batch) < e.cfg.MaxBatch {
 				select {
 				case j := <-e.jobs:
+					j.dequeued = time.Now()
 					batch = append(batch, j)
 				case <-timer.C:
 					break collect
@@ -132,6 +149,7 @@ func (e *entry) run(ctx context.Context) {
 			for len(batch) < e.cfg.MaxBatch {
 				select {
 				case j := <-e.jobs:
+					j.dequeued = time.Now()
 					batch = append(batch, j)
 				default:
 					break drain
@@ -153,7 +171,12 @@ func (e *entry) run(ctx context.Context) {
 		for i, j := range live {
 			texts[i] = j.text
 		}
+		// assembled marks the batch seal; everything between a job's dequeue
+		// and this point is batch-assembly time (waiting for co-batched
+		// documents), and the score call below is its inference time.
+		assembled := time.Now()
 		results, by := e.score(texts)
+		inferDur := time.Since(assembled)
 		if results == nil {
 			for _, j := range live {
 				j.reply <- reply{err: ErrUnloaded}
@@ -162,6 +185,14 @@ func (e *entry) run(ctx context.Context) {
 		}
 		e.metrics.recordBatch(len(live))
 		for i, j := range live {
+			queueWait := j.dequeued.Sub(j.enqueued)
+			assembly := assembled.Sub(j.dequeued)
+			e.metrics.recordStage(obs.StageQueueWait, queueWait)
+			e.metrics.recordStage(obs.StageBatchAssembly, assembly)
+			e.metrics.recordStage(obs.StageInfer, inferDur)
+			j.trace.Add(obs.StageQueueWait, queueWait)
+			j.trace.Add(obs.StageBatchAssembly, assembly)
+			j.trace.Add(obs.StageInfer, inferDur)
 			j.reply <- reply{doc: results[i], by: by}
 		}
 	}

@@ -20,6 +20,11 @@ func postInferRaw(t testing.TB, url, text string) (int, string) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	// Every response — including those issued mid-swap under full load —
+	// carries a request ID for log correlation.
+	if id := resp.Header.Get("X-Request-Id"); id == "" {
+		t.Error("response missing X-Request-Id header")
+	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +213,26 @@ func TestHotSwapUnderLoad(t *testing.T) {
 	}
 	if info.Stats.Shed != 0 {
 		t.Fatalf("%d requests shed during swap", info.Stats.Shed)
+	}
+
+	// Observability reconciliation: the stage histograms were hammered by
+	// concurrent recording across the swap (run with -race), yet every
+	// single-document 200 passed through all four stages exactly once — the
+	// histogram counts must equal the generator's request count, no samples
+	// lost or duplicated.
+	scraped := scrapeMetrics(t, url)
+	total := float64(want)
+	if got := scraped[`srcldad_requests_total{model="m",code="200"}`]; got != total {
+		t.Errorf("requests_total = %v, want %v", got, total)
+	}
+	if got := scraped[`srcldad_request_latency_seconds_count{model="m"}`]; got != total {
+		t.Errorf("request latency histogram count = %v, want %v", got, total)
+	}
+	for _, stage := range []string{"queue_wait", "batch_assembly", "infer", "render"} {
+		key := fmt.Sprintf(`srcldad_stage_latency_seconds_count{model="m",stage=%q}`, stage)
+		if got := scraped[key]; got != total {
+			t.Errorf("%s = %v, want %v (stage recording diverged from requests_total)", key, got, total)
+		}
 	}
 }
 

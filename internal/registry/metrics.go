@@ -6,17 +6,16 @@ import (
 	"sort"
 	"sync"
 	"time"
-)
 
-// latencyWindow is how many recent request latencies the p50/p99 quantiles
-// are computed over. A sliding window (rather than cumulative quantiles)
-// keeps the numbers responsive to the current load shape; 1024 samples
-// bound both memory and scrape-time sort cost.
-const latencyWindow = 1024
+	"sourcelda/internal/obs"
+)
 
 // modelMetrics accumulates one model's serving counters. All methods are
 // safe for concurrent use; counters survive hot swaps (they belong to the
-// name, not the version).
+// name, not the version). Latency is held in fixed-bucket histograms
+// (obs.Histogram) rather than a sampled window: buckets aggregate correctly
+// across scrapes and models, and never degrade under sustained load the way
+// a sliding quantile window does once traffic outruns it.
 type modelMetrics struct {
 	mu        sync.Mutex
 	byCode    map[int]uint64
@@ -25,28 +24,39 @@ type modelMetrics struct {
 	batches   uint64
 	batchDocs uint64
 	swaps     uint64
-	latSum    float64
-	lat       [latencyWindow]float64
-	latLen    int
-	latIdx    int
+
+	// latency is end-to-end request latency; stages break a request's time
+	// into lifecycle segments (queue wait, batch assembly, inference,
+	// render). The histograms are lock-free, so the dispatcher's hot path
+	// never contends with a scrape.
+	latency *obs.Histogram
+	stages  [obs.NumStages]*obs.Histogram
 }
 
 func newModelMetrics() *modelMetrics {
-	return &modelMetrics{byCode: make(map[int]uint64)}
+	m := &modelMetrics{
+		byCode:  make(map[int]uint64),
+		latency: obs.NewHistogram(nil),
+	}
+	for i := range m.stages {
+		m.stages[i] = obs.NewHistogram(nil)
+	}
+	return m
 }
 
 // recordRequest counts one inference request's terminal status and latency.
 func (m *modelMetrics) recordRequest(code int, d time.Duration) {
-	secs := d.Seconds()
+	m.latency.Observe(d.Seconds())
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.requests++
 	m.byCode[code]++
-	m.latSum += secs
-	m.lat[m.latIdx] = secs
-	m.latIdx = (m.latIdx + 1) % latencyWindow
-	if m.latLen < latencyWindow {
-		m.latLen++
+	m.mu.Unlock()
+}
+
+// recordStage observes one lifecycle-stage duration.
+func (m *modelMetrics) recordStage(s obs.Stage, d time.Duration) {
+	if s < obs.NumStages {
+		m.stages[s].Observe(d.Seconds())
 	}
 }
 
@@ -89,9 +99,13 @@ type MetricsSnapshot struct {
 	BatchDocs uint64
 	// Swaps counts hot swaps of the model's active version.
 	Swaps uint64
-	// LatencyP50 and LatencyP99 are request-latency quantiles in seconds
-	// over the last latencyWindow requests; LatencySum/LatencyCount are
-	// cumulative (Prometheus summary semantics).
+	// Latency is the cumulative request-latency histogram; Stages holds the
+	// per-lifecycle-stage histograms, indexed by obs.Stage.
+	Latency obs.HistogramSnapshot
+	Stages  [obs.NumStages]obs.HistogramSnapshot
+	// LatencyP50 and LatencyP99 are quantile estimates interpolated from
+	// Latency's buckets (seconds); LatencySum/LatencyCount are its
+	// cumulative sum and count.
 	LatencyP50   float64
 	LatencyP99   float64
 	LatencySum   float64
@@ -99,45 +113,26 @@ type MetricsSnapshot struct {
 }
 
 func (m *modelMetrics) snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{Latency: m.latency.Snapshot()}
+	for i, h := range m.stages {
+		s.Stages[i] = h.Snapshot()
+	}
+	s.LatencyP50 = s.Latency.Quantile(0.50)
+	s.LatencyP99 = s.Latency.Quantile(0.99)
+	s.LatencySum = s.Latency.Sum
+	s.LatencyCount = s.Latency.Count
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := MetricsSnapshot{
-		Requests:     m.requests,
-		ByCode:       make(map[int]uint64, len(m.byCode)),
-		Shed:         m.shed,
-		Batches:      m.batches,
-		BatchDocs:    m.batchDocs,
-		Swaps:        m.swaps,
-		LatencySum:   m.latSum,
-		LatencyCount: m.requests,
-	}
+	s.Requests = m.requests
+	s.ByCode = make(map[int]uint64, len(m.byCode))
 	for code, n := range m.byCode {
 		s.ByCode[code] = n
 	}
-	if m.latLen > 0 {
-		window := make([]float64, m.latLen)
-		copy(window, m.lat[:m.latLen])
-		sort.Float64s(window)
-		s.LatencyP50 = quantile(window, 0.50)
-		s.LatencyP99 = quantile(window, 0.99)
-	}
+	s.Shed = m.shed
+	s.Batches = m.batches
+	s.BatchDocs = m.batchDocs
+	s.Swaps = m.swaps
 	return s
-}
-
-// quantile reads the p-quantile from an ascending-sorted window using the
-// nearest-rank method.
-func quantile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // WritePrometheus renders every model's serving metrics, plus process-level
@@ -200,12 +195,30 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, mi := range infos {
 		fmt.Fprintf(w, "srcldad_model_swaps_total{model=%q} %d\n", mi.Name, mi.Stats.Swaps)
 	}
-	fmt.Fprintf(w, "# HELP srcldad_request_latency_seconds Inference request latency (quantiles over the last %d requests; sum/count cumulative).\n", latencyWindow)
-	fmt.Fprintf(w, "# TYPE srcldad_request_latency_seconds summary\n")
+	fmt.Fprintf(w, "# HELP srcldad_request_latency_seconds End-to-end inference request latency.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_request_latency_seconds histogram\n")
 	for _, mi := range infos {
-		fmt.Fprintf(w, "srcldad_request_latency_seconds{model=%q,quantile=\"0.5\"} %g\n", mi.Name, mi.Stats.LatencyP50)
-		fmt.Fprintf(w, "srcldad_request_latency_seconds{model=%q,quantile=\"0.99\"} %g\n", mi.Name, mi.Stats.LatencyP99)
-		fmt.Fprintf(w, "srcldad_request_latency_seconds_sum{model=%q} %g\n", mi.Name, mi.Stats.LatencySum)
-		fmt.Fprintf(w, "srcldad_request_latency_seconds_count{model=%q} %d\n", mi.Name, mi.Stats.LatencyCount)
+		mi.Stats.Latency.WritePrometheus(w, "srcldad_request_latency_seconds", fmt.Sprintf("model=%q", mi.Name))
 	}
+	fmt.Fprintf(w, "# HELP srcldad_stage_latency_seconds Time inference documents spend per lifecycle stage (queue_wait, batch_assembly, infer) plus per-request render time.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_stage_latency_seconds histogram\n")
+	for _, mi := range infos {
+		for _, stage := range obs.Stages() {
+			mi.Stats.Stages[stage].WritePrometheus(w, "srcldad_stage_latency_seconds",
+				fmt.Sprintf("model=%q,stage=%q", mi.Name, stage.String()))
+		}
+	}
+	fmt.Fprintf(w, "# HELP srcldad_watcher_load_failures_total Bundle files the directory watcher failed to load, by model name.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_watcher_load_failures_total counter\n")
+	for _, wf := range r.watcherFailures() {
+		fmt.Fprintf(w, "srcldad_watcher_load_failures_total{model=%q} %d\n", wf.name, wf.count)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_model_mapped_bytes Bytes of bundle file memory-mapped for the model (0 for heap-backed models).\n")
+	fmt.Fprintf(w, "# TYPE srcldad_model_mapped_bytes gauge\n")
+	var totalMapped int64
+	for _, mi := range infos {
+		totalMapped += mi.MappedBytes
+		fmt.Fprintf(w, "srcldad_model_mapped_bytes{model=%q} %d\n", mi.Name, mi.MappedBytes)
+	}
+	obs.WriteRuntimeMetrics(w, "srcldad", totalMapped)
 }

@@ -100,15 +100,37 @@ func TestMetricsMatchLoad(t *testing.T) {
 	if got := m[`srcldad_batches_total{model="default"}`]; got < 1 || got > okDefault {
 		t.Errorf("default batches = %v, want within [1,%d]", got, okDefault)
 	}
-	// Latency quantiles exist, are ordered, and are positive for models
-	// that served successful traffic.
-	p50 := m[`srcldad_request_latency_seconds{model="default",quantile="0.5"}`]
-	p99 := m[`srcldad_request_latency_seconds{model="default",quantile="0.99"}`]
-	if p50 <= 0 || p99 < p50 {
-		t.Errorf("latency quantiles p50=%v p99=%v", p50, p99)
+	// The request-latency histogram is a true bucketed histogram: its +Inf
+	// bucket equals its count, and the sum is positive for models that
+	// served traffic.
+	if inf := m[`srcldad_request_latency_seconds_bucket{model="default",le="+Inf"}`]; inf != okDefault {
+		t.Errorf("latency +Inf bucket = %v, want %d", inf, okDefault)
 	}
-	if sum := m[`srcldad_request_latency_seconds_sum{model="default"}`]; sum < p50 {
-		t.Errorf("latency sum %v below p50 %v", sum, p50)
+	if sum := m[`srcldad_request_latency_seconds_sum{model="default"}`]; sum <= 0 {
+		t.Errorf("latency sum %v not positive", sum)
+	}
+	// Stage histograms count per scored document (render per request):
+	// default served 1-doc requests, beta 2-doc requests.
+	stageChecks := map[string]float64{
+		`srcldad_stage_latency_seconds_count{model="default",stage="queue_wait"}`:     okDefault,
+		`srcldad_stage_latency_seconds_count{model="default",stage="batch_assembly"}`: okDefault,
+		`srcldad_stage_latency_seconds_count{model="default",stage="infer"}`:          okDefault,
+		`srcldad_stage_latency_seconds_count{model="default",stage="render"}`:         okDefault,
+		`srcldad_stage_latency_seconds_count{model="beta",stage="queue_wait"}`:        okBeta * 2,
+		`srcldad_stage_latency_seconds_count{model="beta",stage="infer"}`:             okBeta * 2,
+		`srcldad_stage_latency_seconds_count{model="beta",stage="render"}`:            okBeta,
+	}
+	for key, want := range stageChecks {
+		if got, ok := m[key]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", key, got, ok, want)
+		}
+	}
+	// Process runtime gauges ride along on the scrape.
+	if g := m[`srcldad_goroutines`]; g < 1 {
+		t.Errorf("goroutine gauge %v", g)
+	}
+	if mb, ok := m[`srcldad_model_mapped_bytes{model="default"}`]; !ok || mb != 0 {
+		t.Errorf("mapped bytes for heap model = %v (present %v), want 0", mb, ok)
 	}
 }
 
@@ -158,41 +180,61 @@ func TestMetricsShedCounting(t *testing.T) {
 	}
 }
 
-// TestQuantile pins the nearest-rank arithmetic the summary uses.
-func TestQuantile(t *testing.T) {
-	win := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if q := quantile(win, 0.5); q != 5 {
-		t.Fatalf("p50 = %v", q)
+// TestLatencyHistogramCumulative: the histogram is cumulative forever —
+// unlike the sliding window it replaced, sustained load cannot evict
+// history — and the snapshot's derived quantiles stay within bucket bounds.
+func TestLatencyHistogramCumulative(t *testing.T) {
+	m := newModelMetrics()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.recordRequest(200, time.Millisecond)
 	}
-	if q := quantile(win, 0.99); q != 10 {
-		t.Fatalf("p99 = %v", q)
+	m.recordRequest(200, time.Hour) // one extreme outlier
+	s := m.snapshot()
+	if s.LatencyCount != n+1 {
+		t.Fatalf("count %d, want %d", s.LatencyCount, n+1)
 	}
-	if q := quantile([]float64{3}, 0.99); q != 3 {
-		t.Fatalf("single-sample p99 = %v", q)
+	if s.LatencySum < 3600 {
+		t.Fatalf("sum %v lost the outlier", s.LatencySum)
 	}
-	if q := quantile(nil, 0.5); q != 0 {
-		t.Fatalf("empty p50 = %v", q)
+	// p50 stays in the millisecond bucket despite the outlier; p99 cannot
+	// exceed the top finite bound (the +Inf bucket clamps).
+	if s.LatencyP50 > 0.001 {
+		t.Fatalf("p50 %v above the 1ms bucket bound", s.LatencyP50)
+	}
+	if top := s.Latency.Bounds[len(s.Latency.Bounds)-1]; s.LatencyP99 > top {
+		t.Fatalf("p99 %v above the top finite bound %v", s.LatencyP99, top)
+	}
+	// Bucket counts are cumulative and end at the total.
+	prev := uint64(0)
+	for i, c := range s.Latency.Cumulative {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if s.Latency.Cumulative[len(s.Latency.Cumulative)-1] != n {
+		t.Fatalf("finite buckets hold %d, want %d (outlier in +Inf only)",
+			s.Latency.Cumulative[len(s.Latency.Cumulative)-1], n)
 	}
 }
 
-// TestLatencyWindowSlides: the quantile window holds only the most recent
-// latencyWindow samples, while sum/count stay cumulative.
-func TestLatencyWindowSlides(t *testing.T) {
-	m := newModelMetrics()
-	for i := 0; i < latencyWindow; i++ {
-		m.recordRequest(200, time.Hour) // ancient, slow epoch
-	}
-	for i := 0; i < latencyWindow; i++ {
-		m.recordRequest(200, time.Millisecond) // current, fast epoch
-	}
-	s := m.snapshot()
-	if s.LatencyP99 > 0.002 {
-		t.Fatalf("p99 %v still dominated by evicted samples", s.LatencyP99)
-	}
-	if s.LatencyCount != 2*latencyWindow {
-		t.Fatalf("count %d", s.LatencyCount)
-	}
-	if s.LatencySum < 3600*float64(latencyWindow) {
-		t.Fatalf("sum %v lost the early epoch", s.LatencySum)
+// TestWatcherFailureCounter: failed watcher loads are counted per model and
+// rendered on /metrics.
+func TestWatcherFailureCounter(t *testing.T) {
+	reg := newTestRegistry(t, Config{})
+	reg.recordWatcherFailure("bad")
+	reg.recordWatcherFailure("bad")
+	reg.recordWatcherFailure("worse")
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`srcldad_watcher_load_failures_total{model="bad"} 2`,
+		`srcldad_watcher_load_failures_total{model="worse"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in metrics:\n%s", want, out)
+		}
 	}
 }

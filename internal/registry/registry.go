@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"regexp"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/obs"
 )
 
 // Errors the registry reports on the request and admin paths. The HTTP
@@ -58,9 +60,18 @@ type Config struct {
 	// DefaultModel is the name the unnamed routes (/v1/infer, /v1/topics)
 	// alias (default "default").
 	DefaultModel string
-	// Logf, when non-nil, receives operational log lines (loads, swaps,
-	// unloads, watcher errors).
-	Logf func(format string, args ...any)
+	// Logger receives the registry's structured events (loads, swaps,
+	// unloads, watcher errors, per-request access logs). nil discards
+	// everything.
+	Logger *slog.Logger
+	// SlowRequest is the duration above which a completed request is logged
+	// at warning level with its per-stage breakdown (default 1s; negative
+	// disables the slow-request log).
+	SlowRequest time.Duration
+	// DisableTracing turns off request-ID generation, span recording and
+	// access logging on the HTTP layer — an escape hatch for benchmarking
+	// the serving path's floor; production deployments leave it off.
+	DisableTracing bool
 }
 
 func (c *Config) applyDefaults() {
@@ -85,11 +96,11 @@ func (c *Config) applyDefaults() {
 	if c.DefaultModel == "" {
 		c.DefaultModel = "default"
 	}
-}
-
-func (c *Config) logf(format string, args ...any) {
-	if c.Logf != nil {
-		c.Logf(format, args...)
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
+	if c.SlowRequest == 0 {
+		c.SlowRequest = time.Second
 	}
 }
 
@@ -109,6 +120,12 @@ type Registry struct {
 	closed  bool
 
 	loadSeq atomic.Uint64
+
+	// wmu guards watcherFails, bundle-load failures counted per model name
+	// by the directory watcher (rendered as
+	// srcldad_watcher_load_failures_total).
+	wmu          sync.Mutex
+	watcherFails map[string]uint64
 }
 
 // New returns an empty registry. Close it to stop every model's dispatcher
@@ -116,10 +133,38 @@ type Registry struct {
 func New(cfg Config) *Registry {
 	cfg.applyDefaults()
 	return &Registry{
-		cfg:     cfg,
-		start:   time.Now(),
-		entries: make(map[string]*entry),
+		cfg:          cfg,
+		start:        time.Now(),
+		entries:      make(map[string]*entry),
+		watcherFails: make(map[string]uint64),
 	}
+}
+
+// recordWatcherFailure counts one failed watcher load attempt for a model
+// name. The counter outlives the file (a rotted bundle that later
+// disappears still shows its failure history).
+func (r *Registry) recordWatcherFailure(name string) {
+	r.wmu.Lock()
+	r.watcherFails[name]++
+	r.wmu.Unlock()
+}
+
+// watcherFailure is one model's failed-load count, for metrics rendering.
+type watcherFailure struct {
+	name  string
+	count uint64
+}
+
+// watcherFailures snapshots the failed-load counters, sorted by model name.
+func (r *Registry) watcherFailures() []watcherFailure {
+	r.wmu.Lock()
+	out := make([]watcherFailure, 0, len(r.watcherFails))
+	for name, n := range r.watcherFails {
+		out = append(out, watcherFailure{name: name, count: n})
+	}
+	r.wmu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // Config returns the registry's effective (defaulted) configuration.
@@ -245,9 +290,11 @@ func (r *Registry) Load(name, ver string, m *sourcelda.Model) (LoadResult, error
 		if old.model != v.model {
 			old.model.Close()
 		}
-		r.cfg.logf("registry: model %q hot-swapped %s -> %s", name, old.version, ver)
+		r.cfg.Logger.Info("model hot-swapped",
+			"model", name, "old_version", old.version, "new_version", ver)
 	} else {
-		r.cfg.logf("registry: model %q loaded (version %s, %d topics)", name, ver, m.NumTopics())
+		r.cfg.Logger.Info("model loaded",
+			"model", name, "version", ver, "topics", m.NumTopics(), "mapped", m.Mapped())
 	}
 	return res, nil
 }
@@ -281,7 +328,7 @@ func (r *Registry) Unload(name string) error {
 	delete(r.entries, name)
 	r.mu.Unlock()
 	e.stop()
-	r.cfg.logf("registry: model %q unloaded", name)
+	r.cfg.Logger.Info("model unloaded", "model", name)
 	return nil
 }
 
@@ -371,8 +418,10 @@ type ModelInfo struct {
 	Bundle   sourcelda.BundleInfo
 	Topics   int
 	// Mapped reports whether the build serves from a memory-mapped flat
-	// bundle (zero-copy load, page-cache-shared conditionals).
+	// bundle (zero-copy load, page-cache-shared conditionals); MappedBytes
+	// is the mapped file size (0 when not mapped).
 	Mapped        bool
+	MappedBytes   int64
 	QueueDepth    int
 	QueueCapacity int
 	// OpenSessions counts inference sessions not yet fully drained: 1 in
@@ -420,6 +469,7 @@ func (e *entry) info() ModelInfo {
 		mi.Bundle = v.model.BundleInfo()
 		mi.Topics = v.model.NumTopics()
 		mi.Mapped = v.model.Mapped()
+		mi.MappedBytes = v.model.MappedBytes()
 	}
 	return mi
 }

@@ -7,14 +7,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/obs"
 	"sourcelda/internal/persist"
 )
+
+// requestIDHeader is the request-identity header: accepted from the client
+// when well-formed, generated otherwise, echoed on every response, and the
+// correlation key across the access log and error bodies.
+const requestIDHeader = "X-Request-Id"
 
 // Server is the registry's HTTP surface: inference and topic routes (both
 // the default-model aliases and the per-model forms), the model admin API,
@@ -38,11 +45,114 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes through the
+// tracing middleware: resolve or mint an X-Request-Id, echo it on the
+// response before the handler runs (so even error responses carry it),
+// carry a span context alongside the request, and emit one access-log event
+// per request with the per-stage latency breakdown — at warning level when
+// the request exceeded the slow-request threshold.
+//
+// The span rides inside the statusWriter rather than the request context:
+// handlers recover it with traceFor(w), which costs one type assertion
+// instead of a context allocation plus a full http.Request clone per
+// request (context injection roughly doubled the middleware's overhead).
+// Library callers without an http.ResponseWriter still propagate traces
+// through the context — see Registry.Infer.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.reg.cfg.DisableTracing {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	id := r.Header.Get(requestIDHeader)
+	if !obs.ValidRequestID(id) {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(requestIDHeader, id)
+	// One allocation covers both per-request tracking structs: the status
+	// capture and the span context live and die together.
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw.trace.ID = id
+	tr := &sw.trace
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+
+	slow := s.reg.cfg.SlowRequest
+	isSlow := slow > 0 && dur >= slow
+	level, msg := slog.LevelInfo, "request"
+	if isSlow {
+		level, msg = slog.LevelWarn, "slow request"
+	}
+	lg := s.reg.cfg.Logger
+	// Attribute assembly is guarded by Enabled so a discarded or
+	// level-filtered access log costs nothing on the fast path.
+	if !lg.Enabled(r.Context(), level) {
+		return
+	}
+	attrs := []any{
+		"request_id", id,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_ms", durMillis(dur),
+	}
+	if model := tr.Model(); model != "" {
+		d := tr.Durations()
+		attrs = append(attrs,
+			"model", model,
+			"queue_wait_ms", durMillis(d[obs.StageQueueWait]),
+			"batch_assembly_ms", durMillis(d[obs.StageBatchAssembly]),
+			"infer_ms", durMillis(d[obs.StageInfer]),
+			"render_ms", durMillis(d[obs.StageRender]),
+		)
+	}
+	if isSlow {
+		attrs = append(attrs, "threshold_ms", durMillis(slow))
+	}
+	lg.Log(r.Context(), level, msg, attrs...)
+}
+
+// durMillis renders a duration as fractional milliseconds — the access
+// log's one latency unit, chosen over Duration.String so log pipelines can
+// aggregate the field numerically.
+func durMillis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// statusWriter captures the first status code a handler writes, for the
+// access log, and carries the request's trace so the middleware allocates
+// once per request.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+	trace  obs.Trace
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// traceFor recovers the span the middleware attached to the response
+// writer. Nil when tracing is disabled — every Trace method is nil-safe, so
+// callers use the result unconditionally.
+func traceFor(w http.ResponseWriter) *obs.Trace {
+	if sw, ok := w.(*statusWriter); ok {
+		return &sw.trace
+	}
+	return nil
+}
 
 // inferRequest is the POST /v1/infer body: exactly one of Text or
 // Documents.
@@ -119,19 +229,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	name := modelName(r)
 	e, err := s.reg.lookup(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		writeError(w, r, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
 		return
 	}
+	// Record the resolved name (not the raw path segment, which is "" on the
+	// default-model alias routes) so the access log names the serving model.
+	tr := traceFor(w)
+	tr.SetModel(e.name)
 	// Everything below reports its terminal status into the model's
 	// metrics, including the request latency.
 	startReq := time.Now()
-	code := s.serveInfer(w, r, e)
+	code := s.serveInfer(w, r, e, tr)
 	e.metrics.recordRequest(code, time.Since(startReq))
 }
 
 // serveInfer handles one inference request against a resolved model entry
-// and returns the HTTP status it wrote.
-func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry) int {
+// and returns the HTTP status it wrote. tr is the request's span (nil when
+// tracing is disabled).
+func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry, tr *obs.Trace) int {
 	cfg := s.reg.cfg
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.MaxBody))
 	if err != nil {
@@ -141,54 +256,55 @@ func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry) in
 		var maxErr *http.MaxBytesError
 		switch {
 		case errors.As(err, &maxErr):
-			return writeError(w, http.StatusRequestEntityTooLarge,
+			return writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
 		case r.Context().Err() != nil:
 			// 499 "client closed request" (nginx convention): the client
 			// went away mid-read, so no standard 4xx applies and nobody is
 			// listening anyway — but access logs should not blame body size.
-			return writeError(w, 499, "client closed request")
+			return writeError(w, r, 499, "client closed request")
 		default:
-			return writeError(w, http.StatusBadRequest, "failed to read request body")
+			return writeError(w, r, http.StatusBadRequest, "failed to read request body")
 		}
 	}
 	texts, single, err := decodeInferRequest(body, cfg.MaxDocs)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return writeError(w, r, http.StatusBadRequest, err.Error())
 	}
 	v := e.current.Load()
 	if v == nil {
-		return writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+		return writeError(w, r, http.StatusServiceUnavailable, ErrUnloaded.Error())
 	}
 	// Reject unknown-word-only documents before queueing: the check is one
 	// tokenization pass, so the 422 costs no sampling and no queue slots.
 	for i, text := range texts {
 		if v.model.CountKnownTokens(text) == 0 {
-			return writeError(w, http.StatusUnprocessableEntity,
+			return writeError(w, r, http.StatusUnprocessableEntity,
 				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
 		}
 	}
-	results, err := e.enqueue(r.Context(), texts)
+	results, err := e.enqueue(r.Context(), tr, texts)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		e.metrics.recordShed()
-		return writeError(w, http.StatusServiceUnavailable, ErrOverloaded.Error())
+		return writeError(w, r, http.StatusServiceUnavailable, ErrOverloaded.Error())
 	case errors.Is(err, ErrUnloaded):
-		return writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+		return writeError(w, r, http.StatusServiceUnavailable, ErrUnloaded.Error())
 	case err != nil && r.Context().Err() != nil:
 		// The caller disconnected while its documents were queued — the
 		// same client-gone condition as the body-read path, and the same
 		// 499: it must not count as a server error.
-		return writeError(w, 499, "client closed request")
+		return writeError(w, r, 499, "client closed request")
 	case err != nil:
-		return writeError(w, http.StatusInternalServerError, err.Error())
+		return writeError(w, r, http.StatusInternalServerError, err.Error())
 	}
+	renderStart := time.Now()
 	docs := make([]inferredDocJSON, len(results))
 	for i, res := range results {
 		if res.Doc == nil {
 			// Defense in depth: the pre-check above already filtered these
 			// (barring a vocabulary-shrinking swap racing the pre-check).
-			return writeError(w, http.StatusUnprocessableEntity,
+			return writeError(w, r, http.StatusUnprocessableEntity,
 				fmt.Sprintf("document %d has no tokens in the model vocabulary", i))
 		}
 		// Render with the build that scored the document, NOT the pre-queue
@@ -196,10 +312,18 @@ func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry) in
 		// means labels and mixture widths belong to the new build.
 		docs[i] = renderDoc(res.Model, res.Doc, cfg.TopN)
 	}
+	var status int
 	if single {
-		return writeJSON(w, http.StatusOK, map[string]any{"result": docs[0]})
+		status = writeJSON(w, http.StatusOK, map[string]any{"result": docs[0]})
+	} else {
+		status = writeJSON(w, http.StatusOK, map[string]any{"results": docs})
 	}
-	return writeJSON(w, http.StatusOK, map[string]any{"results": docs})
+	// The render stage spans topic lookup through response serialization,
+	// recorded once per successful request (error paths render no result).
+	renderDur := time.Since(renderStart)
+	e.metrics.recordStage(obs.StageRender, renderDur)
+	tr.Add(obs.StageRender, renderDur)
+	return status
 }
 
 func renderDoc(m *sourcelda.Model, res *sourcelda.DocumentInference, topN int) inferredDocJSON {
@@ -222,12 +346,13 @@ func (s *Server) handleTopics(w http.ResponseWriter, r *http.Request) {
 	name := modelName(r)
 	e, err := s.reg.lookup(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		writeError(w, r, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
 		return
 	}
+	traceFor(w).SetModel(e.name)
 	v, byIndex, ok := e.topics()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, ErrUnloaded.Error())
+		writeError(w, r, http.StatusServiceUnavailable, ErrUnloaded.Error())
 		return
 	}
 	type topicInfo struct {
@@ -261,6 +386,7 @@ type modelInfoJSON struct {
 	LoadedAt      string  `json:"loaded_at,omitempty"`
 	Topics        int     `json:"topics"`
 	Mapped        bool    `json:"mapped"`
+	MappedBytes   int64   `json:"mapped_bytes,omitempty"`
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`
 	OpenSessions  int     `json:"open_sessions"`
@@ -281,6 +407,7 @@ func infoToJSON(mi ModelInfo) modelInfoJSON {
 		Version:       mi.Version,
 		Topics:        mi.Topics,
 		Mapped:        mi.Mapped,
+		MappedBytes:   mi.MappedBytes,
 		QueueDepth:    mi.QueueDepth,
 		QueueCapacity: mi.QueueCapacity,
 		OpenSessions:  mi.OpenSessions,
@@ -318,7 +445,7 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	name := modelName(r)
 	mi, err := s.reg.Info(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		writeError(w, r, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
 		return
 	}
 	writeJSON(w, http.StatusOK, infoToJSON(mi))
@@ -336,7 +463,7 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	// Validate the name before consuming the body: an invalid name must not
 	// cost a potentially hundreds-of-MB upload.
 	if !validName.MatchString(name) {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			fmt.Sprintf("invalid model name %q (want %s)", name, validName))
 		return
 	}
@@ -351,17 +478,17 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("bundle exceeds %d bytes", maxErr.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid bundle: %v", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid bundle: %v", err))
 		return
 	}
 	res, err := s.reg.Load(name, r.URL.Query().Get("version"), m)
 	if err != nil {
 		m.Close()
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	status := http.StatusCreated
@@ -402,7 +529,7 @@ func spoolFlatBundle(body io.Reader) (*sourcelda.Model, error) {
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	name := modelName(r)
 	if err := s.reg.Unload(name); err != nil {
-		writeError(w, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		writeError(w, r, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"unloaded": name})
@@ -432,6 +559,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleReady is the readiness probe, distinct from /healthz liveness: it
+// answers 503 until at least one model is loaded and serving, then 200. A
+// gateway or load balancer keys routing on this endpoint so a cold replica
+// — process up, models directory still loading — never receives traffic.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	if len(names) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unavailable",
+			"reason": "no models loaded",
+		})
+		return
+	}
+	_, defErr := s.reg.Info("")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":               "ready",
+		"models":               len(names),
+		"default_model":        s.reg.DefaultModel(),
+		"default_model_loaded": defErr == nil,
+	})
+}
+
 // modelNotFoundMsg names the missing model and lists what is loaded, so a
 // 404 is self-diagnosing.
 func modelNotFoundMsg(name string, reg *Registry) string {
@@ -452,6 +601,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 	return status
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) int {
-	return writeJSON(w, status, map[string]string{"error": msg})
+// writeError renders a JSON error body, echoing the request's ID so a
+// client-side error report and the server's access log line correlate
+// without header plumbing.
+func writeError(w http.ResponseWriter, _ *http.Request, status int, msg string) int {
+	body := map[string]string{"error": msg}
+	if tr := traceFor(w); tr != nil && tr.ID != "" {
+		body["request_id"] = tr.ID
+	}
+	return writeJSON(w, status, body)
 }

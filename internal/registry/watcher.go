@@ -83,7 +83,7 @@ func NewWatcher(reg *Registry, dir string, interval time.Duration) *Watcher {
 	}
 }
 
-// Run polls until ctx is done. Scan errors are logged (Config.Logf), never
+// Run polls until ctx is done. Scan errors are logged (Config.Logger), never
 // fatal: a transient filesystem error on one tick must not kill serving.
 func (w *Watcher) Run(ctx context.Context) {
 	ticker := time.NewTicker(w.interval)
@@ -94,7 +94,7 @@ func (w *Watcher) Run(ctx context.Context) {
 			return
 		case <-ticker.C:
 			if err := w.Scan(); err != nil {
-				w.reg.cfg.logf("registry: watcher: %v", err)
+				w.reg.cfg.Logger.Warn("watcher scan failed", "dir", w.dir, "error", err)
 			}
 		}
 	}
@@ -116,7 +116,8 @@ func (w *Watcher) Scan() error {
 		}
 		name := strings.TrimSuffix(de.Name(), BundleExt)
 		if !validName.MatchString(name) {
-			w.reg.cfg.logf("registry: watcher: skipping %s: invalid model name %q", de.Name(), name)
+			w.reg.cfg.Logger.Warn("watcher skipping bundle",
+				"file", de.Name(), "dir", w.dir, "reason", "invalid model name")
 			continue
 		}
 		fi, err := de.Info()
@@ -169,7 +170,13 @@ func (w *Watcher) Scan() error {
 		}
 		if err := w.loadFile(name, path); err != nil {
 			st.failed = true
-			w.reg.cfg.logf("registry: watcher: %s: %v", path, err)
+			// A bad bundle must page, not rot: the failure carries full
+			// model/path context and bumps a counter alerting can key on. The
+			// file is retried only once it changes again (see fileState).
+			w.reg.recordWatcherFailure(name)
+			w.reg.cfg.Logger.Error("watcher load failed",
+				"model", name, "path", path,
+				"size_bytes", st.size, "mtime", st.modTime, "error", err)
 		}
 		w.seen[name] = st
 	}
@@ -182,7 +189,8 @@ func (w *Watcher) Scan() error {
 		if w.owned[name] {
 			delete(w.owned, name)
 			if err := w.reg.Unload(name); err == nil {
-				w.reg.cfg.logf("registry: watcher: %s%s removed, model %q unloaded", name, BundleExt, name)
+				w.reg.cfg.Logger.Info("watcher unloaded removed model",
+					"model", name, "file", name+BundleExt, "dir", w.dir)
 			}
 		}
 	}

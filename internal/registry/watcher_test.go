@@ -1,12 +1,16 @@
 package registry
 
 import (
+	"bytes"
 	"context"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"sourcelda/internal/obs"
 )
 
 // writeBundleFile writes a bundle atomically (temp + rename), the pattern
@@ -129,32 +133,51 @@ func TestWatcherDoesNotUnloadAdminModels(t *testing.T) {
 	}
 }
 
-// TestWatcherBadFile: a corrupt bundle is logged and skipped without
-// disturbing serving, and is not retried until the file changes.
+// TestWatcherBadFile: a corrupt bundle is logged with full model/path
+// context, counted on the failure counter, and skipped without disturbing
+// serving — and is not retried until the file changes.
 func TestWatcherBadFile(t *testing.T) {
 	dir := t.TempDir()
-	var logs int
-	reg := newTestRegistry(t, Config{Logf: func(string, ...any) { logs++ }})
+	var logBuf bytes.Buffer
+	logger, err := obs.NewLogger(&logBuf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, Config{Logger: logger})
 	w := NewWatcher(reg, dir, time.Second)
+	brokenFailures := func() uint64 {
+		for _, wf := range reg.watcherFailures() {
+			if wf.name == "broken" {
+				return wf.count
+			}
+		}
+		return 0
+	}
 
 	base := time.Now().Add(-time.Hour)
-	writeBundleFile(t, dir, "broken", []byte("not a bundle"), base)
+	path := writeBundleFile(t, dir, "broken", []byte("not a bundle"), base)
 	if err := w.Scan(); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(reg.Names()); n != 0 {
 		t.Fatalf("%d models loaded from a corrupt file", n)
 	}
-	failures := logs
-	if failures == 0 {
-		t.Fatal("corrupt bundle was not logged")
+	if got := brokenFailures(); got != 1 {
+		t.Fatalf("failure counter = %d after one bad load, want 1", got)
+	}
+	// The failure event names the model and the offending file.
+	logged := logBuf.String()
+	for _, want := range []string{"watcher load failed", `"model":"broken"`, `"path":"` + path + `"`} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("load-failure log missing %q:\n%s", want, logged)
+		}
 	}
 	// Unchanged bad file: not retried.
 	if err := w.Scan(); err != nil {
 		t.Fatal(err)
 	}
-	if logs != failures {
-		t.Fatal("unchanged corrupt bundle retried every scan")
+	if got := brokenFailures(); got != 1 {
+		t.Fatalf("unchanged corrupt bundle retried every scan (counter %d)", got)
 	}
 	// Fixed file: picked up.
 	writeBundleFile(t, dir, "broken", bundleBytes(t, trainModel(t, 7), "", "fixed"), base.Add(time.Minute))

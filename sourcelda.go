@@ -244,9 +244,14 @@ type Progress struct {
 	LogLikelihood float64
 	// TokensPerSec is the sweep's sampling throughput.
 	TokensPerSec float64
+	// SweepSeconds is the sweep's wall time.
+	SweepSeconds float64
 	// CheckpointPath is the checkpoint file this sweep produced, or "" for
 	// sweeps that didn't checkpoint.
 	CheckpointPath string
+	// CheckpointSeconds is how long that checkpoint write took, or 0 for
+	// sweeps that didn't checkpoint.
+	CheckpointSeconds float64
 }
 
 // ProgressFunc observes training after each sweep — progress bars, eval
@@ -356,6 +361,17 @@ func (m *Model) Close() error {
 // Mapped reports whether the model serves its topic-word conditionals from a
 // memory-mapped flat bundle (and therefore carries a Close obligation).
 func (m *Model) Mapped() bool { return m.backing != nil }
+
+// MappedBytes returns the bytes of bundle file currently memory-mapped for
+// this model: 0 for heap-backed models and after the mapping is released.
+// Observability surfaces sum this across loaded models to report the
+// process's mapped-bundle footprint.
+func (m *Model) MappedBytes() int64 {
+	if m.backing == nil {
+		return 0
+	}
+	return m.backing.fb.MappedBytes()
+}
 
 // NumTopics returns the number of topics without materializing anything.
 func (m *Model) NumTopics() int { return len(m.res.Labels) }
@@ -576,21 +592,24 @@ func runTraining(m *core.Model, c *Corpus, opts Options, totalSweeps int) error 
 	totalTokens := c.c.TotalTokens()
 	err := m.RunWithHook(remaining, func(sweep int, cm *core.Model) error {
 		path := ""
+		ckSecs := 0.0
 		if ckw != nil && sweep%every == 0 {
+			start := time.Now()
 			p, err := ckw.Write(cm.Checkpoint())
 			if err != nil {
 				return err
 			}
-			path = p
+			path, ckSecs = p, time.Since(start).Seconds()
 		}
 		if opts.Progress == nil {
 			return nil
 		}
 		p := Progress{
-			Sweep:          sweep,
-			TotalSweeps:    totalSweeps,
-			LogLikelihood:  math.NaN(),
-			CheckpointPath: path,
+			Sweep:             sweep,
+			TotalSweeps:       totalSweeps,
+			LogLikelihood:     math.NaN(),
+			CheckpointPath:    path,
+			CheckpointSeconds: ckSecs,
 		}
 		if opts.TraceLikelihood {
 			if trace := cm.LikelihoodTrace; len(trace) > 0 {
@@ -598,8 +617,9 @@ func runTraining(m *core.Model, c *Corpus, opts Options, totalSweeps int) error 
 			}
 		}
 		if times := cm.IterationTimes; len(times) > 0 {
-			if secs := times[len(times)-1].Seconds(); secs > 0 {
-				p.TokensPerSec = float64(totalTokens) / secs
+			p.SweepSeconds = times[len(times)-1].Seconds()
+			if p.SweepSeconds > 0 {
+				p.TokensPerSec = float64(totalTokens) / p.SweepSeconds
 			}
 		}
 		return opts.Progress(p)
