@@ -76,6 +76,7 @@ type cliFlags struct {
 	logLevel      *string
 	slowRequest   *time.Duration
 	debugAddr     *string
+	backendID     *string
 }
 
 func defineFlags(fs *flag.FlagSet) *cliFlags {
@@ -100,6 +101,7 @@ func defineFlags(fs *flag.FlagSet) *cliFlags {
 		logLevel:      fs.String("log-level", "info", "minimum log level: debug, info, warn or error (per-request access logs are info)"),
 		slowRequest:   fs.Duration("slow-request", time.Second, "log a warning with the per-stage latency breakdown for requests slower than this (negative disables)"),
 		debugAddr:     fs.String("debug-addr", "", "optional listen address for net/http/pprof and /debug/runtime gauges (default \"\": disabled; never expose publicly)"),
+		backendID:     fs.String("backend-id", "", "replica identity echoed as an X-Backend header on every response, for gateway routing audits (default \"\": the hostname; \"none\" omits the header)"),
 	}
 }
 
@@ -131,6 +133,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "srcldad:", err)
 		os.Exit(2)
 	}
+	// Replica identity for the X-Backend response header: defaults to the
+	// hostname (distinct per box in the common one-replica-per-host layout);
+	// "none" opts out for deployments that must not leak topology.
+	backendID := *f.backendID
+	switch backendID {
+	case "":
+		if host, err := os.Hostname(); err == nil {
+			backendID = host
+		}
+	case "none":
+		backendID = ""
+	}
 
 	reg := registry.New(registry.Config{
 		Infer: sourcelda.InferOptions{
@@ -149,6 +163,7 @@ func main() {
 		DefaultModel: *f.defaultModel,
 		Logger:       logger,
 		SlowRequest:  *f.slowRequest,
+		BackendID:    backendID,
 	})
 
 	if *f.bundle != "" {

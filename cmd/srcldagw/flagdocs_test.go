@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sourcelda/internal/gateway"
+)
+
+// documentedFlags extracts the flag names from a "### `<cmd>` flags" table
+// in a markdown file: rows of the form "| `-name` | ... |".
+func documentedFlags(t *testing.T, path, section string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("cannot read %s: %v", path, err)
+	}
+	out := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.TrimSpace(line) == section
+			continue
+		}
+		if !inSection || !strings.HasPrefix(line, "| `-") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "| `-")
+		name, _, ok := strings.Cut(rest, "`")
+		if !ok {
+			t.Fatalf("unparseable flag-table row %q", line)
+		}
+		out[name] = true
+	}
+	if len(out) == 0 {
+		t.Fatalf("no flag table found under %q in %s", section, path)
+	}
+	return out
+}
+
+// TestFlagsDocumented diffs srcldagw's actual flag set against the table in
+// docs/OPERATIONS.md, in both directions, so the docs cannot silently rot
+// when a flag is added, renamed, or removed. CI runs this as its docs gate.
+func TestFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("srcldagw", flag.ContinueOnError)
+	defineFlags(fs)
+	documented := documentedFlags(t, filepath.Join("..", "..", "docs", "OPERATIONS.md"), "### `srcldagw` flags")
+	defined := map[string]bool{}
+	fs.VisitAll(func(fl *flag.Flag) { defined[fl.Name] = true })
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("flag -%s exists but is missing from the srcldagw table in docs/OPERATIONS.md", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("docs/OPERATIONS.md documents -%s, which srcldagw does not define", name)
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	specs, err := parseBackends("r1=http://127.0.0.1:8081, r2=http://127.0.0.1:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gateway.BackendSpec{
+		{ID: "r1", URL: "http://127.0.0.1:8081"},
+		{ID: "r2", URL: "http://127.0.0.1:8082"},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "r1", "=http://x", "r1=", ",,"} {
+		if _, err := parseBackends(bad); err == nil {
+			t.Errorf("parseBackends(%q) accepted invalid input", bad)
+		}
+	}
+}

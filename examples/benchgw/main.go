@@ -1,0 +1,253 @@
+// Command benchgw is the gateway saturation gate: it boots a real
+// two-replica cluster behind a gateway, drives it past its per-tenant
+// admission rate, and verifies overload degrades the way the runbook
+// promises — admitted requests answer 200, shed requests answer 429/503
+// with a whole-second Retry-After, nothing else ever escapes, and the full
+// gateway+replica lifecycle leaks no goroutines:
+//
+//	go run ./examples/benchgw -out BENCH_gateway.json
+//
+// The JSON report (throughput, latency quantiles, shed breakdown, goroutine
+// accounting) is archived per commit by CI so the trend is visible in
+// artifact history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sourcelda"
+	"sourcelda/internal/gateway"
+	"sourcelda/internal/obs"
+	"sourcelda/internal/registry"
+)
+
+type report struct {
+	Replicas      int     `json:"replicas"`
+	Workers       int     `json:"workers"`
+	Requests      int     `json:"requests"`
+	TenantRate    float64 `json:"tenant_rate_per_s"`
+	OK            int     `json:"ok"`
+	RateLimited   int     `json:"rate_limited_429"`
+	Unavailable   int     `json:"unavailable_503"`
+	Unexpected    int     `json:"unexpected_status"`
+	BadRetryAfter int     `json:"bad_retry_after"`
+	DurationMs    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	OKP50Ms       float64 `json:"ok_p50_ms"`
+	OKP99Ms       float64 `json:"ok_p99_ms"`
+	GoroutinesAt0 int     `json:"goroutines_before"`
+	GoroutinesEnd int     `json:"goroutines_after_teardown"`
+	GoroutineLeak bool    `json:"goroutine_leak"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_gateway.json", "file the JSON report is written to")
+	requests := flag.Int("requests", 2000, "total requests offered")
+	workers := flag.Int("workers", 32, "concurrent client workers")
+	rate := flag.Float64("tenant-rate", 100, "admitted requests/second for the bench tenant (offered load must exceed it)")
+	flag.Parse()
+	if err := run(*out, *requests, *workers, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgw FAILED:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, requests, workers int, rate float64) error {
+	bundle, err := trainBundle()
+	if err != nil {
+		return err
+	}
+	r := report{Replicas: 2, Workers: workers, Requests: requests, TenantRate: rate}
+	r.GoroutinesAt0 = runtime.NumGoroutine()
+
+	// Two real replicas: registry + HTTP listener each, loaded from the same
+	// bundle bytes (never a shared model instance).
+	var regs []*registry.Registry
+	var servers []*httptest.Server
+	var specs []gateway.BackendSpec
+	for i := 0; i < r.Replicas; i++ {
+		reg := registry.New(registry.Config{BackendID: fmt.Sprintf("bench-%d", i), Logger: obs.Discard()})
+		m, err := sourcelda.LoadBundle(strings.NewReader(string(bundle)))
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Load(reg.DefaultModel(), "v1", m); err != nil {
+			m.Close()
+			return err
+		}
+		srv := httptest.NewServer(registry.NewServer(reg))
+		regs = append(regs, reg)
+		servers = append(servers, srv)
+		specs = append(specs, gateway.BackendSpec{ID: fmt.Sprintf("bench-%d", i), URL: srv.URL})
+	}
+
+	g, err := gateway.New(gateway.Config{
+		Backends:       specs,
+		HealthInterval: 100 * time.Millisecond,
+		TenantRate:     rate,
+		TenantBurst:    rate / 5,
+	})
+	if err != nil {
+		return err
+	}
+	gw := httptest.NewServer(g)
+
+	payload := `{"text":"pencil ruler eraser notebook paper baseball umpire pitcher inning glove"}`
+	var mu sync.Mutex
+	var okLatencies []float64
+	var wg sync.WaitGroup
+	perWorker := requests / workers
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				req, _ := http.NewRequest(http.MethodPost, gw.URL+"/v1/infer", strings.NewReader(payload))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Tenant", "bench")
+				resp, err := client.Do(req)
+				if err != nil {
+					mu.Lock()
+					r.Unexpected++
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0)
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					r.OK++
+					okLatencies = append(okLatencies, float64(d)/float64(time.Millisecond))
+				case http.StatusTooManyRequests:
+					r.RateLimited++
+					checkRetryAfter(&r, resp)
+				case http.StatusServiceUnavailable:
+					r.Unavailable++
+					checkRetryAfter(&r, resp)
+				default:
+					r.Unexpected++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	r.DurationMs = float64(elapsed) / float64(time.Millisecond)
+	r.ThroughputRPS = float64(workers*perWorker) / elapsed.Seconds()
+	r.OKP50Ms = quantile(okLatencies, 0.50)
+	r.OKP99Ms = quantile(okLatencies, 0.99)
+
+	// Full teardown, then require the goroutine count back at the baseline
+	// (network teardown is asynchronous; poll with a deadline).
+	gw.Close()
+	g.Close()
+	for i := range servers {
+		servers[i].Close()
+		regs[i].Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r.GoroutinesEnd = runtime.NumGoroutine()
+		if r.GoroutinesEnd <= r.GoroutinesAt0+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.GoroutineLeak = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchgw: %d ok, %d rate-limited, %d unavailable in %.0fms (%.0f rps offered, ok p50 %.1fms p99 %.1fms) -> %s\n",
+		r.OK, r.RateLimited, r.Unavailable, r.DurationMs, r.ThroughputRPS, r.OKP50Ms, r.OKP99Ms, out)
+
+	switch {
+	case r.Unexpected > 0:
+		return fmt.Errorf("%d requests failed with unexpected status or transport error", r.Unexpected)
+	case r.BadRetryAfter > 0:
+		return fmt.Errorf("%d shed responses had a missing or malformed Retry-After", r.BadRetryAfter)
+	case r.OK == 0:
+		return fmt.Errorf("no request was admitted; admission control is over-shedding")
+	case r.RateLimited == 0:
+		return fmt.Errorf("no request was rate limited; the bench did not reach saturation")
+	case r.GoroutineLeak:
+		return fmt.Errorf("goroutine leak: %d before, %d after teardown", r.GoroutinesAt0, r.GoroutinesEnd)
+	}
+	return nil
+}
+
+// checkRetryAfter validates the shed contract: whole seconds, at least 1.
+// Caller holds the report mutex.
+func checkRetryAfter(r *report, resp *http.Response) {
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		r.BadRetryAfter++
+	}
+}
+
+func quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// trainBundle fits the small two-topic bench model and serializes it.
+func trainBundle() ([]byte, error) {
+	b := sourcelda.NewCorpusBuilder()
+	for i := 0; i < 10; i++ {
+		b.AddDocument("school", "pencil ruler eraser pencil notebook paper")
+		b.AddDocument("ball", "baseball umpire pitcher baseball inning glove")
+	}
+	b.AddKnowledgeArticle("School Supplies",
+		strings.Repeat("pencil pencil ruler eraser notebook paper paper ", 20))
+	b.AddKnowledgeArticle("Baseball",
+		strings.Repeat("baseball baseball umpire pitcher inning glove ", 20))
+	c, k, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := sourcelda.Fit(c, k, sourcelda.Options{
+		Lambda:     &sourcelda.LambdaPrior{Fixed: true, Lambda: 1},
+		Iterations: 60,
+		Seed:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf strings.Builder
+	if err := sourcelda.SaveBundle(&buf, m); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}

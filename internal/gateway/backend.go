@@ -1,0 +1,168 @@
+package gateway
+
+import (
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sourcelda/internal/obs"
+)
+
+// backend is one replica's live state inside the gateway: identity, the two
+// availability signals (active health probes and passive outlier ejection),
+// the in-flight counter bounded-load routing reads, and per-backend metrics.
+type backend struct {
+	id  string
+	url *url.URL
+
+	// healthy is the active signal: the last /readyz probe's verdict. When
+	// active checking is disabled it is pinned true and only passive
+	// ejection gates the backend.
+	healthy  atomic.Bool
+	inflight atomic.Int64
+
+	// mu guards the passive-ejection state machine. consecErrs counts
+	// consecutive try failures; at the threshold the backend is ejected
+	// until ejectedUntil. backoff doubles on every consecutive ejection (a
+	// backend that fails its post-backoff trial request re-ejects on that
+	// single failure) and resets only on a success, so a dead replica costs
+	// one trial request per backoff window, not a threshold's worth.
+	mu           sync.Mutex
+	consecErrs   int
+	ejectedUntil time.Time
+	backoff      time.Duration
+
+	// mmu guards the per-backend counters; latency is lock-free.
+	mmu           sync.Mutex
+	byCode        map[string]uint64
+	ejections     uint64
+	probeFailures uint64
+	latency       *obs.Histogram
+}
+
+func newBackend(id string, u *url.URL) *backend {
+	return &backend{
+		id:      id,
+		url:     u,
+		byCode:  make(map[string]uint64),
+		latency: obs.NewHistogram(nil),
+	}
+}
+
+// available reports whether the backend may receive routed traffic now:
+// actively healthy and not inside a passive-ejection window.
+func (b *backend) available(now time.Time) bool {
+	if !b.healthy.Load() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !now.Before(b.ejectedUntil)
+}
+
+// ejected reports whether the backend is inside a passive-ejection window.
+func (b *backend) ejected(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.ejectedUntil)
+}
+
+// noteSuccess resets the passive-ejection state: the backend answered, so
+// the error streak and the ejection backoff both start over.
+func (b *backend) noteSuccess() {
+	b.mu.Lock()
+	b.consecErrs = 0
+	b.backoff = 0
+	b.mu.Unlock()
+}
+
+// noteFailure records one try failure and decides ejection: returns true
+// when this failure ejects the backend. threshold <= 0 disables passive
+// ejection. A backend with a live backoff (ejected before, no success
+// since) re-ejects on its first post-backoff failure — that single trial
+// request is the passive re-probe.
+func (b *backend) noteFailure(now time.Time, threshold int, base, max time.Duration) bool {
+	if threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecErrs++
+	if b.backoff == 0 && b.consecErrs < threshold {
+		return false
+	}
+	next := base
+	if b.backoff > 0 {
+		next = b.backoff * 2
+		if next > max {
+			next = max
+		}
+	}
+	b.backoff = next
+	b.ejectedUntil = now.Add(next)
+	b.consecErrs = 0
+	b.mmu.Lock()
+	b.ejections++
+	b.mmu.Unlock()
+	return true
+}
+
+// recordTry counts one upstream try's terminal code ("200", "503", ... or
+// the sentinel codes "error"/"timeout"/"canceled") and its latency.
+func (b *backend) recordTry(code string, d time.Duration) {
+	b.latency.Observe(d.Seconds())
+	b.mmu.Lock()
+	b.byCode[code]++
+	b.mmu.Unlock()
+}
+
+// recordProbeFailure counts one failed active health probe.
+func (b *backend) recordProbeFailure() {
+	b.mmu.Lock()
+	b.probeFailures++
+	b.mmu.Unlock()
+}
+
+// codeLabel renders an HTTP status for the per-backend code label.
+func codeLabel(status int) string { return strconv.Itoa(status) }
+
+// BackendInfo is a point-in-time snapshot of one backend's state, for tests
+// and the gateway's health endpoint.
+type BackendInfo struct {
+	ID  string
+	URL string
+	// Healthy is the active /readyz verdict; Ejected reports a live passive
+	// ejection window. A backend receives routed traffic only when Healthy
+	// and not Ejected.
+	Healthy  bool
+	Ejected  bool
+	Inflight int
+	// ByCode counts upstream tries by terminal code; transport-level
+	// outcomes use the sentinel codes "error", "timeout" and "canceled".
+	ByCode        map[string]uint64
+	Ejections     uint64
+	ProbeFailures uint64
+	Latency       obs.HistogramSnapshot
+}
+
+func (b *backend) info(now time.Time) BackendInfo {
+	bi := BackendInfo{
+		ID:       b.id,
+		URL:      b.url.String(),
+		Healthy:  b.healthy.Load(),
+		Ejected:  b.ejected(now),
+		Inflight: int(b.inflight.Load()),
+		Latency:  b.latency.Snapshot(),
+	}
+	b.mmu.Lock()
+	bi.ByCode = make(map[string]uint64, len(b.byCode))
+	for c, n := range b.byCode {
+		bi.ByCode[c] = n
+	}
+	bi.Ejections = b.ejections
+	bi.ProbeFailures = b.probeFailures
+	b.mmu.Unlock()
+	return bi
+}

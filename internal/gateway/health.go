@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// healthLoop runs the active checker: one concurrent /readyz probe round per
+// HealthInterval. Active probing is what catches failure modes passive
+// ejection cannot — a hung replica accepts connections and never answers, so
+// its tries die as hedge-canceled losers (neutral by design); the probe's
+// own deadline converts that silence into an unhealthy verdict.
+func (g *Gateway) healthLoop(ctx context.Context) {
+	defer close(g.healthDone)
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			g.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll probes every backend concurrently and waits for the round to
+// finish, so one hung backend delays its own verdict by ProbeTimeout without
+// starving the others' probes.
+func (g *Gateway) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
+	ok := false
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url.String()+"/readyz", nil)
+	if err == nil {
+		resp, derr := g.client.Do(req)
+		if derr == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ctx.Err() != nil {
+		// Shutdown canceled the probe; a flap to unhealthy here would be an
+		// artifact of closing, not a verdict about the backend.
+		return
+	}
+	if !ok {
+		b.recordProbeFailure()
+	}
+	if was := b.healthy.Swap(ok); was != ok {
+		if ok {
+			g.cfg.Logger.Info("backend healthy", "backend", b.id, "url", b.url.String())
+		} else {
+			g.cfg.Logger.Warn("backend unhealthy", "backend", b.id, "url", b.url.String())
+		}
+	}
+}

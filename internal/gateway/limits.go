@@ -1,0 +1,132 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// retryBudget caps extra upstream tries (retries and hedges) to a fraction
+// of request traffic, the classic retry-budget defense against retry storms:
+// when every backend is failing, naive per-request retry policies multiply
+// offered load exactly when capacity is scarcest. Each client request earns
+// ratio tokens (capped at burst); every retry or hedge spends one. The
+// bucket starts full so a cold gateway can still cover a replica loss.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio, burst float64) *retryBudget {
+	return &retryBudget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// earn credits one client request's worth of retry allowance.
+func (rb *retryBudget) earn() {
+	rb.mu.Lock()
+	rb.tokens = math.Min(rb.burst, rb.tokens+rb.ratio)
+	rb.mu.Unlock()
+}
+
+// spend takes one token; false means the budget is exhausted and the caller
+// must not launch another try.
+func (rb *retryBudget) spend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// maxTenants bounds the lazily-grown tenant map. At the cap, stale buckets
+// (idle long enough to have refilled completely) are evicted; if every
+// bucket is active the map stops growing and unknown tenants share the
+// overflow bucket under the empty key — bounded memory beats precise
+// per-tenant fairness under a tenant-cardinality attack.
+const maxTenants = 8192
+
+// tenantLimiter is per-tenant token-bucket admission control in front of
+// the replicas' bounded queues: each tenant sustains rate requests/second
+// with bursts up to burst. A zero rate disables admission control.
+type tenantLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate, burst float64) *tenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantLimiter{rate: rate, burst: burst, buckets: make(map[string]*tenantBucket)}
+}
+
+// admit decides one request: ok, or the duration after which the tenant's
+// next token arrives (the 429 Retry-After). Nil limiter admits everything.
+func (l *tenantLimiter) admit(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		if len(l.buckets) >= maxTenants {
+			l.evictStale(now)
+		}
+		if len(l.buckets) >= maxTenants {
+			tenant = ""
+			if b = l.buckets[tenant]; b == nil {
+				b = &tenantBucket{tokens: l.burst, last: now}
+				l.buckets[tenant] = b
+			}
+		} else {
+			b = &tenantBucket{tokens: l.burst, last: now}
+			l.buckets[tenant] = b
+		}
+	}
+	b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// evictStale drops buckets idle long enough to have refilled to burst —
+// readmitting them later is indistinguishable from having kept them.
+// Caller holds l.mu.
+func (l *tenantLimiter) evictStale(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for t, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, t)
+		}
+	}
+}
+
+// retryAfterSeconds renders a Retry-After duration as the header's
+// whole-second value, at least 1 (a zero Retry-After invites an immediate
+// retry, defeating the point of shedding).
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package gateway
+
+import (
+	"fmt"
+	"net/url"
+	"testing"
+	"time"
+)
+
+func TestRetryBudget(t *testing.T) {
+	rb := newRetryBudget(0.2, 2)
+	// Starts full: two spends pass, the third is refused.
+	if !rb.spend() || !rb.spend() {
+		t.Fatal("fresh budget refused its burst")
+	}
+	if rb.spend() {
+		t.Fatal("empty budget granted a spend")
+	}
+	// Five requests earn one token at ratio 0.2.
+	for i := 0; i < 4; i++ {
+		rb.earn()
+		if rb.spend() {
+			t.Fatalf("budget granted a spend after only %d earns at ratio 0.2", i+1)
+		}
+	}
+	rb.earn()
+	if !rb.spend() {
+		t.Fatal("budget refused a spend after earning a full token")
+	}
+	// Earning never exceeds the burst cap.
+	for i := 0; i < 100; i++ {
+		rb.earn()
+	}
+	if !rb.spend() || !rb.spend() {
+		t.Fatal("budget below burst after heavy earning")
+	}
+	if rb.spend() {
+		t.Fatal("budget exceeded its burst cap")
+	}
+}
+
+func TestTenantLimiter(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newTenantLimiter(2, 3)
+
+	// Burst admits, then sheds with a sane Retry-After; an untouched tenant
+	// is unaffected.
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.admit("acme", now); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, after := l.admit("acme", now)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if s := retryAfterSeconds(after); s < 1 {
+		t.Fatalf("Retry-After %ds, want >= 1", s)
+	}
+	if ok, _ := l.admit("globex", now); !ok {
+		t.Fatal("second tenant rejected because of the first's burst")
+	}
+
+	// Refill: at 2 req/s, one second buys two more requests.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.admit("acme", now); !ok {
+			t.Fatalf("refilled request %d rejected", i)
+		}
+	}
+	if ok, _ := l.admit("acme", now); ok {
+		t.Fatal("request beyond refill admitted")
+	}
+
+	// A nil limiter (rate 0) admits everything.
+	var none *tenantLimiter
+	if ok, _ := none.admit("anyone", now); !ok {
+		t.Fatal("nil limiter rejected a request")
+	}
+	if newTenantLimiter(0, 5) != nil {
+		t.Fatal("zero rate should disable the limiter")
+	}
+}
+
+// TestTenantLimiterBounded: the bucket map stops growing at maxTenants —
+// stale buckets are evicted first, and when every bucket is live, unknown
+// tenants share the overflow bucket instead of growing the map.
+func TestTenantLimiterBounded(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newTenantLimiter(1, 2)
+	for i := 0; i < maxTenants; i++ {
+		l.admit(fmt.Sprintf("tenant-%d", i), now)
+	}
+	if len(l.buckets) != maxTenants {
+		t.Fatalf("bucket map has %d entries, want %d", len(l.buckets), maxTenants)
+	}
+	// All live: a new tenant lands in the overflow bucket, map does not grow.
+	l.admit("fresh-1", now)
+	if len(l.buckets) > maxTenants+1 {
+		t.Fatalf("bucket map grew past the cap: %d", len(l.buckets))
+	}
+	// Everyone idle long enough to refill: stale eviction makes room again.
+	now = now.Add(time.Hour)
+	l.admit("fresh-2", now)
+	if len(l.buckets) >= maxTenants {
+		t.Fatalf("stale buckets not evicted: %d entries", len(l.buckets))
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1100 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestBackendEjection covers the passive state machine directly: threshold
+// ejection, exponential backoff growth with re-ejection on a single trial
+// failure, reset on success, and the disabled mode.
+func TestBackendEjection(t *testing.T) {
+	b := newBackend("r0", mustURL(t, "http://127.0.0.1:1"))
+	b.healthy.Store(true)
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if b.noteFailure(now, 3, time.Second, 8*time.Second) {
+			t.Fatalf("ejected after %d failures, threshold 3", i+1)
+		}
+	}
+	if !b.noteFailure(now, 3, time.Second, 8*time.Second) {
+		t.Fatal("not ejected at threshold")
+	}
+	if b.available(now) || !b.ejected(now) {
+		t.Fatal("backend available during ejection window")
+	}
+	if !b.available(now.Add(1001 * time.Millisecond)) {
+		t.Fatal("backend unavailable after the window expired")
+	}
+
+	// One trial failure after the window re-ejects immediately, with a
+	// doubled window.
+	trial := now.Add(2 * time.Second)
+	if !b.noteFailure(trial, 3, time.Second, 8*time.Second) {
+		t.Fatal("trial failure did not re-eject")
+	}
+	if b.available(trial.Add(1500 * time.Millisecond)) {
+		t.Fatal("second window did not double")
+	}
+	if !b.available(trial.Add(2001 * time.Millisecond)) {
+		t.Fatal("second window longer than doubled backoff")
+	}
+
+	// Backoff is capped and a success resets everything.
+	at := trial
+	for i := 0; i < 10; i++ {
+		at = at.Add(time.Minute)
+		b.noteFailure(at, 3, time.Second, 8*time.Second)
+	}
+	if !b.available(at.Add(8001 * time.Millisecond)) {
+		t.Fatal("backoff exceeded its cap")
+	}
+	b.noteSuccess()
+	for i := 0; i < 2; i++ {
+		if b.noteFailure(at, 3, time.Second, 8*time.Second) {
+			t.Fatal("post-success failure ejected below threshold; success did not reset state")
+		}
+	}
+
+	// Disabled threshold never ejects.
+	d := newBackend("r1", mustURL(t, "http://127.0.0.1:1"))
+	d.healthy.Store(true)
+	for i := 0; i < 100; i++ {
+		if d.noteFailure(now, -1, time.Second, 8*time.Second) {
+			t.Fatal("disabled passive ejection still ejected")
+		}
+	}
+}
+
+func mustURL(t *testing.T, s string) *url.URL {
+	t.Helper()
+	u, err := url.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}

@@ -1,0 +1,136 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// defaultVNodes is the number of virtual nodes each backend contributes to
+// the ring. 160 points per backend keeps the largest key-share within a few
+// percent of fair for realistic replica counts while ring construction and
+// lookup stay trivially cheap.
+const defaultVNodes = 160
+
+// ring is a consistent-hash ring over backend indices: each backend owns
+// vnodes points on a 64-bit circle, and a key's preference order is the
+// sequence of distinct backends met walking clockwise from the key's hash.
+// The ring is immutable after construction — rebuilding on a membership
+// change is how adds and removals happen, and consistency guarantees that a
+// rebuild only remaps the fair share of keys touching the changed backend.
+type ring struct {
+	n      int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// hashKey is the ring's hash: FNV-1a 64 through a splitmix64 finalizer.
+// Raw FNV-1a is not enough here — its final byte feeds the hash through a
+// single xor-multiply, so similar keys ("model-1", "model-2", ...) land
+// within a few multiples of the FNV prime (~2^40) of each other, which is
+// microscopic on a 2^64 circle; whole families of keys then collapse onto
+// the same vnode arcs and the ring's balance collapses with them (measured:
+// one of 8 backends owning 0 of 4000 sequential keys). The finalizer's
+// full-width avalanche restores uniform dispersion. Not cryptographic —
+// keys are operator-chosen model names, not attacker input worth defending
+// with a keyed hash.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Stafford variant 13).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring over backend IDs (index i in every order result
+// refers to ids[i]). vnodes <= 0 takes defaultVNodes.
+func newRing(ids []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{n: len(ids), points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", id, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash collisions between different backends' vnodes are possible if
+		// absurdly unlikely; break the tie on the index so the ring — and
+		// therefore routing — is a pure function of the membership list.
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// order returns every backend index in the key's preference order: clockwise
+// from hash(key), first occurrence of each backend wins. Deterministic for a
+// fixed ring; the full order (rather than just the primary) is what retry,
+// hedging and bounded-load spill walk.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if r.n == 0 {
+		return out
+	}
+	seen := make([]bool, r.n)
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points) && len(out) < r.n; off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// boundedCap is the bounded-load ceiling (consistent hashing with bounded
+// loads, Mirrokni/Thorup/Zadimoghaddam 2017): no backend may hold more than
+// ceil(factor * (totalInflight+1) / n) in-flight requests, so one hot model
+// spills to its next ring neighbors instead of pinning a single replica.
+// factor < 1 is clamped to 1 (cap below the mean is unsatisfiable).
+func boundedCap(totalInflight, n int, factor float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	c := int(math.Ceil(factor * float64(totalInflight+1) / float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// pickBounded returns the position in order of the first backend whose
+// in-flight count is under the bounded-load cap, or -1 when every backend is
+// at or over it (the caller falls back to the plain preference order).
+// inflight reports a backend index's current in-flight count; total is the
+// gateway-wide in-flight count and n the number of eligible backends.
+func pickBounded(order []int, inflight func(int) int, total, n int, factor float64) int {
+	cap := boundedCap(total, n, factor)
+	for pos, idx := range order {
+		if inflight(idx) < cap {
+			return pos
+		}
+	}
+	return -1
+}

@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("model-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic: routing is a pure function of the membership list —
+// two independently built rings agree on every key's full preference order,
+// and each order is a permutation of the backends.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(ids(7), 0)
+	b := newRing(ids(7), 0)
+	for _, k := range keys(500) {
+		oa, ob := a.order(k), b.order(k)
+		if len(oa) != 7 {
+			t.Fatalf("order(%q) has %d entries, want 7", k, len(oa))
+		}
+		seen := make([]bool, 7)
+		for i, idx := range oa {
+			if idx < 0 || idx >= 7 || seen[idx] {
+				t.Fatalf("order(%q) = %v is not a permutation", k, oa)
+			}
+			seen[idx] = true
+			if ob[i] != idx {
+				t.Fatalf("independently built rings disagree on %q: %v vs %v", k, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with 160 vnodes no backend's primary key share strays
+// wildly from fair.
+func TestRingBalance(t *testing.T) {
+	const n, nkeys = 8, 4000
+	r := newRing(ids(n), 0)
+	counts := make([]int, n)
+	for _, k := range keys(nkeys) {
+		counts[r.order(k)[0]]++
+	}
+	fair := nkeys / n
+	for i, c := range counts {
+		if c < fair/3 || c > fair*3 {
+			t.Errorf("backend %d owns %d of %d keys (fair %d); ring badly unbalanced: %v", i, c, nkeys, fair, counts)
+		}
+	}
+}
+
+// TestRingRemapOnMembershipChange is the consistency property the ring
+// exists for: removing a backend remaps only the keys it owned, and adding
+// one remaps roughly a fair share — never a wholesale reshuffle.
+func TestRingRemapOnMembershipChange(t *testing.T) {
+	const n, nkeys = 10, 4000
+	full := newRing(ids(n), 0)
+	primaries := make(map[string]int, nkeys)
+	for _, k := range keys(nkeys) {
+		primaries[k] = full.order(k)[0]
+	}
+
+	// Remove the last backend (same ids, shorter list, so indices align).
+	smaller := newRing(ids(n-1), 0)
+	for k, was := range primaries {
+		now := smaller.order(k)[0]
+		if was != n-1 && now != was {
+			t.Fatalf("key %q moved from surviving backend %d to %d on an unrelated removal", k, was, now)
+		}
+		if was == n-1 && now == n-1 {
+			t.Fatalf("key %q still maps to the removed backend", k)
+		}
+	}
+
+	// Add an 11th backend: only keys it captures may move, and it should
+	// capture about 1/11th of them.
+	larger := newRing(ids(n+1), 0)
+	moved := 0
+	for k, was := range primaries {
+		now := larger.order(k)[0]
+		if now != was {
+			moved++
+			if now != n {
+				t.Fatalf("key %q moved to backend %d, not the added backend, on an add", k, now)
+			}
+		}
+	}
+	fair := nkeys / (n + 1)
+	if moved > 2*fair {
+		t.Errorf("adding one backend moved %d of %d keys; want <= ~2x fair share (%d)", moved, nkeys, fair)
+	}
+	if moved == 0 {
+		t.Error("adding a backend moved no keys; the new backend would idle")
+	}
+}
+
+// TestBoundedCap: the cap is never below the per-backend mean nor below 1,
+// and sub-1 factors clamp rather than starve.
+func TestBoundedCap(t *testing.T) {
+	cases := []struct {
+		total, n int
+		factor   float64
+		want     int
+	}{
+		{0, 3, 1.25, 1}, // idle: everyone may take one
+		{9, 3, 1.25, 5}, // ceil(1.25*10/3)
+		{9, 3, 1.0, 4},  // exact mean
+		{100, 1, 1.25, 127},
+		{10, 3, 0.5, 4}, // factor clamps to 1: ceil(11/3)
+	}
+	for _, c := range cases {
+		if got := boundedCap(c.total, c.n, c.factor); got != c.want {
+			t.Errorf("boundedCap(%d,%d,%g) = %d, want %d", c.total, c.n, c.factor, got, c.want)
+		}
+	}
+	if got := boundedCap(5, 0, 1.25); got != 0 {
+		t.Errorf("boundedCap with n=0 = %d, want 0", got)
+	}
+}
+
+// TestPickBounded: the pick never lands on a backend at or over cap, and
+// reports exhaustion rather than overloading one.
+func TestPickBounded(t *testing.T) {
+	order := []int{2, 0, 1}
+	load := map[int]int{2: 5, 0: 1, 1: 0}
+	inflight := func(i int) int { return load[i] }
+	// total 6 over 3 backends, factor 1.25: cap = ceil(1.25*7/3) = 3.
+	if pos := pickBounded(order, inflight, 6, 3, 1.25); pos != 1 {
+		t.Errorf("pickBounded skipped-over-cap pick = %d, want 1 (backend 0)", pos)
+	}
+	// total 3, factor 1: cap = ceil(4/3) = 2, and every backend holds 2.
+	load = map[int]int{2: 2, 0: 2, 1: 2}
+	if pos := pickBounded(order, inflight, 3, 3, 1.0); pos != -1 {
+		t.Errorf("pickBounded with all at cap = %d, want -1", pos)
+	}
+	// Cap property under random-ish loads: whatever it picks is under cap.
+	for total := 0; total < 50; total++ {
+		load = map[int]int{0: total / 2, 1: total / 3, 2: total - total/2 - total/3}
+		if pos := pickBounded(order, inflight, total, 3, 1.25); pos != -1 {
+			c := boundedCap(total, 3, 1.25)
+			if got := load[order[pos]]; got >= c {
+				t.Fatalf("total %d: picked backend with %d in flight, cap %d", total, got, c)
+			}
+		}
+	}
+}

@@ -121,10 +121,16 @@ func TestTraceContextRoundTrip(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"queue_wait", "batch_assembly", "infer", "render"}
+	want := []string{"queue_wait", "batch_assembly", "infer", "render", "gateway"}
 	for i, s := range Stages() {
 		if s.String() != want[i] {
 			t.Errorf("stage %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+	wantServing := []string{"queue_wait", "batch_assembly", "infer", "render"}
+	for i, s := range ServingStages() {
+		if s.String() != wantServing[i] {
+			t.Errorf("serving stage %d = %q, want %q", i, s.String(), wantServing[i])
 		}
 	}
 }

@@ -27,6 +27,11 @@ const (
 	// StageRender is the response serialization time (topic lookup + JSON
 	// encoding), recorded once per request.
 	StageRender
+	// StageGateway is the time the serving gateway (srcldagw) spent on a
+	// request outside the upstream replica call: routing, admission control,
+	// retry/hedge bookkeeping and response copying. Recorded by the gateway
+	// process only — replica-side recorders never observe it.
+	StageGateway
 	// NumStages is the number of traced stages; valid stages are < NumStages.
 	NumStages
 )
@@ -42,6 +47,8 @@ func (s Stage) String() string {
 		return "infer"
 	case StageRender:
 		return "render"
+	case StageGateway:
+		return "gateway"
 	default:
 		return fmt.Sprintf("stage-%d", uint8(s))
 	}
@@ -50,7 +57,15 @@ func (s Stage) String() string {
 // Stages lists every traced stage in lifecycle order — the iteration order
 // for metric registration and rendering.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageQueueWait, StageBatchAssembly, StageInfer, StageRender}
+	return [NumStages]Stage{StageQueueWait, StageBatchAssembly, StageInfer, StageRender, StageGateway}
+}
+
+// ServingStages lists the stages the replica-side serving path (srcldad)
+// records — every stage except StageGateway, which only the gateway process
+// observes. Replica metric rendering iterates this list so srcldad scrapes
+// never carry a permanently empty gateway series.
+func ServingStages() []Stage {
+	return []Stage{StageQueueWait, StageBatchAssembly, StageInfer, StageRender}
 }
 
 // Trace is one request's span context: the request ID plus accumulated

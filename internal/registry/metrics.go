@@ -203,7 +203,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP srcldad_stage_latency_seconds Time inference documents spend per lifecycle stage (queue_wait, batch_assembly, infer) plus per-request render time.\n")
 	fmt.Fprintf(w, "# TYPE srcldad_stage_latency_seconds histogram\n")
 	for _, mi := range infos {
-		for _, stage := range obs.Stages() {
+		// Only the replica-side stages render here; obs.StageGateway is
+		// recorded by srcldagw against its own metrics and would be a
+		// permanently empty series on a replica scrape.
+		for _, stage := range obs.ServingStages() {
 			mi.Stats.Stages[stage].WritePrometheus(w, "srcldad_stage_latency_seconds",
 				fmt.Sprintf("model=%q,stage=%q", mi.Name, stage.String()))
 		}

@@ -68,6 +68,11 @@ type Config struct {
 	// at warning level with its per-stage breakdown (default 1s; negative
 	// disables the slow-request log).
 	SlowRequest time.Duration
+	// BackendID, when non-empty, is echoed as an X-Backend header on every
+	// HTTP response, so a gateway's e2e audit (and an operator debugging
+	// routing) can tell which replica actually served a request. "" omits
+	// the header (single-box deployments have nothing to distinguish).
+	BackendID string
 	// DisableTracing turns off request-ID generation, span recording and
 	// access logging on the HTTP layer — an escape hatch for benchmarking
 	// the serving path's floor; production deployments leave it off.

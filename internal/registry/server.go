@@ -23,6 +23,11 @@ import (
 // correlation key across the access log and error bodies.
 const requestIDHeader = "X-Request-Id"
 
+// backendIDHeader names the replica that served a response. Set on every
+// response (including errors) when Config.BackendID is non-empty, so a
+// gateway fronting several replicas can attribute each answer to a backend.
+const backendIDHeader = "X-Backend"
+
 // Server is the registry's HTTP surface: inference and topic routes (both
 // the default-model aliases and the per-model forms), the model admin API,
 // Prometheus metrics and health. See docs/API.md for the full reference.
@@ -63,6 +68,12 @@ func NewServer(reg *Registry) *Server {
 // Library callers without an http.ResponseWriter still propagate traces
 // through the context — see Registry.Infer.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Replica identity rides on every response, traced or not: the header is
+	// how a gateway's audit trail and an operator's curl agree on which
+	// replica answered.
+	if id := s.reg.cfg.BackendID; id != "" {
+		w.Header().Set(backendIDHeader, id)
+	}
 	if s.reg.cfg.DisableTracing {
 		s.mux.ServeHTTP(w, r)
 		return

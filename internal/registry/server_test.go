@@ -402,3 +402,56 @@ func TestTopicsAndHealth(t *testing.T) {
 		t.Fatalf("health %v", health)
 	}
 }
+
+// TestBackendIDHeader: with Config.BackendID set, every response — success,
+// error, and non-inference routes alike — carries the replica's identity as
+// an X-Backend header, so a gateway can attribute answers to backends.
+// Without it, the header is absent.
+func TestBackendIDHeader(t *testing.T) {
+	reg := newTestRegistry(t, Config{BackendID: "replica-7"})
+	if _, err := reg.Load(reg.DefaultModel(), "v1", trainModel(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	url := newHTTPServer(t, reg)
+	checks := []struct {
+		method, path, body string
+		wantCode           int
+	}{
+		{"POST", "/v1/infer", `{"text":"pencil ruler"}`, 200},
+		{"POST", "/v1/models/nosuch/infer", `{"text":"pencil"}`, 404},
+		{"GET", "/v1/topics", "", 200},
+		{"GET", "/healthz", "", 200},
+		{"GET", "/readyz", "", 200},
+		{"GET", "/metrics", "", 200},
+	}
+	for _, c := range checks {
+		req, err := http.NewRequest(c.method, url+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantCode {
+			t.Fatalf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantCode)
+		}
+		if got := resp.Header.Get("X-Backend"); got != "replica-7" {
+			t.Errorf("%s %s: X-Backend = %q, want %q", c.method, c.path, got, "replica-7")
+		}
+	}
+
+	// Default configuration: no identity, no header.
+	ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Backend"); got != "" {
+		t.Errorf("X-Backend = %q without BackendID, want absent", got)
+	}
+}
