@@ -5,6 +5,8 @@
 //
 //	POST /v1/models/{name}/infer  → labeled topic mixtures per document
 //	POST /v1/infer                → same, against the default model
+//	POST /v1/models/{name}/feed   → stream documents into a learning model
+//	POST /v1/feed                 → same, against the default model
 //	GET  /v1/models/{name}/topics → the model's labeled topics with top words
 //	GET  /v1/models               → list loaded models
 //	PUT  /v1/models/{name}        → load or hot-swap a model (body = bundle)
@@ -18,6 +20,13 @@
 // it as "name"; replacing the file hot-swaps; removing it unloads).
 // Hot swaps are atomic and drain the old model behind in-flight requests —
 // no request is ever dropped or fails because of a swap.
+//
+// With -learn-chain the default model keeps learning while it serves: the
+// flag loads a chain archive (sourcelda.SaveChainFile), documents POSTed to
+// /v1/feed are folded into the live Gibbs chain by a background updater,
+// and every -republish-every documents the updated chain is written back
+// into -models-dir as a new bundle version, which the watcher hot-swaps.
+// See the "Continuous learning" section of docs/OPERATIONS.md.
 //
 // Incoming text is tokenized server-side against each model's training
 // vocabulary; unseen documents are scored by fold-in collapsed Gibbs with
@@ -56,52 +65,60 @@ import (
 // on an explicit FlagSet so the docs-drift test can enumerate them against
 // the flag table in docs/OPERATIONS.md.
 type cliFlags struct {
-	bundle        *string
-	modelsDir     *string
-	watchInterval *time.Duration
-	defaultModel  *string
-	addr          *string
-	workers       *int
-	burnIn        *int
-	samples       *int
-	seed          *int64
-	topN          *int
-	maxDocs       *int
-	maxBody       *int64
-	adminMaxBody  *int64
-	queueSize     *int
-	batchWindow   *time.Duration
-	maxBatch      *int
-	logFormat     *string
-	logLevel      *string
-	slowRequest   *time.Duration
-	debugAddr     *string
-	backendID     *string
+	bundle         *string
+	modelsDir      *string
+	watchInterval  *time.Duration
+	defaultModel   *string
+	learnChain     *string
+	feedQueue      *int
+	republishEvery *int
+	compactAfter   *int
+	addr           *string
+	workers        *int
+	burnIn         *int
+	samples        *int
+	seed           *int64
+	topN           *int
+	maxDocs        *int
+	maxBody        *int64
+	adminMaxBody   *int64
+	queueSize      *int
+	batchWindow    *time.Duration
+	maxBatch       *int
+	logFormat      *string
+	logLevel       *string
+	slowRequest    *time.Duration
+	debugAddr      *string
+	backendID      *string
 }
 
 func defineFlags(fs *flag.FlagSet) *cliFlags {
 	return &cliFlags{
-		bundle:        fs.String("bundle", "", "serving bundle preloaded as the default model at startup, gzip-JSON or flat (flat is memory-mapped) (default \"\": none; load via -models-dir or the admin API)"),
-		modelsDir:     fs.String("models-dir", "", "directory watched for *.bundle files (either format, sniffed by magic): name.bundle auto-loads as model \"name\", changed files hot-swap, removed files unload (default \"\": no watcher)"),
-		watchInterval: fs.Duration("watch-interval", 2*time.Second, "poll interval of the -models-dir watcher (default 2s)"),
-		defaultModel:  fs.String("default-model", "default", "model name the unnamed routes /v1/infer and /v1/topics alias (default \"default\")"),
-		addr:          fs.String("addr", ":8080", "listen address"),
-		workers:       fs.Int("workers", 0, "worker goroutines per model's inference batch (0 = GOMAXPROCS)"),
-		burnIn:        fs.Int("burnin", 20, "fold-in Gibbs burn-in sweeps per document"),
-		samples:       fs.Int("samples", 10, "post-burn-in sweeps averaged into each mixture"),
-		seed:          fs.Int64("seed", 42, "inference seed (responses are deterministic given model, seed and text)"),
-		topN:          fs.Int("top", 5, "top topics returned per document"),
-		maxDocs:       fs.Int("max-docs", 64, "maximum documents per request"),
-		maxBody:       fs.Int64("max-body", 1<<20, "maximum inference request body bytes"),
-		adminMaxBody:  fs.Int64("admin-max-body", 256<<20, "maximum uploaded bundle bytes on PUT /v1/models/{name}"),
-		queueSize:     fs.Int("queue", 256, "per-model pending-document queue bound (full queue sheds load with 503)"),
-		batchWindow:   fs.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch"),
-		maxBatch:      fs.Int("max-batch", 32, "maximum coalesced batch size"),
-		logFormat:     fs.String("log-format", "text", "log output format: \"text\" (key=value lines) or \"json\" (one object per line, for log shippers)"),
-		logLevel:      fs.String("log-level", "info", "minimum log level: debug, info, warn or error (per-request access logs are info)"),
-		slowRequest:   fs.Duration("slow-request", time.Second, "log a warning with the per-stage latency breakdown for requests slower than this (negative disables)"),
-		debugAddr:     fs.String("debug-addr", "", "optional listen address for net/http/pprof and /debug/runtime gauges (default \"\": disabled; never expose publicly)"),
-		backendID:     fs.String("backend-id", "", "replica identity echoed as an X-Backend header on every response, for gateway routing audits (default \"\": the hostname; \"none\" omits the header)"),
+		bundle:         fs.String("bundle", "", "serving bundle preloaded as the default model at startup, gzip-JSON or flat (flat is memory-mapped) (default \"\": none; load via -models-dir or the admin API)"),
+		modelsDir:      fs.String("models-dir", "", "directory watched for *.bundle files (either format, sniffed by magic): name.bundle auto-loads as model \"name\", changed files hot-swap, removed files unload (default \"\": no watcher)"),
+		watchInterval:  fs.Duration("watch-interval", 2*time.Second, "poll interval of the -models-dir watcher (default 2s)"),
+		defaultModel:   fs.String("default-model", "default", "model name the unnamed routes /v1/infer and /v1/topics alias (default \"default\")"),
+		learnChain:     fs.String("learn-chain", "", "chain archive (sourcelda SaveChainFile; see examples/continuous) served as the default model with continuous learning: POST /v1/feed appends documents to the live chain and republishes into -models-dir (default \"\": feeding disabled)"),
+		feedQueue:      fs.Int("feed-queue", 256, "feed ingest queue bound in documents (a batch that would overflow it is rejected whole with 429 and Retry-After)"),
+		republishEvery: fs.Int("republish-every", 64, "fed documents between republishes of the learning model (each republish hot-swaps the served build)"),
+		compactAfter:   fs.Int("compact-after", 0, "fed documents between compaction retrains of the learning chain (default 0: compaction disabled)"),
+		addr:           fs.String("addr", ":8080", "listen address"),
+		workers:        fs.Int("workers", 0, "worker goroutines per model's inference batch (0 = GOMAXPROCS)"),
+		burnIn:         fs.Int("burnin", 20, "fold-in Gibbs burn-in sweeps per document"),
+		samples:        fs.Int("samples", 10, "post-burn-in sweeps averaged into each mixture"),
+		seed:           fs.Int64("seed", 42, "inference seed (responses are deterministic given model, seed and text)"),
+		topN:           fs.Int("top", 5, "top topics returned per document"),
+		maxDocs:        fs.Int("max-docs", 64, "maximum documents per request"),
+		maxBody:        fs.Int64("max-body", 1<<20, "maximum inference request body bytes"),
+		adminMaxBody:   fs.Int64("admin-max-body", 256<<20, "maximum uploaded bundle bytes on PUT /v1/models/{name}"),
+		queueSize:      fs.Int("queue", 256, "per-model pending-document queue bound (full queue sheds load with 503)"),
+		batchWindow:    fs.Duration("batch-window", 2*time.Millisecond, "how long to coalesce concurrent documents into one batch"),
+		maxBatch:       fs.Int("max-batch", 32, "maximum coalesced batch size"),
+		logFormat:      fs.String("log-format", "text", "log output format: \"text\" (key=value lines) or \"json\" (one object per line, for log shippers)"),
+		logLevel:       fs.String("log-level", "info", "minimum log level: debug, info, warn or error (per-request access logs are info)"),
+		slowRequest:    fs.Duration("slow-request", time.Second, "log a warning with the per-stage latency breakdown for requests slower than this (negative disables)"),
+		debugAddr:      fs.String("debug-addr", "", "optional listen address for net/http/pprof and /debug/runtime gauges (default \"\": disabled; never expose publicly)"),
+		backendID:      fs.String("backend-id", "", "replica identity echoed as an X-Backend header on every response, for gateway routing audits (default \"\": the hostname; \"none\" omits the header)"),
 	}
 }
 
@@ -179,12 +196,37 @@ func main() {
 		logger.Info("preloaded bundle", "model", res.Name, "version", res.Version, "path", *f.bundle)
 	}
 
+	if *f.learnChain != "" {
+		if *f.modelsDir == "" {
+			fmt.Fprintln(os.Stderr, "srcldad: -learn-chain requires -models-dir (the learner republishes bundles there)")
+			os.Exit(2)
+		}
+		rt, err := sourcelda.LoadChainRuntimeFile(*f.learnChain)
+		exitOn(err)
+		// The registry's learners stop before the runtime closes (reg.Close
+		// runs before this deferred Close), so no updater races a dead chain.
+		defer rt.Close()
+		exitOn(reg.AttachLearner(*f.defaultModel, rt, registry.LearnerConfig{
+			QueueSize:      *f.feedQueue,
+			RepublishEvery: *f.republishEvery,
+			CompactAfter:   *f.compactAfter,
+			ModelsDir:      *f.modelsDir,
+		}))
+		logger.Info("continuous learning enabled",
+			"model", *f.defaultModel, "chain", *f.learnChain,
+			"chain_docs", rt.Docs(), "chain_sweeps", rt.Sweeps(),
+			"feed_queue", *f.feedQueue, "republish_every", *f.republishEvery,
+			"compact_after", *f.compactAfter)
+	}
+
 	watchCtx, stopWatch := context.WithCancel(context.Background())
 	defer stopWatch()
 	if *f.modelsDir != "" {
 		w := registry.NewWatcher(reg, *f.modelsDir, *f.watchInterval)
 		// One synchronous scan before the listener starts, so bundles
-		// already in the directory serve from the first request.
+		// already in the directory serve from the first request. The
+		// learner's attach-time publish lands in this scan too, so a
+		// -learn-chain model serves immediately.
 		if err := w.Scan(); err != nil {
 			exitOn(err)
 		}

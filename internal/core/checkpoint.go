@@ -64,7 +64,7 @@ type Checkpoint struct {
 // sweeps — from a SweepHook, or after Run returns — never concurrently with
 // one. The returned snapshot shares nothing with the model and stays valid
 // after further sweeps.
-func (m *Model) Checkpoint() *Checkpoint {
+func (m *ChainRuntime) Checkpoint() *Checkpoint {
 	ck := &Checkpoint{
 		Sweep:           m.sweepCount,
 		Seed:            m.opts.Seed,
@@ -142,7 +142,7 @@ func Restore(c *corpus.Corpus, src *knowledge.Source, opts Options, ck *Checkpoi
 
 // validateCheckpoint cross-checks a checkpoint against the freshly-built
 // (still empty) model, naming the offending field on mismatch.
-func (m *Model) validateCheckpoint(ck *Checkpoint) error {
+func (m *ChainRuntime) validateCheckpoint(ck *Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("core: nil checkpoint")
 	}
@@ -204,8 +204,10 @@ func (m *Model) validateCheckpoint(ck *Checkpoint) error {
 	// A stream position can never exceed the draws the chain could have
 	// made: roughly one source step per token per sweep for sampling, the
 	// same again for prune-time resampling, with generous headroom for the
-	// samplers' internal rejection loops. float64 sidesteps overflow; the
-	// precision loss is irrelevant at a ×8 margin.
+	// samplers' internal rejection loops and for AppendDocs fold-in (one
+	// draw per token to place plus one per fold-in sweep, against a total
+	// that already includes the appended tokens). float64 sidesteps
+	// overflow; the precision loss is irrelevant at a ×8 margin.
 	limit := 8 * (float64(total) + 1) * (float64(ck.Sweep) + 1)
 	for i, p := range ck.StreamPos {
 		if float64(p) > limit {

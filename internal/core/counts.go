@@ -55,6 +55,17 @@ func (cs *countStore) add(d, w, t int) {
 	cs.docTotal[d]++
 }
 
+// appendDoc grows the document-side slabs by one document of the given token
+// count. The new docTopic row starts zeroed (its tokens are placed by the
+// caller through inc, which — unlike add — never touches docTotal, so the
+// total is written up front). Word-side slabs are untouched: their size
+// depends only on V and T, which appending documents never changes.
+func (cs *countStore) appendDoc(tokens int) {
+	cs.docTopic = append(cs.docTopic, make([]int32, cs.T)...)
+	cs.docTotal = append(cs.docTotal, int32(tokens))
+	cs.D++
+}
+
 // rebuildFromAssignments recomputes wordTopic and topicTotal from the
 // per-token assignments — the shard-barrier reconciliation of the sharded
 // sweep mode. Document-topic counts are not touched: each shard owns its

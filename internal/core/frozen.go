@@ -36,10 +36,11 @@ type Frozen struct {
 	cond []float64
 }
 
-// Freeze snapshots the live chain's count slabs and δ-quadrature store into
-// a frozen inference view. The result is decoupled from the model: further
-// sweeps or Close do not affect it.
-func (m *Model) Freeze() *Frozen {
+// Freeze snapshots the chain runtime's count slabs and δ-quadrature store
+// into a frozen inference view — the point-in-time snapshot serving reads
+// while the runtime keeps learning. The result is decoupled from the chain:
+// further sweeps, AppendDocs calls or Close do not affect it.
+func (m *ChainRuntime) Freeze() *Frozen {
 	f, err := newFrozen(m.Phi(), m.Labels(), m.sourceIndices(), m.opts.Alpha)
 	if err != nil {
 		// Phi/Labels of a constructed model are consistent by construction.
@@ -48,7 +49,7 @@ func (m *Model) Freeze() *Frozen {
 	return f
 }
 
-func (m *Model) sourceIndices() []int {
+func (m *ChainRuntime) sourceIndices() []int {
 	out := make([]int, m.T)
 	for t := 0; t < m.T; t++ {
 		out[t] = m.SourceIndex(t)

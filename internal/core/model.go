@@ -12,47 +12,18 @@ import (
 	"sourcelda/internal/rng"
 )
 
-// Model is a fitted (or in-progress) Source-LDA chain.
+// Model is a fitted (or in-progress) Source-LDA chain: a ChainRuntime (the
+// count-slab and sampler state every chain mutation drives — see runtime.go)
+// plus the training-orchestration API (Fit, Run, RunWithHook, Result). All
+// chain-state fields and methods are promoted from the embedded runtime.
 type Model struct {
-	opts Options
-	c    *corpus.Corpus
-	src  *knowledge.Source
-	r    *rng.RNG
-
-	// K free topics occupy indices [0, K); the S = src.Len() source topics
-	// occupy [K, T). T = K + S.
-	K, S, T int
-	V, D    int
-
-	// counts holds the flat word-topic / document-topic slabs; z the
-	// per-token assignments ([D][tokens]).
-	counts *countStore
-	z      [][]int
-	// delta holds the precomputed λ-quadrature state of the source topics.
-	delta *deltaStore
-
-	pool       *parallel.Pool
-	sampler    parallel.TopicSampler
-	sweepCount int
-	// disabled marks topics eliminated by in-inference superset reduction
-	// (§III-C3); disabled topics sample with probability zero.
-	disabled []bool
-
-	// seq is the sampling view over the global count slabs used by the
-	// sequential sweep mode and by token resampling during pruning.
-	seq *gibbsView
-	// streams are the deterministic RNG streams tokens draw from: stream 0
-	// for sequential sweeps (and pruning), stream i for document shard i.
-	streams []*rng.RNG
-	// shards are the per-shard working states of SweepShardedDocs.
-	shards []*shardView
-
-	// LikelihoodTrace holds the collapsed joint log-likelihood per sweep
-	// when tracing is enabled.
-	LikelihoodTrace []float64
-	// IterationTimes holds per-sweep wall-clock durations (Fig. 8(f)).
-	IterationTimes []time.Duration
+	ChainRuntime
 }
+
+// Runtime exposes the model's chain runtime — the mutable chain state both
+// training sweeps and the incremental AppendDocs path drive. The returned
+// pointer aliases the model; it is not a copy.
+func (m *Model) Runtime() *ChainRuntime { return &m.ChainRuntime }
 
 // Fit runs Source-LDA collapsed Gibbs sampling over corpus c with knowledge
 // source src and returns the fitted model. The model owns a worker pool when
@@ -88,7 +59,7 @@ func newUninitializedModel(c *corpus.Corpus, src *knowledge.Source, opts Options
 	if err := opts.validate(c, src); err != nil {
 		return nil, err
 	}
-	m := &Model{
+	m := &Model{ChainRuntime: ChainRuntime{
 		opts: opts,
 		c:    c,
 		src:  src,
@@ -97,7 +68,7 @@ func newUninitializedModel(c *corpus.Corpus, src *knowledge.Source, opts Options
 		S:    src.Len(),
 		V:    c.VocabSize(),
 		D:    c.NumDocs(),
-	}
+	}}
 	m.T = m.K + m.S
 	m.disabled = make([]bool, m.T)
 	m.delta = newDeltaStore(src, m.V, &m.opts)
@@ -113,7 +84,7 @@ func newUninitializedModel(c *corpus.Corpus, src *knowledge.Source, opts Options
 // streams, and the sequential/sharded sampling views. It must run after the
 // count slabs hold the chain's current assignments — the views cache
 // reciprocal denominators derived from them.
-func (m *Model) buildViews() {
+func (m *ChainRuntime) buildViews() {
 	opts := &m.opts
 	useSparse := opts.Sampler == SamplerSparse
 	m.pool = parallel.NewPool(opts.Threads)
@@ -135,39 +106,48 @@ func (m *Model) buildViews() {
 		m.streams[i] = rng.NewStream(opts.Seed, int64(i))
 	}
 	if opts.SweepMode == SweepShardedDocs {
-		m.shards = make([]*shardView, nStreams)
-		for i := range m.shards {
-			// Balanced split: every shard owns at least one document (the
-			// shard count is capped at D in numStreams), so no shard pays
-			// the per-sweep slab copy without sampling anything.
-			lo, hi := i*m.D/nStreams, (i+1)*m.D/nStreams
-			view := m.seq
-			if nStreams > 1 {
-				view = newGibbsView(m, make([]int32, m.V*m.T), make([]int32, m.T), useSparse)
-			}
-			// Shards scan serially within themselves; the sparse kernel is
-			// the one per-token alternative, bound to the shard's own view.
-			var sampler parallel.TopicSampler = parallel.NewSerial()
-			if useSparse {
-				sampler = parallel.NewSparseDirect(view.sparse.draw)
-			}
-			// A single shard aliases the sequential view over the global
-			// slabs, so the "exact" sharded configuration runs at
-			// sequential speed with no per-sweep copy or reconciliation.
-			m.shards[i] = &shardView{
-				view:    view,
-				sampler: sampler,
-				r:       m.streams[i],
-				lo:      lo,
-				hi:      hi,
-			}
+		m.buildShards(nStreams)
+	}
+}
+
+// buildShards (re)constructs the per-shard working states of SweepShardedDocs
+// over the current document count. It runs at view construction and again
+// after AppendDocs grows the corpus (rebalanceShards), so shard document
+// ranges always partition the live corpus.
+func (m *ChainRuntime) buildShards(nStreams int) {
+	useSparse := m.opts.Sampler == SamplerSparse
+	m.shards = make([]*shardView, nStreams)
+	for i := range m.shards {
+		// Balanced split: every shard owns at least one document (the
+		// shard count is capped at D in numStreams), so no shard pays
+		// the per-sweep slab copy without sampling anything.
+		lo, hi := i*m.D/nStreams, (i+1)*m.D/nStreams
+		view := m.seq
+		if nStreams > 1 {
+			view = newGibbsView(m, make([]int32, m.V*m.T), make([]int32, m.T), useSparse)
+		}
+		// Shards scan serially within themselves; the sparse kernel is
+		// the one per-token alternative, bound to the shard's own view.
+		var sampler parallel.TopicSampler = parallel.NewSerial()
+		if useSparse {
+			sampler = parallel.NewSparseDirect(view.sparse.draw)
+		}
+		// A single shard aliases the sequential view over the global
+		// slabs, so the "exact" sharded configuration runs at
+		// sequential speed with no per-sweep copy or reconciliation.
+		m.shards[i] = &shardView{
+			view:    view,
+			sampler: sampler,
+			r:       m.streams[i],
+			lo:      lo,
+			hi:      hi,
 		}
 	}
 }
 
 // Close releases the worker pool of a parallel sampler. It is safe to call
 // on serially-sampled models and more than once.
-func (m *Model) Close() {
+func (m *ChainRuntime) Close() {
 	if m.pool != nil {
 		m.pool.Close()
 	}
@@ -216,7 +196,7 @@ func quadratureNodes(mu, sigma float64, a int) (nodes, weights []float64) {
 // then refines — without it, the early count matrices are pure noise and
 // the λ posterior (and slow-mixing chains generally) can lock onto a bad
 // mode.
-func (m *Model) initAssignments() {
+func (m *ChainRuntime) initAssignments() {
 	probs := make([]float64, m.T)
 	beta := m.opts.Beta
 	vBeta := float64(m.V) * beta
@@ -282,7 +262,7 @@ func (m *Model) RunWithHook(iterations int, hook SweepHook) error {
 
 // Sweeps returns the number of sweeps the chain has completed, including
 // sweeps restored from a checkpoint.
-func (m *Model) Sweeps() int { return m.sweepCount }
+func (m *ChainRuntime) Sweeps() int { return m.sweepCount }
 
 // updateLambdaPosteriors reweights each source topic's quadrature nodes by
 // the posterior of its latent λ_t given the current counts: for node p with
@@ -294,7 +274,7 @@ func (m *Model) Sweeps() int { return m.sweepCount }
 // (the collapsed Dirichlet-multinomial likelihood of topic t's tokens under
 // exponent e_p). Topics whose realized counts match the source keep weight
 // on high-λ nodes; deviating topics shift weight to relaxed nodes.
-func (m *Model) updateLambdaPosteriors() {
+func (m *ChainRuntime) updateLambdaPosteriors() {
 	ds := m.delta
 	P := ds.P
 	if P < 2 {
@@ -350,7 +330,7 @@ func (m *Model) updateLambdaPosteriors() {
 // LambdaPosteriorMeans returns, per source topic, the posterior-weighted
 // mean of the λ quadrature nodes — a diagnostic for how much each topic is
 // estimated to deviate from its knowledge source (1 = conforming).
-func (m *Model) LambdaPosteriorMeans() []float64 {
+func (m *ChainRuntime) LambdaPosteriorMeans() []float64 {
 	ds := m.delta
 	out := make([]float64, m.S)
 	for s := 0; s < m.S; s++ {
@@ -364,7 +344,7 @@ func (m *Model) LambdaPosteriorMeans() []float64 {
 }
 
 // sweep resamples every token once (Algorithm 1's SAMPLE over the corpus).
-func (m *Model) sweep() {
+func (m *ChainRuntime) sweep() {
 	o := &m.opts
 	m.sweepCount++
 	if m.seq.sparse != nil {
@@ -396,7 +376,7 @@ func (m *Model) sweep() {
 // PruneMinDocs and resamples their tokens over the surviving topics — the
 // in-inference elimination step of §III-C3. At least one topic always
 // survives.
-func (m *Model) pruneDeadTopics() {
+func (m *ChainRuntime) pruneDeadTopics() {
 	o := &m.opts
 	df := m.TopicDocumentFrequencies(o.PruneMinTokens)
 	var newly []int
@@ -447,24 +427,24 @@ func (m *Model) pruneDeadTopics() {
 }
 
 // DisabledTopics returns a copy of the per-topic elimination flags.
-func (m *Model) DisabledTopics() []bool {
+func (m *ChainRuntime) DisabledTopics() []bool {
 	out := make([]bool, m.T)
 	copy(out, m.disabled)
 	return out
 }
 
 // NumTopics returns T = K + S.
-func (m *Model) NumTopics() int { return m.T }
+func (m *ChainRuntime) NumTopics() int { return m.T }
 
 // NumFreeTopics returns K.
-func (m *Model) NumFreeTopics() int { return m.K }
+func (m *ChainRuntime) NumFreeTopics() int { return m.K }
 
 // NumSourceTopics returns S.
-func (m *Model) NumSourceTopics() int { return m.S }
+func (m *ChainRuntime) NumSourceTopics() int { return m.S }
 
 // SourceIndex maps a model topic index t in [K, T) to its knowledge-source
 // article index; it returns -1 for free topics.
-func (m *Model) SourceIndex(t int) int {
+func (m *ChainRuntime) SourceIndex(t int) int {
 	if t < m.K {
 		return -1
 	}
@@ -473,7 +453,7 @@ func (m *Model) SourceIndex(t int) int {
 
 // Phi returns topic-word distributions: the symmetric-β estimate for free
 // topics and the λ-quadrature estimate of Eq. 4 for source topics.
-func (m *Model) Phi() [][]float64 {
+func (m *ChainRuntime) Phi() [][]float64 {
 	beta := m.opts.Beta
 	vBeta := float64(m.V) * beta
 	cs := m.counts
@@ -512,7 +492,7 @@ func (m *Model) Phi() [][]float64 {
 }
 
 // Theta returns document-topic distributions per Eq. 1 with K := T topics.
-func (m *Model) Theta() [][]float64 {
+func (m *ChainRuntime) Theta() [][]float64 {
 	alpha := m.opts.Alpha
 	tAlpha := float64(m.T) * alpha
 	theta := make([][]float64, m.D)
@@ -530,11 +510,11 @@ func (m *Model) Theta() [][]float64 {
 
 // Assignments returns live per-token topic assignments ([doc][token]); do
 // not mutate.
-func (m *Model) Assignments() [][]int { return m.z }
+func (m *ChainRuntime) Assignments() [][]int { return m.z }
 
 // Labels returns the T topic labels: "topic-<i>" for free topics, the
 // knowledge-source label for source topics.
-func (m *Model) Labels() []string {
+func (m *ChainRuntime) Labels() []string {
 	labels := make([]string, m.T)
 	for t := 0; t < m.K; t++ {
 		labels[t] = freeTopicLabel(t)
@@ -548,7 +528,7 @@ func (m *Model) Labels() []string {
 // TopicDocumentFrequencies returns, per topic, the number of documents with
 // at least minTokens tokens assigned to that topic — the statistic behind
 // superset topic reduction (§III-C3).
-func (m *Model) TopicDocumentFrequencies(minTokens int) []int {
+func (m *ChainRuntime) TopicDocumentFrequencies(minTokens int) []int {
 	if minTokens < 1 {
 		minTokens = 1
 	}
@@ -565,7 +545,7 @@ func (m *Model) TopicDocumentFrequencies(minTokens int) []int {
 }
 
 // TokensPerTopic returns a copy of the per-topic token totals.
-func (m *Model) TokensPerTopic() []int {
+func (m *ChainRuntime) TokensPerTopic() []int {
 	out := make([]int, m.T)
 	for t, n := range m.counts.topicTotal {
 		out[t] = int(n)
@@ -577,7 +557,7 @@ func (m *Model) TokensPerTopic() []int {
 // Griffiths–Steyvers form with symmetric β; source topics use their δ^e
 // prior evaluated at the quadrature's weighted-mean exponent (fixed mode:
 // the fixed exponent). The trace is used for convergence monitoring (Fig. 6).
-func (m *Model) LogLikelihood() float64 {
+func (m *ChainRuntime) LogLikelihood() float64 {
 	beta := m.opts.Beta
 	vBeta := float64(m.V) * beta
 	lgBeta, _ := math.Lgamma(beta)

@@ -24,7 +24,7 @@ import (
 // strictly smaller than the (defaulted) iteration count — a schedule with no
 // post-burn-in sweeps has nothing to average and is rejected rather than
 // silently rewritten.
-func (m *Model) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, seed int64) (float64, error) {
+func (m *ChainRuntime) HeldOutPerplexity(test *corpus.Corpus, iterations, burnIn int, seed int64) (float64, error) {
 	if test == nil || test.NumDocs() == 0 {
 		return 0, errors.New("core: empty held-out corpus")
 	}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/synth"
+)
+
+// appendChain builds a model over a per-chain shallow copy of the fixture
+// corpus: AppendDocs grows the corpus it was built on, so chains that will
+// append must not share one Docs slice.
+func appendChain(t *testing.T, data *synth.MedlineData, opts Options) (*Model, *corpus.Corpus) {
+	t.Helper()
+	c := &corpus.Corpus{
+		Docs:  append([]*corpus.Document(nil), data.Corpus.Docs...),
+		Vocab: data.Corpus.Vocab,
+	}
+	m, err := NewModel(c, data.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+// streamedDocs fabricates a deterministic batch of in-vocabulary documents —
+// stand-ins for documents fed to a served model.
+func streamedDocs(V, n, salt int) []*corpus.Document {
+	docs := make([]*corpus.Document, n)
+	for i := range docs {
+		words := make([]int, 11+5*i)
+		for j := range words {
+			words[j] = (salt + 7*i + 3*j) % V
+		}
+		docs[i] = &corpus.Document{Words: words, Name: fmt.Sprintf("fed-%d-%d", salt, i)}
+	}
+	return docs
+}
+
+// checkpointsEqual compares two checkpoints bit for bit, ignoring only the
+// wall-clock iteration times.
+func checkpointsEqual(t *testing.T, name string, got, want *Checkpoint) {
+	t.Helper()
+	if len(got.IterationTimes) != len(want.IterationTimes) {
+		t.Fatalf("%s: iteration-time trace length %d, want %d",
+			name, len(got.IterationTimes), len(want.IterationTimes))
+	}
+	g, w := *got, *want
+	g.IterationTimes, w.IterationTimes = nil, nil
+	if !reflect.DeepEqual(&g, &w) {
+		t.Fatalf("%s: chain state differs", name)
+	}
+}
+
+var appendVariants = []struct {
+	name string
+	set  func(*Options)
+}{
+	{"sequential", func(o *Options) {}},
+	{"sequential-sparse", func(o *Options) { o.Sampler = SamplerSparse }},
+	{"sharded-one-shard", func(o *Options) { o.SweepMode = SweepShardedDocs; o.Shards = 1 }},
+	{"sharded-multi", func(o *Options) { o.SweepMode = SweepShardedDocs; o.Shards = 4; o.Threads = 4 }},
+	{"sharded-multi-sparse", func(o *Options) {
+		o.SweepMode = SweepShardedDocs
+		o.Shards = 4
+		o.Threads = 4
+		o.Sampler = SamplerSparse
+	}},
+}
+
+func appendBaseOptions() Options {
+	return Options{
+		NumFreeTopics: 3, Alpha: 0.2, Beta: 0.01,
+		LambdaMode: LambdaIntegrated, Mu: 0.7, Sigma: 0.3,
+		QuadraturePoints: 5, UseSmoothing: true,
+		PruneDeadTopics: true, PruneAfter: 8, PruneEvery: 5,
+		Iterations: 24, Seed: 4242,
+		TraceLikelihood: true,
+	}
+}
+
+// TestAppendDocsBatchEqualsOneAtATime is the warm-chain determinism
+// contract: feeding N documents one call at a time must leave the chain —
+// count slabs, assignments, RNG stream positions, options digest — bit
+// identical to feeding them as one batch, in every sweep mode and sampler,
+// both immediately after the append and after further full sweeps.
+func TestAppendDocsBatchEqualsOneAtATime(t *testing.T) {
+	data := sweepFixture(t)
+	extra := streamedDocs(data.Corpus.VocabSize(), 4, 17)
+	for _, v := range appendVariants {
+		opts := appendBaseOptions()
+		v.set(&opts)
+
+		batch, _ := appendChain(t, data, opts)
+		batch.Run(10)
+		if err := batch.AppendDocs(extra, 2); err != nil {
+			t.Fatalf("%s: batch append: %v", v.name, err)
+		}
+
+		oneByOne, _ := appendChain(t, data, opts)
+		oneByOne.Run(10)
+		for _, doc := range extra {
+			if err := oneByOne.AppendDocs([]*corpus.Document{doc}, 2); err != nil {
+				t.Fatalf("%s: single append: %v", v.name, err)
+			}
+		}
+
+		if batch.NumDocs() != data.Corpus.NumDocs()+len(extra) {
+			t.Fatalf("%s: chain covers %d docs, want %d", v.name, batch.NumDocs(), data.Corpus.NumDocs()+len(extra))
+		}
+		if !reflect.DeepEqual(batch.counts, oneByOne.counts) {
+			t.Fatalf("%s: count slabs differ between batch and one-at-a-time appends", v.name)
+		}
+		ckb, cko := batch.Checkpoint(), oneByOne.Checkpoint()
+		checkpointsEqual(t, v.name+" after append", cko, ckb)
+		if want := opts.ChainDigest(); ckb.OptionsDigest != want {
+			t.Fatalf("%s: appended chain digest %#x broke lineage %#x", v.name, ckb.OptionsDigest, want)
+		}
+
+		// The appended documents must be full chain citizens: further sweeps
+		// over the grown corpus stay deterministic too.
+		batch.Run(4)
+		oneByOne.Run(4)
+		checkpointsEqual(t, v.name+" after post-append sweeps", oneByOne.Checkpoint(), batch.Checkpoint())
+		batch.Close()
+		oneByOne.Close()
+	}
+}
+
+// TestAppendCheckpointResume pins the round-trip contract: append →
+// Checkpoint → Restore → continue (more sweeps and more appends) must be bit
+// identical to the chain that was never interrupted, in both sweep modes and
+// with the sparse sampler.
+func TestAppendCheckpointResume(t *testing.T) {
+	data := sweepFixture(t)
+	V := data.Corpus.VocabSize()
+	first := streamedDocs(V, 3, 29)
+	second := streamedDocs(V, 2, 131)
+	for _, v := range appendVariants {
+		opts := appendBaseOptions()
+		v.set(&opts)
+
+		cont, _ := appendChain(t, data, opts)
+		cont.Run(10)
+		if err := cont.AppendDocs(first, 2); err != nil {
+			t.Fatalf("%s: append: %v", v.name, err)
+		}
+		cont.Run(3)
+		if err := cont.AppendDocs(second, 1); err != nil {
+			t.Fatalf("%s: append: %v", v.name, err)
+		}
+		cont.Run(3)
+		want := cont.Checkpoint()
+		cont.Close()
+
+		interrupted, grown := appendChain(t, data, opts)
+		interrupted.Run(10)
+		if err := interrupted.AppendDocs(first, 2); err != nil {
+			t.Fatalf("%s: append: %v", v.name, err)
+		}
+		ck := interrupted.Checkpoint()
+		interrupted.Close()
+
+		// The corpus the interrupted chain grew is exactly what Restore needs.
+		resumed, err := Restore(grown, data.Source, opts, ck)
+		if err != nil {
+			t.Fatalf("%s: restore after append: %v", v.name, err)
+		}
+		resumed.Run(3)
+		if err := resumed.AppendDocs(second, 1); err != nil {
+			t.Fatalf("%s: append after restore: %v", v.name, err)
+		}
+		resumed.Run(3)
+		checkpointsEqual(t, v.name, resumed.Checkpoint(), want)
+		resumed.Close()
+	}
+}
+
+// TestAppendDocsRejectsInvalid covers the argument contract: negative
+// fold-in counts, nil documents, empty documents and out-of-vocabulary word
+// ids are all rejected without mutating the chain.
+func TestAppendDocsRejectsInvalid(t *testing.T) {
+	data := sweepFixture(t)
+	opts := appendBaseOptions()
+	m, _ := appendChain(t, data, opts)
+	defer m.Close()
+	m.Run(2)
+	before := m.Checkpoint()
+
+	good := &corpus.Document{Words: []int{0, 1, 2}}
+	cases := []struct {
+		name string
+		docs []*corpus.Document
+		fold int
+	}{
+		{"negative fold-in", []*corpus.Document{good}, -1},
+		{"nil doc", []*corpus.Document{nil}, 1},
+		{"empty doc", []*corpus.Document{{Words: nil}}, 1},
+		{"oov word", []*corpus.Document{{Words: []int{data.Corpus.VocabSize()}}}, 1},
+		{"negative word", []*corpus.Document{{Words: []int{-1}}}, 1},
+	}
+	for _, tc := range cases {
+		if err := m.AppendDocs(tc.docs, tc.fold); err == nil {
+			t.Fatalf("%s: AppendDocs accepted invalid input", tc.name)
+		}
+	}
+	checkpointsEqual(t, "after rejected appends", m.Checkpoint(), before)
+}

@@ -18,7 +18,7 @@ import (
 // Caching the reciprocals and refreshing just those two rows replaces
 // K + S·P divisions per token with at most 2·P.
 type gibbsView struct {
-	m          *Model
+	m          *ChainRuntime
 	K, T, S, P int
 	alpha      float64
 	beta       float64
@@ -54,7 +54,7 @@ type gibbsView struct {
 	fillFn parallel.FillFunc
 }
 
-func newGibbsView(m *Model, wordTopic, topicTotal []int32, useSparse bool) *gibbsView {
+func newGibbsView(m *ChainRuntime, wordTopic, topicTotal []int32, useSparse bool) *gibbsView {
 	v := &gibbsView{
 		m: m, K: m.K, T: m.T, S: m.S, P: m.delta.P,
 		alpha: m.opts.Alpha, beta: m.opts.Beta,
@@ -229,7 +229,7 @@ type shardView struct {
 // sweepRange resamples every token of documents [lo, hi) through view v
 // with the given kernel and RNG stream — the one corpus-traversal loop the
 // sequential sweep and every shard share.
-func (m *Model) sweepRange(v *gibbsView, lo, hi int, sampler parallel.TopicSampler, r *rng.RNG) {
+func (m *ChainRuntime) sweepRange(v *gibbsView, lo, hi int, sampler parallel.TopicSampler, r *rng.RNG) {
 	for d := lo; d < hi; d++ {
 		v.setDoc(m.counts.docRow(d))
 		zd := m.z[d]
@@ -243,7 +243,7 @@ func (m *Model) sweepRange(v *gibbsView, lo, hi int, sampler parallel.TopicSampl
 // a time against the live global counts, so the chain is exact collapsed
 // Gibbs. The configured kernel (serial, prefix-sum, or simple-parallel)
 // parallelizes — at most — within one token's topic vector (§III-C4).
-func (m *Model) sweepSequential() {
+func (m *ChainRuntime) sweepSequential() {
 	m.sweepRange(m.seq, 0, m.D, m.sampler, m.streams[0])
 }
 
@@ -259,7 +259,7 @@ func (m *Model) sweepSequential() {
 // Determinism: shard i always covers the same document range and draws from
 // the same rng.NewStream(seed, i) stream, so results depend on the shard
 // count but never on worker scheduling.
-func (m *Model) sweepSharded() {
+func (m *ChainRuntime) sweepSharded() {
 	if len(m.shards) == 1 {
 		// A single shard IS the sequential chain: its view aliases the
 		// global slabs (see NewModel), so there is no copy, no barrier
@@ -287,7 +287,7 @@ func (m *Model) sweepSharded() {
 	}
 }
 
-func (m *Model) runShard(sh *shardView) {
+func (m *ChainRuntime) runShard(sh *shardView) {
 	v := sh.view
 	if v != m.seq {
 		copy(v.wordTopic, m.counts.wordTopic)

@@ -503,7 +503,7 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, gw *gwWrite
 	// tenant must not cost body buffering, let alone an upstream try.
 	if ok, after := g.tenants.admit(g.tenant(r), startReq); !ok {
 		g.recordShed("rate_limit")
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(after)))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(after)))
 		return writeError(w, gw, http.StatusTooManyRequests, "tenant rate limit exceeded")
 	}
 
@@ -528,7 +528,7 @@ func (g *Gateway) serveProxy(w http.ResponseWriter, r *http.Request, gw *gwWrite
 
 	if len(cands) == 0 {
 		g.recordShed("no_backend")
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(g.cfg.HealthInterval)))
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(g.cfg.HealthInterval)))
 		return writeError(w, gw, http.StatusServiceUnavailable, "no available backend")
 	}
 	if len(cands) > g.cfg.MaxTries {

@@ -120,10 +120,10 @@ func (l *tenantLimiter) evictStale(now time.Time) {
 	}
 }
 
-// retryAfterSeconds renders a Retry-After duration as the header's
+// RetryAfterSeconds renders a Retry-After duration as the header's
 // whole-second value, at least 1 (a zero Retry-After invites an immediate
 // retry, defeating the point of shedding).
-func retryAfterSeconds(d time.Duration) int {
+func RetryAfterSeconds(d time.Duration) int {
 	s := int(math.Ceil(d.Seconds()))
 	if s < 1 {
 		s = 1

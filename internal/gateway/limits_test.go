@@ -54,7 +54,7 @@ func TestTenantLimiter(t *testing.T) {
 	if ok {
 		t.Fatal("request beyond burst admitted")
 	}
-	if s := retryAfterSeconds(after); s < 1 {
+	if s := RetryAfterSeconds(after); s < 1 {
 		t.Fatalf("Retry-After %ds, want >= 1", s)
 	}
 	if ok, _ := l.admit("globex", now); !ok {
@@ -119,8 +119,8 @@ func TestRetryAfterSeconds(t *testing.T) {
 		{5 * time.Second, 5},
 	}
 	for _, c := range cases {
-		if got := retryAfterSeconds(c.d); got != c.want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
 		}
 	}
 }

@@ -41,14 +41,29 @@ type Document struct {
 	Known, Unknown int
 }
 
-// Engine scores unseen documents against a frozen model. It is immutable
-// after construction and safe for concurrent use; per-document scratch
-// state is allocated per call.
+// Engine scores unseen documents against a frozen snapshot of a chain
+// runtime (core.Frozen — taken by core.ChainRuntime.Freeze, or rebuilt from
+// a persisted bundle). It is immutable after construction and safe for
+// concurrent use; per-document scratch state is allocated per call. The
+// runtime the snapshot came from may keep mutating — training sweeps,
+// AppendDocs warm updates — without affecting the engine: serve-and-learn
+// share one source of truth (the runtime's counts), and the engine reads a
+// point-in-time view of it.
 type Engine struct {
 	f       *core.Frozen
 	burnIn  int
 	samples int
 	seed    int64
+}
+
+// NewFromRuntime snapshots a live chain runtime's current conditionals and
+// returns an engine over the snapshot. Further mutations of the runtime do
+// not affect the engine; snapshot again (republish) to serve them.
+func NewFromRuntime(rt *core.ChainRuntime, o Options) (*Engine, error) {
+	if rt == nil {
+		return nil, errors.New("infer: nil chain runtime")
+	}
+	return New(rt.Freeze(), o)
 }
 
 // New returns an engine over the frozen view.

@@ -171,6 +171,44 @@ func TestFrozenFromResultMatchesLiveFreeze(t *testing.T) {
 	}
 }
 
+// TestNewFromRuntimeIsPointInTimeSnapshot pins the snapshot contract of the
+// serve-while-learning split: an engine built straight from the chain
+// runtime equals one built from an explicit Freeze, and keeps returning the
+// same answers after the runtime absorbs more documents — while a fresh
+// snapshot sees the updated counts.
+func TestNewFromRuntimeIsPointInTimeSnapshot(t *testing.T) {
+	m, c := fixture(t)
+	words := encode(t, c, "baseball umpire glove pitcher inning")
+	viaFreeze, _ := New(m.Freeze(), Options{Seed: 9})
+	viaRuntime, err := NewFromRuntime(m.Runtime(), Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := viaFreeze.Infer(words), viaRuntime.Infer(words)
+	for topic := range a.Theta {
+		if a.Theta[topic] != b.Theta[topic] {
+			t.Fatal("NewFromRuntime diverged from New(Freeze())")
+		}
+	}
+
+	// Mutate the runtime heavily; the old snapshot must not move.
+	fed := &corpus.Document{Words: append([]int(nil), words...)}
+	for i := 0; i < 20; i++ {
+		if err := m.AppendDocs([]*corpus.Document{fed}, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := viaRuntime.Infer(words)
+	for topic := range b.Theta {
+		if after.Theta[topic] != b.Theta[topic] {
+			t.Fatal("engine snapshot changed under runtime mutation")
+		}
+	}
+	if _, err := NewFromRuntime(nil, Options{}); err == nil {
+		t.Fatal("nil runtime accepted")
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, Options{}); err == nil {
 		t.Fatal("nil frozen accepted")

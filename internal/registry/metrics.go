@@ -223,5 +223,59 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		totalMapped += mi.MappedBytes
 		fmt.Fprintf(w, "srcldad_model_mapped_bytes{model=%q} %d\n", mi.Name, mi.MappedBytes)
 	}
+	if feeds := r.FeedInfos(); len(feeds) > 0 {
+		writeFeedMetrics(w, feeds)
+	}
 	obs.WriteRuntimeMetrics(w, "srcldad", totalMapped)
+}
+
+// writeFeedMetrics renders the continuous-learning series for every model
+// with a learner attached. Rendered only when at least one learner exists:
+// a pure serving replica's scrape stays byte-identical to earlier releases.
+func writeFeedMetrics(w io.Writer, feeds []FeedInfo) {
+	fmt.Fprintf(w, "# HELP srcldad_feed_docs_total Fed documents appended to the model's learning chain.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_docs_total counter\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_docs_total{model=%q} %d\n", fi.Model, fi.Docs)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_dropped_total Fed documents skipped for having no tokens in the model vocabulary.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_dropped_total counter\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_dropped_total{model=%q} %d\n", fi.Model, fi.Dropped)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_shed_total Fed documents rejected with 429 because the ingest queue was full.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_shed_total counter\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_shed_total{model=%q} %d\n", fi.Model, fi.Shed)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_republish_total Bundle versions republished from the learning chain.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_republish_total counter\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_republish_total{model=%q} %d\n", fi.Model, fi.Republishes)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_compactions_total Compaction retrains of the learning chain.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_compactions_total counter\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_compactions_total{model=%q} %d\n", fi.Model, fi.Compactions)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_queue_depth Fed documents accepted but not yet folded into the chain.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_queue_depth gauge\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_queue_depth{model=%q} %d\n", fi.Model, fi.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_queue_capacity Bound of the model's feed ingest queue.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_queue_capacity gauge\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_queue_capacity{model=%q} %d\n", fi.Model, fi.QueueCapacity)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_chain_docs Documents in the model's learning chain (training corpus plus appended).\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_chain_docs gauge\n")
+	for _, fi := range feeds {
+		fmt.Fprintf(w, "srcldad_feed_chain_docs{model=%q} %d\n", fi.Model, fi.ChainDocs)
+	}
+	fmt.Fprintf(w, "# HELP srcldad_feed_update_seconds Latency of folding one accepted feed batch into the chain.\n")
+	fmt.Fprintf(w, "# TYPE srcldad_feed_update_seconds histogram\n")
+	for _, fi := range feeds {
+		fi.UpdateLatency.WritePrometheus(w, "srcldad_feed_update_seconds", fmt.Sprintf("model=%q", fi.Model))
+	}
 }

@@ -131,6 +131,12 @@ type Registry struct {
 	// srcldad_watcher_load_failures_total).
 	wmu          sync.Mutex
 	watcherFails map[string]uint64
+
+	// lmu guards the continuous-learning side: one learner per model name
+	// (see learner.go). learnerClosed stops AttachLearner racing Close.
+	lmu           sync.Mutex
+	learners      map[string]*learner
+	learnerClosed bool
 }
 
 // New returns an empty registry. Close it to stop every model's dispatcher
@@ -142,6 +148,7 @@ func New(cfg Config) *Registry {
 		start:        time.Now(),
 		entries:      make(map[string]*entry),
 		watcherFails: make(map[string]uint64),
+		learners:     make(map[string]*learner),
 	}
 }
 
@@ -341,6 +348,7 @@ func (r *Registry) Unload(name string) error {
 // the HTTP layer has drained in-flight handlers, or queued requests are
 // failed with ErrUnloaded.
 func (r *Registry) Close() {
+	r.closeLearners()
 	r.mu.Lock()
 	r.closed = true
 	es := make([]*entry, 0, len(r.entries))

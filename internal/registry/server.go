@@ -10,10 +10,12 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"sourcelda"
+	"sourcelda/internal/gateway"
 	"sourcelda/internal/obs"
 	"sourcelda/internal/persist"
 )
@@ -42,6 +44,8 @@ func NewServer(reg *Registry) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("POST /v1/models/{name}/infer", s.handleInfer)
+	s.mux.HandleFunc("POST /v1/feed", s.handleFeed)
+	s.mux.HandleFunc("POST /v1/models/{name}/feed", s.handleFeed)
 	s.mux.HandleFunc("GET /v1/topics", s.handleTopics)
 	s.mux.HandleFunc("GET /v1/models/{name}/topics", s.handleTopics)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
@@ -335,6 +339,68 @@ func (s *Server) serveInfer(w http.ResponseWriter, r *http.Request, e *entry, tr
 	e.metrics.recordStage(obs.StageRender, renderDur)
 	tr.Add(obs.StageRender, renderDur)
 	return status
+}
+
+// handleFeed accepts documents for a model's continuous-learning loop. The
+// body shape matches the infer endpoint ({"text": ...} or
+// {"documents": [...]});
+// the whole batch is accepted (202) or rejected — 429 with Retry-After when
+// the ingest queue is full, 409 when the model serves but has no learner,
+// 404 when the model is unknown entirely.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	name := modelName(r)
+	if name == "" {
+		name = s.reg.DefaultModel()
+	}
+	traceFor(w).SetModel(name)
+	cfg := s.reg.cfg
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.MaxBody))
+	if err != nil {
+		var maxErr *http.MaxBytesError
+		switch {
+		case errors.As(err, &maxErr):
+			writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		case r.Context().Err() != nil:
+			writeError(w, r, 499, "client closed request")
+		default:
+			writeError(w, r, http.StatusBadRequest, "failed to read request body")
+		}
+		return
+	}
+	texts, _, err := decodeInferRequest(body, cfg.MaxDocs)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	switch err := s.reg.Feed(name, texts); {
+	case err == nil:
+	case errors.Is(err, ErrNoLearner):
+		if _, merr := s.reg.Model(name); merr != nil {
+			writeError(w, r, http.StatusNotFound, modelNotFoundMsg(name, s.reg))
+		} else {
+			writeError(w, r, http.StatusConflict,
+				fmt.Sprintf("model %q does not accept fed documents (no learning chain attached)", name))
+		}
+		return
+	case errors.Is(err, ErrOverloaded):
+		// Whole-second Retry-After, floored at 1s: one updater batch is the
+		// natural drain quantum, so "try again in a second" is honest.
+		w.Header().Set("Retry-After", strconv.Itoa(gateway.RetryAfterSeconds(time.Second)))
+		writeError(w, r, http.StatusTooManyRequests, "feed queue is full")
+		return
+	default:
+		writeError(w, r, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	depth := 0
+	if fi, err := s.reg.FeedInfo(name); err == nil {
+		depth = fi.QueueDepth
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted":    len(texts),
+		"queue_depth": depth,
+	})
 }
 
 func renderDoc(m *sourcelda.Model, res *sourcelda.DocumentInference, topN int) inferredDocJSON {
