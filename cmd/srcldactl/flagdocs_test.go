@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// documentedFlags extracts the flag names from a "### `<cmd>` flags" table
+// in a markdown file: rows of the form "| `-name` | ... |".
+func documentedFlags(t *testing.T, path, section string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("cannot read %s: %v", path, err)
+	}
+	out := map[string]bool{}
+	inSection := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			inSection = strings.TrimSpace(line) == section
+			continue
+		}
+		if !inSection || !strings.HasPrefix(line, "| `-") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "| `-")
+		name, _, ok := strings.Cut(rest, "`")
+		if !ok {
+			t.Fatalf("unparseable flag-table row %q", line)
+		}
+		out[name] = true
+	}
+	if len(out) == 0 {
+		t.Fatalf("no flag table found under %q in %s", section, path)
+	}
+	return out
+}
+
+// TestFlagsDocumented diffs srcldactl's actual flag set against the table in
+// docs/OPERATIONS.md, in both directions, so the docs cannot silently rot
+// when a flag is added, renamed, or removed. CI runs this as its docs gate.
+func TestFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("srcldactl", flag.ContinueOnError)
+	defineFlags(fs)
+	documented := documentedFlags(t, filepath.Join("..", "..", "docs", "OPERATIONS.md"), "### `srcldactl` flags")
+	defined := map[string]bool{}
+	fs.VisitAll(func(fl *flag.Flag) { defined[fl.Name] = true })
+	for name := range defined {
+		if !documented[name] {
+			t.Errorf("flag -%s exists but is missing from the srcldactl table in docs/OPERATIONS.md", name)
+		}
+	}
+	for name := range documented {
+		if !defined[name] {
+			t.Errorf("docs/OPERATIONS.md documents -%s, which srcldactl does not define", name)
+		}
+	}
+}
+
+// TestSpecFromFlags pins the flag → ChainSpec mapping, in particular the
+// λ mode switch: -lambda -1 integrates λ out, a value in [0,1] fixes it.
+func TestSpecFromFlags(t *testing.T) {
+	c, src, err := loadData("", "", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("srcldactl", flag.ContinueOnError)
+	f := defineFlags(fs)
+	if err := fs.Parse([]string{"-free", "7", "-sampler", "sparse", "-sweepmode", "sharded-docs", "-shards", "4", "-seed", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	spec := specFromFlags(f, c, src)
+	if spec.NumFreeTopics != 7 || spec.Sampler != "sparse" || spec.SweepMode != "sharded-docs" || spec.Shards != 4 || spec.Seed != 99 {
+		t.Fatalf("spec did not pick up flags: %+v", spec)
+	}
+	if spec.LambdaMode != "integrated" {
+		t.Fatalf("default lambda mode = %q, want integrated", spec.LambdaMode)
+	}
+	if _, err := spec.Options(spec.Seed); err != nil {
+		t.Fatalf("flag-built spec fails validation: %v", err)
+	}
+
+	fs2 := flag.NewFlagSet("srcldactl", flag.ContinueOnError)
+	f2 := defineFlags(fs2)
+	if err := fs2.Parse([]string{"-lambda", "0.8"}); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := specFromFlags(f2, c, src)
+	if spec2.LambdaMode != "fixed" || spec2.Lambda != 0.8 {
+		t.Fatalf("-lambda 0.8 gave mode %q λ %g, want fixed 0.8", spec2.LambdaMode, spec2.Lambda)
+	}
+	if spec2.Alpha != 50.0/float64(5+src.Len()) || spec2.Beta != 200.0/float64(c.VocabSize()) {
+		t.Fatalf("Alpha/Beta (%g, %g) do not match srclda's data-derived formulas", spec2.Alpha, spec2.Beta)
+	}
+}

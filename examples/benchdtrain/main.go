@@ -1,0 +1,240 @@
+// Command benchdtrain is the distributed-training gate: it stands up real
+// in-process dtrain clusters — coordinator, wire protocol, worker chains —
+// and measures the two trade-offs AD-LDA makes:
+//
+//   - throughput scaling: tokens/sec at 1, 2, 4 and 8 workers, same chain
+//   - staleness cost: held-out perplexity when workers sync every sweep
+//     versus every 5 or 10 sweeps, at the same total sweep budget
+//
+// It also re-verifies the determinism contract outside the test tree (same
+// cluster twice → same digest) and accounts for goroutines across full
+// cluster teardown:
+//
+//	go run ./examples/benchdtrain -out BENCH_dtrain.json
+//
+// The JSON report is archived per commit by CI so scaling and staleness
+// trends are visible in artifact history.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/dtrain"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/synth"
+)
+
+type scalingPoint struct {
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	Speedup      float64 `json:"speedup_vs_1"`
+	Digest       string  `json:"digest"`
+}
+
+type stalenessPoint struct {
+	Staleness   int     `json:"staleness"`
+	Epochs      int     `json:"epochs"`
+	TotalSweeps int     `json:"total_sweeps"`
+	Perplexity  float64 `json:"held_out_perplexity"`
+}
+
+type report struct {
+	Docs           int              `json:"docs"`
+	Tokens         int              `json:"tokens"`
+	Vocab          int              `json:"vocab"`
+	SweepsPerRun   int              `json:"sweeps_per_run"`
+	Scaling        []scalingPoint   `json:"scaling"`
+	Staleness      []stalenessPoint `json:"staleness"`
+	Reproducible   bool             `json:"digest_reproducible"`
+	GoroutinesAt0  int              `json:"goroutines_before"`
+	GoroutinesEnd  int              `json:"goroutines_after_teardown"`
+	GoroutineLeak  bool             `json:"goroutine_leak"`
+	TotalElapsedMs float64          `json:"total_elapsed_ms"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_dtrain.json", "file the JSON report is written to")
+	sweeps := flag.Int("sweeps", 20, "total Gibbs sweeps per run (shared by every scaling and staleness point)")
+	flag.Parse()
+	if err := run(*out, *sweeps); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdtrain FAILED:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, sweeps int) error {
+	start := time.Now()
+	data, err := synth.ReutersLike(synth.ReutersOptions{
+		NumCategories: 20, LiveCategories: 10, NumDocs: 160, AvgDocLen: 40, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	// Hold out the tail of the corpus for perplexity; train on the rest.
+	const heldOut = 32
+	train := corpus.NewWithVocab(data.Corpus.Vocab)
+	train.Docs = data.Corpus.Docs[:data.Corpus.NumDocs()-heldOut]
+	test := corpus.NewWithVocab(data.Corpus.Vocab)
+	test.Docs = data.Corpus.Docs[data.Corpus.NumDocs()-heldOut:]
+
+	r := report{
+		Docs:          train.NumDocs(),
+		Tokens:        train.TotalTokens(),
+		Vocab:         train.VocabSize(),
+		SweepsPerRun:  sweeps,
+		GoroutinesAt0: runtime.NumGoroutine(),
+	}
+
+	// Throughput scaling at staleness 1: epochs = sweeps, every worker count
+	// trains the same total schedule.
+	var base float64
+	for _, w := range []int{1, 2, 4, 8} {
+		elapsed, res, err := runCluster(train, data.Source, w, sweeps, 1)
+		if err != nil {
+			return fmt.Errorf("scaling run with %d workers: %w", w, err)
+		}
+		res.Model.Close()
+		p := scalingPoint{
+			Workers:      w,
+			Seconds:      elapsed.Seconds(),
+			TokensPerSec: float64(train.TotalTokens()) * float64(sweeps) / elapsed.Seconds(),
+			Digest:       fmt.Sprintf("%#x", res.Digest),
+		}
+		if w == 1 {
+			base = elapsed.Seconds()
+		}
+		p.Speedup = base / elapsed.Seconds()
+		r.Scaling = append(r.Scaling, p)
+		fmt.Printf("workers %d: %.2fs, %.0f tokens/sec (%.2fx)\n", w, p.Seconds, p.TokensPerSec, p.Speedup)
+	}
+
+	// Reproducibility outside the test tree: same cluster twice, same digest.
+	_, resA, err := runCluster(train, data.Source, 4, sweeps/2, 1)
+	if err != nil {
+		return err
+	}
+	resA.Model.Close()
+	_, resB, err := runCluster(train, data.Source, 4, sweeps/2, 1)
+	if err != nil {
+		return err
+	}
+	resB.Model.Close()
+	r.Reproducible = resA.Digest == resB.Digest
+	if !r.Reproducible {
+		return fmt.Errorf("two identical 4-worker runs diverged: %#x vs %#x", resA.Digest, resB.Digest)
+	}
+
+	// Staleness cost: same total sweep budget, fewer sync boundaries.
+	for _, st := range []int{1, 5, 10} {
+		epochs := sweeps / st
+		if epochs < 1 {
+			epochs = 1
+		}
+		_, res, err := runCluster(train, data.Source, 4, epochs, st)
+		if err != nil {
+			return fmt.Errorf("staleness-%d run: %w", st, err)
+		}
+		ppx, err := res.Model.HeldOutPerplexity(test, 30, 15, 1234)
+		res.Model.Close()
+		if err != nil {
+			return fmt.Errorf("staleness-%d perplexity: %w", st, err)
+		}
+		r.Staleness = append(r.Staleness, stalenessPoint{
+			Staleness: st, Epochs: epochs, TotalSweeps: epochs * st, Perplexity: ppx,
+		})
+		fmt.Printf("staleness %d (%d epochs): held-out perplexity %.1f\n", st, epochs, ppx)
+	}
+
+	// Teardown accounting: everything above ran and closed real clusters.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > r.GoroutinesAt0+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	r.GoroutinesEnd = runtime.NumGoroutine()
+	r.GoroutineLeak = r.GoroutinesEnd > r.GoroutinesAt0+2
+	r.TotalElapsedMs = float64(time.Since(start).Milliseconds())
+	if r.GoroutineLeak {
+		return fmt.Errorf("goroutine leak: %d before, %d after teardown", r.GoroutinesAt0, r.GoroutinesEnd)
+	}
+
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", out)
+	return nil
+}
+
+// runCluster trains one in-process dtrain cluster to completion and returns
+// its wall time and result.
+func runCluster(c *corpus.Corpus, src *knowledge.Source, workers, epochs, staleness int) (time.Duration, *dtrain.Result, error) {
+	root, err := os.MkdirTemp("", "benchdtrain-*")
+	if err != nil {
+		return 0, nil, err
+	}
+	defer os.RemoveAll(root)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln := dtrain.NewPipeListener()
+	spec := dtrain.ChainSpec{
+		NumFreeTopics:    5,
+		Alpha:            0.2,
+		Beta:             0.01,
+		LambdaMode:       "integrated",
+		Mu:               0.7,
+		Sigma:            0.3,
+		QuadraturePoints: 5,
+		UseSmoothing:     true,
+		Seed:             11,
+	}
+	workerErrs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("bench-worker-%d", i)
+		go func() {
+			conn, err := ln.Dial()
+			if err != nil {
+				workerErrs <- err
+				return
+			}
+			workerErrs <- dtrain.RunWorker(ctx, conn, dtrain.WorkerConfig{
+				Corpus:         c,
+				Source:         src,
+				CheckpointRoot: root,
+				ID:             id,
+			})
+		}()
+	}
+	start := time.Now()
+	res, err := dtrain.RunCoordinator(ctx, ln, dtrain.CoordinatorConfig{
+		Corpus:    c,
+		Source:    src,
+		Spec:      spec,
+		Workers:   workers,
+		Epochs:    epochs,
+		Staleness: staleness,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, nil, err
+	}
+	cancel()
+	for i := 0; i < workers; i++ {
+		<-workerErrs
+	}
+	if res.Model == nil {
+		return 0, nil, fmt.Errorf("coordinator returned no model")
+	}
+	return elapsed, res, nil
+}

@@ -251,6 +251,16 @@ func (o *Options) numStreams(D int) int {
 	return n
 }
 
+// NumStreams returns how many deterministic RNG streams a chain with these
+// options over D documents draws from, after applying defaults to a copy —
+// the length a Checkpoint.StreamPos vector must have. Distributed-training
+// assembly uses it to build a synthetic full-corpus checkpoint from worker
+// shard states.
+func (o Options) NumStreams(D int) int {
+	o.applyDefaults()
+	return o.numStreams(D)
+}
+
 // ChainDigest returns the chain-shaping options fingerprint after applying
 // defaults to a copy — the same digest checkpoints embed as
 // Checkpoint.OptionsDigest. Serving bundles record it so a deployed model

@@ -62,6 +62,11 @@ type ChainRuntime struct {
 	// shards are the per-shard working states of SweepShardedDocs.
 	shards []*shardView
 
+	// ext is the distributed-training overlay: topic-word counts contributed
+	// by other workers' shards, installed by SetGlobalCounts and re-added at
+	// every bulk count rebuild. Nil outside distributed training.
+	ext *externalCounts
+
 	// LikelihoodTrace holds the collapsed joint log-likelihood per sweep
 	// when tracing is enabled.
 	LikelihoodTrace []float64

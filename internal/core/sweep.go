@@ -276,8 +276,9 @@ func (m *ChainRuntime) sweepSharded() {
 	// Shard barrier: fold every shard's local deltas back into the global
 	// store. Rebuilding from assignments is equivalent to summing the
 	// per-shard deltas (each token's reassignment is -1/+1 on its word row)
-	// and touches each token once, deterministically.
-	m.counts.rebuildFromAssignments(m.c.Docs, m.z)
+	// and touches each token once, deterministically. rebuildCounts re-adds
+	// the distributed external overlay, which the assignments don't cover.
+	m.rebuildCounts()
 	m.seq.rebuildDenoms()
 	if m.seq.sparse != nil {
 		// The global slab was just rewritten underneath the sequential

@@ -1,0 +1,578 @@
+package dtrain
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"time"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/obs"
+	"sourcelda/internal/persist"
+)
+
+// CoordinatorConfig configures a distributed training run.
+type CoordinatorConfig struct {
+	Corpus *corpus.Corpus
+	Source *knowledge.Source
+	// Spec is the chain configuration every worker trains under.
+	Spec ChainSpec
+	// Workers is N, the shard count. Every epoch waits for all N shards.
+	Workers int
+	// Epochs is the number of sync boundaries; total sweeps per worker is
+	// Epochs × max(1, Staleness).
+	Epochs int
+	// Staleness is the local sweeps each worker runs between sync
+	// boundaries (0 means 1: sync after every sweep).
+	Staleness int
+	// Logger receives coordinator lifecycle events; nil discards.
+	Logger *slog.Logger
+	// Metrics aggregates epoch telemetry; nil records nothing.
+	Metrics *Metrics
+	// IOTimeout bounds each control-frame read/write (handshakes, count
+	// broadcasts). Default 30s.
+	IOTimeout time.Duration
+	// EpochTimeout bounds how long the coordinator waits for one shard's
+	// delta — the straggler/hang detector. Default 5m.
+	EpochTimeout time.Duration
+	// JoinTimeout bounds how long the coordinator waits for a worker to
+	// connect when a shard needs one. Default 5m.
+	JoinTimeout time.Duration
+}
+
+// Result is a completed distributed run.
+type Result struct {
+	// Model is the assembled full-corpus chain, restored from Checkpoint
+	// and ready for Freeze/export/perplexity.
+	Model *core.Model
+	// Checkpoint is the assembled full-corpus chain state: worker shard
+	// assignments concatenated in document order, λ posterior weights
+	// averaged across workers, disabled flags intersected.
+	Checkpoint *core.Checkpoint
+	// Digest fingerprints the trained state (ModelDigest of Checkpoint).
+	Digest uint64
+}
+
+// RunCoordinator drives a distributed run over workers connecting through
+// ln, which it owns and closes before returning. It blocks until the run
+// completes, fails, or ctx is canceled.
+//
+// The protocol is barrier-synchronous: every epoch broadcasts the merged
+// global counts to all N shards, waits for all N deltas, and only then
+// merges (in shard order) — so the global count trajectory is a pure
+// function of seed, partition and staleness. Workers that die, hang past
+// EpochTimeout, or send corrupt frames are replaced: the shard is handed to
+// the next connecting worker with the last MERGED epoch as its resume
+// point, and the replacement's replayed delta is bit-identical to the one
+// the lost worker would have sent, keeping the trajectory on course.
+func RunCoordinator(ctx context.Context, ln net.Listener, cfg CoordinatorConfig) (*Result, error) {
+	co, err := newCoordinator(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	defer co.shutdown()
+	return co.run(ctx)
+}
+
+type coordinator struct {
+	cfg     CoordinatorConfig
+	log     *slog.Logger
+	ln      net.Listener
+	joined  chan net.Conn
+	stopped chan struct{}
+
+	slabLen     int // V×T
+	totalTokens int
+	digest      uint64 // corpus digest workers must match
+
+	global     []int32 // merged global topic-word counts
+	conns      []net.Conn
+	baseMerged []bool
+	reassigned int // reassignments in the current epoch
+}
+
+func newCoordinator(ln net.Listener, cfg CoordinatorConfig) (*coordinator, error) {
+	if cfg.Corpus == nil || cfg.Corpus.NumDocs() == 0 {
+		return nil, fmt.Errorf("dtrain: coordinator corpus is empty")
+	}
+	if cfg.Source == nil || cfg.Source.Len() == 0 {
+		return nil, fmt.Errorf("dtrain: coordinator knowledge source is empty")
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("dtrain: worker count %d must be >= 1", cfg.Workers)
+	}
+	if cfg.Workers > cfg.Corpus.NumDocs() {
+		return nil, fmt.Errorf("dtrain: %d workers over %d documents leaves empty shards", cfg.Workers, cfg.Corpus.NumDocs())
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("dtrain: epoch count %d must be >= 1", cfg.Epochs)
+	}
+	if _, err := cfg.Spec.Options(cfg.Spec.Seed); err != nil {
+		return nil, err
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+	if cfg.EpochTimeout <= 0 {
+		cfg.EpochTimeout = 5 * time.Minute
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 5 * time.Minute
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
+	T := cfg.Spec.NumFreeTopics + cfg.Source.Len()
+	co := &coordinator{
+		cfg:         cfg,
+		log:         log,
+		ln:          ln,
+		joined:      make(chan net.Conn),
+		stopped:     make(chan struct{}),
+		slabLen:     cfg.Corpus.VocabSize() * T,
+		totalTokens: cfg.Corpus.TotalTokens(),
+		digest:      CorpusDigest(cfg.Corpus),
+		global:      make([]int32, cfg.Corpus.VocabSize()*T),
+		conns:       make([]net.Conn, cfg.Workers),
+		baseMerged:  make([]bool, cfg.Workers),
+	}
+	go co.acceptLoop()
+	return co, nil
+}
+
+// acceptLoop feeds incoming worker connections to the run loop. It exits
+// when the listener closes (shutdown).
+func (co *coordinator) acceptLoop() {
+	for {
+		conn, err := co.ln.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case co.joined <- conn:
+		case <-co.stopped:
+			conn.Close()
+			return
+		}
+	}
+}
+
+func (co *coordinator) shutdown() {
+	close(co.stopped)
+	co.ln.Close()
+	for _, c := range co.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (co *coordinator) run(ctx context.Context) (*Result, error) {
+	staleness := max(1, co.cfg.Staleness)
+	N := co.cfg.Workers
+
+	// Join round: every shard needs a worker and its epoch-0 base counts.
+	for s := 0; s < N; s++ {
+		if _, err := co.connFor(ctx, s, 0); err != nil {
+			return nil, err
+		}
+	}
+	co.log.Info("dtrain run starting", "workers", N, "epochs", co.cfg.Epochs,
+		"staleness", staleness, "docs", co.cfg.Corpus.NumDocs(), "tokens", co.totalTokens)
+
+	for e := 1; e <= co.cfg.Epochs; e++ {
+		start := time.Now()
+		co.reassigned = 0
+		deltas := make([][]int32, N)
+		var firstDelta, lastDelta time.Time
+
+		// Broadcast the epoch-(e−1) global counts. Write deadlines matter:
+		// over net.Pipe a hung worker blocks the write itself.
+		for s := 0; s < N; s++ {
+			if err := co.sendCounts(ctx, s, e-1); err != nil {
+				return nil, err
+			}
+		}
+		// Collect all N deltas before merging anything: a replacement
+		// worker mid-epoch must see the unmodified epoch-(e−1) slab.
+		for s := 0; s < N; s++ {
+			d, err := co.collectDelta(ctx, s, e)
+			if err != nil {
+				return nil, err
+			}
+			deltas[s] = d
+			now := time.Now()
+			if firstDelta.IsZero() {
+				firstDelta = now
+			}
+			lastDelta = now
+		}
+		for s := 0; s < N; s++ {
+			for i, d := range deltas[s] {
+				g := co.global[i] + d
+				if g < 0 {
+					return nil, fmt.Errorf("dtrain: merging shard %d's epoch-%d delta drives count %d negative (%d) — protocol violation", s, e, i, g)
+				}
+				co.global[i] = g
+			}
+		}
+
+		elapsed := time.Since(start)
+		ev := EpochEvent{
+			Time:             time.Now().UTC(),
+			Epoch:            e,
+			Epochs:           co.cfg.Epochs,
+			Workers:          N,
+			Staleness:        staleness,
+			EpochSeconds:     elapsed.Seconds(),
+			MergeBytes:       int64(N) * int64(co.slabLen) * 4,
+			WorkerLagSeconds: lastDelta.Sub(firstDelta).Seconds(),
+			Reassigned:       co.reassigned,
+		}
+		if sec := elapsed.Seconds(); sec > 0 {
+			ev.TokensPerSec = float64(co.totalTokens) * float64(staleness) / sec
+		}
+		co.cfg.Metrics.RecordEpoch(ev)
+		co.log.Info("dtrain epoch merged", "epoch", e, "of", co.cfg.Epochs,
+			"seconds", ev.EpochSeconds, "lag_seconds", ev.WorkerLagSeconds, "reassigned", co.reassigned)
+	}
+
+	cks, err := co.collectFinals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Best-effort goodbye so workers exit cleanly instead of seeing a reset.
+	for s, conn := range co.conns {
+		if conn == nil {
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(co.cfg.IOTimeout))
+		if err := WriteMessage(conn, &Message{Kind: KindDone, Shard: s}); err != nil {
+			co.log.Warn("dtrain done message failed", "shard", s, "error", err)
+		}
+	}
+	return co.assemble(cks)
+}
+
+// connFor returns shard s's live connection, running the join handshake
+// (and base-count merge, first time) with replacement workers as needed.
+// lastMerged is the newest sync epoch whose delta from this shard is folded
+// into the global slab — the replacement's resume point.
+func (co *coordinator) connFor(ctx context.Context, s, lastMerged int) (net.Conn, error) {
+	for {
+		if co.conns[s] != nil {
+			return co.conns[s], nil
+		}
+		conn, err := co.nextConn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := co.handshake(conn, s, lastMerged); err != nil {
+			co.log.Warn("dtrain worker handshake failed", "shard", s,
+				"cause", classifyFailure(err), "error", err)
+			co.noteFailure(err)
+			conn.Close()
+			continue
+		}
+		co.conns[s] = conn
+		return conn, nil
+	}
+}
+
+// nextConn waits for the next worker connection, bounded by JoinTimeout
+// and ctx.
+func (co *coordinator) nextConn(ctx context.Context) (net.Conn, error) {
+	t := time.NewTimer(co.cfg.JoinTimeout)
+	defer t.Stop()
+	select {
+	case conn := <-co.joined:
+		return conn, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+		return nil, fmt.Errorf("dtrain: no worker joined within %s while shard needs one", co.cfg.JoinTimeout)
+	}
+}
+
+// handshake runs hello/assign (and the base-count exchange for a shard
+// whose initial counts are not yet in the global slab) on a fresh
+// connection.
+func (co *coordinator) handshake(conn net.Conn, s, lastMerged int) error {
+	conn.SetDeadline(time.Now().Add(co.cfg.IOTimeout))
+	defer conn.SetDeadline(time.Time{})
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	var hello helloBody
+	if err := decodeJSONBody(msg, KindHello, &hello); err != nil {
+		return err
+	}
+	if hello.CorpusDigest != co.digest {
+		return fmt.Errorf("dtrain: worker %q loaded a different corpus (digest %#x, coordinator has %#x)",
+			hello.WorkerID, hello.CorpusDigest, co.digest)
+	}
+	lo, hi := ShardRange(co.cfg.Corpus.NumDocs(), co.cfg.Workers, s)
+	sendBase := !co.baseMerged[s]
+	if err := writeJSONMessage(conn, KindAssign, s, &assignBody{
+		Shard:      s,
+		Workers:    co.cfg.Workers,
+		Lo:         lo,
+		Hi:         hi,
+		Epochs:     co.cfg.Epochs,
+		Staleness:  co.cfg.Staleness,
+		StartEpoch: lastMerged,
+		SendBase:   sendBase,
+		Spec:       co.cfg.Spec,
+	}); err != nil {
+		return err
+	}
+	co.log.Info("dtrain worker joined", "worker", hello.WorkerID, "shard", s,
+		"start_epoch", lastMerged, "send_base", sendBase)
+	if !sendBase {
+		return nil
+	}
+	base, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	if base.Kind != KindBase || base.Shard != s {
+		return fmt.Errorf("dtrain: expected shard %d base counts, got %s for shard %d", s, base.Kind, base.Shard)
+	}
+	if len(base.Counts) != co.slabLen {
+		return fmt.Errorf("dtrain: shard %d base slab has %d entries, want %d", s, len(base.Counts), co.slabLen)
+	}
+	for i, c := range base.Counts {
+		if c < 0 {
+			return fmt.Errorf("dtrain: shard %d base count %d is negative", s, i)
+		}
+		co.global[i] += c
+	}
+	co.baseMerged[s] = true
+	return nil
+}
+
+// sendCounts broadcasts the current global slab (the state of sync epoch
+// `epoch`) to shard s, replacing the worker on failure.
+func (co *coordinator) sendCounts(ctx context.Context, s, epoch int) error {
+	for {
+		conn, err := co.connFor(ctx, s, epoch)
+		if err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(time.Now().Add(co.cfg.IOTimeout))
+		err = WriteMessage(conn, &Message{Kind: KindCounts, Shard: s, Epoch: epoch, Counts: co.global})
+		conn.SetWriteDeadline(time.Time{})
+		if err == nil {
+			return nil
+		}
+		co.failShard(s, epoch, err)
+	}
+}
+
+// collectDelta reads shard s's delta for sync epoch e, replacing the worker
+// and replaying the epoch on any failure — disconnect, hang past
+// EpochTimeout, or a corrupt frame.
+func (co *coordinator) collectDelta(ctx context.Context, s, e int) ([]int32, error) {
+	for {
+		conn, err := co.connFor(ctx, s, e-1)
+		if err != nil {
+			return nil, err
+		}
+		conn.SetReadDeadline(time.Now().Add(co.cfg.EpochTimeout))
+		msg, err := ReadMessage(conn)
+		conn.SetReadDeadline(time.Time{})
+		if err == nil {
+			switch {
+			case msg.Kind != KindDelta || msg.Shard != s || msg.Epoch != e:
+				err = fmt.Errorf("dtrain: expected shard %d epoch %d delta, got %s shard %d epoch %d",
+					s, e, msg.Kind, msg.Shard, msg.Epoch)
+			case len(msg.Counts) != co.slabLen:
+				err = fmt.Errorf("dtrain: shard %d delta slab has %d entries, want %d", s, len(msg.Counts), co.slabLen)
+			default:
+				return msg.Counts, nil
+			}
+		}
+		co.failShard(s, e-1, err)
+		// The replacement joins through connFor at the top of the loop and
+		// needs this epoch's basis counts before it can replay.
+		if err := co.resendCounts(ctx, s, e-1); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// resendCounts re-broadcasts the basis counts to a replacement worker for
+// shard s (connFor re-runs the join if that write fails too).
+func (co *coordinator) resendCounts(ctx context.Context, s, epoch int) error {
+	return co.sendCounts(ctx, s, epoch)
+}
+
+// failShard drops shard s's connection after a failure and records it.
+func (co *coordinator) failShard(s, lastMerged int, err error) {
+	co.log.Warn("dtrain worker lost", "shard", s, "resume_epoch", lastMerged,
+		"cause", classifyFailure(err), "error", err)
+	co.noteFailure(err)
+	if co.conns[s] != nil {
+		co.conns[s].Close()
+		co.conns[s] = nil
+	}
+	co.reassigned++
+}
+
+func (co *coordinator) noteFailure(err error) {
+	co.cfg.Metrics.NoteWorkerFailure()
+	if classifyFailure(err) == "corrupt-frame" {
+		co.cfg.Metrics.NoteFrameRejected()
+	}
+}
+
+// classifyFailure buckets a worker failure for logs and metrics: transport
+// timeouts and disconnects are expected operational faults; anything else
+// from the frame decoder means bytes arrived and failed validation —
+// corruption, which is counted separately because it suggests a bad link
+// or a bad worker rather than a dead one.
+func classifyFailure(err error) string {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe), errors.Is(err, net.ErrClosed):
+		return "disconnect"
+	default:
+		return "corrupt-frame"
+	}
+}
+
+// collectFinals gathers every shard's boundary-Epochs checkpoint.
+func (co *coordinator) collectFinals(ctx context.Context) ([]*core.Checkpoint, error) {
+	cks := make([]*core.Checkpoint, co.cfg.Workers)
+	for s := 0; s < co.cfg.Workers; s++ {
+		for {
+			conn, err := co.connFor(ctx, s, co.cfg.Epochs)
+			if err != nil {
+				return nil, err
+			}
+			conn.SetWriteDeadline(time.Now().Add(co.cfg.IOTimeout))
+			err = WriteMessage(conn, &Message{Kind: KindFinish, Shard: s, Epoch: co.cfg.Epochs})
+			conn.SetWriteDeadline(time.Time{})
+			if err == nil {
+				conn.SetReadDeadline(time.Now().Add(co.cfg.EpochTimeout))
+				var msg *Message
+				msg, err = ReadMessage(conn)
+				conn.SetReadDeadline(time.Time{})
+				if err == nil {
+					if msg.Kind != KindFinal || msg.Shard != s {
+						err = fmt.Errorf("dtrain: expected shard %d final state, got %s for shard %d", s, msg.Kind, msg.Shard)
+					} else {
+						var ck *core.Checkpoint
+						ck, err = persist.LoadCheckpoint(bytes.NewReader(msg.Blob))
+						if err == nil {
+							cks[s] = ck
+							break
+						}
+					}
+				}
+			}
+			co.failShard(s, co.cfg.Epochs, err)
+		}
+	}
+	return cks, nil
+}
+
+// assemble stitches the worker shard states into one full-corpus chain:
+// assignments concatenated in document order, λ posterior weights averaged
+// across workers (each worker learned its own posterior from its shard
+// against the shared global counts), disabled flags intersected, and the
+// whole validated through core.Restore against the base-seed options.
+func (co *coordinator) assemble(cks []*core.Checkpoint) (*Result, error) {
+	spe := max(1, co.cfg.Staleness)
+	fullOpts, err := co.cfg.Spec.Options(co.cfg.Spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	D := co.cfg.Corpus.NumDocs()
+	ck := &core.Checkpoint{
+		Sweep:         co.cfg.Epochs * spe,
+		Seed:          co.cfg.Spec.Seed,
+		OptionsDigest: fullOpts.ChainDigest(),
+		VocabSize:     co.cfg.Corpus.VocabSize(),
+		NumDocs:       D,
+		StreamPos:     make([]uint64, fullOpts.NumStreams(D)),
+	}
+	for s, wck := range cks {
+		if wck == nil {
+			return nil, fmt.Errorf("dtrain: shard %d produced no final state", s)
+		}
+		if s == 0 {
+			ck.NumFreeTopics = wck.NumFreeTopics
+			ck.NumSourceTopics = wck.NumSourceTopics
+			ck.LambdaWeights = make([]float64, len(wck.LambdaWeights))
+			ck.Disabled = append([]bool(nil), wck.Disabled...)
+		}
+		if wck.NumFreeTopics != ck.NumFreeTopics || wck.NumSourceTopics != ck.NumSourceTopics ||
+			wck.VocabSize != ck.VocabSize || len(wck.LambdaWeights) != len(ck.LambdaWeights) ||
+			len(wck.Disabled) != len(ck.Disabled) {
+			return nil, fmt.Errorf("dtrain: shard %d final state dimensions disagree with shard 0", s)
+		}
+		ck.DocLengths = append(ck.DocLengths, wck.DocLengths...)
+		ck.Z = append(ck.Z, wck.Z...)
+		for i, w := range wck.LambdaWeights {
+			ck.LambdaWeights[i] += w
+		}
+		for i, d := range wck.Disabled {
+			ck.Disabled[i] = ck.Disabled[i] && d
+		}
+	}
+	for i := range ck.LambdaWeights {
+		ck.LambdaWeights[i] /= float64(len(cks))
+	}
+	m, err := core.Restore(co.cfg.Corpus, co.cfg.Source, fullOpts, ck)
+	if err != nil {
+		return nil, fmt.Errorf("dtrain: assembled chain failed validation: %w", err)
+	}
+	res := &Result{Model: m, Checkpoint: ck, Digest: ModelDigest(ck)}
+	co.log.Info("dtrain run complete", "sweeps", ck.Sweep, "digest", fmt.Sprintf("%#x", res.Digest))
+	return res, nil
+}
+
+// ModelDigest fingerprints the trained state a distributed run is judged
+// by — assignments, λ posterior weights, disabled flags — so two runs can
+// be compared for bit-identity without comparing slabs.
+func ModelDigest(ck *core.Checkpoint) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(ck.Sweep))
+	writeU64(uint64(len(ck.Z)))
+	for _, z := range ck.Z {
+		writeU64(uint64(uint32(z)))
+	}
+	writeU64(uint64(len(ck.LambdaWeights)))
+	for _, w := range ck.LambdaWeights {
+		writeU64(math.Float64bits(w))
+	}
+	for _, d := range ck.Disabled {
+		if d {
+			writeU64(1)
+		} else {
+			writeU64(0)
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,25 @@
+// Package dtrain trains one Source-LDA chain across multiple worker
+// processes with approximate-distributed (AD-LDA) semantics: a coordinator
+// partitions the corpus into contiguous document shards, each worker runs
+// local Gibbs sweeps over its shard against the last merged global
+// topic-word counts, and at every sync boundary (an "epoch" of
+// Staleness sweeps) the coordinator merges the workers' count deltas and
+// redistributes the merged slab.
+//
+// The protocol is barrier-synchronous and deterministic: epoch e's global
+// counts are a pure function of the seed, the partition, and the staleness —
+// never of worker scheduling or failures. Every worker checkpoints its chain
+// at each sync boundary BEFORE sending its delta, so when a worker dies the
+// coordinator hands its shard to a replacement, which restores the exact
+// boundary checkpoint and replays the lost epoch bit-for-bit. A completed
+// run therefore produces the same model whether or not workers were lost —
+// and a 1-worker run, whose external-counts overlay is identically zero, is
+// bit-identical to the serial chain (see core.SetGlobalCounts).
+//
+// Transport is the persist CRC frame (8-byte magic, version, length,
+// payload, CRC-32) per message, over anything that satisfies net.Conn —
+// TCP between real processes (cmd/srcldactl) or net.Pipe inside one process
+// (dtraintest). Every corruption mode fails loudly: a flipped bit fails the
+// CRC, a truncated stream fails the length read, and both count as a worker
+// failure that triggers reassignment, never silent count corruption.
+package dtrain

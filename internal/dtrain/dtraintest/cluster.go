@@ -1,0 +1,526 @@
+// Package dtraintest stands up in-process distributed-training clusters —
+// a real dtrain coordinator and real workers speaking the real CRC-framed
+// protocol over net.Pipe — with injectable faults: abrupt worker kill,
+// hang, slow frames, corrupted frames. Faults are the interesting part of a
+// distributed trainer; this package makes each one a single method call in
+// a test, mirroring gatewaytest for the serving side.
+package dtraintest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/dtrain"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/obs"
+	"sourcelda/internal/synth"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureData *synth.MedlineData
+	fixtureErr  error
+)
+
+// Fixture returns the shared synthetic training corpus and knowledge
+// source — generated once per process, read-only thereafter.
+func Fixture(tb testing.TB) (*corpus.Corpus, *knowledge.Source) {
+	tb.Helper()
+	fixtureOnce.Do(func() {
+		fixtureData, fixtureErr = synth.MedlineLike(synth.MedlineOptions{
+			NumTopics:  6,
+			LiveTopics: 4,
+			NumDocs:    18,
+			AvgDocLen:  25,
+			Alpha:      0.2,
+			Mu:         0.7,
+			Sigma:      0.3,
+			Seed:       23,
+		})
+	})
+	if fixtureErr != nil {
+		tb.Fatal(fixtureErr)
+	}
+	return fixtureData.Corpus, fixtureData.Source
+}
+
+// DefaultSpec is the chain configuration the harness trains under unless a
+// test overrides it.
+func DefaultSpec(seed int64) dtrain.ChainSpec {
+	return dtrain.ChainSpec{
+		NumFreeTopics:    2,
+		Alpha:            0.2,
+		Beta:             0.01,
+		LambdaMode:       "integrated",
+		Mu:               0.7,
+		Sigma:            0.3,
+		QuadraturePoints: 5,
+		UseSmoothing:     true,
+		Seed:             seed,
+	}
+}
+
+// Options configures a cluster.
+type Options struct {
+	// Workers is the shard count (default 2).
+	Workers int
+	// Epochs is the sync-boundary count (default 3).
+	Epochs int
+	// Staleness is local sweeps per epoch (default 2).
+	Staleness int
+	// Spec overrides the chain configuration (default DefaultSpec(41)).
+	Spec *dtrain.ChainSpec
+	// IOTimeout / EpochTimeout / JoinTimeout override the coordinator's
+	// fault detectors (defaults 1s / 5s / 5s — short enough that hang
+	// tests finish quickly, long enough for race-detector runs).
+	IOTimeout    time.Duration
+	EpochTimeout time.Duration
+	JoinTimeout  time.Duration
+}
+
+// Cluster is one in-process coordinator plus the workers started against
+// it. The coordinator runs from New; workers are started explicitly so
+// tests control who joins when.
+type Cluster struct {
+	tb      testing.TB
+	opts    Options
+	ln      *dtrain.PipeListener
+	metrics *dtrain.Metrics
+	corpus  *corpus.Corpus
+	source  *knowledge.Source
+	root    string
+	logBuf  *syncBuffer
+	eventsW *syncBuffer
+	cancel  context.CancelFunc
+	result  chan coordOutcome
+
+	mu      sync.Mutex
+	workers []*Worker
+	nextID  int
+	closed  bool
+}
+
+type coordOutcome struct {
+	res *dtrain.Result
+	err error
+}
+
+// New boots a coordinator and returns the cluster. Close is registered as
+// test cleanup; Wait collects the run's result.
+func New(tb testing.TB, opts Options) *Cluster {
+	tb.Helper()
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 3
+	}
+	if opts.Staleness <= 0 {
+		opts.Staleness = 2
+	}
+	if opts.Spec == nil {
+		spec := DefaultSpec(41)
+		opts.Spec = &spec
+	}
+	if opts.IOTimeout <= 0 {
+		opts.IOTimeout = time.Second
+	}
+	if opts.EpochTimeout <= 0 {
+		opts.EpochTimeout = 5 * time.Second
+	}
+	if opts.JoinTimeout <= 0 {
+		opts.JoinTimeout = 5 * time.Second
+	}
+	c, k := Fixture(tb)
+	cl := &Cluster{
+		tb:      tb,
+		opts:    opts,
+		ln:      dtrain.NewPipeListener(),
+		corpus:  c,
+		source:  k,
+		root:    tb.TempDir(),
+		logBuf:  &syncBuffer{},
+		eventsW: &syncBuffer{},
+		result:  make(chan coordOutcome, 1),
+	}
+	cl.metrics = dtrain.NewMetrics(cl.eventsW)
+	logger, err := obs.NewLogger(cl.logBuf, "text", "debug")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cl.cancel = cancel
+	go func() {
+		res, err := dtrain.RunCoordinator(ctx, cl.ln, dtrain.CoordinatorConfig{
+			Corpus:       c,
+			Source:       k,
+			Spec:         *opts.Spec,
+			Workers:      opts.Workers,
+			Epochs:       opts.Epochs,
+			Staleness:    opts.Staleness,
+			Logger:       logger,
+			Metrics:      cl.metrics,
+			IOTimeout:    opts.IOTimeout,
+			EpochTimeout: opts.EpochTimeout,
+			JoinTimeout:  opts.JoinTimeout,
+		})
+		cl.result <- coordOutcome{res: res, err: err}
+	}()
+	tb.Cleanup(cl.Close)
+	return cl
+}
+
+// Metrics exposes the coordinator's metrics for assertions.
+func (cl *Cluster) Metrics() *dtrain.Metrics { return cl.metrics }
+
+// Logs returns everything the coordinator and workers have logged so far.
+func (cl *Cluster) Logs() string { return cl.logBuf.String() }
+
+// EpochEvents parses the coordinator's telemetry JSONL into events.
+func (cl *Cluster) EpochEvents(tb testing.TB) []dtrain.EpochEvent {
+	tb.Helper()
+	var events []dtrain.EpochEvent
+	for _, line := range strings.Split(strings.TrimSpace(cl.eventsW.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev dtrain.EpochEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			tb.Fatalf("bad epoch event line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// StartWorker launches one worker goroutine that dials the coordinator and
+// speaks the protocol until done, killed, or failed. The returned handle
+// owns the worker's fault switches.
+func (cl *Cluster) StartWorker() *Worker {
+	cl.mu.Lock()
+	id := cl.nextID
+	cl.nextID++
+	w := &Worker{
+		Name:  fmt.Sprintf("worker-%d", id),
+		fault: newFaultConn(),
+		done:  make(chan error, 1),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w.cancel = cancel
+	cl.workers = append(cl.workers, w)
+	cl.mu.Unlock()
+
+	logger, err := obs.NewLogger(cl.logBuf, "text", "debug")
+	if err != nil {
+		cl.tb.Fatal(err)
+	}
+	go func() {
+		conn, err := cl.ln.Dial()
+		if err != nil {
+			w.done <- err
+			return
+		}
+		if !w.fault.attach(conn) {
+			conn.Close()
+			w.done <- net.ErrClosed
+			return
+		}
+		w.done <- dtrain.RunWorker(ctx, w.fault, dtrain.WorkerConfig{
+			Corpus:         cl.corpus,
+			Source:         cl.source,
+			CheckpointRoot: cl.root,
+			ID:             w.Name,
+			Logger:         logger,
+		})
+	}()
+	return w
+}
+
+// Wait blocks until the coordinator finishes (or timeout) and returns its
+// result. It then releases every worker and waits for their goroutines to
+// drain, so a passing test ends with no cluster goroutines alive.
+func (cl *Cluster) Wait(timeout time.Duration) (*dtrain.Result, error) {
+	cl.tb.Helper()
+	var out coordOutcome
+	select {
+	case out = <-cl.result:
+		cl.result <- out // keep available for Close / repeated Wait
+	case <-time.After(timeout):
+		cl.tb.Fatalf("coordinator did not finish within %s; logs:\n%s", timeout, cl.Logs())
+	}
+	cl.mu.Lock()
+	workers := append([]*Worker(nil), cl.workers...)
+	cl.mu.Unlock()
+	for _, w := range workers {
+		w.Kill()
+		select {
+		case err := <-w.done:
+			w.done <- err
+		case <-time.After(timeout):
+			cl.tb.Fatalf("worker %s did not exit within %s", w.Name, timeout)
+		}
+	}
+	return out.res, out.err
+}
+
+// Close tears the cluster down: coordinator canceled, listener closed,
+// every worker killed. Idempotent; registered as test cleanup by New.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	workers := append([]*Worker(nil), cl.workers...)
+	cl.mu.Unlock()
+	cl.cancel()
+	cl.ln.Close()
+	for _, w := range workers {
+		w.Kill()
+	}
+	// Drain the coordinator outcome so its goroutine exits.
+	select {
+	case <-cl.result:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+// Worker is one in-process training worker plus its fault switches.
+type Worker struct {
+	Name   string
+	fault  *faultConn
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// Kill severs the worker abruptly: its connection dies mid-whatever and its
+// goroutine unblocks. The dtrain contract is that a kill at ANY instant is
+// recoverable.
+func (w *Worker) Kill() {
+	w.cancel()
+	w.fault.Kill()
+}
+
+// Done reports the worker goroutine's exit error (nil after a clean
+// coordinator "done" message).
+func (w *Worker) Done() <-chan error { return w.done }
+
+// SetHang makes every subsequent frame read and write block until the
+// worker is killed — the stuck-but-connected worker.
+func (w *Worker) SetHang(on bool) { w.fault.SetHang(on) }
+
+// SetReadDelay delays every raw read by d — the slow worker. Slowness must
+// never change the trained model, only the wall clock.
+func (w *Worker) SetReadDelay(d time.Duration) { w.fault.SetReadDelay(d) }
+
+// CorruptNextLargeWrite flips a byte in the worker's next outgoing frame
+// larger than 1 KiB — its next count slab (base or delta), leaving the
+// small control frames intact. The coordinator must reject the frame
+// loudly and replace the worker.
+func (w *Worker) CorruptNextLargeWrite() { w.fault.CorruptNextLargeWrite() }
+
+// faultConn wraps the worker's net.Conn with the injection layer.
+type faultConn struct {
+	mu      sync.Mutex
+	inner   net.Conn
+	killed  bool
+	hanging bool
+	delay   time.Duration
+	corrupt bool
+	closed  chan struct{}
+}
+
+func newFaultConn() *faultConn {
+	return &faultConn{closed: make(chan struct{})}
+}
+
+// attach installs the dialed connection; false if the worker was killed
+// before the dial completed.
+func (f *faultConn) attach(conn net.Conn) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return false
+	}
+	f.inner = conn
+	return true
+}
+
+func (f *faultConn) Kill() {
+	f.mu.Lock()
+	if f.killed {
+		f.mu.Unlock()
+		return
+	}
+	f.killed = true
+	inner := f.inner
+	close(f.closed)
+	f.mu.Unlock()
+	if inner != nil {
+		inner.Close()
+	}
+}
+
+func (f *faultConn) SetHang(on bool) {
+	f.mu.Lock()
+	f.hanging = on
+	f.mu.Unlock()
+}
+
+func (f *faultConn) SetReadDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+func (f *faultConn) CorruptNextLargeWrite() {
+	f.mu.Lock()
+	f.corrupt = true
+	f.mu.Unlock()
+}
+
+// gate applies the hang and kill faults; returns an error once the conn is
+// unusable.
+func (f *faultConn) gate() (net.Conn, time.Duration, error) {
+	f.mu.Lock()
+	inner, hanging, delay := f.inner, f.hanging, f.delay
+	f.mu.Unlock()
+	if inner == nil {
+		return nil, 0, net.ErrClosed
+	}
+	if hanging {
+		<-f.closed
+		return nil, 0, net.ErrClosed
+	}
+	select {
+	case <-f.closed:
+		return nil, 0, net.ErrClosed
+	default:
+	}
+	return inner, delay, nil
+}
+
+func (f *faultConn) Read(b []byte) (int, error) {
+	inner, delay, err := f.gate()
+	if err != nil {
+		return 0, err
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-f.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	return inner.Read(b)
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	inner, _, err := f.gate()
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	corrupt := f.corrupt && len(b) > 1<<10
+	if corrupt {
+		f.corrupt = false
+	}
+	f.mu.Unlock()
+	if corrupt {
+		mutated := append([]byte(nil), b...)
+		mutated[len(mutated)-1] ^= 0xff // the frame's trailing CRC byte
+		n, err := inner.Write(mutated)
+		return n, err
+	}
+	return inner.Write(b)
+}
+
+func (f *faultConn) Close() error {
+	f.mu.Lock()
+	inner := f.inner
+	f.mu.Unlock()
+	if inner == nil {
+		return nil
+	}
+	return inner.Close()
+}
+
+func (f *faultConn) LocalAddr() net.Addr  { return addrOrPipe(f.inner, (net.Conn).LocalAddr) }
+func (f *faultConn) RemoteAddr() net.Addr { return addrOrPipe(f.inner, (net.Conn).RemoteAddr) }
+
+func addrOrPipe(c net.Conn, get func(net.Conn) net.Addr) net.Addr {
+	if c == nil {
+		return nil
+	}
+	return get(c)
+}
+
+func (f *faultConn) SetDeadline(t time.Time) error {
+	if c, _, err := f.gate(); err == nil {
+		return c.SetDeadline(t)
+	}
+	return nil
+}
+
+func (f *faultConn) SetReadDeadline(t time.Time) error {
+	if c, _, err := f.gate(); err == nil {
+		return c.SetReadDeadline(t)
+	}
+	return nil
+}
+
+func (f *faultConn) SetWriteDeadline(t time.Time) error {
+	if c, _, err := f.gate(); err == nil {
+		return c.SetWriteDeadline(t)
+	}
+	return nil
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for shared log/telemetry
+// sinks.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// CheckGoroutines fails the test if the goroutine count has not settled
+// back to (roughly) base — the teardown leak gate. Teardown is
+// asynchronous, so it polls briefly before judging.
+func CheckGoroutines(tb testing.TB, base int) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	tb.Fatalf("goroutine leak: %d at start, %d after teardown\n%s", base, runtime.NumGoroutine(), buf)
+}

@@ -1,0 +1,69 @@
+package dtrain
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The transport seam is just net.Listener + net.Conn: srcldactl listens on
+// TCP, the in-process harness (dtraintest) uses a PipeListener whose Dial
+// hands back net.Pipe ends. Both support deadlines, which the coordinator
+// leans on for every frame read AND write — net.Pipe is fully synchronous,
+// so without write deadlines a hung worker would deadlock the coordinator's
+// broadcast, not just its reads.
+
+// PipeListener is an in-process net.Listener: Dial returns one end of a
+// net.Pipe and Accept the other. It lets the full coordinator/worker
+// protocol — frames, deadlines, failure paths — run without sockets.
+type PipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewPipeListener returns a listener ready to Accept.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{
+		conns: make(chan net.Conn),
+		done:  make(chan struct{}),
+	}
+}
+
+// Dial connects a new in-process client, blocking until the listener
+// accepts or closes.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("dtrain: pipe listener is closed")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener. Safe to call more than once.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }

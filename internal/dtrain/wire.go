@@ -1,0 +1,235 @@
+package dtrain
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sourcelda/internal/persist"
+)
+
+// Wire protocol: every message is one persist CRC frame (magic "SLDADTRN",
+// version WireVersion) whose payload is a fixed envelope —
+//
+//	u8  kind
+//	i64 shard
+//	i64 epoch
+//	u64 count-slab length, then that many little-endian int32s
+//	u64 blob length, then that many raw bytes
+//
+// — so a single decoder covers every message and a single fuzz target covers
+// the whole protocol surface. The count slab carries topic-word counts or
+// deltas (KindBase, KindCounts, KindDelta); the blob carries JSON control
+// bodies (KindHello, KindAssign) or an embedded checkpoint frame
+// (KindFinal). Unused sections are empty, never omitted.
+
+const (
+	wireMagic = "SLDADTRN"
+	// WireVersion is the dtrain protocol format version.
+	WireVersion = 1
+
+	// maxWirePayload bounds the decoder's allocation against corrupt or
+	// hostile length prefixes. Count slabs are V×T int32s; 4 GiB covers a
+	// 10M-word vocabulary at 100 topics with room to spare.
+	maxWirePayload = 4 << 30
+
+	// msgOverhead is the envelope size around the variable sections.
+	msgOverhead = 1 + 8 + 8 + 8 + 8
+)
+
+// MsgKind identifies a dtrain protocol message.
+type MsgKind uint8
+
+const (
+	// KindHello is the worker's first message: a JSON hello body in Blob.
+	KindHello MsgKind = iota + 1
+	// KindAssign is the coordinator's reply: a JSON assign body in Blob.
+	KindAssign
+	// KindBase carries a freshly-initialized shard's own topic-word counts
+	// (Counts), the worker's contribution to the epoch-0 global slab.
+	KindBase
+	// KindCounts broadcasts the merged global topic-word counts for the
+	// epoch in Epoch; the receiving worker installs them and sweeps.
+	KindCounts
+	// KindDelta carries one worker's own-count delta for the epoch in Epoch.
+	KindDelta
+	// KindFinish asks a worker for its final chain state.
+	KindFinish
+	// KindFinal answers KindFinish: Blob holds the worker's boundary
+	// checkpoint as a complete persist checkpoint frame.
+	KindFinal
+	// KindDone tells a worker the run is complete and it may exit.
+	KindDone
+
+	kindMax = KindDone
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindAssign:
+		return "assign"
+	case KindBase:
+		return "base"
+	case KindCounts:
+		return "counts"
+	case KindDelta:
+		return "delta"
+	case KindFinish:
+		return "finish"
+	case KindFinal:
+		return "final"
+	case KindDone:
+		return "done"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Message is one decoded dtrain protocol datagram.
+type Message struct {
+	Kind   MsgKind
+	Shard  int
+	Epoch  int
+	Counts []int32
+	Blob   []byte
+}
+
+// helloBody is the JSON body of KindHello.
+type helloBody struct {
+	// WorkerID names the worker in logs and runbooks (host:pid, harness
+	// worker name); it carries no protocol meaning.
+	WorkerID string `json:"worker_id"`
+	// CorpusDigest fingerprints the worker's locally-loaded corpus so a
+	// worker pointed at the wrong data fails the handshake instead of
+	// silently training a different model.
+	CorpusDigest uint64 `json:"corpus_digest"`
+}
+
+// assignBody is the JSON body of KindAssign.
+type assignBody struct {
+	// Shard is the document shard this worker now owns.
+	Shard int `json:"shard"`
+	// Workers is the total shard count N.
+	Workers int `json:"workers"`
+	// Lo and Hi delimit the shard's document range [Lo, Hi) in the corpus.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Epochs and Staleness define the sweep schedule: Epochs sync
+	// boundaries, Staleness local sweeps between consecutive boundaries.
+	Epochs    int `json:"epochs"`
+	Staleness int `json:"staleness"`
+	// StartEpoch is the last sync boundary the coordinator has merged for
+	// this shard. 0 with SendBase means a fresh chain; otherwise the worker
+	// restores its boundary-StartEpoch checkpoint and replays from there.
+	StartEpoch int `json:"start_epoch"`
+	// SendBase asks the worker to report its initial own counts (the shard
+	// has never contributed to the global slab).
+	SendBase bool `json:"send_base"`
+	// Spec is the chain configuration shared by every worker; the worker
+	// derives its chain seed as Spec.Seed + Shard.
+	Spec ChainSpec `json:"spec"`
+}
+
+// WriteMessage writes m to w as one CRC frame. The frame is assembled in
+// memory and written with a single Write, so a frame is either fully on the
+// wire or not at all from the writer's side.
+func WriteMessage(w io.Writer, m *Message) error {
+	if m.Kind < KindHello || m.Kind > kindMax {
+		return fmt.Errorf("dtrain: cannot write message of unknown kind %d", m.Kind)
+	}
+	payload := make([]byte, 0, msgOverhead+4*len(m.Counts)+len(m.Blob))
+	payload = append(payload, byte(m.Kind))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(m.Shard))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(m.Epoch))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(m.Counts)))
+	for _, c := range m.Counts {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(c))
+	}
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(m.Blob)))
+	payload = append(payload, m.Blob...)
+	return persist.WriteFrame(w, wireMagic, WireVersion, payload)
+}
+
+// ReadMessage reads and validates one message frame from r. Any corruption —
+// wrong magic, future version, truncation, length lies, checksum mismatch,
+// unknown kind, negative shard/epoch — is an error; the decoder never
+// panics on malformed input (fuzzed, FuzzReadMessage).
+func ReadMessage(r io.Reader) (*Message, error) {
+	version, payload, err := persist.ReadFrame(r, wireMagic, maxWirePayload, "dtrain message")
+	if err != nil {
+		return nil, err
+	}
+	if version != WireVersion {
+		return nil, fmt.Errorf("dtrain: unsupported protocol version %d (this build speaks version %d)", version, WireVersion)
+	}
+	return decodeMessage(payload)
+}
+
+func decodeMessage(payload []byte) (*Message, error) {
+	if len(payload) < msgOverhead {
+		return nil, fmt.Errorf("dtrain: message payload of %d bytes is shorter than the %d-byte envelope", len(payload), msgOverhead)
+	}
+	m := &Message{Kind: MsgKind(payload[0])}
+	if m.Kind < KindHello || m.Kind > kindMax {
+		return nil, fmt.Errorf("dtrain: unknown message kind %d", payload[0])
+	}
+	off := 1
+	shard := binary.LittleEndian.Uint64(payload[off:])
+	epoch := binary.LittleEndian.Uint64(payload[off+8:])
+	off += 16
+	if shard > 1<<20 || epoch > 1<<40 {
+		return nil, fmt.Errorf("dtrain: implausible shard %d / epoch %d in %s message", shard, epoch, m.Kind)
+	}
+	m.Shard, m.Epoch = int(shard), int(epoch)
+
+	nCounts := binary.LittleEndian.Uint64(payload[off:])
+	off += 8
+	if remaining := uint64(len(payload) - off); nCounts > remaining/4 {
+		return nil, fmt.Errorf("dtrain: %s message count-slab length %d exceeds remaining payload", m.Kind, nCounts)
+	}
+	if nCounts > 0 {
+		m.Counts = make([]int32, nCounts)
+		for i := range m.Counts {
+			m.Counts[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+	}
+
+	if len(payload)-off < 8 {
+		return nil, fmt.Errorf("dtrain: %s message truncated before blob length", m.Kind)
+	}
+	nBlob := binary.LittleEndian.Uint64(payload[off:])
+	off += 8
+	if nBlob != uint64(len(payload)-off) {
+		return nil, fmt.Errorf("dtrain: %s message blob length %d does not match the %d remaining bytes", m.Kind, nBlob, len(payload)-off)
+	}
+	if nBlob > 0 {
+		m.Blob = payload[off:]
+	}
+	return m, nil
+}
+
+// writeJSONMessage marshals body into a Message blob and writes it.
+func writeJSONMessage(w io.Writer, kind MsgKind, shard int, body any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dtrain: encode %s body: %w", kind, err)
+	}
+	return WriteMessage(w, &Message{Kind: kind, Shard: shard, Blob: blob})
+}
+
+// decodeJSONBody unmarshals a control message's blob into body, requiring
+// the expected kind.
+func decodeJSONBody(m *Message, kind MsgKind, body any) error {
+	if m.Kind != kind {
+		return fmt.Errorf("dtrain: expected %s message, got %s", kind, m.Kind)
+	}
+	if err := json.Unmarshal(m.Blob, body); err != nil {
+		return fmt.Errorf("dtrain: decode %s body: %w", kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package dtrain
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"path/filepath"
+	"time"
+
+	"sourcelda/internal/core"
+	"sourcelda/internal/corpus"
+	"sourcelda/internal/knowledge"
+	"sourcelda/internal/obs"
+	"sourcelda/internal/persist"
+)
+
+// WorkerConfig configures one training worker. The worker loads the FULL
+// corpus and knowledge source locally (they are never shipped over the
+// wire); the coordinator's assign message tells it which contiguous
+// document range it owns.
+type WorkerConfig struct {
+	Corpus *corpus.Corpus
+	Source *knowledge.Source
+	// CheckpointRoot is the directory under which the worker keeps its
+	// per-shard boundary checkpoints (shard-NNN subdirectories). A
+	// replacement worker for a lost shard must see the same root — same
+	// machine or shared storage — to resume from the lost worker's last
+	// sync boundary.
+	CheckpointRoot string
+	// Retain bounds how many boundary checkpoints each shard keeps
+	// (0 means persist.DefaultCheckpointRetain; negative keeps all).
+	Retain int
+	// ID names the worker in logs and the coordinator's runbook output.
+	ID string
+	// Logger receives worker lifecycle events; nil discards.
+	Logger *slog.Logger
+}
+
+// RunWorker speaks the worker side of the dtrain protocol over conn until
+// the coordinator says done, the connection fails, or ctx is canceled. It
+// always closes conn before returning.
+//
+// The worker is deliberately stateless across connections: every piece of
+// resumable state lives in the boundary checkpoints under CheckpointRoot,
+// so killing a worker at ANY instant and starting a fresh one yields the
+// same training trajectory.
+func RunWorker(ctx context.Context, conn net.Conn, cfg WorkerConfig) error {
+	defer conn.Close()
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
+	if cfg.Corpus == nil || cfg.Corpus.NumDocs() == 0 {
+		return fmt.Errorf("dtrain: worker corpus is empty")
+	}
+	if cfg.Source == nil {
+		return fmt.Errorf("dtrain: worker knowledge source is nil")
+	}
+	if cfg.CheckpointRoot == "" {
+		return fmt.Errorf("dtrain: worker checkpoint root must be non-empty")
+	}
+
+	// Unblock any in-flight frame read or write when ctx is canceled: a
+	// deadline in the past fails the pending operation, and the deferred
+	// Close handles the rest.
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-watchdogDone:
+		}
+	}()
+
+	if err := writeJSONMessage(conn, KindHello, 0, &helloBody{
+		WorkerID:     cfg.ID,
+		CorpusDigest: CorpusDigest(cfg.Corpus),
+	}); err != nil {
+		return err
+	}
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	var assign assignBody
+	if err := decodeJSONBody(msg, KindAssign, &assign); err != nil {
+		return err
+	}
+	m, ckw, err := openShardChain(cfg, &assign)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	staleness := max(1, assign.Staleness)
+	log.Info("dtrain worker assigned",
+		"worker", cfg.ID, "shard", assign.Shard, "docs_lo", assign.Lo, "docs_hi", assign.Hi,
+		"start_epoch", assign.StartEpoch, "epochs", assign.Epochs, "staleness", staleness)
+
+	if assign.SendBase {
+		if err := WriteMessage(conn, &Message{Kind: KindBase, Shard: assign.Shard, Counts: m.OwnWordTopicCounts()}); err != nil {
+			return err
+		}
+	}
+
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case KindCounts:
+			start := time.Now()
+			if err := m.SetGlobalCounts(msg.Counts); err != nil {
+				return err
+			}
+			ownPrev := m.OwnWordTopicCounts()
+			if err := m.RunWithHook(staleness, func(int, *core.Model) error { return ctx.Err() }); err != nil {
+				return err
+			}
+			// Checkpoint the boundary BEFORE sending the delta: if this
+			// worker dies anywhere past this point, its replacement can
+			// replay from either the previous boundary (delta never merged)
+			// or this one (delta merged) — both of which now exist on disk.
+			if _, err := ckw.Write(m.Checkpoint()); err != nil {
+				return err
+			}
+			delta := m.OwnWordTopicCounts()
+			for i, p := range ownPrev {
+				delta[i] -= p
+			}
+			epoch := msg.Epoch + 1
+			if err := WriteMessage(conn, &Message{Kind: KindDelta, Shard: assign.Shard, Epoch: epoch, Counts: delta}); err != nil {
+				return err
+			}
+			log.Debug("dtrain worker epoch complete",
+				"worker", cfg.ID, "shard", assign.Shard, "epoch", epoch,
+				"sweeps", m.Sweeps(), "seconds", time.Since(start).Seconds())
+		case KindFinish:
+			blob, err := persist.EncodeCheckpoint(m.Checkpoint())
+			if err != nil {
+				return err
+			}
+			if err := WriteMessage(conn, &Message{Kind: KindFinal, Shard: assign.Shard, Epoch: msg.Epoch, Blob: blob}); err != nil {
+				return err
+			}
+		case KindDone:
+			log.Info("dtrain worker done", "worker", cfg.ID, "shard", assign.Shard, "sweeps", m.Sweeps())
+			return nil
+		default:
+			return fmt.Errorf("dtrain: worker received unexpected %s message", msg.Kind)
+		}
+	}
+}
+
+// openShardChain builds or resumes the worker's shard chain per the assign
+// message: a fresh deterministic chain at epoch 0, or a restore of the
+// exact boundary-StartEpoch checkpoint — never the newest file, which may
+// belong to a boundary the coordinator hasn't merged.
+func openShardChain(cfg WorkerConfig, assign *assignBody) (*core.Model, *persist.CheckpointWriter, error) {
+	D := cfg.Corpus.NumDocs()
+	if assign.Workers < 1 || assign.Shard < 0 || assign.Shard >= assign.Workers {
+		return nil, nil, fmt.Errorf("dtrain: assigned shard %d of %d workers is out of range", assign.Shard, assign.Workers)
+	}
+	lo, hi := ShardRange(D, assign.Workers, assign.Shard)
+	if lo != assign.Lo || hi != assign.Hi {
+		return nil, nil, fmt.Errorf("dtrain: assigned document range [%d, %d) does not match the local partition [%d, %d) of %d docs — corpus mismatch",
+			assign.Lo, assign.Hi, lo, hi, D)
+	}
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("dtrain: shard %d of %d workers over %d documents is empty", assign.Shard, assign.Workers, D)
+	}
+	opts, err := assign.Spec.Options(assign.Spec.Seed + int64(assign.Shard))
+	if err != nil {
+		return nil, nil, err
+	}
+	shardCorpus := corpus.NewWithVocab(cfg.Corpus.Vocab)
+	shardCorpus.Docs = cfg.Corpus.Docs[lo:hi]
+
+	dir := filepath.Join(cfg.CheckpointRoot, fmt.Sprintf("shard-%03d", assign.Shard))
+	ckw, err := persist.NewCheckpointWriter(dir, cfg.Retain)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if assign.StartEpoch == 0 {
+		// Fresh initialization is a pure function of the seed, so a
+		// replacement worker at epoch 0 rebuilds rather than restores.
+		m, err := core.NewModel(shardCorpus, cfg.Source, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, ckw, nil
+	}
+	sweep := assign.StartEpoch * max(1, assign.Staleness)
+	path, ok := persist.FindCheckpoint(dir, sweep)
+	if !ok {
+		return nil, nil, fmt.Errorf("dtrain: no boundary checkpoint for sync epoch %d (sweep %d) under %s — cannot resume shard %d",
+			assign.StartEpoch, sweep, dir, assign.Shard)
+	}
+	ck, err := persist.LoadCheckpointFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := core.Restore(shardCorpus, cfg.Source, opts, ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ckw, nil
+}

@@ -3,7 +3,6 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -39,23 +38,19 @@ func SaveCheckpoint(w io.Writer, ck *core.Checkpoint) error {
 	if ck == nil {
 		return fmt.Errorf("persist: nil checkpoint")
 	}
+	return WriteFrame(w, checkpointMagic, CheckpointVersion, appendCheckpointPayload(nil, ck))
+}
+
+// EncodeCheckpoint returns ck serialized as one complete checkpoint frame —
+// the same bytes SaveCheckpoint writes — for callers that embed checkpoints
+// inside other messages (the dtrain workers ship their sync-boundary state
+// this way).
+func EncodeCheckpoint(ck *core.Checkpoint) ([]byte, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("persist: nil checkpoint")
+	}
 	payload := appendCheckpointPayload(nil, ck)
-	header := make([]byte, 0, len(checkpointMagic)+4+8)
-	header = append(header, checkpointMagic...)
-	header = binary.LittleEndian.AppendUint32(header, CheckpointVersion)
-	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("persist: write checkpoint header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("persist: write checkpoint payload: %w", err)
-	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	if _, err := w.Write(crc[:]); err != nil {
-		return fmt.Errorf("persist: write checkpoint checksum: %w", err)
-	}
-	return nil
+	return AppendFrame(make([]byte, 0, frameHeaderSize+len(payload)+4), checkpointMagic, CheckpointVersion, payload), nil
 }
 
 func appendCheckpointPayload(b []byte, ck *core.Checkpoint) []byte {
@@ -109,30 +104,12 @@ func appendCheckpointPayload(b []byte, ck *core.Checkpoint) []byte {
 // core.Restore — this layer only guarantees the bytes decode to the shape
 // they were encoded from.
 func LoadCheckpoint(r io.Reader) (*core.Checkpoint, error) {
-	header := make([]byte, len(checkpointMagic)+4+8)
-	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, fmt.Errorf("persist: checkpoint truncated reading header: %w", err)
+	version, payload, err := ReadFrame(r, checkpointMagic, maxCheckpointPayload, "checkpoint file")
+	if err != nil {
+		return nil, err
 	}
-	if string(header[:len(checkpointMagic)]) != checkpointMagic {
-		return nil, fmt.Errorf("persist: not a checkpoint file (bad magic)")
-	}
-	if v := binary.LittleEndian.Uint32(header[len(checkpointMagic):]); v != CheckpointVersion {
-		return nil, fmt.Errorf("persist: unsupported checkpoint version %d (this build reads version %d)", v, CheckpointVersion)
-	}
-	payloadLen := binary.LittleEndian.Uint64(header[len(checkpointMagic)+4:])
-	if payloadLen > maxCheckpointPayload {
-		return nil, fmt.Errorf("persist: checkpoint payload length %d exceeds the %d-byte limit", payloadLen, maxCheckpointPayload)
-	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("persist: checkpoint truncated reading %d-byte payload: %w", payloadLen, err)
-	}
-	var crc [4]byte
-	if _, err := io.ReadFull(r, crc[:]); err != nil {
-		return nil, fmt.Errorf("persist: checkpoint truncated reading checksum: %w", err)
-	}
-	if want, got := binary.LittleEndian.Uint32(crc[:]), crc32.ChecksumIEEE(payload); want != got {
-		return nil, fmt.Errorf("persist: checkpoint checksum mismatch (stored %#x, computed %#x): file is corrupt", want, got)
+	if version != CheckpointVersion {
+		return nil, fmt.Errorf("persist: unsupported checkpoint version %d (this build reads version %d)", version, CheckpointVersion)
 	}
 	return decodeCheckpointPayload(payload)
 }
@@ -415,6 +392,21 @@ func LatestCheckpoint(dir string) (string, error) {
 		return "", fmt.Errorf("persist: no checkpoints in %s", dir)
 	}
 	return paths[len(paths)-1], nil
+}
+
+// FindCheckpoint reports the path of the checkpoint for exactly the given
+// sweep, if dir holds one. Distributed-training recovery needs the exact
+// sync-boundary checkpoint rather than the newest: a worker may have
+// checkpointed a later boundary and died before its delta reached the
+// coordinator, in which case the newest local state is ahead of the global
+// chain.
+func FindCheckpoint(dir string, sweep int) (string, bool) {
+	path := filepath.Join(dir, checkpointFileName(sweep))
+	info, err := os.Stat(path)
+	if err != nil || info.IsDir() {
+		return "", false
+	}
+	return path, true
 }
 
 // LoadCheckpointFile loads a checkpoint from path. A directory path selects
